@@ -1,0 +1,44 @@
+"""Benchmark suite configuration.
+
+One benchmark per paper artifact (Tables 1-7, experiments E1-E8).  Each
+bench runs its experiment exactly once under pytest-benchmark's pedantic
+mode (these are macro-benchmarks; statistical repetition is provided by
+the campaigns' own sampling) and prints the regenerated artifact so the
+run log doubles as the paper-vs-measured record.
+
+Campaign sizes default to a CI-friendly value; set ``REPRO_CAMPAIGN_N``
+(e.g. 500) to reproduce the paper's scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS
+
+#: Default injections per region for the campaign benches.
+BENCH_CAMPAIGN_N = int(os.environ.get("REPRO_CAMPAIGN_N", "25"))
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run a registry experiment once under the benchmark harness,
+    print its artifact, and return its metrics."""
+
+    def runner(exp_id: str, n: int | None = None):
+        exp = EXPERIMENTS[exp_id]
+        out = benchmark.pedantic(exp.run, args=(n,), rounds=1, iterations=1)
+        artifact, metrics = out
+        benchmark.extra_info["experiment"] = exp_id
+        benchmark.extra_info["paper_artifact"] = exp.paper_artifact
+        for key, value in metrics.items():
+            if isinstance(value, (int, float, bool)):
+                benchmark.extra_info[key] = value
+        with capsys.disabled():
+            print(f"\n=== {exp.id} ({exp.paper_artifact}): {exp.description} ===")
+            print(artifact)
+        return metrics
+
+    return runner

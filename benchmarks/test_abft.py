@@ -1,0 +1,10 @@
+"""E10 (extension): ABFT checksum-matrix coverage and overhead."""
+
+
+def test_abft(run_experiment):
+    metrics = run_experiment("E10", 150)
+    # "ABFT can detect almost all injected faults with only a ten
+    # percent performance penalty" (Silva, cited in section 8.2).
+    assert metrics["coverage"] > 0.98
+    assert metrics["escaped"] == 0
+    assert 0.08 < metrics["overhead_n20"] < 0.12

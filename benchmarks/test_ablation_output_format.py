@@ -1,0 +1,10 @@
+"""E9 (ablation): text vs binary output under identical message faults.
+
+Section 6.2: "A binary output format would detect more cases of
+incorrect output."
+"""
+
+
+def test_output_format_ablation(run_experiment):
+    metrics = run_experiment("E9", 30)
+    assert metrics["binary_rate"] > metrics["text_rate"]

@@ -1,0 +1,18 @@
+"""E5: the section-6.2 Cactus message-fault decomposition."""
+
+from benchmarks.conftest import BENCH_CAMPAIGN_N
+
+
+def test_cactus_message_decomposition(run_experiment):
+    metrics = run_experiment("E5", max(BENCH_CAMPAIGN_N, 40))
+    # Header hits are a small fraction of injections (paper: ~6%).
+    assert metrics["header_fraction"] < 0.25
+    # Header corruption is far more likely to corrupt execution than
+    # payload corruption (the text output masks payload flips).
+    if metrics["header_corrupt_rate"] > 0:
+        assert (
+            metrics["header_corrupt_rate"]
+            > metrics["payload_corrupt_rate"]
+        )
+    # Overall error rate is low (paper: 3.1%).
+    assert metrics["error_rate"] < 30.0

@@ -1,0 +1,14 @@
+"""E3: Stone & Partridge checksum escape analysis."""
+
+
+def test_checksum_escape(run_experiment):
+    metrics = run_experiment("E3", 1500)
+    # Random wire corruption essentially never escapes CRC-32.
+    assert metrics["wire_crc_escape"] == 0.0
+    # Host-side corruption blinds the CRC entirely; only the 16-bit
+    # checksum remains - and paired flips in the same bit column of two
+    # words cancel in a ones'-complement sum, so the escape rate is
+    # orders of magnitude above the CRC's 2^-32 (Stone & Partridge's
+    # "1 out of 1,100 to 32,000").
+    assert 0.0 < metrics["host_tcp_escape"] < 0.06
+    assert metrics["host_tcp_escape"] > metrics["wire_crc_escape"]

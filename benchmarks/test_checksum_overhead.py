@@ -1,0 +1,6 @@
+"""E6: NAMD message-checksum runtime overhead (paper: ~3%)."""
+
+
+def test_checksum_overhead(run_experiment):
+    metrics = run_experiment("E6")
+    assert 0.0 < metrics["overhead_percent"] < 12.0

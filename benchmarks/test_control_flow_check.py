@@ -1,0 +1,9 @@
+"""E11 (extension): control-flow signature checking of text faults."""
+
+
+def test_control_flow_check(run_experiment):
+    metrics = run_experiment("E11", 60)
+    # CFC must convert some outcomes into explicit detections without
+    # introducing false alarms on the clean control flow.
+    assert metrics["detected"] > 0
+    assert metrics["silent_checked"] <= metrics["silent_unchecked"]

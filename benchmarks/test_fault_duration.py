@@ -1,0 +1,9 @@
+"""E13 (extension): transient vs stuck-at fault duration."""
+
+
+def test_fault_duration(run_experiment):
+    metrics = run_experiment("E13", 16)
+    # Persistent faults defeat overwrite-before-read masking: they must
+    # manifest at least as often as the identical transient targets.
+    stuck = max(metrics["stuck0_rate"], metrics["stuck1_rate"])
+    assert stuck >= metrics["transient_rate"]

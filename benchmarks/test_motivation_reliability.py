@@ -1,0 +1,11 @@
+"""E1: the sections 1-2 reliability arithmetic."""
+
+import pytest
+
+
+def test_reliability_numbers(run_experiment):
+    metrics = run_experiment("E1")
+    # "a system with 1 GB of RAM can expect a soft error every 10 days"
+    assert metrics["days_per_error_gb"] == pytest.approx(10.0, rel=0.05)
+    # "33,000 x 0.05 or roughly 1,650 errors every ten days"
+    assert metrics["asciq_escaped"] == pytest.approx(1650.0)

@@ -1,0 +1,10 @@
+"""E12 (extension): naturally fault-tolerant iterative algorithms."""
+
+
+def test_natural_fault_tolerance(run_experiment):
+    metrics = run_experiment("E12")
+    # "A small error or lost data only slow convergence rather than
+    # leading to wrong results" - while a direct method is silently wrong.
+    assert metrics["self_corrected"]
+    assert metrics["delay_iterations"] >= 0
+    assert metrics["direct_error"] > 1e-6

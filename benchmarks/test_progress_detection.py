@@ -1,0 +1,8 @@
+"""E8: progress-metric hang detection (section 7)."""
+
+
+def test_progress_detection(run_experiment):
+    metrics = run_experiment("E8")
+    assert metrics["detected_at"] is not None
+    # Detection within one monitoring window of the stall.
+    assert metrics["latency"] <= 8

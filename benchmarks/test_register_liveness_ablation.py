@@ -1,0 +1,13 @@
+"""E7: register liveness vs optimization level (Springer [23])."""
+
+
+def test_register_liveness_ablation(run_experiment):
+    metrics = run_experiment("E7")
+    # The optimized kernel keeps more registers live...
+    assert metrics["static_optimized"] >= 4
+    # ...and is more sensitive to register faults than the spill-happy
+    # unoptimized variant (the paper's robustness-vs-performance point).
+    assert (
+        metrics["sensitivity_optimized"]
+        > metrics["sensitivity_unoptimized"]
+    )

@@ -1,0 +1,10 @@
+"""E4: sampling-theory campaign sizing."""
+
+
+def test_sampling_theory(run_experiment):
+    metrics = run_experiment("E4")
+    # Paper: 400-500 injections -> d = 4.4-4.9% at 95% confidence.
+    assert 0.048 < metrics["d400"] < 0.050
+    assert 0.043 < metrics["d500"] < 0.045
+    assert metrics["space"] == 3_932_160
+    assert 380 <= metrics["n5"] <= 390

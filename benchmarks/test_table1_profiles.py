@@ -1,0 +1,13 @@
+"""Table 1: per-process application profiles."""
+
+
+def test_table1_profiles(run_experiment):
+    metrics = run_experiment("T1")
+    # Paper shapes: Wavetoy is user-data dominated (94% user), the
+    # climate model is header/control dominated (63% header for CAM).
+    assert metrics["wavetoy"]["user_percent"] > 85.0
+    assert metrics["climate"]["header_percent"] > 45.0
+    assert metrics["moldyn"]["user_percent"] > 80.0
+    # CAM has the largest image of the suite.
+    assert metrics["climate"]["text"] > metrics["wavetoy"]["text"]
+    assert metrics["climate"]["bss"] > metrics["wavetoy"]["bss"]

@@ -1,0 +1,35 @@
+"""Table 2: fault injection results for Cactus Wavetoy.
+
+Shape targets from the paper: regular registers most sensitive
+(62.8%), FP registers low (4.0%), memory regions low (< ~15%),
+messages very low (3.1%) thanks to text-output masking, and **no**
+Application/MPI-Detected outcomes for Wavetoy's register and memory
+rows (it has no internal checks).
+"""
+
+from benchmarks.conftest import BENCH_CAMPAIGN_N
+
+
+def test_table2_wavetoy(run_experiment):
+    metrics = run_experiment("T2", BENCH_CAMPAIGN_N)
+    reg = metrics["regular_reg"]["error_rate_percent"]
+    fp = metrics["fp_reg"]["error_rate_percent"]
+    msg = metrics["message"]["error_rate_percent"]
+    # Who wins: integer registers dominate every other region.
+    assert reg > 25.0
+    assert reg > fp
+    assert reg > metrics["text"]["error_rate_percent"]
+    assert reg > metrics["heap"]["error_rate_percent"]
+    # FP registers are far less sensitive than integer registers.
+    assert fp < reg / 2
+    # Memory regions stay low (paper: 2.4-12.7%).
+    for region in ("data", "bss", "heap", "text"):
+        assert metrics[region]["error_rate_percent"] <= 30.0, region
+    # Messages: masked by the plain-text output and the mostly-dead
+    # halo payload (paper: 3.1%; the miniature grid leaves a larger
+    # visible fraction, but messages stay well below the register rate).
+    assert msg <= reg
+    assert msg < 45.0
+    # Wavetoy has no internal checks: nothing can be App Detected.
+    for region, row in metrics.items():
+        assert row["app_detected"] == 0.0, region

@@ -1,0 +1,26 @@
+"""Table 3: fault injection results for NAMD (moldyn).
+
+Shape targets: message faults are frequent (38%) and heavily detected
+by the built-in checksums (46% App Detected); FP faults are caught by
+NaN checks; crashes dominate register faults.
+"""
+
+from benchmarks.conftest import BENCH_CAMPAIGN_N
+
+
+def test_table3_moldyn(run_experiment):
+    metrics = run_experiment("T3", BENCH_CAMPAIGN_N)
+    msg = metrics["message"]
+    # Messages are much more sensitive than for wavetoy (38% vs 3.1%).
+    assert msg["error_rate_percent"] > 15.0
+    # The checksums catch a large share of manifested message faults.
+    assert msg["app_detected"] > 20.0
+    # Registers dominate memory regions, as everywhere.
+    assert (
+        metrics["regular_reg"]["error_rate_percent"]
+        > metrics["heap"]["error_rate_percent"]
+    )
+    assert metrics["regular_reg"]["error_rate_percent"] > 25.0
+    # Memory regions stay low.
+    for region in ("data", "bss"):
+        assert metrics[region]["error_rate_percent"] <= 30.0, region

@@ -1,0 +1,21 @@
+"""Table 4: fault injection results for CAM (climate).
+
+Shape targets: messages sensitive (24.2%) but barely detected (3% App
+Detected - CAM lacks message checksums); the moisture/NaN checks catch
+a fraction of FP and memory faults; crashes dominate registers.
+"""
+
+from benchmarks.conftest import BENCH_CAMPAIGN_N
+
+
+def test_table4_climate(run_experiment):
+    metrics = run_experiment("T4", BENCH_CAMPAIGN_N)
+    msg = metrics["message"]
+    reg = metrics["regular_reg"]["error_rate_percent"]
+    assert msg["error_rate_percent"] > 8.0
+    # CAM detects far fewer message faults than NAMD (3% vs 46%).
+    assert msg["app_detected"] < 35.0
+    assert reg > 25.0
+    assert reg > metrics["data"]["error_rate_percent"]
+    for region in ("data", "bss", "heap"):
+        assert metrics[region]["error_rate_percent"] <= 30.0, region

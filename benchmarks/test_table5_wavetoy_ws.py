@@ -1,0 +1,14 @@
+"""Table 5: Wavetoy working-set curves.
+
+Paper: text working set ~30% at t=0 dropping to ~10% in the compute
+phase; Data+BSS+Heap ~28% dropping to ~12%.
+"""
+
+
+def test_table5_wavetoy_working_set(run_experiment):
+    metrics = run_experiment("T5")
+    assert metrics["nonincreasing"]
+    assert metrics["text_initial"] > metrics["text_compute"]
+    assert metrics["text_compute"] < 40.0  # small compute-phase footprint
+    assert metrics["dbh_compute"] < 60.0
+    assert metrics["dbh_initial"] >= metrics["dbh_compute"]

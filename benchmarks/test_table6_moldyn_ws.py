@@ -1,0 +1,12 @@
+"""Table 6: NAMD (moldyn) working-set curves.
+
+Paper: text ~15% initial, ~8% compute; Data+BSS+Heap 60% -> 22%.
+"""
+
+
+def test_table6_moldyn_working_set(run_experiment):
+    metrics = run_experiment("T6")
+    assert metrics["nonincreasing"]
+    assert metrics["text_initial"] > metrics["text_compute"]
+    assert metrics["text_compute"] < 40.0
+    assert metrics["dbh_initial"] >= metrics["dbh_compute"]

@@ -1,0 +1,12 @@
+"""Table 7: CAM (climate) working-set curves.
+
+Paper: text ~30% initial, ~13% compute; Data+BSS+Heap 19% -> 16%.
+"""
+
+
+def test_table7_climate_working_set(run_experiment):
+    metrics = run_experiment("T7")
+    assert metrics["nonincreasing"]
+    assert metrics["text_initial"] > metrics["text_compute"]
+    assert metrics["text_compute"] < 40.0
+    assert metrics["dbh_compute"] < 60.0

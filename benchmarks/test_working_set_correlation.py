@@ -1,0 +1,40 @@
+"""Section 6.1.2 ablation: working sets explain the static-region error
+rates ("the small working set size is the cause of the low error
+rates").
+"""
+
+from benchmarks.conftest import BENCH_CAMPAIGN_N
+
+
+def test_working_set_explains_error_rates(benchmark, capsys):
+    from repro.analysis.correlation import correlate_working_set
+    from repro.apps import WavetoyApp
+    from repro.injection.campaign import Campaign
+    from repro.injection.faults import Region
+    from repro.mpi.simulator import JobConfig
+    from repro.sampling.plans import CampaignPlan
+    from repro.trace.working_set import trace_memory
+
+    def run():
+        cfg = JobConfig(nprocs=8)
+        report = trace_memory(WavetoyApp(), cfg)
+        campaign = Campaign(
+            WavetoyApp,
+            cfg,
+            plan=CampaignPlan(
+                per_region={r.value: BENCH_CAMPAIGN_N for r in Region}
+            ),
+            seed=612,
+        )
+        result = campaign.run(
+            regions=(Region.TEXT, Region.DATA, Region.BSS, Region.HEAP)
+        )
+        return correlate_working_set(report, result)
+
+    correlation = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== working-set / error-rate correlation (section 6.1.2) ===")
+        print(correlation.text)
+    # Error rates bounded by (same order as) the compute-phase working
+    # set: faults outside the working set cannot manifest.
+    assert correlation.consistent

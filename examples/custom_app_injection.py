@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bring your own application: write an MPI app against the public API
+and put it under the fault injector.
+
+Shows everything a downstream user needs: assembling VM kernels,
+declaring static objects, allocating from the tagged heap, keeping MPI
+descriptors in stack locals, and using the MPI_Init-wrapper config-file
+path to arm a fault.
+
+Run:  python examples/custom_app_injection.py
+"""
+
+from __future__ import annotations
+
+from repro import JobConfig, Manifestation, classify
+from repro.apps.base import MPIApplication, StackLocals, register_error_handler
+from repro.injection.wrappers import install_from_config_text
+from repro.memory.symbols import Linker
+from repro.mpi.datatypes import MPI_DOUBLE, MPI_SUM
+from repro.mpi.simulator import Job
+
+
+class PiApp(MPIApplication):
+    """Monte-Carlo-free pi: each rank integrates 4/(1+x^2) over its
+    slice with a VM kernel, then allreduces the partial sums (the classic
+    MPI teaching example, here on the simulated substrate)."""
+
+    name = "pi"
+    DEFAULTS = {"intervals_per_rank": 512}
+
+    def kernel_sources(self):
+        # args: (x, y, n, out): y[i] = 4/(1 + x[i]^2); *out = sum(y)
+        return {
+            "pi_kernel": """
+                push ebp
+                mov ebp, esp
+                load esi, [ebp+8]     ; x values
+                load edi, [ebp+12]    ; scratch
+                load ecx, [ebp+16]    ; n
+                vbin.mul edi, esi, esi, ecx    ; x^2
+                fld1
+                vbins.add edi, edi, ecx        ; 1 + x^2
+                fpop
+                fldimm 4
+                vfill esi, ecx                 ; reuse x as the constant 4
+                fpop
+                vbin.div edi, esi, edi, ecx    ; 4 / (1 + x^2)
+                vred.sum edi, ecx
+                load ebx, [ebp+20]             ; out pointer
+                fstp [ebx]
+                mov esp, ebp
+                pop ebp
+                ret
+            """,
+        }
+
+    def add_static_objects(self, linker: Linker) -> None:
+        linker.add_data("pi_result", 16)
+
+    def main(self, ctx):
+        import numpy as np
+
+        n = self.params["intervals_per_rank"]
+        total = n * ctx.nprocs
+        register_error_handler(ctx)
+
+        heap = ctx.image.heap
+        xbuf = heap.malloc(n * 8)
+        ybuf = heap.malloc(n * 8)
+        partial = heap.malloc(8)
+        out = heap.malloc(8)
+
+        # midpoints of this rank's slice of [0, 1)
+        h = 1.0 / total
+        i0 = ctx.rank * n
+        ctx.image.heap_segment.view_f64(xbuf, n)[:] = (
+            (np.arange(i0, i0 + n) + 0.5) * h
+        )
+
+        locals_ = StackLocals(ctx.image, "pi_kernel", ("x", "y", "n", "out"))
+        locals_.set("x", xbuf)
+        locals_.set("y", ybuf)
+        locals_.set("n", n)
+        locals_.set("out", partial)
+
+        ctx.vm.call(
+            "pi_kernel",
+            [
+                locals_.get("x"),
+                locals_.get("y"),
+                locals_.get_signed("n"),
+                locals_.get("out"),
+            ],
+        )
+        # scale the kernel's partial sum by the interval width
+        local_sum = ctx.image.heap_segment.read_f64(partial) * h
+        ctx.image.heap_segment.write_f64(partial, local_sum)
+
+        yield from ctx.comm.allreduce(partial, out, 1, MPI_DOUBLE, MPI_SUM)
+        pi = ctx.image.heap_segment.read_f64(out)
+        if ctx.rank == 0:
+            ctx.write_output("pi", f"{pi:.12f}")
+            ctx.print(f"pi ~ {pi:.12f}")
+
+
+CONFIG = """
+[injection]
+region = heap
+rank = 2
+time = 300
+bit = 6
+seed = 17
+"""
+
+
+def main() -> None:
+    config = JobConfig(nprocs=4)
+
+    reference = Job(PiApp(), config).run()
+    print(f"fault-free: pi = {reference.outputs['pi']}")
+
+    job = Job(PiApp(), config)
+    record = install_from_config_text(job, CONFIG)
+    result = job.run()
+    outcome = classify(result, reference)
+    print(f"with the config-file fault armed: {outcome.value}")
+    print(f"  delivered={record.delivered}  target={record.detail}")
+    if outcome is Manifestation.INCORRECT:
+        print(f"  corrupted pi = {result.outputs['pi']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Command-line entry point: run paper experiments.
+
+Usage::
+
+    python -m repro list                    # show all experiments
+    python -m repro run T2 [n]              # regenerate one artifact
+    python -m repro report [n] [--out FILE] # run everything, emit markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS, get_experiment
+from repro.harness.report import Report
+
+
+def cmd_list(_args) -> int:
+    width = max(len(e.paper_artifact) for e in EXPERIMENTS.values())
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.id:>4}  {exp.paper_artifact:<{width}}  {exp.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    try:
+        exp = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    t0 = time.time()
+    artifact, _metrics = exp.run(args.n)
+    print(f"=== {exp.id} ({exp.paper_artifact}) - {time.time() - t0:.1f}s ===")
+    print(artifact)
+    return 0
+
+
+def cmd_report(args) -> int:
+    report = Report(title="Paper reproduction report")
+    for exp_id in EXPERIMENTS:
+        t0 = time.time()
+        report.run_experiment(exp_id, args.n)
+        print(f"{exp_id}: done in {time.time() - t0:.1f}s", file=sys.stderr)
+    markdown = report.render_markdown()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(markdown)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Assessing Fault Sensitivity in MPI "
+        "Applications' (Lu & Reed, SC 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list all experiments").set_defaults(fn=cmd_list)
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id, e.g. T2 or E5")
+    run.add_argument("n", nargs="?", type=int, default=None,
+                     help="campaign size / trial count override")
+    run.set_defaults(fn=cmd_run)
+    rep = sub.add_parser("report", help="run everything, emit markdown")
+    rep.add_argument("n", nargs="?", type=int, default=None)
+    rep.add_argument("--out", default=None, help="output file")
+    rep.set_defaults(fn=cmd_report)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

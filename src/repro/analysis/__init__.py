@@ -1,0 +1,31 @@
+"""Failure-mode analysis tools (paper section 6): register-liveness
+ablations and working-set / error-rate correlation."""
+
+from repro.analysis.liveness import (
+    LivenessReport,
+    register_usage_report,
+    register_sensitivity,
+)
+from repro.analysis.correlation import correlate_working_set
+from repro.analysis.duration_study import DurationReport, fault_duration_study
+from repro.analysis.natural_ft import (
+    JacobiResult,
+    ResilienceReport,
+    jacobi_solve,
+    make_system,
+    resilience_experiment,
+)
+
+__all__ = [
+    "LivenessReport",
+    "register_usage_report",
+    "register_sensitivity",
+    "correlate_working_set",
+    "DurationReport",
+    "fault_duration_study",
+    "JacobiResult",
+    "ResilienceReport",
+    "jacobi_solve",
+    "make_system",
+    "resilience_experiment",
+]

@@ -1,0 +1,87 @@
+"""Control-flow-checking effectiveness study (paper §8.2, Oh et al.).
+
+Injects single-bit faults into the *text* of a hot kernel and compares
+the outcome with and without the control-flow signature monitor armed:
+the monitor converts a slice of the silent corruptions and wild jumps
+into explicit detections, at zero cost to fault-free runs (the signature
+is pre-generated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.liveness import N_ITER, OPTIMIZED_SOURCE, _EXPECTED, _build
+from repro.cpu.isa import INSN_SIZE
+from repro.detectors.cfcheck import ControlFlowViolation, install
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CfcReport:
+    text: str
+    metrics: dict
+
+
+def _run_once(flip_byte: int, flip_bit: int, *, checked: bool) -> str:
+    image, vm, _ = _build(OPTIMIZED_SOURCE)
+    if checked:
+        install(vm)
+    sym = image.symtab.lookup("kernel")
+    image.text.flip_bit(sym.addr + flip_byte, flip_bit)
+    vm.block_limit = 10_000
+    try:
+        result = vm.call("kernel")
+    except ControlFlowViolation:
+        return "detected"
+    except SimulationError as exc:
+        return type(exc).__name__
+    return "correct" if result == _EXPECTED else "wrong"
+
+
+def control_flow_study(trials: int = 80, seed: int = 3) -> CfcReport:
+    """Identical text faults with and without the signature monitor."""
+    rng = np.random.default_rng(seed)
+    image, _, _ = _build(OPTIMIZED_SOURCE)
+    size = image.symtab.lookup("kernel").size
+    outcomes = {"checked": {}, "unchecked": {}}
+    faults = [
+        (int(rng.integers(size)), int(rng.integers(8))) for _ in range(trials)
+    ]
+    for label, checked in (("checked", True), ("unchecked", False)):
+        for byte, bit in faults:
+            outcome = _run_once(byte, bit, checked=checked)
+            outcomes[label][outcome] = outcomes[label].get(outcome, 0) + 1
+
+    checked = outcomes["checked"]
+    unchecked = outcomes["unchecked"]
+    detected = checked.get("detected", 0)
+    silent_unchecked = unchecked.get("wrong", 0)
+    silent_checked = checked.get("wrong", 0)
+
+    def fmt(d: dict) -> str:
+        return ", ".join(f"{k}={v}" for k, v in sorted(d.items()))
+
+    text = (
+        f"{trials} text faults into a hot kernel "
+        f"({size // INSN_SIZE} instructions, {N_ITER} iterations):\n"
+        f"  without CFC: {fmt(unchecked)}\n"
+        f"  with CFC   : {fmt(checked)}\n"
+        f"CFC converts wild control transfers into explicit detections "
+        f"({detected} of {trials}); faults that corrupt *operands* without "
+        f"diverting control ({silent_checked} silent) are outside its "
+        f"model - the technique's documented limitation."
+    )
+    return CfcReport(
+        text=text,
+        metrics={
+            "trials": trials,
+            "detected": detected,
+            "silent_unchecked": silent_unchecked,
+            "silent_checked": silent_checked,
+            "checked_outcomes": dict(checked),
+            "unchecked_outcomes": dict(unchecked),
+        },
+    )

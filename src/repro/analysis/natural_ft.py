@@ -1,0 +1,143 @@
+"""Naturally fault-tolerant algorithms (paper §8.2).
+
+"In some cases, one can exploit naturally fault tolerant algorithms
+whose outputs are resilient to perturbation during the calculations.
+For example, iterative algorithms for solving systems of linear
+equations use successive approximations to obtain more accurate
+solutions at each step.  A small error or lost data only slow
+convergence rather than leading to wrong results."
+
+This module makes that claim measurable: a Jacobi iterative solver and a
+direct (factorization-style) solver are run under identical mid-solve
+single-bit upsets.  The iterative solver self-corrects (converging to
+the true solution, possibly in a few extra sweeps); the direct method,
+whose intermediate state is never revisited, silently produces a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detectors.abft import flip_float_bit
+
+
+def make_system(
+    n: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """A strictly diagonally dominant system (Jacobi converges)."""
+    if n < 2:
+        raise ValueError(f"system size must be >= 2: {n}")
+    a = rng.standard_normal((n, n))
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    b = rng.standard_normal(n)
+    return a, b
+
+
+@dataclass
+class JacobiResult:
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+
+
+def jacobi_solve(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 2000,
+    fault_iteration: int | None = None,
+    fault_index: int = 0,
+    fault_bit: int = 55,
+) -> JacobiResult:
+    """Jacobi iteration with an optional single-bit upset on one
+    component of the iterate at ``fault_iteration``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    d = np.diag(a)
+    if np.any(d == 0):
+        raise ValueError("zero diagonal: Jacobi splitting undefined")
+    r = a - np.diag(d)
+    x = np.zeros_like(b)
+    for k in range(1, max_iter + 1):
+        if fault_iteration is not None and k == fault_iteration:
+            x = x.copy()
+            x[fault_index] = flip_float_bit(float(x[fault_index]), fault_bit)
+            if not np.isfinite(x[fault_index]):
+                x[fault_index] = 0.0  # Inf/NaN upset: component lost
+        x = (b - r @ x) / d
+        residual = float(np.abs(a @ x - b).max())
+        if residual < tol:
+            return JacobiResult(x, k, True, residual)
+    return JacobiResult(x, max_iter, False, residual)
+
+
+def direct_solve_with_fault(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    fault_index: tuple[int, int] = (0, 0),
+    fault_bit: int = 55,
+) -> np.ndarray:
+    """A direct method whose intermediate state is corrupted mid-solve:
+    the upset lands in the factor and is consumed, never re-checked."""
+    a = np.asarray(a, dtype=np.float64).copy()
+    i, j = fault_index
+    a[i, j] = flip_float_bit(float(a[i, j]), fault_bit)
+    return np.linalg.solve(a, b)
+
+
+@dataclass
+class ResilienceReport:
+    clean_iterations: int
+    faulty_iterations: int
+    iterative_error: float  # vs the true solution, after the upset
+    direct_error: float  # the direct method's error with the same upset
+    text: str
+
+    @property
+    def iterative_self_corrected(self) -> bool:
+        return self.iterative_error < 1e-6
+
+    @property
+    def delay_iterations(self) -> int:
+        return self.faulty_iterations - self.clean_iterations
+
+
+def resilience_experiment(
+    n: int = 32,
+    *,
+    seed: int = 0,
+    fault_bit: int = 58,
+) -> ResilienceReport:
+    """The §8.2 comparison on one system."""
+    rng = np.random.default_rng(seed)
+    a, b = make_system(n, rng)
+    truth = np.linalg.solve(a, b)
+    clean = jacobi_solve(a, b)
+    mid = max(clean.iterations // 2, 1)
+    faulty = jacobi_solve(
+        a, b, fault_iteration=mid, fault_index=n // 2, fault_bit=fault_bit
+    )
+    direct = direct_solve_with_fault(a, b, fault_index=(n // 2, n // 2),
+                                     fault_bit=fault_bit)
+    it_err = float(np.abs(faulty.x - truth).max())
+    dir_err = float(np.abs(direct - truth).max())
+    text = (
+        f"Jacobi: {clean.iterations} clean sweeps; upset at sweep {mid} -> "
+        f"{faulty.iterations} sweeps "
+        f"(+{faulty.iterations - clean.iterations}), final error {it_err:.2e}\n"
+        f"direct method with the same upset: error {dir_err:.2e} "
+        f"(silently wrong)"
+    )
+    return ResilienceReport(
+        clean_iterations=clean.iterations,
+        faulty_iterations=faulty.iterations,
+        iterative_error=it_err,
+        direct_error=dir_err,
+        text=text,
+    )

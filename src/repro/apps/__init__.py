@@ -1,0 +1,36 @@
+"""The test application suite (paper section 4.2).
+
+Three miniature scientific MPI codes mirroring the paper's suite:
+
+* :mod:`repro.apps.wavetoy` - Cactus Wavetoy: a hyperbolic-PDE solver
+  with halo exchange, near-zero field data, plain-text output at limited
+  precision, and **no** internal error checking.
+* :mod:`repro.apps.moldyn` - NAMD: molecular dynamics with checksummed
+  coordinate messages, NaN checks on the per-step energies, sanity
+  assertions, and seed-dependent message ordering.
+* :mod:`repro.apps.climate` - CAM: an atmosphere model with large static
+  state, control-message-dominated master/worker traffic, a moisture
+  minimum-threshold check, and full-precision binary output.
+"""
+
+from repro.apps.base import MPIApplication, StackLocals, register_error_handler
+from repro.apps.wavetoy import WavetoyApp
+from repro.apps.moldyn import MoldynApp
+from repro.apps.climate import ClimateApp
+
+#: The paper's application suite, keyed by the names used in Tables 2-4.
+APPLICATION_SUITE = {
+    "wavetoy": WavetoyApp,
+    "moldyn": MoldynApp,
+    "climate": ClimateApp,
+}
+
+__all__ = [
+    "MPIApplication",
+    "StackLocals",
+    "register_error_handler",
+    "WavetoyApp",
+    "MoldynApp",
+    "ClimateApp",
+    "APPLICATION_SUITE",
+]

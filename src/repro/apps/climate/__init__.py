@@ -1,0 +1,5 @@
+"""CAM analogue: atmosphere model, control-message dominated (section 4.2.3)."""
+
+from repro.apps.climate.app import ClimateApp
+
+__all__ = ["ClimateApp"]

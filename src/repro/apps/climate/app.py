@@ -1,0 +1,257 @@
+"""The atmosphere-model application (CAM analogue, section 4.2.3).
+
+Characteristics mirrored from the paper:
+
+* large **static** state: the temperature/moisture bands and spectral
+  workspaces are BSS objects (CAM: 32 MB BSS, 38 MB heap, 80 MB text -
+  the biggest image of the suite);
+* traffic dominated by control messages (63 % for CAM): every step each
+  worker sends a header-only "ready" to rank 0 and receives a tiny work
+  descriptor; periodic field gathers go through the rendezvous protocol
+  (more header-only RTS/CTS traffic);
+* a moisture minimum-threshold sanity check ("any moisture value below
+  a minimum threshold can trigger a warning and abort") plus a NaN check
+  on the temperature diagnostic - CAM's modest detection machinery;
+* full-precision **binary** output written by rank 0 at the end, so any
+  surviving perturbation of the fields is visible as Incorrect Output.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import (
+    MPIApplication,
+    StackLocals,
+    padding_code,
+    register_error_handler,
+    unrolled_init_source,
+)
+from repro.apps.climate import kernels
+from repro.detectors.nan_checks import nan_check_value
+from repro.errors import AppAbort
+from repro.memory.symbols import Linker
+from repro.mpi.datatypes import ANY_SOURCE, MPI_DOUBLE, MPI_SUM
+from repro.mpi.simulator import RankContext
+
+_TAG_READY = 301
+_TAG_WORK = 302
+_F64 = 8
+
+
+class ClimateApp(MPIApplication):
+    """Atmosphere-model test application."""
+
+    name = "climate"
+
+    DEFAULTS = {
+        "nlon": 96,  # band length (longitude points)
+        "nlat_local": 4,  # latitude rows per rank
+        "steps": 20,
+        "gather_every": 5,  # field gathers to rank 0 (rendezvous traffic)
+        "c": 0.2,  # advection coefficient
+        "alpha": 0.05,  # radiative relaxation
+        "dt": 0.1,
+        "evap": 0.02,
+        "precip": 0.1,
+        "qmin_check": 0.05,  # moisture minimum-threshold abort
+        "solar": 1.0,
+    }
+
+    mpi_text_scale = 1.6
+    mpi_data_scale = 1.2
+    heap_size = 1 << 19
+    stack_size = 64 << 10
+
+    def codegen_key(self) -> tuple:
+        return ()
+
+    # ------------------------------------------------------------------
+    def kernel_sources(self) -> dict[str, str]:
+        return {
+            "cam_dynamics": kernels.dynamics_source(),
+            "cam_physics": kernels.physics_source(),
+            "cam_diag": kernels.diag_source(),
+            "cam_startup": unrolled_init_source(2400),
+        }
+
+    def add_static_objects(self, linker: Linker) -> None:
+        p = self.params
+        band_n = p["nlon"] * p["nlat_local"]
+        for const in (
+            "cam_negc",
+            "cam_dt",
+            "cam_negalpha",
+            "cam_solar",
+            "cam_evap",
+            "cam_negprecip",
+        ):
+            linker.add_data(const, 8)
+        # The fields themselves are static arrays (BSS), as in CAM.
+        linker.add_bss("cam_T", band_n * _F64)
+        linker.add_bss("cam_Q", band_n * _F64)
+        linker.add_bss("cam_scratch", band_n * _F64)
+        linker.add_bss("cam_diag_out", 2 * _F64)
+        # Insolation profile: data-section table read by every physics
+        # step (the hot slice of the data section).
+        linker.add_data("cam_S", band_n * _F64)
+        # Big untouched static state: spectral workspaces, history
+        # buffers - CAM's BSS dwarfs what a time step actually reads.
+        linker.add_bss("cam_spectral_ws", 48 << 10)
+        linker.add_bss("cam_history_buf", 24 << 10)
+        linker.add_data("cam_ozone_table", 16 << 10)
+        # Cold code: the physics packages a short run never calls.
+        linker.add_text("cam_radiation_cold", padding_code(16 << 10))
+        linker.add_text("cam_convection_cold", padding_code(12 << 10))
+        linker.add_text("cam_io_cold", padding_code(12 << 10))
+
+    # ------------------------------------------------------------------
+    def main(self, ctx: RankContext) -> Generator:
+        p = self.params
+        rank, n = ctx.rank, ctx.nprocs
+        image, vm, comm = ctx.image, ctx.vm, ctx.comm
+        heap = image.heap
+        band_n = p["nlon"] * p["nlat_local"]
+
+        register_error_handler(ctx)
+
+        # Physics constants into the data section.
+        data = image.data
+        data.write_f64(image.addr_of("cam_negc"), -p["c"])
+        data.write_f64(image.addr_of("cam_dt"), p["dt"])
+        data.write_f64(image.addr_of("cam_negalpha"), -p["alpha"])
+        data.write_f64(image.addr_of("cam_solar"), p["solar"])
+        data.write_f64(image.addr_of("cam_evap"), p["evap"])
+        data.write_f64(image.addr_of("cam_negprecip"), -p["precip"])
+
+        T = image.addr_of("cam_T")
+        Q = image.addr_of("cam_Q")
+        S = image.addr_of("cam_S")
+        scratch = image.addr_of("cam_scratch")
+        diag = image.addr_of("cam_diag_out")
+
+        # Initial condition files: smooth latitude-dependent fields.
+        lat0 = rank * p["nlat_local"]
+        lat = lat0 + np.arange(p["nlat_local"], dtype=np.float64)
+        lon = np.arange(p["nlon"], dtype=np.float64)
+        tt, qq = np.meshgrid(lat, lon, indexing="ij")
+        image.bss.view_f64(T, band_n)[:] = (
+            280.0 + 20.0 * np.cos(0.08 * tt) + 0.5 * np.sin(0.2 * qq)
+        ).reshape(-1)
+        image.bss.view_f64(Q, band_n)[:] = (
+            0.3 + 0.05 * np.cos(0.15 * (tt + qq))
+        ).reshape(-1)
+        data.view_f64(S, band_n)[:] = (
+            1.0 + 0.3 * np.cos(0.08 * tt)
+        ).reshape(-1)
+
+        # Heap stays modest (CAM is BSS-heavy): descriptor slots plus
+        # rank 0's gather buffers.
+        # CAM-style chunk descriptor: 8 doubles, of which this miniature
+        # uses only the first (solar) and second (step stamp); the rest
+        # are reserved fields - flips there are carried but never read.
+        desc = heap.malloc(8 * _F64)
+        dsum_local = heap.malloc(2 * _F64)
+        dsum_glob = heap.malloc(2 * _F64)
+        gather_T = heap.malloc(n * band_n * _F64) if rank == 0 else 0
+        gather_Q = heap.malloc(n * band_n * _F64) if rank == 0 else 0
+
+        locals_ = StackLocals(
+            image,
+            "cam_physics",
+            ("T", "Q", "S", "scratch", "bandn", "nrows", "nlon",
+             "master", "desc", "diag"),
+        )
+        locals_.set("T", T)
+        locals_.set("Q", Q)
+        locals_.set("S", S)
+        locals_.set("scratch", scratch)
+        locals_.set("bandn", band_n)
+        locals_.set("nrows", p["nlat_local"])
+        locals_.set("nlon", p["nlon"])
+        locals_.set("master", 0)
+        locals_.set("desc", desc)
+        locals_.set("diag", diag)
+
+        vm.call("cam_startup")
+
+        hseg = image.heap_segment
+        for step in range(p["steps"]):
+            # ---- load-balancing handshake (header-dominated traffic)
+            if rank == 0:
+                # Serve every worker in arrival order (nondeterministic
+                # under contention, like CAM's dynamic chunk scheduler).
+                hseg.write_f64(desc, p["solar"])
+                hseg.write_f64(desc + 8, float(step))
+                for _ in range(n - 1):
+                    st = yield from comm.recv(
+                        locals_.get("desc"), 0, MPI_DOUBLE, ANY_SOURCE, _TAG_READY
+                    )
+                    yield from comm.send(
+                        locals_.get("desc"), 8, MPI_DOUBLE, st.source, _TAG_WORK
+                    )
+                solar = hseg.read_f64(desc)
+            else:
+                master = locals_.get_signed("master")
+                yield from comm.send(
+                    locals_.get("desc"), 0, MPI_DOUBLE, master, _TAG_READY
+                )
+                yield from comm.recv(
+                    locals_.get("desc"), 8, MPI_DOUBLE, master, _TAG_WORK
+                )
+                solar = hseg.read_f64(desc)  # descriptor payload
+            # The work descriptor parameterizes this step's physics.
+            data.write_f64(image.addr_of("cam_solar"), solar)
+
+            # ---- dynamics + physics on the local band, row by row
+            bandn = locals_.get_signed("bandn")
+            nrows = locals_.get_signed("nrows")
+            nlon = locals_.get_signed("nlon")
+            vm.call(
+                "cam_dynamics",
+                [locals_.get("T"), nrows, nlon, locals_.get("scratch")],
+            )
+            vm.call(
+                "cam_physics",
+                [
+                    locals_.get("T"),
+                    locals_.get("Q"),
+                    locals_.get("S"),
+                    nrows,
+                    nlon,
+                    locals_.get("scratch"),
+                ],
+            )
+
+            # ---- diagnostics and consistency checks
+            vm.call("cam_diag", [locals_.get("T"), locals_.get("Q"), bandn,
+                                 locals_.get("diag")])
+            tsum = image.bss.read_f64(diag)
+            qmin = image.bss.read_f64(diag + 8)
+            nan_check_value(tsum, "temperature checksum")
+            if qmin < p["qmin_check"]:
+                raise AppAbort(
+                    "moisture bound", f"QNEG: minimum moisture {qmin:.3g}"
+                )
+            hseg.write_f64(dsum_local, tsum)
+            hseg.write_f64(dsum_local + 8, qmin)
+            yield from comm.allreduce(dsum_local, dsum_glob, 2, MPI_DOUBLE, MPI_SUM)
+
+            # ---- periodic history gather (rendezvous data traffic)
+            if (step + 1) % p["gather_every"] == 0:
+                yield from comm.gather(
+                    locals_.get("T"), bandn, MPI_DOUBLE, gather_T, 0
+                )
+                yield from comm.gather(
+                    locals_.get("Q"), bandn, MPI_DOUBLE, gather_Q, 0
+                )
+
+        yield from comm.barrier()
+        if rank == 0:
+            final_T = bytes(hseg.view_u8(gather_T, n * band_n * _F64))
+            final_Q = bytes(hseg.view_u8(gather_Q, n * band_n * _F64))
+            ctx.write_output("climate_T.bin", final_T)
+            ctx.write_output("climate_Q.bin", final_Q)
+            ctx.print(f"history written: {len(final_T) + len(final_Q)} bytes")

@@ -1,0 +1,133 @@
+"""Assembled kernels for the atmosphere model.
+
+The fields are *static* BSS arrays (CAM's profile is BSS-heavy: 32 MB of
+BSS against an 8 MB heap), addressed via ``$symbol`` relocations; the
+kernels read the per-step work descriptor (solar scale) and the physics
+coefficients from the data section.
+
+Both kernels loop over latitude rows (CAM's chunked physics columns), so
+row cursors and counts stay live in integer registers throughout.
+"""
+
+from __future__ import annotations
+
+
+def dynamics_source() -> str:
+    """``cam_dynamics(T, nrows, nlon, scratch)``: upwind advection along
+    each band, ``T[j] -= c (T[j] - T[j-1])`` for j = 1..nlon-1."""
+    return """
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]       ; T row cursor
+        load edx, [ebp+12]      ; rows remaining
+        load edi, [ebp+20]      ; scratch
+        movi eax, $cam_negc
+        fld [eax]               ; -c stays in ST0 across the loop
+    row_loop:
+        cmpi edx, 0
+        jle done
+        load ecx, [ebp+16]      ; nlon
+        addi ecx, -1
+        lea ebx, [esi+8]        ; T[j]
+        vbin.sub edi, ebx, esi, ecx   ; scratch = T[j] - T[j-1]
+        vaxpy ebx, ebx, edi, ecx      ; T[j] += (-c) * scratch
+        load ecx, [ebp+16]
+        shl ecx, 3
+        add esi, ecx            ; next row
+        addi edx, -1
+        jmp row_loop
+    done:
+        fpop
+        mov esp, ebp
+        pop ebp
+        ret
+    """
+
+
+def physics_source() -> str:
+    """``cam_physics(T, Q, S, nrows, nlon, scratch)``: column physics,
+    row by row.
+
+    T += dt (solar * S - alpha * T)     (radiative heating/cooling)
+    Q += dt (evap - precip * Q)         (moisture source/sink)
+
+    ``solar`` arrives in the master's per-step work descriptor and is
+    stored to the data section before the call, so a corrupted control
+    payload mechanically perturbs the physics.
+    """
+    return """
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]       ; T cursor
+        load edi, [ebp+12]      ; Q cursor
+        load ebx, [ebp+16]      ; S cursor (insolation, data section)
+        load edx, [ebp+20]      ; rows remaining
+    row_loop:
+        cmpi edx, 0
+        jle done
+        load ecx, [ebp+24]      ; nlon
+        ; scratch = solar * S
+        push edx
+        load edx, [ebp+28]      ; scratch
+        movi eax, $cam_solar
+        fld [eax]
+        vbins.mul edx, ebx, ecx
+        fpop
+        ; scratch += -alpha * T
+        movi eax, $cam_negalpha
+        fld [eax]
+        vaxpy edx, edx, esi, ecx
+        fpop
+        ; T += dt * scratch
+        movi eax, $cam_dt
+        fld [eax]
+        vaxpy esi, esi, edx, ecx
+        fpop
+        ; scratch = evap, scratch += -precip * Q, Q += dt * scratch
+        movi eax, $cam_evap
+        fld [eax]
+        vfill edx, ecx
+        fpop
+        movi eax, $cam_negprecip
+        fld [eax]
+        vaxpy edx, edx, edi, ecx
+        fpop
+        movi eax, $cam_dt
+        fld [eax]
+        vaxpy edi, edi, edx, ecx
+        fpop
+        pop edx
+        ; advance all three cursors one row
+        mov eax, ecx
+        shl eax, 3
+        add esi, eax
+        add edi, eax
+        add ebx, eax
+        addi edx, -1
+        jmp row_loop
+    done:
+        mov esp, ebp
+        pop ebp
+        ret
+    """
+
+
+def diag_source() -> str:
+    """``cam_diag(T, Q, n, out)``: out[0] = sum(T), out[1] = min(Q) -
+    the per-step diagnostics that feed the global reduction and the
+    moisture minimum-threshold check."""
+    return """
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]
+        load edi, [ebp+12]
+        load ecx, [ebp+16]
+        load edx, [ebp+20]
+        vred.sum esi, ecx
+        fstp [edx]
+        vred.min edi, ecx
+        fstp [edx+8]
+        mov esp, ebp
+        pop ebp
+        ret
+    """

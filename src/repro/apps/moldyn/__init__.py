@@ -1,0 +1,5 @@
+"""NAMD analogue: molecular dynamics with internal checks (section 4.2.2)."""
+
+from repro.apps.moldyn.app import MoldynApp
+
+__all__ = ["MoldynApp"]

@@ -1,0 +1,292 @@
+"""The molecular-dynamics application (NAMD analogue, section 4.2.2).
+
+Characteristics mirrored from the paper:
+
+* heap-dominant memory profile (atom arrays plus a large "molecular
+  structure" staging buffer read only at startup);
+* per-step boundary exchanges: **checksummed coordinate messages** (the
+  NAMD message consistency checks, ~3 % runtime overhead, detect ~46 %
+  of message faults) and *unchecked* force messages;
+* NaN consistency checks on the per-step energies and a sanity bound on
+  velocities (catch 3-7 % of memory faults, 47 % of FP-register faults);
+* message arrival order is seed-dependent (ANY_SOURCE receives, shuffled
+  send order) - the NAMD nondeterminism of section 4.2.2;
+* the reference output is the rank-0 console energy log at fixed
+  precision ("the only reproducible output is the console output");
+* the Charm++ runtime is linked as *user* code ("Charm++ is considered
+  a part of the user application, and it is subjected to fault
+  injection").
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import (
+    MPIApplication,
+    StackLocals,
+    padding_code,
+    register_error_handler,
+    unrolled_init_source,
+)
+from repro.apps.moldyn import kernels
+from repro.detectors.assertions import bound_check
+from repro.detectors.checksums import seal, verify
+from repro.detectors.nan_checks import nan_check_value
+from repro.memory.symbols import Linker
+from repro.mpi.datatypes import ANY_SOURCE, MPI_BYTE, MPI_DOUBLE, MPI_SUM
+from repro.mpi.simulator import RankContext
+
+_TAG_COORD = 201
+_TAG_FORCE = 202
+_F64 = 8
+
+
+class MoldynApp(MPIApplication):
+    """Molecular-dynamics test application."""
+
+    name = "moldyn"
+
+    DEFAULTS = {
+        "atoms_per_rank": 256,
+        "boundary": 64,  # ghost-patch width B (the "patch" exchange)
+        "steps": 16,
+        "k": 1.0,  # bond spring constant
+        "dt": 0.05,
+        "vmax": 50.0,  # sanity bound on velocities
+        "checksums": True,  # NAMD's message consistency checks
+        "energy_precision": 4,  # console %.Pf formatting
+        "cold_heap_factor": 8,
+    }
+
+    mpi_text_scale = 0.8
+    mpi_data_scale = 0.8
+    heap_size = 1 << 20
+    stack_size = 64 << 10
+
+    def build_process(self, rank, nprocs, config):
+        if self.params["atoms_per_rank"] < 2 * self.params["boundary"]:
+            raise ValueError(
+                f"atoms_per_rank={self.params['atoms_per_rank']} must be >= "
+                f"2*boundary={2 * self.params['boundary']}"
+            )
+        return super().build_process(rank, nprocs, config)
+
+    # ------------------------------------------------------------------
+    def kernel_sources(self) -> dict[str, str]:
+        return {
+            "md_force": kernels.force_source(),
+            "md_integrate": kernels.integrate_source(),
+            "md_thermostat": kernels.thermostat_source(),
+            "md_blend": kernels.blend_source(),
+            "md_energies": kernels.energies_source(),
+            "md_parse": kernels.parse_source(),
+            "md_startup": unrolled_init_source(1600),
+            "charm_init": unrolled_init_source(800),
+        }
+
+    def add_static_objects(self, linker: Linker) -> None:
+        for const in ("md_k", "md_dt", "md_halfk"):
+            linker.add_data(const, 8)
+        linker.add_data("md_param_tables", 10 << 10)
+        # Hot static state read every step: the inverse-mass table
+        # (data) and the thermostat rescaling profile (BSS).
+        linker.add_data("md_minv", self.params["atoms_per_rank"] * 8)
+        linker.add_bss("md_thermo", self.params["atoms_per_rank"] * 8)
+        linker.add_bss("md_cell_lists", 12 << 10)
+        linker.add_bss("charm_queues", 8 << 10)
+        # Cold user/Charm++ code paths (NAMD's text dwarfs Wavetoy's).
+        linker.add_text("md_pme_cold", padding_code(10 << 10))
+        linker.add_text("charm_sched_cold", padding_code(12 << 10))
+        linker.add_text("md_io_cold", padding_code(6 << 10))
+
+    # ------------------------------------------------------------------
+    def main(self, ctx: RankContext) -> Generator:
+        p = self.params
+        rank, n = ctx.rank, ctx.nprocs
+        image, vm, comm = ctx.image, ctx.vm, ctx.comm
+        heap, space = image.heap, image.address_space
+        B = p["boundary"]
+        local = p["atoms_per_rank"]
+        if local < 2 * B:
+            raise ValueError(f"atoms_per_rank={local} must be >= 2*boundary={2 * B}")
+        total = local + 2 * B  # [B ghosts][local][B ghosts]
+        vm_charge = vm if p["checksums"] else None
+
+        register_error_handler(ctx)
+
+        image.data.write_f64(image.addr_of("md_k"), p["k"])
+        image.data.write_f64(image.addr_of("md_dt"), p["dt"])
+        image.data.write_f64(image.addr_of("md_halfk"), 0.5 * p["k"])
+        # Structure-derived per-atom tables (read by every time step).
+        atom_ids = np.arange(local, dtype=np.float64)
+        image.data.view_f64(image.addr_of("md_minv"), local)[:] = (
+            1.0 / (1.0 + 0.002 * np.cos(0.21 * atom_ids))
+        )
+        image.bss.view_f64(image.addr_of("md_thermo"), local)[:] = (
+            1.0 - 0.0005 * np.sin(0.17 * atom_ids)
+        )
+
+        # Heap: the "apoa1 structure file" staging (cold), atom arrays,
+        # message staging and energy slots.
+        cold_n = p["cold_heap_factor"] * total
+        cold = heap.malloc(cold_n * _F64)
+        x = heap.malloc(total * _F64)
+        v = heap.malloc(total * _F64)
+        f = heap.malloc(total * _F64)
+        scratch = heap.malloc(total * _F64)
+        e_local = heap.malloc(2 * _F64)
+        e_glob = heap.malloc(2 * _F64)
+        sealed_cap = B * _F64 + 16
+        stage_out = [heap.malloc(sealed_cap), heap.malloc(sealed_cap)]
+        stage_in = heap.malloc(sealed_cap)
+
+        # Initial conditions: equilibrium spacing with a thermal kick.
+        xs = image.heap_segment.view_f64(x, total)
+        vs = image.heap_segment.view_f64(v, total)
+        base = rank * local - B
+        xs[:] = np.arange(base, base + total, dtype=np.float64)
+        vs[:] = 0.02 * np.sin(0.13 * np.arange(base, base + total))
+        image.heap_segment.view_f64(f, total)[:] = 0.0
+        image.heap_segment.view_f64(cold, cold_n)[:] = ctx.rng.random(cold_n)
+
+        locals_ = StackLocals(
+            image,
+            "md_force",
+            ("x", "v", "f", "up", "down", "bcount", "ecount", "estage"),
+        )
+        locals_.set("x", x)
+        locals_.set("v", v)
+        locals_.set("f", f)
+        locals_.set("up", rank - 1 if rank > 0 else 0)
+        locals_.set("down", rank + 1 if rank < n - 1 else 0)
+        locals_.set("bcount", B)
+        locals_.set("ecount", 2)
+        locals_.set("estage", e_local)
+
+        vm.call("charm_init")
+        vm.call("md_startup")
+        vm.call("md_parse", [cold, cold_n])
+        vm.call("md_force", [x + (B - 1) * _F64, f + (B - 1) * _F64, local])
+
+        neighbours = []
+        if rank > 0:
+            neighbours.append(("up", 0))
+        if rank < n - 1:
+            neighbours.append(("down", 1))
+
+        energy_log: list[str] = []
+        hseg = image.heap_segment
+        for step in range(p["steps"]):
+            # ---- checksummed coordinate exchange (patches of B atoms)
+            xp = locals_.get("x")
+            bcount = locals_.get_signed("bcount")
+            order = list(neighbours)
+            if len(order) > 1 and ctx.rng.random() < 0.5:
+                order.reverse()  # NAMD's arrival-order nondeterminism
+            reqs = []
+            for side, slot in order:
+                dest = locals_.get_signed(side)
+                src_off = B if side == "up" else local  # first/last patch
+                payload = hseg.read_bytes(xp + src_off * _F64, bcount * _F64)
+                blob = seal(payload) if p["checksums"] else payload
+                hseg.write_bytes(stage_out[slot], blob)
+                reqs.append(
+                    comm.isend(stage_out[slot], len(blob), MPI_BYTE, dest, _TAG_COORD)
+                )
+            for _ in order:
+                st = yield from comm.recv(
+                    stage_in, sealed_cap, MPI_BYTE, ANY_SOURCE, _TAG_COORD
+                )
+                blob = hseg.read_bytes(stage_in, st.count_bytes)
+                payload = verify(blob, vm=vm_charge) if p["checksums"] else blob
+                ghost_off = 0 if st.source == rank - 1 else B + local
+                hseg.write_bytes(xp + ghost_off * _F64, payload)
+            yield from comm.waitall(reqs)
+
+            # ---- forces over everything with valid neighbours
+            vm.call(
+                "md_force",
+                [xp + (B - 1) * _F64, locals_.get("f") + (B - 1) * _F64, local + 2],
+            )
+
+            # ---- unchecked force exchange: edge contributions
+            fp = locals_.get("f")
+            freqs = []
+            for side, slot in order:
+                dest = locals_.get_signed(side)
+                src_off = B if side == "up" else local
+                freqs.append(
+                    comm.isend(
+                        fp + src_off * _F64, bcount, MPI_DOUBLE, dest, _TAG_FORCE
+                    )
+                )
+            for _ in order:
+                st = yield from comm.recv(
+                    scratch, bcount, MPI_DOUBLE, ANY_SOURCE, _TAG_FORCE
+                )
+                edge_off = B if st.source == rank - 1 else local
+                vm.call("md_blend", [fp + edge_off * _F64, scratch, bcount])
+            yield from comm.waitall(freqs)
+
+            # ---- integrate the owned atoms (f/m via the mass table)
+            vm.call(
+                "md_integrate",
+                [
+                    xp + B * _F64,
+                    locals_.get("v") + B * _F64,
+                    fp + B * _F64,
+                    local,
+                    image.addr_of("md_minv"),
+                    scratch,
+                ],
+            )
+            vm.call(
+                "md_thermostat",
+                [
+                    locals_.get("v") + B * _F64,
+                    image.addr_of("md_thermo"),
+                    local,
+                ],
+            )
+
+            # ---- energies, consistency checks, global reduction
+            vm.call(
+                "md_energies",
+                [xp + B * _F64, locals_.get("v") + B * _F64, local, scratch,
+                 locals_.get("estage")],
+            )
+            ke = hseg.read_f64(e_local)
+            pe = hseg.read_f64(e_local + 8)
+            nan_check_value(ke, "kinetic energy")
+            nan_check_value(pe, "potential energy")
+            bound_check(
+                np.asarray(hseg.view_f64(v + B * _F64, local)),
+                "velocities",
+                minimum=-p["vmax"],
+                maximum=p["vmax"],
+                vm=vm_charge,
+            )
+            yield from comm.allreduce(
+                locals_.get("estage"), e_glob, locals_.get_signed("ecount"),
+                MPI_DOUBLE, MPI_SUM,
+            )
+            if rank == 0:
+                gke = hseg.read_f64(e_glob)
+                gpe = hseg.read_f64(e_glob + 8)
+                nan_check_value(gke + gpe, "total energy")
+                natoms = n * local
+                temp = 2.0 * gke / max(natoms, 1)
+                prec = p["energy_precision"]
+                energy_log.append(
+                    f"ENERGY: {step:4d} {gke:.{prec}f} {gpe:.{prec}f} "
+                    f"{gke + gpe:.{prec}f} {temp:.2f}"
+                )
+
+        yield from comm.barrier()
+        if rank == 0:
+            for line in energy_log:
+                ctx.print(line)
+            ctx.write_output("moldyn.log", "\n".join(energy_log) + "\n")

@@ -1,0 +1,201 @@
+"""Assembled kernels for the molecular-dynamics application.
+
+A 1-D chain ("polymer") under harmonic nearest-neighbour forces,
+integrated with a symplectic Euler scheme.  The atom arrays carry ghost
+patches of ``B`` boundary atoms at each end, filled by the checksummed
+coordinate exchange.
+
+The kernels iterate over the chain in fixed-size chunks (NAMD processes
+patches), so the chunk cursor, remaining-count and array pointers stay
+live in integer registers for the whole kernel - which is precisely why
+integer-register faults manifest so often (paper section 6.1.1).
+"""
+
+from __future__ import annotations
+
+#: Atoms processed per loop iteration.
+CHUNK = 32
+
+
+def force_source() -> str:
+    """``md_force(x, f, n_inner)``: harmonic chain forces
+    ``f[i] = k (x[i+1] - 2 x[i] + x[i-1])`` for the inner atoms.
+    ``x``/``f`` point at the element *preceding* the first inner atom.
+    """
+    return f"""
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]       ; x cursor (left neighbour)
+        load edi, [ebp+12]      ; f cursor (left alignment)
+        addi edi, 8             ; f centre
+        load edx, [ebp+16]      ; atoms remaining
+    chunk_loop:
+        cmpi edx, 0
+        jle done
+        mov ecx, edx
+        cmpi ecx, {CHUNK}
+        jle last
+        movi ecx, {CHUNK}
+    last:
+        lea ebx, [esi+16]       ; x right
+        vbin.add edi, esi, ebx, ecx
+        fldimm -2
+        lea ebx, [esi+8]        ; x centre
+        vaxpy edi, edi, ebx, ecx
+        fpop
+        movi ebx, $md_k
+        fld [ebx]
+        vbins.mul edi, edi, ecx
+        fpop
+        mov eax, ecx            ; advance cursors by ecx atoms
+        shl eax, 3
+        add esi, eax
+        add edi, eax
+        sub edx, ecx
+        jmp chunk_loop
+    done:
+        mov esp, ebp
+        pop ebp
+        ret
+    """
+
+
+def integrate_source() -> str:
+    """``md_integrate(x, v, f, n, minv, scratch)``: a = f / m per atom
+    (the inverse-mass profile is a hot *data-section* table), then
+    v += dt a ; x += dt v, chunked.
+
+    The timestep constant stays on the FPU stack across the whole loop
+    (a live FP register, NAMD-style)."""
+    return f"""
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]       ; x
+        load edi, [ebp+12]      ; v
+        load ebx, [ebp+16]      ; f
+        load edx, [ebp+20]      ; n
+        movi eax, $md_dt
+        fld [eax]               ; dt lives in ST0 for the whole kernel
+    chunk_loop:
+        cmpi edx, 0
+        jle done
+        mov ecx, edx
+        cmpi ecx, {CHUNK}
+        jle last
+        movi ecx, {CHUNK}
+    last:
+        push edx
+        load eax, [ebp+28]            ; scratch cursor slot reuse
+        load edx, [ebp+24]            ; minv cursor
+        vbin.mul eax, ebx, edx, ecx   ; a = f * (1/m)
+        vaxpy edi, edi, eax, ecx      ; v += dt * a
+        vaxpy esi, esi, edi, ecx      ; x += dt * v
+        pop edx
+        mov eax, ecx
+        shl eax, 3
+        add esi, eax
+        add edi, eax
+        add ebx, eax
+        push eax
+        load eax, [ebp+24]
+        push ebx
+        mov ebx, ecx
+        shl ebx, 3
+        add eax, ebx
+        store [ebp+24], eax           ; advance the minv cursor
+        pop ebx
+        pop eax
+        sub edx, ecx
+        jmp chunk_loop
+    done:
+        fpop
+        mov esp, ebp
+        pop ebp
+        ret
+    """
+
+
+def thermostat_source() -> str:
+    """``md_thermostat(v, profile, n)``: v *= profile - a weak velocity
+    rescaling against a hot *BSS* profile array (values ~1), applied
+    every step."""
+    return """
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]
+        load edi, [ebp+12]
+        load ecx, [ebp+16]
+        vbin.mul esi, esi, edi, ecx
+        mov esp, ebp
+        pop ebp
+        ret
+    """
+
+
+def blend_source() -> str:
+    """``md_blend(dst, src, n)``: dst = (dst + src) / 2 - merges the
+    neighbour's boundary force contributions into the edge atoms (this
+    is the *unprotected* data path: force messages carry no checksum,
+    matching NAMD, whose checksums cover coordinates only)."""
+    return """
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]
+        load edi, [ebp+12]
+        load ecx, [ebp+16]
+        vbin.add esi, esi, edi, ecx
+        fldimm 2
+        vbins.div esi, esi, ecx
+        fpop
+        mov esp, ebp
+        pop ebp
+        ret
+    """
+
+
+def energies_source() -> str:
+    """``md_energies(x, v, n, scratch, out)``: out[0] = KE = sum(v^2)/2,
+    out[1] = PE = k/2 * sum((x[i+1]-x[i])^2) over n-1 bonds."""
+    return """
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]       ; x
+        load edi, [ebp+12]      ; v
+        load ecx, [ebp+16]      ; n
+        load ebx, [ebp+20]      ; scratch (n-1 doubles)
+        load edx, [ebp+24]      ; out (2 doubles)
+        vred.sumsq edi, ecx     ; sum v^2
+        fldimm 2
+        fdivp                   ; KE
+        fstp [edx]
+        addi ecx, -1
+        lea eax, [esi+8]
+        vbin.sub ebx, eax, esi, ecx   ; bond extensions
+        vred.sumsq ebx, ecx
+        movi eax, $md_halfk
+        fld [eax]
+        fmulp                   ; PE
+        fstp [edx+8]
+        mov esp, ebp
+        pop ebp
+        ret
+    """
+
+
+def parse_source() -> str:
+    """``md_parse(buf, n)``: one pass over the staged structure file
+    (reads the cold heap buffer exactly once, at startup - the source of
+    the init-phase heap working set the paper's Table 6 shows)."""
+    return """
+        push ebp
+        mov ebp, esp
+        load esi, [ebp+8]
+        load ecx, [ebp+12]
+        vred.sum esi, ecx
+        fpop
+        vred.min esi, ecx
+        fpop
+        mov esp, ebp
+        pop ebp
+        ret
+    """

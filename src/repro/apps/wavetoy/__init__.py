@@ -1,0 +1,6 @@
+"""Cactus Wavetoy analogue: hyperbolic PDE solver (paper section 4.2.1)."""
+
+from repro.apps.wavetoy.app import WavetoyApp
+from repro.apps.wavetoy.io import format_field, parse_field
+
+__all__ = ["WavetoyApp", "format_field", "parse_field"]

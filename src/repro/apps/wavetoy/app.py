@@ -1,0 +1,262 @@
+"""The Wavetoy application (Cactus Wavetoy analogue, section 4.2.1).
+
+A 2-D wave-equation solver with 1-D row decomposition and nearest-
+neighbour halo exchange.  Characteristics mirrored from the paper:
+
+* the heap dominates the memory profile (work arrays plus a large cold
+  staging buffer read only during initialization);
+* received traffic is almost entirely user data (~94 %): two eager halo
+  messages per step per neighbour;
+* field values are near zero, and rank 0 writes results as *plain text*
+  at limited precision - so small payload perturbations are masked and
+  the message-fault manifestation rate is far below NAMD's/CAM's;
+* there are **no** internal consistency checks: no Wavetoy run can end
+  as Application Detected (Table 2 has no such column).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import (
+    MPIApplication,
+    StackLocals,
+    padding_code,
+    register_error_handler,
+    unrolled_init_source,
+)
+from repro.apps.wavetoy import kernels
+from repro.apps.wavetoy.io import format_field
+from repro.memory.symbols import Linker
+from repro.mpi.datatypes import MPI_DOUBLE
+from repro.mpi.simulator import RankContext
+
+_TAG_UP = 101
+_TAG_DOWN = 102
+_F64 = 8
+
+
+class WavetoyApp(MPIApplication):
+    """Hyperbolic PDE solver test application."""
+
+    name = "wavetoy"
+
+    DEFAULTS = {
+        "nx": 96,  # global columns (row length)
+        "ny": 32,  # global rows, split across ranks
+        "steps": 24,
+        "r2c": 0.2,  # (c dt / dx)^2 leapfrog coefficient
+        "damping": 0.15,  # dissipation per step: perturbations decay
+        "amplitude": 1e-3,  # pulse height: near-zero data, as in Cactus
+        "background": 1e-10,  # smooth nonzero background (eps * r2)
+        "output_format": "text",  # "text" (paper default) or "binary"
+        "output_precision": 5,
+        "output_stride": 4,  # Cactus-style subsampled (1-D line) output
+        "cold_heap_factor": 6,  # cold staging size vs hot arrays
+        # Ghost-zone width: the halo exchange ships this many rows per
+        # side, but the second-order stencil reads only the innermost -
+        # so most halo payload bytes are received and never used, one of
+        # the reasons Cactus message faults rarely manifest.
+        "halo_width": 2,
+    }
+
+    mpi_text_scale = 0.3
+    mpi_data_scale = 0.3
+    heap_size = 1 << 20
+    stack_size = 64 << 10
+
+    def codegen_key(self) -> tuple:
+        return (self.params["nx"],)
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def kernel_sources(self) -> dict[str, str]:
+        return {
+            "wt_step": kernels.step_source(self.params["nx"]),
+            "wt_init": kernels.init_source(),
+            "wt_norm": kernels.norm_source(),
+            "wt_startup": unrolled_init_source(1200),
+        }
+
+    def add_static_objects(self, linker: Linker) -> None:
+        # Solver coefficients (user data section; loaded by kernels).
+        for const in (
+            "wt_r2c", "wt_neginvw2", "wt_amp", "wt_eps", "wt_damp", "wt_srcamp",
+        ):
+            linker.add_data(const, 8)
+        # Live static state read every step: the boundary sponge profile
+        # (BSS) and the forcing-term row (data section).
+        linker.add_bss("wt_sponge", self.params["nx"] * 8)
+        linker.add_data("wt_source", self.params["nx"] * 8)
+        # Mostly-unread static state: coefficient tables, I/O buffers.
+        linker.add_data("wt_coeff_table", 12 << 10)
+        linker.add_bss("wt_workspace", 8 << 10)
+        linker.add_bss("wt_output_staging", 4 << 10)
+        # Cold user code: boundary handlers, unused I/O formats.
+        linker.add_text("wt_boundary_cold", padding_code(6 << 10))
+        linker.add_text("wt_io_cold", padding_code(6 << 10))
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def build_process(self, rank, nprocs, config):
+        self.local_rows(nprocs)  # validate the geometry before running
+        return super().build_process(rank, nprocs, config)
+
+    def local_rows(self, nprocs: int) -> int:
+        rows = self.params["ny"] // nprocs
+        if rows < 1:
+            raise ValueError(
+                f"ny={self.params['ny']} too small for {nprocs} ranks"
+            )
+        if nprocs > 1 and rows < self.params["halo_width"]:
+            raise ValueError(
+                f"{rows} rows per rank is thinner than the "
+                f"halo_width={self.params['halo_width']} ghost zone"
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # per-rank main
+    # ------------------------------------------------------------------
+    def main(self, ctx: RankContext) -> Generator:
+        p = self.params
+        nx, steps = p["nx"], p["steps"]
+        hw = p["halo_width"]
+        rank, n = ctx.rank, ctx.nprocs
+        image, vm, comm = ctx.image, ctx.vm, ctx.comm
+        space = image.address_space
+        rows = self.local_rows(n)
+        local_n = (rows + 2 * hw) * nx
+        row_bytes = nx * _F64
+
+        register_error_handler(ctx)
+
+        # "Read the parameter file": write solver constants into the
+        # data section before any kernel runs.
+        width = max(p["ny"] / 5.0, 2.0)
+        image.data.write_f64(image.addr_of("wt_r2c"), p["r2c"])
+        image.data.write_f64(image.addr_of("wt_neginvw2"), -1.0 / width**2)
+        image.data.write_f64(image.addr_of("wt_amp"), p["amplitude"])
+        image.data.write_f64(image.addr_of("wt_eps"), p["background"])
+        image.data.write_f64(image.addr_of("wt_damp"), 1.0 - p["damping"])
+        image.data.write_f64(image.addr_of("wt_srcamp"), 0.05)
+        xs = np.arange(nx, dtype=np.float64)
+        image.bss.view_f64(image.addr_of("wt_sponge"), nx)[:] = (
+            1.0 - 0.02 * np.exp(-(((xs - nx / 2) / (nx / 4)) ** 2))
+        )
+        image.data.view_f64(image.addr_of("wt_source"), nx)[:] = (
+            1e-6 * np.sin(0.3 * xs)
+        )
+
+        # Heap: cold staging (init-only), input field, three time levels,
+        # a scratch row, and rank 0's gather buffer.
+        heap = image.heap
+        cold_n = p["cold_heap_factor"] * local_n
+        cold = heap.malloc(cold_n * _F64)
+        r2buf = heap.malloc(local_n * _F64)
+        u_prev = heap.malloc(local_n * _F64)
+        u_curr = heap.malloc(local_n * _F64)
+        u_next = heap.malloc(local_n * _F64)
+        scratch = heap.malloc((nx - 2) * _F64)
+        gather_buf = heap.malloc(n * rows * nx * _F64) if rank == 0 else 0
+
+        # Input data: squared distance from the pulse centre, plus junk
+        # in the cold staging buffer (the "input deck").
+        cy, cx = p["ny"] / 2.0, nx / 2.0
+        gy0 = rank * rows - hw  # global row of local row 0 (outer ghost)
+        yy, xx = np.meshgrid(
+            np.arange(gy0, gy0 + rows + 2 * hw, dtype=np.float64),
+            np.arange(nx, dtype=np.float64),
+            indexing="ij",
+        )
+        r2 = (yy - cy) ** 2 + (xx - cx) ** 2
+        image.heap_segment.view_f64(r2buf, local_n)[:] = r2.reshape(-1)
+        image.heap_segment.view_f64(cold, cold_n)[:] = ctx.rng.random(cold_n)
+
+        # MPI-call descriptors live in stack-resident locals (read back
+        # before every call - the paper's stack->MPI-argument pathway).
+        locals_ = StackLocals(
+            image,
+            "wt_step",
+            (
+                "uprev", "ucurr", "unext", "scratch",
+                "rows", "count", "up", "down",
+            ),
+        )
+        locals_.set("uprev", u_prev)
+        locals_.set("ucurr", u_curr)
+        locals_.set("unext", u_next)
+        locals_.set("scratch", scratch)
+        locals_.set("rows", rows)
+        locals_.set("count", hw * nx)  # halo message length (elements)
+        locals_.set("up", rank - 1 if rank > 0 else 0)
+        locals_.set("down", rank + 1 if rank < n - 1 else 0)
+
+        # Initialization phase: startup code then the IC kernel.
+        vm.call("wt_startup")
+        vm.call("wt_init", [r2buf, u_curr, u_prev, local_n, cold, cold_n])
+
+        koff = (hw - 1) * row_bytes  # kernel sees one ghost row per side
+        for _ in range(steps):
+            ucurr = locals_.get("ucurr")
+            count = locals_.get_signed("count")
+            if rank > 0:
+                up = locals_.get_signed("up")
+                yield from comm.sendrecv(
+                    ucurr + hw * row_bytes, count, MPI_DOUBLE, up, _TAG_UP,
+                    ucurr, count, MPI_DOUBLE, up, _TAG_DOWN,
+                )
+            if rank < n - 1:
+                down = locals_.get_signed("down")
+                yield from comm.sendrecv(
+                    ucurr + rows * row_bytes, count, MPI_DOUBLE, down, _TAG_DOWN,
+                    ucurr + (hw + rows) * row_bytes, count, MPI_DOUBLE, down, _TAG_UP,
+                )
+            vm.call(
+                "wt_step",
+                [
+                    locals_.get("uprev") + koff,
+                    locals_.get("ucurr") + koff,
+                    locals_.get("unext") + koff,
+                    locals_.get_signed("rows"),
+                    locals_.get("scratch"),
+                    1 if rank == 0 else 0,
+                ],
+            )
+            # Rotate the time levels (pointer shuffle in the locals).
+            prev, curr, nxt = (
+                locals_.get("uprev"),
+                locals_.get("ucurr"),
+                locals_.get("unext"),
+            )
+            locals_.set("uprev", curr)
+            locals_.set("ucurr", nxt)
+            locals_.set("unext", prev)
+
+        yield from comm.barrier()
+        # Rank 0 gathers the interior rows and writes the output file.
+        ucurr = locals_.get("ucurr")
+        yield from comm.gather(
+            ucurr + hw * row_bytes, rows * nx, MPI_DOUBLE, gather_buf, 0
+        )
+        if rank == 0:
+            field = np.array(
+                image.heap_segment.view_f64(gather_buf, n * rows * nx)
+            )
+            if p["output_format"] == "binary":
+                ctx.write_output("wavetoy.out", field.tobytes())
+            else:
+                ctx.write_output(
+                    "wavetoy.out",
+                    format_field(
+                        field,
+                        n * rows,
+                        nx,
+                        precision=p["output_precision"],
+                        stride=p["output_stride"],
+                    ),
+                )

@@ -1,0 +1,55 @@
+"""Wavetoy output formatting (paper sections 4.2.1 and 6.2).
+
+"At the end of an execution, the process of rank 0 writes the application
+results to output files in plain text format. ... it hides small changes
+in low order decimal digits.  A binary output format would detect more
+cases of incorrect output."
+
+Both formats are provided so the E5 ablation can quantify exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_field(
+    values: np.ndarray,
+    ny: int,
+    nx: int,
+    *,
+    precision: int = 6,
+    stride: int = 1,
+) -> str:
+    """Render the gathered field as Cactus-style plain text.
+
+    ``precision`` is the number of significant digits (%.Pg); ``stride``
+    subsamples columns/rows as output-frequency parameters do in Cactus.
+    """
+    if values.size != ny * nx:
+        raise ValueError(f"expected {ny * nx} values, got {values.size}")
+    if precision < 1:
+        raise ValueError(f"precision must be >= 1: {precision}")
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1: {stride}")
+    grid = np.asarray(values, dtype=np.float64).reshape(ny, nx)
+    lines = []
+    for i in range(0, ny, stride):
+        row = grid[i, ::stride]
+        lines.append(" ".join(f"{v:.{precision}g}" for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def parse_field(text: str) -> np.ndarray:
+    """Parse formatted text back to a (flattened) float array."""
+    rows = [
+        [float(tok) for tok in line.split()]
+        for line in text.strip().splitlines()
+        if line.strip()
+    ]
+    if not rows:
+        return np.empty(0)
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise ValueError("ragged field text")
+    return np.array(rows, dtype=np.float64).reshape(-1)

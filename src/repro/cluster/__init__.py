@@ -1,0 +1,75 @@
+"""Cluster hardware models and COTS reliability substrates (sections 1-2
+of the paper): machine specs, FIT/SER arithmetic, SECDED ECC memory, and
+the network checksum stack."""
+
+from repro.cluster.machines import (
+    METACLUSTER,
+    RHAPSODY,
+    SYMPHONY,
+    ClusterSpec,
+    MetaCluster,
+    NodeSpec,
+)
+from repro.cluster.reliability import (
+    ASCI_Q,
+    CONSERVATIVE_FIT_PER_MB,
+    TYPICAL_FIT_PER_MB,
+    EccSystemModel,
+    asci_q_escaped_errors,
+    days_between_errors,
+    expected_soft_errors,
+    fit_to_failures_per_hour,
+    fit_to_mtbf_hours,
+    mtbf_years_to_fit,
+)
+from repro.cluster.ecc import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    CoverageStats,
+    DecodeOutcome,
+    coverage_experiment,
+    decode,
+    encode,
+    flip_bits,
+)
+from repro.cluster.netchecksum import (
+    EscapeStats,
+    crc32,
+    escape_experiment,
+    flip_random_bits,
+    host_corruption_experiment,
+    internet_checksum,
+)
+
+__all__ = [
+    "METACLUSTER",
+    "RHAPSODY",
+    "SYMPHONY",
+    "ClusterSpec",
+    "MetaCluster",
+    "NodeSpec",
+    "ASCI_Q",
+    "CONSERVATIVE_FIT_PER_MB",
+    "TYPICAL_FIT_PER_MB",
+    "EccSystemModel",
+    "asci_q_escaped_errors",
+    "days_between_errors",
+    "expected_soft_errors",
+    "fit_to_failures_per_hour",
+    "fit_to_mtbf_hours",
+    "mtbf_years_to_fit",
+    "CODEWORD_BITS",
+    "DATA_BITS",
+    "CoverageStats",
+    "DecodeOutcome",
+    "coverage_experiment",
+    "decode",
+    "encode",
+    "flip_bits",
+    "EscapeStats",
+    "crc32",
+    "escape_experiment",
+    "flip_random_bits",
+    "host_corruption_experiment",
+    "internet_checksum",
+]

@@ -1,0 +1,96 @@
+"""Models of the paper's experimental clusters (section 4).
+
+"The hardware experimental environment is a metacluster formed from two
+Linux PC clusters.  The first cluster (Rhapsody) has 32 nodes connected by
+both 10/100 and Gigabit Ethernet.  Each node has dual 930 MHz Pentium III
+processors and 1 GB of DRAM.  The second, older cluster (Symphony) has 16
+nodes connected by Ethernet and Myrinet; each node has dual 500 MHz
+Pentium II processors and 512 MB of RAM."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware of one cluster node."""
+
+    cpus: int
+    cpu_mhz: int
+    ram_bytes: int
+    cpu_model: str = ""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One homogeneous cluster."""
+
+    name: str
+    nodes: int
+    node: NodeSpec
+    interconnects: tuple[str, ...] = ()
+
+    @property
+    def total_cpus(self) -> int:
+        return self.nodes * self.node.cpus
+
+    @property
+    def total_ram_bytes(self) -> int:
+        return self.nodes * self.node.ram_bytes
+
+
+RHAPSODY = ClusterSpec(
+    name="Rhapsody",
+    nodes=32,
+    node=NodeSpec(cpus=2, cpu_mhz=930, ram_bytes=1 << 30, cpu_model="Pentium III"),
+    interconnects=("10/100 Ethernet", "Gigabit Ethernet"),
+)
+
+SYMPHONY = ClusterSpec(
+    name="Symphony",
+    nodes=16,
+    node=NodeSpec(cpus=2, cpu_mhz=500, ram_bytes=512 << 20, cpu_model="Pentium II"),
+    interconnects=("Ethernet", "Myrinet"),
+)
+
+
+@dataclass(frozen=True)
+class MetaCluster:
+    """The combined experimental environment."""
+
+    clusters: tuple[ClusterSpec, ...] = (RHAPSODY, SYMPHONY)
+
+    @property
+    def total_cpus(self) -> int:
+        return sum(c.total_cpus for c in self.clusters)
+
+    def placement(self, nprocs: int, processes_per_cpu: int = 1) -> list[tuple[str, int]]:
+        """Round-robin placement of MPI ranks onto (cluster, node) slots.
+
+        Wavetoy ran 196 processes with "each processor serv[ing] two MPI
+        processes" - pass ``processes_per_cpu=2`` for that regime (the
+        last few ranks wrap around, oversubscribing slightly, as the
+        paper's 196 > 192 slot count implies).
+        Returns ``[(cluster_name, node_index), ...]`` indexed by rank.
+        """
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive: {nprocs}")
+        if processes_per_cpu <= 0:
+            raise ValueError(f"processes_per_cpu must be positive: {processes_per_cpu}")
+        slots: list[tuple[str, int]] = []
+        for cluster in self.clusters:
+            for node in range(cluster.nodes):
+                slots.extend(
+                    [(cluster.name, node)] * (cluster.node.cpus * processes_per_cpu)
+                )
+        if nprocs > 2 * len(slots):
+            raise ValueError(
+                f"{nprocs} processes exceed twice the slot count "
+                f"{len(slots)} (= CPUs x processes_per_cpu)"
+            )
+        return [slots[r % len(slots)] for r in range(nprocs)]
+
+
+METACLUSTER = MetaCluster()

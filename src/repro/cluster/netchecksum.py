@@ -1,0 +1,130 @@
+"""Network checksum models (paper section 2.2, Stone & Partridge).
+
+"Stone and Partridge show that link-level checksums are insufficient to
+detect errors in messages.  In theory, the chance that link-level
+checksums do not catch errors should be as small as 1 out of 4 billion
+packets" - yet measured escape rates were far higher because corruption
+happens in hosts and routers *after* the CRC is verified.
+
+This module provides the two checksums in play - the TCP/IP 16-bit ones'
+complement sum and the 32-bit link-level CRC - plus an escape experiment
+quantifying how often random corruptions slip past each, and a model of
+host-side corruption (bits flipped after CRC verification, before the TCP
+checksum) reproducing the qualitative Stone-Partridge conclusion.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 16-bit ones' complement checksum (the TCP checksum)."""
+    buf = np.frombuffer(data, dtype=np.uint8)
+    if buf.size % 2:
+        buf = np.concatenate([buf, np.zeros(1, dtype=np.uint8)])
+    words = buf.view(">u2").astype(np.uint64)
+    total = int(words.sum())
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def crc32(data: bytes) -> int:
+    """The link-level 32-bit CRC (Ethernet FCS polynomial)."""
+    return zlib.crc32(data) & 0xFFFF_FFFF
+
+
+def flip_random_bits(data: bytes, nbits: int, rng: np.random.Generator) -> bytes:
+    """Flip ``nbits`` distinct bit positions of a byte string."""
+    if nbits < 0:
+        raise ValueError(f"nbits must be non-negative: {nbits}")
+    buf = bytearray(data)
+    total_bits = len(buf) * 8
+    if nbits > total_bits:
+        raise ValueError(f"cannot flip {nbits} bits in {total_bits}-bit packet")
+    for pos in rng.choice(total_bits, size=nbits, replace=False):
+        buf[int(pos) // 8] ^= 1 << (int(pos) % 8)
+    return bytes(buf)
+
+
+@dataclass
+class EscapeStats:
+    """Results of a checksum escape experiment."""
+
+    trials: int = 0
+    caught_crc: int = 0
+    caught_tcp: int = 0
+    escaped_crc: int = 0
+    escaped_tcp: int = 0
+    escaped_both: int = 0
+
+    def escape_rate(self, which: str = "both") -> float:
+        if not self.trials:
+            return 0.0
+        return {
+            "crc": self.escaped_crc,
+            "tcp": self.escaped_tcp,
+            "both": self.escaped_both,
+        }[which] / self.trials
+
+
+def escape_experiment(
+    n_trials: int,
+    packet_len: int,
+    nbits: int,
+    rng: np.random.Generator,
+) -> EscapeStats:
+    """Corrupt random packets and count checksum escapes.
+
+    Random k-bit corruption virtually never escapes CRC-32 (~2^-32) and
+    escapes the 16-bit TCP checksum at ~2^-16 - the "1 out of 4 billion"
+    theory the measured reality contradicted.
+    """
+    stats = EscapeStats()
+    for _ in range(n_trials):
+        stats.trials += 1
+        packet = rng.integers(0, 256, size=packet_len, dtype=np.uint8).tobytes()
+        good_crc = crc32(packet)
+        good_tcp = internet_checksum(packet)
+        bad = flip_random_bits(packet, nbits, rng)
+        crc_escape = crc32(bad) == good_crc
+        tcp_escape = internet_checksum(bad) == good_tcp
+        stats.caught_crc += not crc_escape
+        stats.caught_tcp += not tcp_escape
+        stats.escaped_crc += crc_escape
+        stats.escaped_tcp += tcp_escape
+        stats.escaped_both += crc_escape and tcp_escape
+    return stats
+
+
+def host_corruption_experiment(
+    n_trials: int,
+    packet_len: int,
+    nbits: int,
+    rng: np.random.Generator,
+) -> EscapeStats:
+    """The Stone-Partridge mechanism: corruption occurs in host memory or
+    router buffers *between* the link CRC check and the end-to-end TCP
+    check, so the CRC never sees it.  Only the weak 16-bit checksum
+    stands between the error and the application - and some errors slip
+    past it entirely."""
+    stats = EscapeStats()
+    for _ in range(n_trials):
+        stats.trials += 1
+        packet = rng.integers(0, 256, size=packet_len, dtype=np.uint8).tobytes()
+        good_tcp = internet_checksum(packet)
+        # The wire transfer is clean: the link CRC verifies and is
+        # stripped.  Corruption strikes afterwards.
+        bad = flip_random_bits(packet, nbits, rng)
+        stats.caught_crc += 1  # CRC saw a clean packet: "no error"
+        tcp_escape = internet_checksum(bad) == good_tcp
+        stats.caught_tcp += not tcp_escape
+        stats.escaped_tcp += tcp_escape
+        # From the link layer's viewpoint every such error "escaped".
+        stats.escaped_crc += 1
+        stats.escaped_both += tcp_escape
+    return stats

@@ -1,0 +1,104 @@
+"""Soft-error-rate arithmetic from paper sections 1-2.
+
+Implements the motivating calculations so they can be *regenerated*
+(experiment E1): FIT rates, MTBF conversions, expected error counts for a
+memory population, and the ASCI Q worked example ("33,000 x 0.05 or
+roughly 1,650 errors every ten days").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOURS_PER_BILLION = 1e9
+HOURS_PER_DAY = 24.0
+HOURS_PER_YEAR = 24.0 * 365.25
+
+#: Tezzaron's survey: "1000 to 5000 FIT per Mb was typical for modern
+#: memory devices" (section 2.1).
+TYPICAL_FIT_PER_MB = (1000.0, 5000.0)
+
+#: The paper's deliberately conservative working value.
+CONSERVATIVE_FIT_PER_MB = 500.0
+
+
+def fit_to_failures_per_hour(fit: float) -> float:
+    """FIT = failures per 10^9 device-hours."""
+    if fit < 0:
+        raise ValueError(f"FIT must be non-negative: {fit}")
+    return fit / HOURS_PER_BILLION
+
+
+def fit_to_mtbf_hours(fit: float) -> float:
+    """Mean time between failures implied by a FIT rate."""
+    if fit <= 0:
+        raise ValueError(f"FIT must be positive: {fit}")
+    return HOURS_PER_BILLION / fit
+
+
+def mtbf_years_to_fit(mtbf_years: float) -> float:
+    """Inverse conversion (e.g. Actel's '1-10 year MTBF per Mb')."""
+    if mtbf_years <= 0:
+        raise ValueError(f"MTBF must be positive: {mtbf_years}")
+    return HOURS_PER_BILLION / (mtbf_years * HOURS_PER_YEAR)
+
+
+#: Megabits per gigabyte - FIT rates are quoted per megaBIT (Mb).
+MBIT_PER_GB = 8192.0
+
+
+def expected_soft_errors(
+    memory_mbit: float, fit_per_mb: float, hours: float
+) -> float:
+    """Expected soft-error count for ``memory_mbit`` megabits over a
+    window (FIT rates are per megabit of storage)."""
+    for name, v in (("memory_mbit", memory_mbit), ("hours", hours)):
+        if v < 0:
+            raise ValueError(f"{name} must be non-negative: {v}")
+    return memory_mbit * fit_to_failures_per_hour(fit_per_mb) * hours
+
+
+def days_between_errors(memory_gb: float, fit_per_mb: float) -> float:
+    """Section 2.1's headline: "even using a conservative soft error rate
+    (500 FIT/Mb), a system with 1 GB of RAM can expect a soft error every
+    10 days"."""
+    if memory_gb <= 0:
+        raise ValueError(f"memory_gb must be positive: {memory_gb}")
+    per_hour = fit_to_failures_per_hour(fit_per_mb) * memory_gb * MBIT_PER_GB
+    return 1.0 / (per_hour * HOURS_PER_DAY)
+
+
+@dataclass(frozen=True)
+class EccSystemModel:
+    """A large ECC-protected system, for the section-1 style estimate.
+
+    ``ecc_coverage`` is the fraction of soft errors the ECC hardware
+    corrects or safely detects (the paper assumes 95 %, citing the
+    Compaq/Constantinescu escape measurements of 10-18 %).
+    """
+
+    name: str
+    memory_gb: float
+    ecc_coverage: float = 0.95
+    errors_per_gb_per_window: float = 0.1  # 1 error / 10 days per GB -> per day
+    window_days: float = 10.0
+
+    def raw_errors_per_window(self) -> float:
+        """Soft errors hitting memory in one window, before ECC."""
+        return self.memory_gb  # 1 error per GB per window, by definition
+
+    def uncovered_errors_per_window(self) -> float:
+        """Errors that escape ECC in one window."""
+        if not 0 <= self.ecc_coverage <= 1:
+            raise ValueError(f"coverage must be in [0, 1]: {self.ecc_coverage}")
+        return self.memory_gb * (1.0 - self.ecc_coverage)
+
+
+#: The Los Alamos ASCI Q example: 33 TB of ECC memory, one error per ten
+#: days per GB, 95 % ECC coverage -> ~1,650 escaped errors / 10 days.
+ASCI_Q = EccSystemModel(name="ASCI Q", memory_gb=33_000.0, ecc_coverage=0.95)
+
+
+def asci_q_escaped_errors() -> float:
+    """The exact number the paper's introduction computes."""
+    return ASCI_Q.uncovered_errors_per_window()

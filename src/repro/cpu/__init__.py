@@ -1,0 +1,42 @@
+"""Virtual CPU substrate.
+
+A compact x86-flavoured virtual machine: eight 32-bit integer registers
+with the x86 names, EFLAGS, an x87-style FPU register stack (80-bit data
+registers, tag word and the seven special registers the paper enumerates),
+and a fixed-width encoded instruction set that includes vector instructions
+so application kernels run at NumPy speed while every control value (base
+address, length, loop counter, accumulator) still lives in an injectable
+register or memory cell.
+
+The fault injector interacts with the VM exactly as the paper's
+``ptrace``-based injector interacts with a Linux process: execution is
+halted at an instruction boundary, register or memory state is overwritten,
+and execution resumes.
+"""
+
+from repro.cpu.registers import RegisterFile, REG_NAMES, REG_INDEX
+from repro.cpu.fpu import FPU, FPU_SPECIAL_REGS, TagValue
+from repro.cpu.isa import Insn, Op, VecOp, RedOp, decode, encode, INSN_SIZE
+from repro.cpu.assembler import AssemblerError, Program, assemble_function
+from repro.cpu.vm import VM, RET_SENTINEL
+
+__all__ = [
+    "RegisterFile",
+    "REG_NAMES",
+    "REG_INDEX",
+    "FPU",
+    "FPU_SPECIAL_REGS",
+    "TagValue",
+    "Insn",
+    "Op",
+    "VecOp",
+    "RedOp",
+    "decode",
+    "encode",
+    "INSN_SIZE",
+    "AssemblerError",
+    "Program",
+    "assemble_function",
+    "VM",
+    "RET_SENTINEL",
+]

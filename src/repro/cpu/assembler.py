@@ -1,0 +1,418 @@
+"""Two-pass assembler for the VM instruction set.
+
+Applications express their numeric kernels in a small assembly dialect;
+the :class:`Program` collects the assembled functions, hands their byte
+images to the linker, and patches symbol relocations (``$data_symbol`` and
+``@function`` references) once the linker has assigned addresses - the
+same assemble/link split a real toolchain has, which is what gives the
+fault dictionary genuine {symbol, address} pairs to work from.
+
+Syntax (one instruction per line, ``;`` starts a comment)::
+
+    loop:   LOAD  eax, [esi+8]
+            ADDI  eax, 1
+            STORE [esi+8], eax
+            MOVI  ebx, $grid      ; address of linked data object
+            CALL  @helper         ; address of linked function
+            CMPI  eax, 10
+            JL    loop
+            RET
+
+Vector instructions select their element-wise operation with a suffix:
+``VBIN.add dst, a, b, n`` / ``VRED.sum a, n`` / ``VBINS.mul dst, a, n``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.cpu.isa import INSN_SIZE, Insn, Op, RedOp, VecOp, encode
+from repro.cpu.registers import REG_INDEX
+
+
+class AssemblerError(Exception):
+    """A syntax or operand error, annotated with the offending line."""
+
+    def __init__(self, message: str, line_no: int | None = None, line: str = ""):
+        loc = f" (line {line_no}: {line.strip()!r})" if line_no is not None else ""
+        super().__init__(message + loc)
+
+
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<reg>[a-z]+)\s*(?:(?P<sign>[+-])\s*(?P<off>\d+)\s*)?\]$"
+)
+
+#: Mnemonics taking (reg, reg).
+_RR = {
+    "mov": Op.MOV,
+    "add": Op.ADD,
+    "sub": Op.SUB,
+    "imul": Op.IMUL,
+    "idiv": Op.IDIV,
+    "irem": Op.IREM,
+    "and": Op.AND,
+    "or": Op.OR,
+    "xor": Op.XOR,
+    "cmp": Op.CMP,
+}
+
+#: Mnemonics taking (reg, imm).
+_RI = {"addi": Op.ADDI, "cmpi": Op.CMPI, "shl": Op.SHL, "shr": Op.SHR}
+
+#: Mnemonics taking a single register.
+_R = {"push": Op.PUSH, "pop": Op.POP, "neg": Op.NEG, "callr": Op.CALLR}
+
+#: Zero-operand mnemonics.
+_NULLARY = {
+    "nop": Op.NOP,
+    "hlt": Op.HLT,
+    "ret": Op.RET,
+    "fldz": Op.FLDZ,
+    "fld1": Op.FLD1,
+    "faddp": Op.FADDP,
+    "fsubp": Op.FSUBP,
+    "fmulp": Op.FMULP,
+    "fdivp": Op.FDIVP,
+    "fchs": Op.FCHS,
+    "fabs": Op.FABS,
+    "fsqrt": Op.FSQRT,
+    "fcomip": Op.FCOMIP,
+    "fdup": Op.FDUP,
+    "fpop": Op.FPOP,
+}
+
+#: Branch mnemonics (operand is a label).
+_BRANCH = {
+    "jmp": Op.JMP,
+    "jz": Op.JZ,
+    "jnz": Op.JNZ,
+    "jl": Op.JL,
+    "jge": Op.JGE,
+    "jg": Op.JG,
+    "jle": Op.JLE,
+}
+
+#: FPU memory mnemonics.
+_FMEM = {"fld": Op.FLD, "fst": Op.FST, "fstp": Op.FSTP}
+
+
+@dataclass
+class Relocation:
+    """imm32 patch applied after the linker assigns addresses."""
+
+    insn_index: int
+    symbol: str
+
+
+@dataclass
+class AssembledFunction:
+    name: str
+    insns: list[Insn]
+    relocations: list[Relocation] = field(default_factory=list)
+
+    @property
+    def code(self) -> bytes:
+        return b"".join(encode(i) for i in self.insns)
+
+    @property
+    def size(self) -> int:
+        return len(self.insns) * INSN_SIZE
+
+    def registers_used(self) -> set[str]:
+        """Static register usage - the Springer-[23] style measurement for
+        the optimization-level ablation (paper section 6.1.1)."""
+        from repro.cpu.registers import REG_NAMES
+
+        used: set[str] = set()
+        reg_ops = {  # which fields hold register numbers, per opcode
+            Op.MOVI: ("r1",),
+            Op.MOV: ("r1", "r2"),
+            Op.LOAD: ("r1", "r2"),
+            Op.STORE: ("r1", "r2"),
+            Op.LEA: ("r1", "r2"),
+            Op.PUSH: ("r1",),
+            Op.POP: ("r1",),
+            Op.ADD: ("r1", "r2"),
+            Op.SUB: ("r1", "r2"),
+            Op.IMUL: ("r1", "r2"),
+            Op.IDIV: ("r1", "r2"),
+            Op.IREM: ("r1", "r2"),
+            Op.AND: ("r1", "r2"),
+            Op.OR: ("r1", "r2"),
+            Op.XOR: ("r1", "r2"),
+            Op.SHL: ("r1",),
+            Op.SHR: ("r1",),
+            Op.ADDI: ("r1",),
+            Op.CMP: ("r1", "r2"),
+            Op.CMPI: ("r1",),
+            Op.NEG: ("r1",),
+            Op.CALLR: ("r1",),
+            Op.FLD: ("r1",),
+            Op.FST: ("r1",),
+            Op.FSTP: ("r1",),
+            Op.VMOV: ("r1", "r2", "r3"),
+            Op.VFILL: ("r1", "r2"),
+            Op.VBIN: ("r1", "r2", "r3", "r4"),
+            Op.VBINS: ("r1", "r2", "r3"),
+            Op.VAXPY: ("r1", "r2", "r3", "r4"),
+            Op.VRED: ("r1", "r2", "r3"),
+        }
+        for insn in self.insns:
+            for fieldname in reg_ops.get(insn.op, ()):
+                idx = getattr(insn, fieldname)
+                if insn.op == Op.VRED and insn.subop != RedOp.DOT and fieldname == "r3":
+                    continue  # non-dot reductions only use r1, r2
+                if 0 <= idx < len(REG_NAMES):
+                    used.add(REG_NAMES[idx])
+        return used
+
+
+def _reg(token: str, line_no: int, line: str) -> int:
+    try:
+        return REG_INDEX[token.lower()]
+    except KeyError:
+        raise AssemblerError(f"unknown register {token!r}", line_no, line) from None
+
+
+def _imm(token: str, line_no: int, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate {token!r}", line_no, line) from None
+
+
+def _mem(token: str, line_no: int, line: str) -> tuple[int, int]:
+    m = _MEM_RE.match(token.strip())
+    if not m:
+        raise AssemblerError(f"bad memory operand {token!r}", line_no, line)
+    reg = _reg(m.group("reg"), line_no, line)
+    off = int(m.group("off") or 0)
+    if m.group("sign") == "-":
+        off = -off
+    return reg, off
+
+
+def _split_operands(rest: str) -> list[str]:
+    # split on commas not inside brackets
+    parts, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def assemble_function(name: str, source: str) -> AssembledFunction:
+    """Assemble one function; intra-function labels become relative
+    branches, ``$sym``/``@func`` references become relocations."""
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, str, int, str]] = []  # (idx, kind, label, ln, line)
+    insns: list[Insn] = []
+    relocs: list[Relocation] = []
+
+    lines = source.splitlines()
+    for line_no, raw in enumerate(lines, 1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line.split()[0] if line else False:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"bad label {label!r}", line_no, raw)
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}", line_no, raw)
+            labels[label] = len(insns)
+            line = line.strip()
+            if not line:
+                break
+        if not line:
+            continue
+
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        ops = _split_operands(rest)
+        idx = len(insns)
+
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblerError(
+                    f"{mnemonic} expects {n} operand(s), got {len(ops)}",
+                    line_no,
+                    raw,
+                )
+
+        base, _, suffix = mnemonic.partition(".")
+
+        if base in _NULLARY and not suffix:
+            need(0)
+            insns.append(Insn(_NULLARY[base]))
+        elif base == "movi":
+            need(2)
+            r1 = _reg(ops[0], line_no, raw)
+            tok = ops[1]
+            if tok.startswith("$") or tok.startswith("@"):
+                relocs.append(Relocation(idx, tok[1:]))
+                insns.append(Insn(Op.MOVI, r1=r1, imm=0))
+            else:
+                insns.append(Insn(Op.MOVI, r1=r1, imm=_imm(tok, line_no, raw)))
+        elif base in _RR:
+            need(2)
+            insns.append(
+                Insn(
+                    _RR[base],
+                    r1=_reg(ops[0], line_no, raw),
+                    r2=_reg(ops[1], line_no, raw),
+                )
+            )
+        elif base in _RI:
+            need(2)
+            insns.append(
+                Insn(
+                    _RI[base],
+                    r1=_reg(ops[0], line_no, raw),
+                    imm=_imm(ops[1], line_no, raw),
+                )
+            )
+        elif base in _R:
+            need(1)
+            insns.append(Insn(_R[base], r1=_reg(ops[0], line_no, raw)))
+        elif base == "load":
+            need(2)
+            r1 = _reg(ops[0], line_no, raw)
+            r2, off = _mem(ops[1], line_no, raw)
+            insns.append(Insn(Op.LOAD, r1=r1, r2=r2, imm=off))
+        elif base == "store":
+            need(2)
+            r1, off = _mem(ops[0], line_no, raw)
+            r2 = _reg(ops[1], line_no, raw)
+            insns.append(Insn(Op.STORE, r1=r1, r2=r2, imm=off))
+        elif base == "lea":
+            need(2)
+            r1 = _reg(ops[0], line_no, raw)
+            r2, off = _mem(ops[1], line_no, raw)
+            insns.append(Insn(Op.LEA, r1=r1, r2=r2, imm=off))
+        elif base in _BRANCH:
+            need(1)
+            pending.append((idx, "branch", ops[0], line_no, raw))
+            insns.append(Insn(_BRANCH[base], imm=0))
+        elif base == "call":
+            need(1)
+            tok = ops[0]
+            if not tok.startswith("@"):
+                raise AssemblerError("CALL target must be @function", line_no, raw)
+            relocs.append(Relocation(idx, tok[1:]))
+            insns.append(Insn(Op.CALL, imm=0))
+        elif base in _FMEM:
+            need(1)
+            r1, off = _mem(ops[0], line_no, raw)
+            insns.append(Insn(_FMEM[base], r1=r1, imm=off))
+        elif base == "fldimm":
+            need(1)
+            insns.append(Insn(Op.FLDIMM, imm=_imm(ops[0], line_no, raw)))
+        elif base == "fxch":
+            need(1)
+            insns.append(Insn(Op.FXCH, r1=_imm(ops[0], line_no, raw)))
+        elif base == "vmov":
+            need(3)
+            r = [_reg(t, line_no, raw) for t in ops]
+            insns.append(Insn(Op.VMOV, r1=r[0], r2=r[1], r3=r[2]))
+        elif base == "vfill":
+            need(2)
+            r = [_reg(t, line_no, raw) for t in ops]
+            insns.append(Insn(Op.VFILL, r1=r[0], r2=r[1]))
+        elif base == "vbin":
+            need(4)
+            sub = _vecop(suffix, line_no, raw)
+            r = [_reg(t, line_no, raw) for t in ops]
+            insns.append(Insn(Op.VBIN, r1=r[0], r2=r[1], r3=r[2], r4=r[3], subop=sub))
+        elif base == "vbins":
+            need(3)
+            sub = _vecop(suffix, line_no, raw)
+            r = [_reg(t, line_no, raw) for t in ops]
+            insns.append(Insn(Op.VBINS, r1=r[0], r2=r[1], r3=r[2], subop=sub))
+        elif base == "vaxpy":
+            need(4)
+            r = [_reg(t, line_no, raw) for t in ops]
+            insns.append(Insn(Op.VAXPY, r1=r[0], r2=r[1], r3=r[2], r4=r[3]))
+        elif base == "vred":
+            sub = _redop(suffix, line_no, raw)
+            if sub == RedOp.DOT:
+                need(3)
+                r = [_reg(t, line_no, raw) for t in ops]
+                insns.append(Insn(Op.VRED, r1=r[0], r2=r[1], r3=r[2], subop=sub))
+            else:
+                need(2)
+                r = [_reg(t, line_no, raw) for t in ops]
+                insns.append(Insn(Op.VRED, r1=r[0], r2=r[1], subop=sub))
+        else:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no, raw)
+
+    # resolve intra-function branches
+    resolved = list(insns)
+    for idx, kind, label, line_no, raw in pending:
+        if label not in labels:
+            raise AssemblerError(f"undefined label {label!r}", line_no, raw)
+        disp = (labels[label] - (idx + 1)) * INSN_SIZE
+        old = resolved[idx]
+        resolved[idx] = Insn(old.op, old.r1, old.r2, old.r3, old.r4, old.subop, disp)
+
+    return AssembledFunction(name, resolved, relocs)
+
+
+def _vecop(suffix: str, line_no: int, raw: str) -> int:
+    try:
+        return int(VecOp[suffix.upper()])
+    except KeyError:
+        raise AssemblerError(f"unknown vector op suffix {suffix!r}", line_no, raw)
+
+
+def _redop(suffix: str, line_no: int, raw: str) -> int:
+    try:
+        return int(RedOp[suffix.upper()])
+    except KeyError:
+        raise AssemblerError(f"unknown reduce op suffix {suffix!r}", line_no, raw)
+
+
+class Program:
+    """A set of assembled functions plus their pending relocations."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, AssembledFunction] = {}
+
+    def add(self, name: str, source: str) -> AssembledFunction:
+        if name in self.functions:
+            raise ValueError(f"duplicate function {name!r}")
+        fn = assemble_function(name, source)
+        self.functions[name] = fn
+        return fn
+
+    def add_to_linker(self, linker, library: str = "user") -> None:
+        """Register every function's code as a text object."""
+        for name, fn in self.functions.items():
+            linker.add_text(name, fn.code, library)
+
+    def relocate(self, image) -> None:
+        """Patch ``$symbol`` / ``@function`` immediates in the linked text
+        segment, once addresses are known."""
+        for name, fn in self.functions.items():
+            base = image.symtab.lookup(name).addr
+            for reloc in fn.relocations:
+                target = image.symtab.lookup(reloc.symbol).addr
+                image.text.write_u32(base + reloc.insn_index * INSN_SIZE + 4, target)
+
+    def registers_used(self) -> set[str]:
+        used: set[str] = set()
+        for fn in self.functions.values():
+            used |= fn.registers_used()
+        return used

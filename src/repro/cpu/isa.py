@@ -1,0 +1,201 @@
+"""Instruction set architecture: encoding, decoding and opcode tables.
+
+Instructions are fixed-width 8-byte words:
+
+    byte 0      opcode
+    byte 1      r1 << 4 | r2        (register operand fields)
+    byte 2      r3 << 4 | r4
+    byte 3      sub-opcode          (vector/reduce operation selector)
+    bytes 4-7   imm32, little endian (signed where the opcode says so)
+
+A fixed-width dense encoding is deliberate: a single bit flip in the text
+segment lands in a *field* of a real instruction - opcode, register
+number, sub-opcode or immediate - and decoding the corrupted word yields
+either a different valid instruction (silent behaviour change) or an
+undefined opcode (SIGILL), the two outcomes the paper attributes to text
+faults ("a bit error in the instruction opcode can alter the instruction
+and halt the execution, whereas a bit error in the data could be more
+innocuous").
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+#: Instruction width in bytes.
+INSN_SIZE = 8
+
+_WORD = struct.Struct("<BBBBi")  # opcode, regs12, regs34, subop, imm32 (signed)
+
+
+class Op(enum.IntEnum):
+    """Primary opcodes.  Gaps are undefined opcodes (decode -> SIGILL)."""
+
+    NOP = 0x01
+    HLT = 0x02  # privileged in user mode -> SIGSEGV, a realistic crash
+
+    MOVI = 0x10
+    MOV = 0x11
+    LOAD = 0x12  # r1 <- mem32[r2 + imm]
+    STORE = 0x13  # mem32[r1 + imm] <- r2
+    LEA = 0x14  # r1 <- r2 + imm
+    PUSH = 0x15
+    POP = 0x16
+
+    ADD = 0x20
+    SUB = 0x21
+    IMUL = 0x22
+    IDIV = 0x23
+    IREM = 0x24
+    AND = 0x25
+    OR = 0x26
+    XOR = 0x27
+    SHL = 0x28
+    SHR = 0x29
+    ADDI = 0x2A
+    CMP = 0x2B
+    CMPI = 0x2C
+    NEG = 0x2D
+
+    JMP = 0x30  # relative imm (bytes, from the following instruction)
+    JZ = 0x31
+    JNZ = 0x32
+    JL = 0x33
+    JGE = 0x34
+    JG = 0x35
+    JLE = 0x36
+    CALL = 0x37  # absolute imm
+    RET = 0x38
+    CALLR = 0x39  # indirect through r1
+
+    FLD = 0x40  # push f64 from mem[r1 + imm]
+    FST = 0x41  # store ST0 to mem[r1 + imm]
+    FSTP = 0x42  # store and pop
+    FLDZ = 0x43
+    FLD1 = 0x44
+    FLDIMM = 0x4E  # push float(imm32)
+    FADDP = 0x45
+    FSUBP = 0x46
+    FMULP = 0x47
+    FDIVP = 0x48
+    FCHS = 0x49
+    FABS = 0x4A
+    FSQRT = 0x4B
+    FXCH = 0x4C  # ST0 <-> ST(r1)
+    FCOMIP = 0x4D  # compare ST0 with ST1, set flags, pop
+    FDUP = 0x4F  # push a copy of ST0
+    FPOP = 0x5F  # discard ST0
+
+    VMOV = 0x50  # dst=r1 src=r2 n=r3
+    VFILL = 0x51  # dst=r1 n=r2, value = ST0
+    VBIN = 0x52  # dst=r1 a=r2 b=r3 n=r4, elementwise subop
+    VBINS = 0x53  # dst=r1 a=r2 n=r3, scalar = ST0
+    VAXPY = 0x54  # dst=r1 a=r2 b=r3 n=r4: dst = a + ST0 * b
+    VRED = 0x55  # reduce, result pushed; see RedOp
+
+
+class VecOp(enum.IntEnum):
+    """Sub-opcodes for VBIN / VBINS."""
+
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    MIN = 4
+    MAX = 5
+
+
+class RedOp(enum.IntEnum):
+    """Sub-opcodes for VRED (a=r1, n=r2; DOT uses a=r1, b=r2, n=r3)."""
+
+    SUM = 0
+    DOT = 1
+    MIN = 2
+    MAX = 3
+    NANCOUNT = 4
+    SUMSQ = 5
+
+
+#: Valid opcode values, for the decoder.
+_VALID_OPS = frozenset(int(op) for op in Op)
+
+#: Opcodes whose imm field is a *relative branch displacement*.
+BRANCH_OPS = frozenset(
+    {Op.JMP, Op.JZ, Op.JNZ, Op.JL, Op.JGE, Op.JG, Op.JLE}
+)
+
+
+class UndefinedOpcode(Exception):
+    """Raised by :func:`decode` for a word with no defined opcode."""
+
+    def __init__(self, opcode: int):
+        self.opcode = opcode
+        super().__init__(f"undefined opcode 0x{opcode:02x}")
+
+
+@dataclass(frozen=True)
+class Insn:
+    """One decoded instruction."""
+
+    op: Op
+    r1: int = 0
+    r2: int = 0
+    r3: int = 0
+    r4: int = 0
+    subop: int = 0
+    imm: int = 0
+
+    def encode(self) -> bytes:
+        return encode(self)
+
+
+def encode(insn: Insn) -> bytes:
+    """Encode an instruction into its 8-byte word."""
+    for field in ("r1", "r2", "r3", "r4"):
+        v = getattr(insn, field)
+        if not 0 <= v < 16:
+            raise ValueError(f"{field}={v} does not fit the 4-bit register field")
+    if not -(2**31) <= insn.imm < 2**31:
+        raise ValueError(f"immediate {insn.imm} does not fit in 32 bits")
+    if not 0 <= insn.subop < 256:
+        raise ValueError(f"subop {insn.subop} does not fit in 8 bits")
+    return _WORD.pack(
+        int(insn.op),
+        (insn.r1 << 4) | insn.r2,
+        (insn.r3 << 4) | insn.r4,
+        insn.subop,
+        insn.imm,
+    )
+
+
+def decode(word: bytes) -> Insn:
+    """Decode one 8-byte word; raises :class:`UndefinedOpcode` when the
+    opcode byte (possibly the product of a bit flip) is not defined."""
+    if len(word) != INSN_SIZE:
+        raise ValueError(f"instruction word must be {INSN_SIZE} bytes")
+    opcode, regs12, regs34, subop, imm = _WORD.unpack(word)
+    if opcode not in _VALID_OPS:
+        raise UndefinedOpcode(opcode)
+    return Insn(
+        op=Op(opcode),
+        r1=regs12 >> 4,
+        r2=regs12 & 0xF,
+        r3=regs34 >> 4,
+        r4=regs34 & 0xF,
+        subop=subop,
+        imm=imm,
+    )
+
+
+def disassemble(word: bytes) -> str:
+    """Human-readable rendering (for error messages and tests)."""
+    try:
+        i = decode(word)
+    except UndefinedOpcode as exc:
+        return f"(undefined 0x{exc.opcode:02x})"
+    return (
+        f"{i.op.name} r1={i.r1} r2={i.r2} r3={i.r3} r4={i.r4} "
+        f"subop={i.subop} imm={i.imm}"
+    )

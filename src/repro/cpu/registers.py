@@ -1,0 +1,103 @@
+"""The integer register file and EFLAGS.
+
+The paper injects into "all registers (including regular and x87
+floating-point ones)" except system/debug/VM-management registers.  The
+regular set here is the eight x86 general-purpose registers.  Access
+counters support the liveness analysis of section 6.1.1 (few registers,
+mostly live, hence the high manifestation rate).
+"""
+
+from __future__ import annotations
+
+#: x86 register order (matches the mod/rm register numbering).
+REG_NAMES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+REG_INDEX = {name: i for i, name in enumerate(REG_NAMES)}
+
+EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI = range(8)
+
+_MASK = 0xFFFF_FFFF
+
+
+class RegisterFile:
+    """Eight 32-bit GPRs, EIP and the arithmetic flags."""
+
+    __slots__ = ("r", "eip", "zf", "sf", "read_count", "write_count")
+
+    def __init__(self) -> None:
+        self.r = [0] * 8
+        self.eip = 0
+        self.zf = False  # zero flag
+        self.sf = False  # sign flag
+        # Plain lists: these counters sit on the interpreter's hottest
+        # path, where NumPy scalar indexing would dominate the cost.
+        self.read_count = [0] * 8
+        self.write_count = [0] * 8
+
+    # ------------------------------------------------------------------
+    # access (counted, for liveness statistics)
+    # ------------------------------------------------------------------
+    def get(self, i: int) -> int:
+        # The encoded register field is 4 bits wide but only 8 GPRs
+        # exist; the high bit is ignored (hardware-style aliasing), so a
+        # text-fault-corrupted field still names a real register.
+        i &= 7
+        self.read_count[i] += 1
+        return self.r[i]
+
+    def put(self, i: int, value: int) -> None:
+        i &= 7
+        self.write_count[i] += 1
+        self.r[i] = value & _MASK
+
+    def get_signed(self, i: int) -> int:
+        v = self.get(i)
+        return v - 0x1_0000_0000 if v & 0x8000_0000 else v
+
+    def put_signed(self, i: int, value: int) -> None:
+        self.put(i, value & _MASK)
+
+    # Uncounted peek/poke for the injector and debugger - ptrace reads do
+    # not constitute program accesses.
+    def peek(self, i: int) -> int:
+        return self.r[i & 7]
+
+    def poke(self, i: int, value: int) -> None:
+        self.r[i & 7] = value & _MASK
+
+    # ------------------------------------------------------------------
+    # flags
+    # ------------------------------------------------------------------
+    def set_flags(self, result_signed: int) -> None:
+        self.zf = result_signed == 0
+        self.sf = result_signed < 0
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def flip_bit(self, reg: int, bit: int) -> int:
+        """Flip bit ``bit`` (0..31) of register ``reg``; returns new value."""
+        if not 0 <= reg < 8:
+            raise ValueError(f"register index out of range: {reg}")
+        if not 0 <= bit < 32:
+            raise ValueError(f"bit index out of range: {bit}")
+        self.r[reg] ^= 1 << bit
+        return self.r[reg]
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def live_registers(self, min_accesses: int = 1) -> list[str]:
+        """Names of registers read at least ``min_accesses`` times - the
+        Springer-style usage measurement referenced in section 6.1.1."""
+        return [
+            REG_NAMES[i]
+            for i in range(8)
+            if self.read_count[i] >= min_accesses
+        ]
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: self.r[i] for i, name in enumerate(REG_NAMES)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = " ".join(f"{n}={v:08x}" for n, v in self.snapshot().items())
+        return f"RegisterFile({regs} eip={self.eip:08x} zf={self.zf} sf={self.sf})"

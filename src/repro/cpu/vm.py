@@ -1,0 +1,462 @@
+"""The virtual machine interpreter.
+
+Executes assembled kernels against a :class:`~repro.memory.process.ProcessImage`.
+Every design choice serves the fault-injection experiment:
+
+* Execution halts *between* instructions at scheduled basic-block counts
+  so the injector can overwrite registers or memory and resume - the
+  analogue of the paper's ``ptrace``-based injector waking up periodically.
+* Scalar instructions advance the clock by one block; vector instructions
+  advance it in proportion to the element count they replace, so the
+  uniform injection-time sampling lands in compute loops with realistic
+  density.
+* Instruction words are fetched (and the text working set recorded)
+  through the address space; decoded words are cached against the text
+  segment's version counter, so a bit flip in text invalidates the cache
+  and the corrupted word is re-decoded - possibly into a different valid
+  instruction, possibly into SIGILL.
+* A block budget models the paper's hang criterion ("one minute beyond
+  the expected execution completion time").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    HangDetected,
+    SimFPE,
+    SimIllegalInstruction,
+    SimSegfault,
+)
+from repro.cpu.fpu import FPU
+from repro.cpu.isa import INSN_SIZE, Insn, Op, RedOp, UndefinedOpcode, VecOp, decode
+from repro.cpu.registers import EAX, EBP, ESP, RegisterFile
+from repro.memory.process import ProcessImage
+
+#: Return address marking the outermost frame of a ``VM.call``.  It lies
+#: in kernel space, so a corrupted return address that *doesn't* exactly
+#: match it faults on the next fetch - as on real hardware.
+RET_SENTINEL = 0xFFFF_FFF0
+
+_U32_MASK = 0xFFFF_FFFF
+
+
+def _signed(v: int) -> int:
+    return v - 0x1_0000_0000 if v & 0x8000_0000 else v
+
+
+class VM:
+    """One virtual CPU bound to one process image."""
+
+    def __init__(self, image: ProcessImage) -> None:
+        self.image = image
+        self.space = image.address_space
+        self.clock = image.clock
+        self.regs = RegisterFile()
+        self.fpu = FPU()
+        #: Hard block budget; exceeded -> HangDetected (None = unlimited).
+        self.block_limit: int | None = None
+        #: Scheduled injection callbacks: sorted [(block_count, fn), ...].
+        self._hooks: list[tuple[int, Callable[["VM"], None]]] = []
+        self._next_hook: int | None = None
+        self._decode_cache: dict[int, tuple[int, Insn]] = {}
+        self._running = False
+        self.instructions_retired = 0
+        #: Optional control-flow signature monitor
+        #: (:mod:`repro.detectors.cfcheck`); called per retired
+        #: instruction with (addr, insn, next_eip).
+        self.cf_checker = None
+
+    # ------------------------------------------------------------------
+    # injection scheduling (the ptrace analogue)
+    # ------------------------------------------------------------------
+    def schedule_hook(self, at_blocks: int, callback: Callable[["VM"], None]) -> None:
+        """Run ``callback(vm)`` at the first instruction boundary at or
+        after ``at_blocks`` executed blocks."""
+        self._hooks.append((at_blocks, callback))
+        self._hooks.sort(key=lambda h: h[0])
+        self._next_hook = self._hooks[0][0]
+
+    def _fire_hooks(self) -> None:
+        while self._hooks and self.clock.blocks >= self._hooks[0][0]:
+            _, callback = self._hooks.pop(0)
+            callback(self)
+        self._next_hook = self._hooks[0][0] if self._hooks else None
+
+    def pending_hooks(self) -> int:
+        return len(self._hooks)
+
+    # ------------------------------------------------------------------
+    # stack helpers (operate through the *register-file* ESP, so a
+    # corrupted ESP derails pushes and pops exactly as on hardware)
+    # ------------------------------------------------------------------
+    def _push_u32(self, value: int) -> None:
+        esp = (self.regs.get(ESP) - 4) & _U32_MASK
+        self.regs.put(ESP, esp)
+        self.space.store_u32(esp, value)
+
+    def _pop_u32(self) -> int:
+        esp = self.regs.get(ESP)
+        value = self.space.load_u32(esp)
+        self.regs.put(ESP, (esp + 4) & _U32_MASK)
+        return value
+
+    # ------------------------------------------------------------------
+    # top-level entry
+    # ------------------------------------------------------------------
+    def call(self, function: str | int, args: Sequence[int] = ()) -> int:
+        """Call an assembled function with 32-bit arguments (cdecl);
+        returns EAX.  Floating-point results are left on the FPU stack."""
+        entry = (
+            self.image.entry_points[function]
+            if isinstance(function, str)
+            else function
+        )
+        stack = self.image.stack
+        for a in reversed([int(x) & _U32_MASK for x in args]):
+            stack.push_u32(a)
+        stack.push_u32(RET_SENTINEL)
+        self.regs.poke(ESP, stack.esp)
+        self.regs.poke(EBP, stack.ebp)
+        self.regs.eip = entry
+        self._run()
+        # Caller pops the arguments (cdecl); ESP is just above the
+        # (now consumed) return-address slot.
+        stack.esp = (self.regs.peek(ESP) + 4 * len(args)) & _U32_MASK
+        stack.ebp = self.regs.peek(EBP)
+        return self.regs.peek(EAX)
+
+    def _run(self) -> None:
+        self._running = True
+        try:
+            while self._running:
+                self.step()
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # fetch/decode
+    # ------------------------------------------------------------------
+    def _fetch(self, eip: int) -> Insn:
+        text = self.image.text
+        if text.contains(eip, INSN_SIZE):
+            cached = self._decode_cache.get(eip)
+            if cached is not None and cached[0] == text.version:
+                text.note_exec(eip, INSN_SIZE)
+                return cached[1]
+            word = text.read_bytes(eip, INSN_SIZE)
+            text.note_exec(eip, INSN_SIZE)
+        else:
+            # Jumped outside text: fetch through the checked path, which
+            # raises SIGSEGV for unmapped/execute-denied addresses.
+            word = self.space.fetch_code(eip, INSN_SIZE)
+        try:
+            insn = decode(word)
+        except UndefinedOpcode as exc:
+            raise SimIllegalInstruction(
+                f"undefined opcode 0x{exc.opcode:02x} at 0x{eip:08x}"
+            ) from None
+        if text.contains(eip, INSN_SIZE):
+            self._decode_cache[eip] = (text.version, insn)
+        return insn
+
+    # ------------------------------------------------------------------
+    # single step
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        eip = self.regs.eip
+        if eip == RET_SENTINEL:
+            self._running = False
+            return
+        insn = self._fetch(eip)
+        self.regs.eip = eip + INSN_SIZE
+        self._execute(insn)
+        if self.cf_checker is not None:
+            self.cf_checker.check(eip, insn, self.regs.eip)
+        self.instructions_retired += 1
+        blocks = self.clock.tick(self._cost(insn))
+        if self._next_hook is not None and blocks >= self._next_hook:
+            self._fire_hooks()
+        if self.block_limit is not None and blocks > self.block_limit:
+            raise HangDetected("block budget exceeded", blocks)
+
+    def _cost(self, insn: Insn) -> int:
+        if insn.op in _VECTOR_OPS:
+            n_field = _VECTOR_LEN_FIELD[insn.op]
+            if insn.op == Op.VRED and insn.subop == RedOp.DOT:
+                n_field = "r3"
+            n = self.regs.peek(getattr(insn, n_field))
+            return max(1, n >> 3)
+        return 1
+
+    # ------------------------------------------------------------------
+    # execute
+    # ------------------------------------------------------------------
+    def _execute(self, i: Insn) -> None:
+        op = i.op
+        regs = self.regs
+        fpu = self.fpu
+        space = self.space
+
+        if op is Op.NOP:
+            return
+        if op is Op.HLT:
+            # HLT is privileged; in user mode the kernel delivers SIGSEGV.
+            raise SimSegfault(f"privileged instruction at 0x{regs.eip - INSN_SIZE:08x}")
+
+        # -------------------------------------------------- data movement
+        if op is Op.MOVI:
+            regs.put(i.r1, i.imm & _U32_MASK)
+        elif op is Op.MOV:
+            regs.put(i.r1, regs.get(i.r2))
+        elif op is Op.LOAD:
+            regs.put(i.r1, space.load_u32((regs.get(i.r2) + i.imm) & _U32_MASK))
+        elif op is Op.STORE:
+            space.store_u32((regs.get(i.r1) + i.imm) & _U32_MASK, regs.get(i.r2))
+        elif op is Op.LEA:
+            regs.put(i.r1, (regs.get(i.r2) + i.imm) & _U32_MASK)
+        elif op is Op.PUSH:
+            self._push_u32(regs.get(i.r1))
+        elif op is Op.POP:
+            regs.put(i.r1, self._pop_u32())
+
+        # -------------------------------------------------- integer ALU
+        elif op is Op.ADD:
+            r = _signed(regs.get(i.r1)) + _signed(regs.get(i.r2))
+            regs.put(i.r1, r & _U32_MASK)
+            regs.set_flags(_signed(r & _U32_MASK))
+        elif op is Op.SUB:
+            r = _signed(regs.get(i.r1)) - _signed(regs.get(i.r2))
+            regs.put(i.r1, r & _U32_MASK)
+            regs.set_flags(_signed(r & _U32_MASK))
+        elif op is Op.IMUL:
+            r = _signed(regs.get(i.r1)) * _signed(regs.get(i.r2))
+            regs.put(i.r1, r & _U32_MASK)
+            regs.set_flags(_signed(r & _U32_MASK))
+        elif op is Op.IDIV:
+            b = _signed(regs.get(i.r2))
+            if b == 0:
+                raise SimFPE("integer division by zero")
+            a = _signed(regs.get(i.r1))
+            q = int(math.trunc(a / b))  # C truncation semantics
+            regs.put(i.r1, q & _U32_MASK)
+            regs.set_flags(q)
+        elif op is Op.IREM:
+            b = _signed(regs.get(i.r2))
+            if b == 0:
+                raise SimFPE("integer division by zero")
+            a = _signed(regs.get(i.r1))
+            r = a - int(math.trunc(a / b)) * b
+            regs.put(i.r1, r & _U32_MASK)
+            regs.set_flags(r)
+        elif op is Op.AND:
+            r = regs.get(i.r1) & regs.get(i.r2)
+            regs.put(i.r1, r)
+            regs.set_flags(_signed(r))
+        elif op is Op.OR:
+            r = regs.get(i.r1) | regs.get(i.r2)
+            regs.put(i.r1, r)
+            regs.set_flags(_signed(r))
+        elif op is Op.XOR:
+            r = regs.get(i.r1) ^ regs.get(i.r2)
+            regs.put(i.r1, r)
+            regs.set_flags(_signed(r))
+        elif op is Op.SHL:
+            r = (regs.get(i.r1) << (i.imm & 31)) & _U32_MASK
+            regs.put(i.r1, r)
+            regs.set_flags(_signed(r))
+        elif op is Op.SHR:
+            r = regs.get(i.r1) >> (i.imm & 31)
+            regs.put(i.r1, r)
+            regs.set_flags(_signed(r))
+        elif op is Op.ADDI:
+            r = (_signed(regs.get(i.r1)) + i.imm) & _U32_MASK
+            regs.put(i.r1, r)
+            regs.set_flags(_signed(r))
+        elif op is Op.CMP:
+            regs.set_flags(_signed(regs.get(i.r1)) - _signed(regs.get(i.r2)))
+        elif op is Op.CMPI:
+            regs.set_flags(_signed(regs.get(i.r1)) - i.imm)
+        elif op is Op.NEG:
+            r = (-_signed(regs.get(i.r1))) & _U32_MASK
+            regs.put(i.r1, r)
+            regs.set_flags(_signed(r))
+
+        # -------------------------------------------------- control flow
+        elif op is Op.JMP:
+            regs.eip = (regs.eip + i.imm) & _U32_MASK
+        elif op is Op.JZ:
+            if regs.zf:
+                regs.eip = (regs.eip + i.imm) & _U32_MASK
+        elif op is Op.JNZ:
+            if not regs.zf:
+                regs.eip = (regs.eip + i.imm) & _U32_MASK
+        elif op is Op.JL:
+            if regs.sf:
+                regs.eip = (regs.eip + i.imm) & _U32_MASK
+        elif op is Op.JGE:
+            if not regs.sf:
+                regs.eip = (regs.eip + i.imm) & _U32_MASK
+        elif op is Op.JG:
+            if not regs.sf and not regs.zf:
+                regs.eip = (regs.eip + i.imm) & _U32_MASK
+        elif op is Op.JLE:
+            if regs.sf or regs.zf:
+                regs.eip = (regs.eip + i.imm) & _U32_MASK
+        elif op is Op.CALL:
+            self._push_u32(regs.eip)
+            regs.eip = i.imm & _U32_MASK
+        elif op is Op.CALLR:
+            self._push_u32(regs.eip)
+            regs.eip = regs.get(i.r1)
+        elif op is Op.RET:
+            # The sentinel ends the run at the next step's fetch check.
+            regs.eip = self._pop_u32()
+
+        # -------------------------------------------------- x87 FPU
+        elif op is Op.FLD:
+            fpu.push(space.load_f64((regs.get(i.r1) + i.imm) & _U32_MASK))
+        elif op is Op.FST:
+            space.store_f64(
+                (regs.get(i.r1) + i.imm) & _U32_MASK, fpu.to_double(fpu.read_st(0))
+            )
+        elif op is Op.FSTP:
+            space.store_f64(
+                (regs.get(i.r1) + i.imm) & _U32_MASK, fpu.to_double(fpu.read_st(0))
+            )
+            fpu.pop()
+        elif op is Op.FLDZ:
+            fpu.push(0.0)
+        elif op is Op.FLD1:
+            fpu.push(1.0)
+        elif op is Op.FLDIMM:
+            fpu.push(float(i.imm))
+        elif op is Op.FADDP:
+            b, a = fpu.pop(), fpu.pop()
+            fpu.push(a + b)
+        elif op is Op.FSUBP:
+            b, a = fpu.pop(), fpu.pop()
+            fpu.push(a - b)
+        elif op is Op.FMULP:
+            b, a = fpu.pop(), fpu.pop()
+            fpu.push(a * b)
+        elif op is Op.FDIVP:
+            b, a = fpu.pop(), fpu.pop()
+            # x87 exceptions are masked: /0 yields signed Inf, 0/0 NaN.
+            if b == 0.0:
+                fpu.push(math.nan if a == 0.0 or math.isnan(a) else math.copysign(math.inf, a) * math.copysign(1.0, b))
+            else:
+                fpu.push(a / b)
+        elif op is Op.FCHS:
+            fpu.write_st(0, -fpu.read_st(0))
+        elif op is Op.FABS:
+            fpu.write_st(0, abs(fpu.read_st(0)))
+        elif op is Op.FSQRT:
+            v = fpu.read_st(0)
+            fpu.write_st(0, math.sqrt(v) if v >= 0.0 else math.nan)
+        elif op is Op.FXCH:
+            fpu.exchange(i.r1)
+        elif op is Op.FCOMIP:
+            a, b = fpu.read_st(0), fpu.read_st(1)
+            if math.isnan(a) or math.isnan(b):
+                regs.zf, regs.sf = True, False  # unordered
+            else:
+                regs.zf, regs.sf = (a == b), (a < b)
+            fpu.pop()
+        elif op is Op.FDUP:
+            fpu.push(fpu.read_st(0))
+        elif op is Op.FPOP:
+            fpu.pop()
+
+        # -------------------------------------------------- vector unit
+        elif op is Op.VMOV:
+            n = regs.get(i.r3)
+            src = space.vector_f64(regs.get(i.r2), n)
+            dst = space.vector_f64(regs.get(i.r1), n, write=True)
+            np.copyto(dst, src)
+        elif op is Op.VFILL:
+            n = regs.get(i.r2)
+            dst = space.vector_f64(regs.get(i.r1), n, write=True)
+            dst.fill(fpu.to_double(fpu.read_st(0)))
+        elif op is Op.VBIN:
+            n = regs.get(i.r4)
+            a = space.vector_f64(regs.get(i.r2), n)
+            b = space.vector_f64(regs.get(i.r3), n)
+            dst = space.vector_f64(regs.get(i.r1), n, write=True)
+            with np.errstate(all="ignore"):
+                _VBIN_UFUNC[i.subop](a, b, out=dst)
+        elif op is Op.VBINS:
+            n = regs.get(i.r3)
+            a = space.vector_f64(regs.get(i.r2), n)
+            dst = space.vector_f64(regs.get(i.r1), n, write=True)
+            s = fpu.to_double(fpu.read_st(0))
+            with np.errstate(all="ignore"):
+                _VBIN_UFUNC[i.subop](a, s, out=dst)
+        elif op is Op.VAXPY:
+            n = regs.get(i.r4)
+            a = space.vector_f64(regs.get(i.r2), n)
+            b = space.vector_f64(regs.get(i.r3), n)
+            dst = space.vector_f64(regs.get(i.r1), n, write=True)
+            s = fpu.to_double(fpu.read_st(0))
+            with np.errstate(all="ignore"):
+                np.add(a, s * b, out=dst)
+        elif op is Op.VRED:
+            self._vred(i)
+        else:  # pragma: no cover - the decoder guarantees coverage
+            raise SimIllegalInstruction(f"unimplemented opcode {op!r}")
+
+    def _vred(self, i: Insn) -> None:
+        regs, fpu, space = self.regs, self.fpu, self.space
+        sub = i.subop
+        if sub == RedOp.DOT:
+            n = regs.get(i.r3)
+            a = space.vector_f64(regs.get(i.r1), n)
+            b = space.vector_f64(regs.get(i.r2), n)
+            fpu.push(float(np.dot(a, b)))
+            return
+        n = regs.get(i.r2)
+        a = space.vector_f64(regs.get(i.r1), n)
+        with np.errstate(all="ignore"):
+            return self._vred_apply(sub, a, n)
+
+    def _vred_apply(self, sub: int, a, n: int) -> None:
+        fpu = self.fpu
+        if sub == RedOp.SUM:
+            fpu.push(float(np.sum(a)))
+        elif sub == RedOp.MIN:
+            fpu.push(float(np.min(a)) if n else math.nan)
+        elif sub == RedOp.MAX:
+            fpu.push(float(np.max(a)) if n else math.nan)
+        elif sub == RedOp.NANCOUNT:
+            fpu.push(float(np.count_nonzero(~np.isfinite(a))))
+        elif sub == RedOp.SUMSQ:
+            fpu.push(float(np.dot(a, a)))
+        else:
+            raise SimIllegalInstruction(f"undefined VRED subop {sub}")
+
+
+_VBIN_UFUNC = {
+    int(VecOp.ADD): np.add,
+    int(VecOp.SUB): np.subtract,
+    int(VecOp.MUL): np.multiply,
+    int(VecOp.DIV): np.divide,
+    int(VecOp.MIN): np.minimum,
+    int(VecOp.MAX): np.maximum,
+}
+
+_VECTOR_OPS = frozenset(
+    {Op.VMOV, Op.VFILL, Op.VBIN, Op.VBINS, Op.VAXPY, Op.VRED}
+)
+
+_VECTOR_LEN_FIELD = {
+    Op.VMOV: "r3",
+    Op.VFILL: "r2",
+    Op.VBIN: "r4",
+    Op.VBINS: "r3",
+    Op.VAXPY: "r4",
+    Op.VRED: "r2",
+}

@@ -1,0 +1,57 @@
+"""Application-level error detection mechanisms.
+
+The paper's NAMD and CAM detect a fraction of injected faults through
+internal machinery that this package reimplements: message checksums on
+user data (NAMD, ~46 % of message faults at ~3 % overhead), NaN checks on
+key variables (both codes), sanity/bound checks and assertions (both,
+3-13 % of memory faults), and the progress-metric hang detector the paper
+proposes in section 7.
+"""
+
+from repro.detectors.checksums import (
+    fletcher32,
+    ChecksummedPayload,
+    ChecksumMismatch,
+    seal,
+    verify,
+)
+from repro.detectors.nan_checks import nan_check_array, nan_check_value
+from repro.detectors.assertions import bound_check, sanity_assert
+from repro.detectors.progress import ProgressMonitor, ProgressSample
+from repro.detectors.abft import (
+    AbftCoverage,
+    AbftOutcome,
+    AbftReport,
+    checked_matmul,
+    encode_columns,
+    encode_rows,
+    flip_float_bit,
+    overhead_ratio,
+    verify_and_correct,
+)
+from repro.detectors.cfcheck import ControlFlowChecker, ControlFlowViolation
+
+__all__ = [
+    "fletcher32",
+    "ChecksummedPayload",
+    "ChecksumMismatch",
+    "seal",
+    "verify",
+    "nan_check_array",
+    "nan_check_value",
+    "bound_check",
+    "sanity_assert",
+    "ProgressMonitor",
+    "ProgressSample",
+    "AbftCoverage",
+    "AbftOutcome",
+    "AbftReport",
+    "checked_matmul",
+    "encode_columns",
+    "encode_rows",
+    "flip_float_bit",
+    "overhead_ratio",
+    "verify_and_correct",
+    "ControlFlowChecker",
+    "ControlFlowViolation",
+]

@@ -1,0 +1,49 @@
+"""Sanity, bound and assertion checks (paper sections 6.2 and 7).
+
+"Both NAMD and CAM use sanity/bound checks and assertions on certain data
+structures to capture a fraction (3-7 percent and 4-13 percent,
+respectively) of faults ...  For example, in CAM, any moisture value below
+a minimum threshold can trigger a warning and abort the application."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AppAbort
+
+
+def sanity_assert(condition: bool, what: str, detail: str = "") -> None:
+    """A production assertion: abort the application when violated."""
+    if not condition:
+        raise AppAbort("assertion", f"{what}{': ' + detail if detail else ''}")
+
+
+def bound_check(
+    values: np.ndarray,
+    what: str,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+    vm=None,
+) -> None:
+    """Abort if any element falls outside [minimum, maximum].
+
+    This is the CAM moisture-threshold mechanism: the model warns and
+    aborts when a physical field leaves its physically plausible range.
+    The scan cost is charged to the block clock when ``vm`` is given.
+    """
+    if vm is not None:
+        vm.clock.tick(max(1, values.size >> 3))
+    if minimum is not None:
+        below = int(np.count_nonzero(values < minimum))
+        if below:
+            raise AppAbort(
+                "bound check", f"{what}: {below} value(s) below minimum {minimum}"
+            )
+    if maximum is not None:
+        above = int(np.count_nonzero(values > maximum))
+        if above:
+            raise AppAbort(
+                "bound check", f"{what}: {above} value(s) above maximum {maximum}"
+            )

@@ -1,0 +1,111 @@
+"""Control-flow checking by software signatures (paper §8.2).
+
+"To handle memory errors [in] the text regions of application code,
+control-flow checking can monitor branches to determine if they deviate
+from a pre-generated control-flow signature" (Oh, Shirvani & McCluskey).
+
+The :class:`ControlFlowChecker` derives the allowed-successor relation of
+every user text word at load time (the "pre-generated signature") and
+validates each retired instruction's actual successor at runtime via the
+VM's optional checker hook.  A text fault that redirects control - a
+corrupted branch displacement, an opcode turned into a jump, a smashed
+return address landing inside a function body - produces a transition
+outside the signature and is reported as an application-detected error.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import BRANCH_OPS, INSN_SIZE, Insn, Op, UndefinedOpcode, decode
+from repro.cpu.vm import RET_SENTINEL
+from repro.errors import AppAbort
+from repro.memory.process import ProcessImage
+
+
+class ControlFlowViolation(AppAbort):
+    """A retired instruction's successor is outside the signature."""
+
+    def __init__(self, src: int, dst: int):
+        self.src = src
+        self.dst = dst
+        super().__init__(
+            "control-flow check",
+            f"illegal transition 0x{src:08x} -> 0x{dst:08x}",
+        )
+
+
+class ControlFlowChecker:
+    """Pre-generated control-flow signature plus the runtime monitor.
+
+    The signature covers *user* text only (the region the fault
+    dictionary targets).  Dynamic transfers that cannot be enumerated
+    statically are handled conservatively:
+
+    * ``CALL`` must land on a known function entry;
+    * ``CALLR`` (indirect) may land on any known function entry;
+    * ``RET`` may return to any recorded call site's successor or to the
+      top-level sentinel;
+    * transitions originating outside user text are not checked.
+    """
+
+    def __init__(self, image: ProcessImage) -> None:
+        self.image = image
+        self._successors: dict[int, frozenset[int]] = {}
+        self._entries = frozenset(
+            s.addr for s in image.symtab.symbols("text", "user")
+        )
+        self._return_targets: set[int] = {RET_SENTINEL}
+        self.checked = 0
+        self.violations = 0
+        self._build()
+
+    def _build(self) -> None:
+        for sym in self.image.symtab.symbols("text", "user"):
+            for addr in range(sym.addr, sym.end - INSN_SIZE + 1, INSN_SIZE):
+                word = self.image.text.read_bytes(addr, INSN_SIZE)
+                try:
+                    insn = decode(word)
+                except UndefinedOpcode:
+                    continue  # padding/garbage: never legally reached
+                self._successors[addr] = self._static_successors(addr, insn)
+                if insn.op is Op.CALL or insn.op is Op.CALLR:
+                    self._return_targets.add(addr + INSN_SIZE)
+
+    def _static_successors(self, addr: int, insn: Insn) -> frozenset[int]:
+        nxt = addr + INSN_SIZE
+        if insn.op in BRANCH_OPS:
+            target = (nxt + insn.imm) & 0xFFFF_FFFF
+            if insn.op is Op.JMP:
+                return frozenset({target})
+            return frozenset({nxt, target})
+        if insn.op is Op.CALL:
+            return frozenset({insn.imm & 0xFFFF_FFFF})
+        if insn.op is Op.CALLR:
+            return self._entries
+        if insn.op is Op.RET:
+            return frozenset()  # validated against return_targets
+        return frozenset({nxt})
+
+    # ------------------------------------------------------------------
+    # runtime monitor (installed as ``vm.cf_checker``)
+    # ------------------------------------------------------------------
+    def check(self, src: int, insn: Insn, dst: int) -> None:
+        """Validate one retired transition; raises
+        :class:`ControlFlowViolation` on deviation."""
+        if src not in self._successors:
+            return  # outside the signed region (library/loader code)
+        self.checked += 1
+        if insn.op is Op.RET:
+            if dst in self._return_targets:
+                return
+        else:
+            if dst in self._successors[src]:
+                return
+        self.violations += 1
+        raise ControlFlowViolation(src, dst)
+
+
+def install(vm, image: ProcessImage | None = None) -> ControlFlowChecker:
+    """Build the signature for ``vm``'s image and arm the monitor."""
+    checker = ControlFlowChecker(image or vm.image)
+    vm.cf_checker = checker
+    return checker

@@ -1,0 +1,103 @@
+"""Application-level message checksums (the NAMD mechanism).
+
+Section 6.2: "we attribute NAMD's high detection rate to its built-in
+message consistency checks ... An instrumentation of NAMD code shows that
+these internal checks increases the execution time by three percent, but
+can detect many errors."  Crucially, "NAMD's checksum only tests user
+data, not headers, which can only be observed inside the MPI library" -
+so header flips still crash or hang the job.
+
+The checksum is a Fletcher-32 over the payload bytes, carried *inside*
+the user payload (the first 8 bytes).  The verification cost is charged
+to the rank's block clock so the overhead experiment (E6) measures a real
+time penalty.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AppAbort
+
+_TRAILER = struct.Struct("<II")  # checksum, payload length
+
+
+class ChecksumMismatch(AppAbort):
+    """Raised when a sealed payload fails verification; the application
+    prints a console diagnostic and aborts (Application Detected)."""
+
+    def __init__(self, expected: int, actual: int):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            "message checksum",
+            f"expected 0x{expected:08x}, computed 0x{actual:08x}",
+        )
+
+
+def fletcher32(data: bytes | np.ndarray) -> int:
+    """Fletcher-32 checksum over a byte string (vectorized).
+
+    The classic algorithm requires modulo reduction at least every 359
+    16-bit words to avoid overflow; with 64-bit accumulators and a
+    blocked reduction the result is exact for any input length.
+    """
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    if buf.size % 2:
+        buf = np.concatenate([buf, np.zeros(1, dtype=np.uint8)])
+    words = buf.view("<u2").astype(np.uint64)
+    c0 = np.uint64(0)
+    c1 = np.uint64(0)
+    block = 65536  # safe block size for 64-bit accumulators
+    for start in range(0, words.size, block):
+        chunk = words[start : start + block]
+        # c1 accumulates prefix sums of c0: c1 += len*c0_prev + weighted sum
+        n = chunk.size
+        weights = np.arange(n, 0, -1, dtype=np.uint64)
+        c1 = (c1 + np.uint64(n) * c0 + np.dot(weights, chunk)) % np.uint64(65535)
+        c0 = (c0 + chunk.sum()) % np.uint64(65535)
+    return int((c1 << np.uint64(16)) | c0)
+
+
+@dataclass(frozen=True)
+class ChecksummedPayload:
+    """A payload with its verification trailer split out."""
+
+    data: bytes
+    checksum: int
+
+
+def seal(payload: bytes) -> bytes:
+    """Prefix a payload with its Fletcher-32 trailer (what the sending
+    side of a checksummed NAMD message does)."""
+    return _TRAILER.pack(fletcher32(payload), len(payload)) + payload
+
+
+def verify(sealed: bytes, *, vm=None) -> bytes:
+    """Verify and strip the checksum trailer; raises
+    :class:`ChecksumMismatch` on corruption.
+
+    When ``vm`` is given, the verification cost is charged to its block
+    clock (one block per 64 payload bytes), modelling NAMD's measured
+    ~3 % runtime overhead.
+    """
+    if len(sealed) < _TRAILER.size:
+        raise ChecksumMismatch(0, 0)
+    expected, length = _TRAILER.unpack_from(sealed)
+    payload = sealed[_TRAILER.size :]
+    if vm is not None:
+        vm.clock.tick(max(1, len(payload) >> 6))
+    if length != len(payload):
+        raise ChecksumMismatch(expected, fletcher32(payload))
+    actual = fletcher32(payload)
+    if actual != expected:
+        raise ChecksumMismatch(expected, actual)
+    return payload
+
+
+def checksum_cost_blocks(payload_bytes: int) -> int:
+    """The block-clock cost :func:`verify` charges for a payload."""
+    return max(1, payload_bytes >> 6)

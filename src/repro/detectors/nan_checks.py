@@ -1,0 +1,36 @@
+"""NaN consistency checks (paper section 6.2).
+
+"Both NAMD and CAM include internal consistency checks for NaN (Not a
+Number) for some key variables.  Both codes reported many NaN errors as a
+consequence of our injecting faults into the floating-point registers.
+After detecting NaN errors, both applications abort."
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import AppAbort
+
+
+def nan_check_value(value: float, what: str) -> float:
+    """Abort if ``value`` is NaN or infinite; returns it otherwise."""
+    if math.isnan(value) or math.isinf(value):
+        raise AppAbort("NaN check", f"{what} is {value!r}")
+    return value
+
+
+def nan_check_array(values: np.ndarray, what: str, *, vm=None) -> None:
+    """Abort if any element of ``values`` is non-finite.
+
+    When ``vm`` is given, the scan cost is charged to the block clock
+    (these checks are not free; the paper notes "excessive checks can
+    still harm performance").
+    """
+    if vm is not None:
+        vm.clock.tick(max(1, values.size >> 3))
+    bad = int(np.count_nonzero(~np.isfinite(values)))
+    if bad:
+        raise AppAbort("NaN check", f"{what}: {bad} non-finite value(s)")

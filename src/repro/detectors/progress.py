@@ -1,0 +1,100 @@
+"""Progress-metric hang detection (paper section 7).
+
+"Although determining if an execution will terminate is undecidable,
+simple progress metrics (e.g., FLOPS, messages per second or loop
+iterations per minute) can provide some practical detection mechanisms.
+If the application's performance drops below a user-defined threshold, it
+is very likely that the code is in a non-terminating mode."
+
+The monitor consumes periodic samples of (blocks executed, messages
+received, iterations completed) and reports a stall when the rate over a
+sliding window drops below a fraction of the calibrated healthy rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProgressSample:
+    """One heartbeat: cumulative counters at a wall-clock tick (the
+    scheduler round stands in for wall time)."""
+
+    tick: int
+    blocks: int
+    messages: int = 0
+    iterations: int = 0
+
+
+@dataclass
+class ProgressMonitor:
+    """Sliding-window rate watchdog over any cumulative progress metric.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent samples the rate is computed over.
+    threshold:
+        Stall is declared when the windowed rate falls below
+        ``threshold * calibrated_rate``.
+    metric:
+        Which counter to watch: ``"blocks"`` (FLOPS analogue),
+        ``"messages"`` (messages/second) or ``"iterations"``.
+    """
+
+    window: int = 8
+    threshold: float = 0.1
+    metric: str = "blocks"
+    samples: list[ProgressSample] = field(default_factory=list)
+    calibrated_rate: float | None = None
+
+    def record(self, sample: ProgressSample) -> None:
+        if self.samples and sample.tick <= self.samples[-1].tick:
+            raise ValueError("samples must have strictly increasing ticks")
+        self.samples.append(sample)
+
+    def _value(self, s: ProgressSample) -> int:
+        return getattr(s, self.metric)
+
+    def rate(self) -> float | None:
+        """Windowed progress rate (units per tick); None until two
+        samples exist."""
+        if len(self.samples) < 2:
+            return None
+        recent = self.samples[-self.window :]
+        dt = recent[-1].tick - recent[0].tick
+        dv = self._value(recent[-1]) - self._value(recent[0])
+        return dv / dt if dt > 0 else 0.0
+
+    def calibrate(self) -> float:
+        """Fix the healthy rate from the samples seen so far (run this at
+        the end of a known-good execution or after warm-up)."""
+        r = self.rate()
+        if r is None:
+            raise ValueError("cannot calibrate without at least two samples")
+        self.calibrated_rate = r
+        return r
+
+    def stalled(self) -> bool:
+        """True when the current windowed rate is below the threshold
+        fraction of the calibrated rate."""
+        if self.calibrated_rate is None or self.calibrated_rate <= 0:
+            return False
+        r = self.rate()
+        return r is not None and r < self.threshold * self.calibrated_rate
+
+    def detection_tick(self) -> int | None:
+        """Earliest tick at which a stall would have been declared,
+        scanning the recorded samples post hoc.  None if never."""
+        if self.calibrated_rate is None or self.calibrated_rate <= 0:
+            return None
+        for i in range(1, len(self.samples) + 1):
+            recent = self.samples[max(0, i - self.window) : i]
+            if len(recent) < 2:
+                continue
+            dt = recent[-1].tick - recent[0].tick
+            dv = self._value(recent[-1]) - self._value(recent[0])
+            if dt > 0 and dv / dt < self.threshold * self.calibrated_rate:
+                return recent[-1].tick
+        return None

@@ -1,0 +1,47 @@
+"""Rendering of the paper's working-set figures (Tables 5-7).
+
+The paper presents these as plots of working-set-size percentage against
+basic-block time, one pair per application (text accesses, and
+Data+BSS+Heap loads broken out by section).  The renderer prints the
+same series as aligned columns, which is the form the benchmark harness
+records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.working_set import MemoryTraceReport
+
+
+def render_working_set_table(
+    report: MemoryTraceReport, *, samples: int = 16
+) -> str:
+    """Print the Tables 5-7 series for one application."""
+    idx = np.linspace(0, report.text.times.size - 1, samples).astype(int)
+    header = (
+        f"{'blocks':>12}{'text %':>10}{'d+b+h %':>10}"
+        f"{'data %':>10}{'bss %':>10}{'heap %':>10}"
+    )
+    lines = [
+        f"Memory trace of {report.app_name} (rank {report.rank}, "
+        f"{report.total_blocks} blocks)",
+        header,
+        "-" * len(header),
+    ]
+    for i in idx:
+        lines.append(
+            f"{int(report.text.times[i]):>12}"
+            f"{report.text.percent[i]:>10.1f}"
+            f"{report.data_bss_heap.percent[i]:>10.1f}"
+            f"{report.data.percent[i]:>10.1f}"
+            f"{report.bss.percent[i]:>10.1f}"
+            f"{report.heap.percent[i]:>10.1f}"
+        )
+    lines.append(
+        f"text: {report.initial_percent('text'):.1f}% at t=0 -> "
+        f"{report.compute_phase_percent('text'):.1f}% in the compute phase; "
+        f"data+bss+heap: {report.initial_percent('data_bss_heap'):.1f}% -> "
+        f"{report.compute_phase_percent('data_bss_heap'):.1f}%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Markdown report generation (the EXPERIMENTS.md machinery)."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.harness.experiments import EXPERIMENTS, Experiment
+
+
+@dataclass
+class ExperimentRun:
+    experiment: Experiment
+    artifact: str
+    metrics: dict
+
+
+@dataclass
+class Report:
+    """Collects experiment runs and renders a paper-vs-measured report."""
+
+    title: str = "Experiment report"
+    runs: list[ExperimentRun] = field(default_factory=list)
+
+    def run_experiment(self, exp_id: str, n: int | None = None) -> ExperimentRun:
+        exp = EXPERIMENTS[exp_id]
+        artifact, metrics = exp.run(n)
+        run = ExperimentRun(exp, artifact, metrics)
+        self.runs.append(run)
+        return run
+
+    def render_markdown(self) -> str:
+        out = io.StringIO()
+        out.write(f"# {self.title}\n\n")
+        for run in self.runs:
+            exp = run.experiment
+            out.write(f"## {exp.id} - {exp.paper_artifact}\n\n")
+            out.write(f"{exp.description}\n\n")
+            out.write("```\n")
+            out.write(run.artifact.rstrip("\n"))
+            out.write("\n```\n\n")
+        return out.getvalue()

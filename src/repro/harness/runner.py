@@ -1,0 +1,54 @@
+"""Single-execution helpers for examples and tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.injection.campaign import BLOCK_BUDGET_FACTOR, ROUND_BUDGET_FACTOR
+from repro.injection.faults import FaultSpec, InjectionRecord
+from repro.injection.outcomes import Manifestation, classify, default_compare
+from repro.injection.wrappers import install
+from repro.mpi.simulator import Job, JobConfig, JobResult
+
+
+def run_fault_free(app_factory: Callable[[], object], config: JobConfig) -> JobResult:
+    """One clean execution; raises if it does not complete."""
+    result = Job(app_factory(), config).run()
+    if not result.completed:
+        raise RuntimeError(f"fault-free run failed ({result.status}): {result.detail}")
+    return result
+
+
+def run_with_fault(
+    app_factory: Callable[[], object],
+    config: JobConfig,
+    spec: FaultSpec,
+    *,
+    reference: JobResult | None = None,
+    seed: int = 0,
+    compare=None,
+) -> tuple[Manifestation, InjectionRecord, JobResult]:
+    """Execute once with one fault armed and classify the outcome.
+
+    The reference run (for output comparison and hang budgets) is
+    computed on demand when not supplied.
+    """
+    if reference is None:
+        reference = run_fault_free(app_factory, config)
+    app = app_factory()
+    if compare is None:
+        compare = getattr(app, "compare_outputs", None) or default_compare
+    cfg = JobConfig(
+        nprocs=config.nprocs,
+        seed=config.seed,
+        eager_threshold=config.eager_threshold,
+        round_limit=int(reference.rounds * ROUND_BUDGET_FACTOR) + 300,
+        block_limit=int(max(reference.blocks_per_rank) * BLOCK_BUDGET_FACTOR) + 2000,
+        app_params=dict(config.app_params),
+    )
+    job = Job(app, cfg)
+    record = install(job, spec, np.random.default_rng(seed))
+    result = job.run()
+    return classify(result, reference, compare), record, result

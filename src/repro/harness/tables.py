@@ -1,0 +1,100 @@
+"""Rendering of the paper's tables from campaign/profile results."""
+
+from __future__ import annotations
+
+from repro.injection.campaign import CampaignResult
+from repro.injection.faults import Region
+from repro.injection.outcomes import Manifestation
+from repro.trace.profiles import ApplicationProfile
+
+#: Row labels exactly as they appear in Tables 2-4.
+PAPER_REGION_LABELS = {
+    Region.REGULAR_REG: "Regular Reg.",
+    Region.FP_REG: "FP Reg.",
+    Region.BSS: "BSS",
+    Region.DATA: "Data",
+    Region.STACK: "Stack",
+    Region.TEXT: "Text",
+    Region.HEAP: "Heap",
+    Region.MESSAGE: "Message",
+}
+
+#: Paper row order (Tables 2-4 list registers first, then memory
+#: regions, then messages).
+PAPER_ROW_ORDER = (
+    Region.REGULAR_REG,
+    Region.FP_REG,
+    Region.BSS,
+    Region.DATA,
+    Region.STACK,
+    Region.TEXT,
+    Region.HEAP,
+    Region.MESSAGE,
+)
+
+_DETECTION_COLUMNS = (
+    (Manifestation.CRASH, "Crash"),
+    (Manifestation.HANG, "Hang"),
+    (Manifestation.INCORRECT, "Incorrect"),
+    (Manifestation.APP_DETECTED, "App Detected"),
+    (Manifestation.MPI_DETECTED, "MPI Detected"),
+)
+
+
+def render_campaign_table(
+    result: CampaignResult,
+    *,
+    include_detection_columns: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render a campaign as a Table 2/3/4-style fixed-width table.
+
+    Table 2 (Cactus Wavetoy) omits the detection columns because "no
+    Application Detected or MPI Detected errors were encountered" - pass
+    ``include_detection_columns=False`` for that layout.
+    """
+    columns = _DETECTION_COLUMNS if include_detection_columns else _DETECTION_COLUMNS[:3]
+    header = (
+        f"{'Region':<14}{'Executions':>11}{'Errors %':>10}"
+        + "".join(f"{label:>14}" for _, label in columns)
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for region in PAPER_ROW_ORDER:
+        row = result.regions.get(region)
+        if row is None:
+            continue
+        cells = [
+            f"{PAPER_REGION_LABELS[region]:<14}",
+            f"{row.executions:>11}",
+            f"{row.error_rate_percent:>10.1f}",
+        ]
+        for m, _ in columns:
+            pct = row.manifestation_percent(m)
+            cells.append(f"{pct:>14.0f}" if row.tally.errors else f"{'-':>14}")
+        lines.append("".join(cells))
+    lines.append(
+        f"(n per region gives estimation error d = "
+        f"{next(iter(result.regions.values())).estimation_error_percent:.1f}% "
+        f"at 95% confidence)"
+    )
+    return "\n".join(lines)
+
+
+def render_profile_table(profiles: list[ApplicationProfile]) -> str:
+    """Render Table 1: per-process profiles, one column per application."""
+    names = [p.app_name for p in profiles]
+    header = f"{'':<22}" + "".join(f"{n:>16}" for n in names)
+    lines = [header, "-" * len(header)]
+    row_keys = [label for label, _ in profiles[0].as_rows()]
+    rendered = [dict(p.as_rows()) for p in profiles]
+    for key in row_keys:
+        lines.append(f"{key:<22}" + "".join(f"{r[key]:>16}" for r in rendered))
+    lines.append(
+        f"{'Control msgs %':<22}"
+        + "".join(f"{p.control_message_percent:>16.0f}" for p in profiles)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Fault-injection campaigns: the experiment driver behind Tables 2-4.
+
+A campaign (1) runs the application fault-free to obtain the reference
+outputs, the per-rank basic-block totals (the injection time axis), the
+per-rank received message volume (the message-byte axis) and the hang
+budgets; (2) samples fault specifications uniformly over the paper's
+three-axis injection space for each region; (3) executes one fresh job
+per injection with the fault armed; and (4) classifies every outcome into
+the six manifestation classes, reporting the same columns as the paper's
+tables together with the sampling-theory estimation error.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.injection.dictionary import FaultDictionary
+from repro.injection.faults import (
+    FP_TOTAL_BITS,
+    FaultSpec,
+    InjectionRecord,
+    Region,
+    fp_target_from_bitindex,
+)
+from repro.injection.outcomes import Manifestation, OutcomeTally, classify, default_compare
+from repro.injection.wrappers import install
+from repro.mpi.simulator import Job, JobConfig, JobResult
+from repro.sampling.plans import CampaignPlan, default_plan
+from repro.sampling.theory import achieved_error
+
+#: Budget multipliers for hang detection, applied to the fault-free run
+#: (the analogue of "one minute beyond the expected completion time").
+BLOCK_BUDGET_FACTOR = 2.5
+ROUND_BUDGET_FACTOR = 3.0
+
+
+@dataclass
+class ReferenceProfile:
+    """Fault-free baseline measurements driving fault sampling."""
+
+    result: JobResult
+    blocks_per_rank: list[int]
+    received_bytes_per_rank: list[int]
+    rounds: int
+    dictionary: FaultDictionary
+
+    @property
+    def block_limit(self) -> int:
+        return int(max(self.blocks_per_rank) * BLOCK_BUDGET_FACTOR) + 2000
+
+    @property
+    def round_limit(self) -> int:
+        return int(self.rounds * ROUND_BUDGET_FACTOR) + 300
+
+
+@dataclass
+class RegionResult:
+    """Per-region campaign outcome: one row of Tables 2-4."""
+
+    region: Region
+    tally: OutcomeTally = field(default_factory=OutcomeTally)
+    delivered: int = 0
+    records: list[tuple[FaultSpec, InjectionRecord, Manifestation]] = field(
+        default_factory=list
+    )
+
+    @property
+    def executions(self) -> int:
+        return self.tally.executions
+
+    @property
+    def error_rate_percent(self) -> float:
+        return self.tally.error_rate_percent
+
+    @property
+    def estimation_error_percent(self) -> float:
+        """The section-4.3 oversampled estimation error for this sample
+        size, in percent."""
+        n = self.executions
+        return 100.0 * achieved_error(n) if n else float("nan")
+
+    def manifestation_percent(self, m: Manifestation) -> float:
+        return self.tally.manifestation_percent(m)
+
+
+@dataclass
+class CampaignResult:
+    """All region rows for one application."""
+
+    app_name: str
+    nprocs: int
+    seed: int
+    regions: dict[Region, RegionResult] = field(default_factory=dict)
+
+    def row(self, region: Region) -> RegionResult:
+        return self.regions[region]
+
+    def total_injections(self) -> int:
+        return sum(r.executions for r in self.regions.values())
+
+
+class Campaign:
+    """Runs the full Table-2/3/4 experiment for one application.
+
+    Parameters
+    ----------
+    app_factory:
+        Zero-argument callable producing a *fresh* application instance
+        (each injection run gets pristine process images).
+    config:
+        Job configuration (nprocs, seed, app parameters).
+    plan:
+        Injections per region; defaults honour ``REPRO_CAMPAIGN_N``.
+    compare:
+        Output comparator; defaults to the application's
+        ``compare_outputs`` when present, else bitwise equality.
+    """
+
+    def __init__(
+        self,
+        app_factory: Callable[[], object],
+        config: JobConfig,
+        plan: CampaignPlan | None = None,
+        seed: int = 20040607,
+        compare=None,
+    ) -> None:
+        self.app_factory = app_factory
+        self.config = config
+        self.plan = plan or default_plan()
+        self.seed = seed
+        app = app_factory()
+        if compare is None:
+            compare = getattr(app, "compare_outputs", None) or default_compare
+        self.compare = compare
+        self.app_name = getattr(app, "name", type(app).__name__)
+        self._reference: ReferenceProfile | None = None
+
+    # ------------------------------------------------------------------
+    # reference run
+    # ------------------------------------------------------------------
+    def reference(self) -> ReferenceProfile:
+        if self._reference is not None:
+            return self._reference
+        job = Job(self.app_factory(), self.config)
+        result = job.run()
+        if not result.completed:
+            raise RuntimeError(
+                f"fault-free reference run failed ({result.status}): {result.detail}"
+            )
+        dict_rng = np.random.default_rng([self.seed, 0xD1C7])
+        self._reference = ReferenceProfile(
+            result=result,
+            blocks_per_rank=list(result.blocks_per_rank),
+            received_bytes_per_rank=[
+                job.received_bytes(r) for r in range(self.config.nprocs)
+            ],
+            rounds=result.rounds,
+            dictionary=FaultDictionary(job.images[0], dict_rng),
+        )
+        return self._reference
+
+    # ------------------------------------------------------------------
+    # fault sampling (uniform over the b x m x t space)
+    # ------------------------------------------------------------------
+    def sample_spec(self, region: Region, rng: np.random.Generator) -> FaultSpec:
+        ref = self.reference()
+        rank = int(rng.integers(self.config.nprocs))
+        blocks = max(ref.blocks_per_rank[rank], 1)
+        time = int(rng.integers(1, blocks + 1))
+        if region is Region.REGULAR_REG:
+            return FaultSpec(
+                region,
+                rank,
+                time_blocks=time,
+                bit=int(rng.integers(32)),
+                reg_index=int(rng.integers(8)),
+            )
+        if region is Region.FP_REG:
+            target, bit = fp_target_from_bitindex(int(rng.integers(FP_TOTAL_BITS)))
+            return FaultSpec(region, rank, time_blocks=time, bit=bit, fp_target=target)
+        if region in (Region.TEXT, Region.DATA, Region.BSS):
+            entry = ref.dictionary.sample(region.value, rng)
+            return FaultSpec(
+                region,
+                rank,
+                time_blocks=time,
+                bit=int(rng.integers(8)),
+                address=entry.address,
+            )
+        if region is Region.HEAP:
+            return FaultSpec(region, rank, time_blocks=time, bit=int(rng.integers(8)))
+        if region is Region.STACK:
+            return FaultSpec(region, rank, time_blocks=time, bit=int(rng.integers(8)))
+        if region is Region.MESSAGE:
+            volume = max(ref.received_bytes_per_rank[rank], 1)
+            return FaultSpec(
+                region,
+                rank,
+                bit=int(rng.integers(8)),
+                target_byte=int(rng.integers(volume)),
+            )
+        raise ValueError(f"unknown region {region!r}")
+
+    # ------------------------------------------------------------------
+    # single injection experiment
+    # ------------------------------------------------------------------
+    def run_injection(
+        self, spec: FaultSpec, rng: np.random.Generator
+    ) -> tuple[Manifestation, InjectionRecord, JobResult]:
+        ref = self.reference()
+        cfg = JobConfig(
+            nprocs=self.config.nprocs,
+            seed=self.config.seed,
+            track_memory=False,
+            eager_threshold=self.config.eager_threshold,
+            round_limit=ref.round_limit,
+            block_limit=ref.block_limit,
+            app_params=dict(self.config.app_params),
+        )
+        job = Job(self.app_factory(), cfg)
+        record = install(job, spec, rng)
+        result = job.run()
+        manifestation = classify(result, ref.result, self.compare)
+        return manifestation, record, result
+
+    # ------------------------------------------------------------------
+    # region and full campaign
+    # ------------------------------------------------------------------
+    def run_region(self, region: Region, n: int | None = None) -> RegionResult:
+        if n is None:
+            n = self.plan.n_for(region.value)
+        out = RegionResult(region)
+        region_salt = zlib.crc32(region.value.encode())
+        for i in range(n):
+            # crc32, not hash(): str hashing is salted per process and
+            # would make campaigns irreproducible across runs.
+            rng = np.random.default_rng([self.seed, region_salt, i])
+            spec = self.sample_spec(region, rng)
+            manifestation, record, _ = self.run_injection(spec, rng)
+            out.tally.add(manifestation)
+            out.delivered += record.delivered
+            out.records.append((spec, record, manifestation))
+        return out
+
+    def run(self, regions: tuple[Region, ...] = tuple(Region)) -> CampaignResult:
+        result = CampaignResult(
+            app_name=self.app_name, nprocs=self.config.nprocs, seed=self.seed
+        )
+        for region in regions:
+            result.regions[region] = self.run_region(region)
+        return result

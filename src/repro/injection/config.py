@@ -1,0 +1,110 @@
+"""Injection configuration files.
+
+The paper's ``MPI_Init`` wrapper "parses a configuration file and spawns
+the memory fault injector".  The format here is a minimal INI dialect::
+
+    [injection]
+    region = heap        ; one of the eight Table 2-4 regions
+    rank = 3
+    time = 120000        ; basic blocks (ignored for message faults)
+    bit = 5
+    reg = 2              ; regular_reg only (0..7)
+    fp_target = st0      ; fp_reg only
+    address = 0x0804a010 ; text/data/bss (or heap scan start)
+    target_byte = 98304  ; message only
+    seed = 99
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.injection.faults import FaultSpec, Region
+
+
+class ConfigError(ValueError):
+    """Malformed injection configuration."""
+
+
+@dataclass(frozen=True)
+class InjectionConfig:
+    spec: FaultSpec
+    seed: int
+
+
+def _parse_int(value: str, key: str) -> int:
+    try:
+        return int(value, 0)
+    except ValueError:
+        raise ConfigError(f"bad integer for {key!r}: {value!r}") from None
+
+
+def parse_config(text: str) -> InjectionConfig:
+    """Parse a config-file body into an :class:`InjectionConfig`."""
+    fields: dict[str, str] = {}
+    section = None
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip().lower()
+            continue
+        if "=" not in line:
+            raise ConfigError(f"line {line_no}: expected 'key = value': {raw!r}")
+        key, _, value = line.partition("=")
+        if section != "injection":
+            raise ConfigError(f"line {line_no}: key outside [injection] section")
+        fields[key.strip().lower()] = value.strip()
+
+    if "region" not in fields:
+        raise ConfigError("missing required key 'region'")
+    try:
+        region = Region(fields["region"].lower())
+    except ValueError:
+        valid = ", ".join(r.value for r in Region)
+        raise ConfigError(
+            f"unknown region {fields['region']!r}; expected one of: {valid}"
+        ) from None
+
+    kwargs: dict = {
+        "region": region,
+        "rank": _parse_int(fields.get("rank", "0"), "rank"),
+        "time_blocks": _parse_int(fields.get("time", "0"), "time"),
+        "bit": _parse_int(fields.get("bit", "0"), "bit"),
+    }
+    if "reg" in fields:
+        kwargs["reg_index"] = _parse_int(fields["reg"], "reg")
+    if "fp_target" in fields:
+        kwargs["fp_target"] = fields["fp_target"].lower()
+    if "address" in fields:
+        kwargs["address"] = _parse_int(fields["address"], "address")
+    if "target_byte" in fields:
+        kwargs["target_byte"] = _parse_int(fields["target_byte"], "target_byte")
+    try:
+        spec = FaultSpec(**kwargs)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from None
+    return InjectionConfig(spec=spec, seed=_parse_int(fields.get("seed", "0"), "seed"))
+
+
+def format_config(config: InjectionConfig) -> str:
+    """Render a config back to file form (round-trips with parse)."""
+    spec = config.spec
+    lines = [
+        "[injection]",
+        f"region = {spec.region.value}",
+        f"rank = {spec.rank}",
+        f"time = {spec.time_blocks}",
+        f"bit = {spec.bit}",
+    ]
+    if spec.reg_index is not None:
+        lines.append(f"reg = {spec.reg_index}")
+    if spec.fp_target is not None:
+        lines.append(f"fp_target = {spec.fp_target}")
+    if spec.address is not None:
+        lines.append(f"address = 0x{spec.address:08x}")
+    if spec.target_byte is not None:
+        lines.append(f"target_byte = {spec.target_byte}")
+    lines.append(f"seed = {config.seed}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,105 @@
+"""The fault dictionary for static sections (paper section 3.2).
+
+"The identity and location of text, data and BSS memory objects are
+determined at compile time and are static.  To separate the MPI library's
+memory objects from the user application's, we processed the library and
+application binaries to retrieve the respective lists of {symbolic name,
+address} pairs.  We then constructed a fault dictionary containing several
+thousand addresses randomly selected from this list.  Any address whose
+associated symbolic name also appears in the MPI library's list was
+removed as a possible injection point."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidFaultSpec
+from repro.memory.process import ProcessImage
+from repro.memory.symbols import Symbol
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    address: int
+    symbol: str
+    section: str
+
+
+class FaultDictionary:
+    """Candidate injection addresses per static section, user-only.
+
+    Addresses are drawn uniformly over the *bytes* of user symbols (a
+    physical upset is uniform over cells, not over symbols), then any
+    address resolving to an MPI-library symbol is discarded - redundant
+    by construction here, but the filter is applied anyway to mirror the
+    paper's pipeline and to guard against overlapping symbol maps.
+    """
+
+    SECTIONS = ("text", "data", "bss")
+
+    def __init__(
+        self,
+        image: ProcessImage,
+        rng: np.random.Generator,
+        entries_per_section: int = 4096,
+    ) -> None:
+        if entries_per_section <= 0:
+            raise ValueError(
+                f"entries_per_section must be positive: {entries_per_section}"
+            )
+        self.entries: dict[str, list[DictionaryEntry]] = {}
+        mpi_names = {s.name for s in image.symtab.symbols(library="mpi")}
+        for section in self.SECTIONS:
+            symbols = image.symtab.symbols(section, "user")  # type: ignore[arg-type]
+            candidates = self._draw(image, symbols, rng, entries_per_section)
+            # The paper's filter: drop anything whose symbol is also in
+            # the MPI library's list.
+            self.entries[section] = [
+                e for e in candidates if e.symbol not in mpi_names
+            ]
+
+    @staticmethod
+    def _draw(
+        image: ProcessImage,
+        symbols: list[Symbol],
+        rng: np.random.Generator,
+        n: int,
+    ) -> list[DictionaryEntry]:
+        if not symbols:
+            return []
+        sizes = np.array([s.size for s in symbols], dtype=np.int64)
+        cumulative = np.cumsum(sizes)
+        total = int(cumulative[-1])
+        if total == 0:
+            return []
+        offsets = rng.integers(0, total, size=n)
+        sym_idx = np.searchsorted(cumulative, offsets, side="right")
+        out = []
+        for off, i in zip(offsets.tolist(), sym_idx.tolist()):
+            sym = symbols[i]
+            within = off - (int(cumulative[i]) - sym.size)
+            addr = sym.addr + within
+            resolved = image.symtab.resolve(addr)
+            out.append(
+                DictionaryEntry(
+                    address=addr,
+                    symbol=resolved.name if resolved else sym.name,
+                    section=sym.section,
+                )
+            )
+        return out
+
+    def sample(self, section: str, rng: np.random.Generator) -> DictionaryEntry:
+        """One injection point for the given static section."""
+        pool = self.entries.get(section)
+        if not pool:
+            raise InvalidFaultSpec(
+                f"fault dictionary has no user addresses for section {section!r}"
+            )
+        return pool[int(rng.integers(len(pool)))]
+
+    def size(self, section: str) -> int:
+        return len(self.entries.get(section, ()))

@@ -1,0 +1,153 @@
+"""Fault specifications and injection records.
+
+A :class:`FaultSpec` pins down one point of the paper's three-axis
+injection space (bit target b, MPI process m, injection time t) for one of
+the eight regions of Tables 2-4.  An :class:`InjectionRecord` captures
+what actually happened when the fault fired - including whether it was
+delivered at all and which symbol/byte it landed on - for post-campaign
+analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Persistence(str, enum.Enum):
+    """Fault duration model (section 8.1: Constantinescu found transients
+    harder to detect, while longer-duration faults led to failures)."""
+
+    #: Single bit flip; the application may overwrite it.
+    TRANSIENT = "transient"
+    #: The target bit is forced to 0 at every injector wake-up.
+    STUCK_AT_0 = "stuck_at_0"
+    #: The target bit is forced to 1 at every injector wake-up.
+    STUCK_AT_1 = "stuck_at_1"
+
+
+class Region(str, enum.Enum):
+    """The eight injection regions, in the paper's table row order."""
+
+    REGULAR_REG = "regular_reg"
+    FP_REG = "fp_reg"
+    BSS = "bss"
+    DATA = "data"
+    STACK = "stack"
+    TEXT = "text"
+    HEAP = "heap"
+    MESSAGE = "message"
+
+
+#: Regions whose faults are bit flips in the process address space.
+MEMORY_REGIONS = frozenset(
+    {Region.TEXT, Region.DATA, Region.BSS, Region.HEAP, Region.STACK}
+)
+
+#: Regions delivered by the ptrace-analogue (halt, flip, resume).
+PROCESS_REGIONS = MEMORY_REGIONS | {Region.REGULAR_REG, Region.FP_REG}
+
+#: Bit-space sizes for the FP register file (paper section 3.2 targets
+#: the eight 80-bit data registers plus CWD, SWD, TWD, FIP, FCS, FOO,
+#: FOS).
+FP_DATA_BITS = 8 * 80
+FP_SPECIAL_WIDTHS = (
+    ("cwd", 16),
+    ("swd", 16),
+    ("twd", 16),
+    ("fip", 32),
+    ("fcs", 16),
+    ("foo", 32),
+    ("fos", 16),
+)
+FP_SPECIAL_BITS = sum(w for _, w in FP_SPECIAL_WIDTHS)
+FP_TOTAL_BITS = FP_DATA_BITS + FP_SPECIAL_BITS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned single-bit fault."""
+
+    region: Region
+    rank: int
+    #: Delivery time in executed basic blocks (ignored for MESSAGE).
+    time_blocks: int = 0
+    #: Bit index within the target byte/register (region-dependent).
+    bit: int = 0
+    #: REGULAR_REG: which of the eight GPRs (0..7).
+    reg_index: int | None = None
+    #: FP_REG: ``"st0"``..``"st7"`` or a special-register name.
+    fp_target: str | None = None
+    #: TEXT/DATA/BSS: pre-resolved target address (from the fault
+    #: dictionary).  HEAP: the random scan-start address.
+    address: int | None = None
+    #: MESSAGE: offset in the rank's received-byte stream.
+    target_byte: int | None = None
+    #: Fault duration model (process regions only; messages are
+    #: inherently transient - each byte is received once).
+    persistence: Persistence = Persistence.TRANSIENT
+    #: Re-assertion period for stuck-at faults, in basic blocks.
+    reassert_blocks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative: {self.rank}")
+        if self.reassert_blocks <= 0:
+            raise ValueError(
+                f"reassert_blocks must be positive: {self.reassert_blocks}"
+            )
+        if self.time_blocks < 0:
+            raise ValueError(f"time_blocks must be non-negative: {self.time_blocks}")
+        if self.region is Region.REGULAR_REG:
+            if self.reg_index is None or not 0 <= self.reg_index < 8:
+                raise ValueError(f"REGULAR_REG requires reg_index in [0,8)")
+            if not 0 <= self.bit < 32:
+                raise ValueError(f"register bit must be in [0,32): {self.bit}")
+        elif self.region is Region.FP_REG:
+            if not self.fp_target:
+                raise ValueError("FP_REG requires fp_target")
+        elif self.region is Region.MESSAGE:
+            if self.target_byte is None or self.target_byte < 0:
+                raise ValueError("MESSAGE requires a non-negative target_byte")
+            if not 0 <= self.bit < 8:
+                raise ValueError(f"message bit must be in [0,8): {self.bit}")
+            if self.persistence is not Persistence.TRANSIENT:
+                raise ValueError("message faults are inherently transient")
+        else:
+            if not 0 <= self.bit < 8:
+                raise ValueError(f"memory bit must be in [0,8): {self.bit}")
+
+
+@dataclass
+class InjectionRecord:
+    """What one injection actually did."""
+
+    spec: FaultSpec
+    delivered: bool = False
+    #: Resolved absolute address of the flipped byte (memory regions).
+    address: int | None = None
+    #: Symbol the address resolved to, if any.
+    symbol: str | None = None
+    #: Region-specific detail: ``"header"``/``"payload"`` for message
+    #: faults, the register name for register faults, chunk/frame info
+    #: for heap/stack.
+    detail: str = ""
+    old_value: int | float | None = None
+    new_value: int | float | None = None
+    notes: list[str] = field(default_factory=list)
+
+
+def fp_target_from_bitindex(bit_index: int) -> tuple[str, int]:
+    """Map a uniform index over the FP register bit space to a concrete
+    ``(target_name, bit)`` pair, so sampling is proportional to register
+    widths (as a uniform physical upset would be)."""
+    if not 0 <= bit_index < FP_TOTAL_BITS:
+        raise ValueError(f"fp bit index out of range: {bit_index}")
+    if bit_index < FP_DATA_BITS:
+        return f"st{bit_index // 80}", bit_index % 80
+    rest = bit_index - FP_DATA_BITS
+    for name, width in FP_SPECIAL_WIDTHS:
+        if rest < width:
+            return name, rest
+        rest -= width
+    raise AssertionError("unreachable")

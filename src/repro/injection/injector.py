@@ -1,0 +1,214 @@
+"""The memory/register fault injector - the ptrace analogue.
+
+Paper section 3.1: "Our MPI_Init() wrapper parses a configuration file and
+spawns the memory fault injector.  The fault injector awakens periodically
+and invokes the ptrace() UNIX system call to halt the target process and
+overwrite target process memory or register content to simulate the effect
+of transient errors.  The target process is then allowed to resume
+execution and its reaction to faults is recorded."
+
+Here "awakening" is a VM hook scheduled at the fault's basic-block time;
+the callback runs between two instructions with the target halted, flips
+exactly one bit, records what it touched, and returns - the VM resumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.registers import EBP, ESP, REG_NAMES
+from repro.cpu.vm import RET_SENTINEL, VM
+from repro.errors import InvalidFaultSpec
+from repro.injection.faults import (
+    FaultSpec,
+    InjectionRecord,
+    MEMORY_REGIONS,
+    Persistence,
+    Region,
+)
+from repro.mpi.simulator import Job
+
+
+class MemoryFaultInjector:
+    """Delivers one register or address-space fault into one rank."""
+
+    def __init__(
+        self,
+        job: Job,
+        spec: FaultSpec,
+        record: InjectionRecord,
+        rng: np.random.Generator,
+    ) -> None:
+        if spec.region not in MEMORY_REGIONS and spec.region not in (
+            Region.REGULAR_REG,
+            Region.FP_REG,
+        ):
+            raise InvalidFaultSpec(f"not a process fault region: {spec.region}")
+        if (
+            spec.persistence is not Persistence.TRANSIENT
+            and spec.region is Region.FP_REG
+        ):
+            raise InvalidFaultSpec(
+                "stuck-at faults are modelled for integer registers and "
+                "memory only (the 80-bit FPU encoding has no stable "
+                "bit-force interface)"
+            )
+        if not 0 <= spec.rank < job.config.nprocs:
+            raise InvalidFaultSpec(f"rank {spec.rank} outside job of size {job.config.nprocs}")
+        self.job = job
+        self.spec = spec
+        self.record = record
+        self.rng = rng
+
+    def arm(self) -> None:
+        """Schedule the flip at the spec's basic-block time."""
+        vm = self.job.vms[self.spec.rank]
+        vm.schedule_hook(self.spec.time_blocks, self._fire)
+
+    # ------------------------------------------------------------------
+    def _fire(self, vm: VM) -> None:
+        region = self.spec.region
+        if region is Region.REGULAR_REG:
+            self._fire_regular_reg(vm)
+        elif region is Region.FP_REG:
+            self._fire_fp_reg(vm)
+        elif region in (Region.TEXT, Region.DATA, Region.BSS):
+            self._fire_static(vm)
+        elif region is Region.HEAP:
+            self._fire_heap(vm)
+        elif region is Region.STACK:
+            self._fire_stack(vm)
+        else:  # pragma: no cover - guarded in __init__
+            raise InvalidFaultSpec(str(region))
+        if (
+            self.spec.persistence is not Persistence.TRANSIENT
+            and self.record.delivered
+        ):
+            # Section 8.1 (Constantinescu): longer-duration faults.  The
+            # injector keeps waking up and re-forcing the bit, so the
+            # application cannot heal it by overwriting.
+            self._force(vm)
+            vm.schedule_hook(
+                vm.clock.blocks + self.spec.reassert_blocks, self._reassert
+            )
+
+    def _reassert(self, vm: VM) -> None:
+        self._force(vm)
+        self.record.notes.append(f"reasserted at block {vm.clock.blocks}")
+        vm.schedule_hook(
+            vm.clock.blocks + self.spec.reassert_blocks, self._reassert
+        )
+
+    def _force(self, vm: VM) -> None:
+        """Force the (already resolved) target bit to the stuck value."""
+        spec = self.spec
+        stuck_one = spec.persistence is Persistence.STUCK_AT_1
+        if spec.region is Region.REGULAR_REG:
+            mask = 1 << spec.bit
+            value = vm.regs.peek(spec.reg_index)
+            vm.regs.poke(
+                spec.reg_index, value | mask if stuck_one else value & ~mask
+            )
+            return
+        addr = self.record.address
+        if addr is None:
+            return  # never resolved (e.g. no user heap chunk)
+        seg = vm.image.address_space.find(addr)
+        mask = 1 << spec.bit
+        byte = seg.read_u8(addr)
+        seg.write_u8(addr, byte | mask if stuck_one else byte & ~mask)
+
+    def _fire_regular_reg(self, vm: VM) -> None:
+        spec, rec = self.spec, self.record
+        rec.old_value = vm.regs.peek(spec.reg_index)
+        rec.new_value = vm.regs.flip_bit(spec.reg_index, spec.bit)
+        rec.detail = REG_NAMES[spec.reg_index]
+        rec.delivered = True
+
+    def _fire_fp_reg(self, vm: VM) -> None:
+        spec, rec = self.spec, self.record
+        target = spec.fp_target
+        if target.startswith("st"):
+            sti = int(target[2:])
+            rec.old_value = vm.fpu.read_st(sti)
+            rec.new_value = vm.fpu.flip_data_bit(sti, spec.bit)
+        else:
+            rec.old_value = getattr(vm.fpu, target)
+            rec.new_value = vm.fpu.flip_special_bit(target, spec.bit)
+        rec.detail = target
+        rec.delivered = True
+
+    def _fire_static(self, vm: VM) -> None:
+        """TEXT/DATA/BSS: the address came from the fault dictionary."""
+        spec, rec = self.spec, self.record
+        if spec.address is None:
+            raise InvalidFaultSpec(f"{spec.region} fault without an address")
+        space = vm.image.address_space
+        seg = space.find(spec.address)
+        rec.old_value = seg.read_u8(spec.address)
+        rec.new_value = seg.flip_bit(spec.address, spec.bit)
+        rec.address = spec.address
+        sym = vm.image.symtab.resolve(spec.address)
+        rec.symbol = sym.name if sym else None
+        rec.detail = seg.name
+        rec.delivered = True
+
+    def _fire_heap(self, vm: VM) -> None:
+        """Paper: "starting at a random address, the injector looks for
+        any memory chunk marked as user.  Once located, a random bit in
+        the chunk is flipped."  The scan reads chunk headers back from
+        simulated memory via the allocator walk."""
+        spec, rec = self.spec, self.record
+        start = spec.address
+        if start is None:
+            seg = vm.image.heap_segment
+            extent = max(vm.image.heap.extent(), 1)
+            start = seg.base + int(self.rng.integers(extent))
+        chunk = vm.image.heap.find_user_chunk_from(start)
+        if chunk is None:
+            rec.notes.append("no user heap chunk live at injection time")
+            return
+        addr = chunk.addr + int(self.rng.integers(chunk.size))
+        seg = vm.image.heap_segment
+        rec.old_value = seg.read_u8(addr)
+        rec.new_value = seg.flip_bit(addr, spec.bit)
+        rec.address = addr
+        rec.detail = f"heap chunk 0x{chunk.addr:08x}+{chunk.size}"
+        rec.delivered = True
+
+    def _fire_stack(self, vm: VM) -> None:
+        """Walk the EBP chain from the halted VM's registers; frames whose
+        return address lies in user text (or is the top-level sentinel,
+        i.e. called straight from the application's main) are injectable."""
+        spec, rec = self.spec, self.record
+        image = vm.image
+        seg = image.stack_segment
+        esp = vm.regs.peek(ESP)
+        ebp = vm.regs.peek(EBP)
+        if not seg.contains(esp):
+            esp = image.stack.esp
+        ranges: list[tuple[int, int]] = []
+        prev_low = max(esp, seg.base)
+        for frame_ebp, ret in image.stack.walk_frames(
+            start_ebp=ebp if seg.contains(ebp, 8) else None
+        ):
+            high = min(frame_ebp + 24, seg.end)  # saved EBP, ret, a few args
+            in_user = ret == RET_SENTINEL or image.in_user_text(ret)
+            if in_user and high > prev_low:
+                ranges.append((prev_low, high))
+            prev_low = frame_ebp + 8
+        total = sum(hi - lo for lo, hi in ranges)
+        if total == 0:
+            rec.notes.append("no user stack frames live at injection time")
+            return
+        pick = int(self.rng.integers(total))
+        for lo, hi in ranges:
+            if pick < hi - lo:
+                addr = lo + pick
+                break
+            pick -= hi - lo
+        rec.old_value = seg.read_u8(addr)
+        rec.new_value = seg.flip_bit(addr, spec.bit)
+        rec.address = addr
+        rec.detail = "stack frame"
+        rec.delivered = True

@@ -1,0 +1,59 @@
+"""The message fault injector (paper section 3.3, Figure 2).
+
+"We configured MPICH to use the ch_p4 channel and injected faults at the
+Channel level.  We chose to inject the faults into incoming traffic
+immediately after MPICH invokes the recv socket routine. ...  Before
+performing message injections, we profiled the application to estimate
+the total message volume received by each MPI process during the
+execution.  During each injection experiment, we generated a uniform
+random number in this range.  The modified MPICH library maintains a
+counter on received message volume and overwrites the payload when the
+counter value coincides with the random number."
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidFaultSpec
+from repro.injection.faults import FaultSpec, InjectionRecord, Region
+from repro.mpi.channel import HEADER_SIZE
+from repro.mpi.simulator import Job
+
+
+class MessageFaultInjector:
+    """Flips one bit of the target rank's incoming byte stream when the
+    received-volume counter crosses the chosen random threshold."""
+
+    def __init__(self, job: Job, spec: FaultSpec, record: InjectionRecord) -> None:
+        if spec.region is not Region.MESSAGE:
+            raise InvalidFaultSpec(f"not a message fault: {spec.region}")
+        if not 0 <= spec.rank < job.config.nprocs:
+            raise InvalidFaultSpec(
+                f"rank {spec.rank} outside job of size {job.config.nprocs}"
+            )
+        self.job = job
+        self.spec = spec
+        self.record = record
+
+    def arm(self) -> None:
+        endpoint = self.job.endpoints[self.spec.rank]
+        if endpoint.inject_hook is not None:
+            raise InvalidFaultSpec(
+                f"rank {self.spec.rank} already has a message injector"
+            )
+        endpoint.inject_hook = self._hook
+
+    def _hook(self, packet: bytearray, start_byte: int) -> bytearray:
+        spec, rec = self.spec, self.record
+        if rec.delivered:
+            return packet
+        target = spec.target_byte
+        if not start_byte <= target < start_byte + len(packet):
+            return packet
+        offset = target - start_byte
+        rec.old_value = packet[offset]
+        packet[offset] ^= 1 << spec.bit
+        rec.new_value = packet[offset]
+        rec.address = offset
+        rec.detail = "header" if offset < HEADER_SIZE else "payload"
+        rec.delivered = True
+        return packet

@@ -1,0 +1,45 @@
+"""The MPI_Init fault-injection wrapper (paper section 3.1).
+
+The paper links target applications against a library of MPI wrapper
+functions; its ``MPI_Init`` wrapper parses the injection configuration
+and spawns the fault injector before forwarding to ``PMPI_Init``.  The
+:func:`install` function is the same step for a simulated job: given a
+parsed configuration, it registers a pre-run hook that arms the right
+injector (memory/register via VM hooks, message via the channel hook)
+and returns the :class:`InjectionRecord` the experiment will inspect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.injection.config import InjectionConfig, parse_config
+from repro.injection.faults import FaultSpec, InjectionRecord, Region
+from repro.injection.injector import MemoryFaultInjector
+from repro.injection.message_injector import MessageFaultInjector
+from repro.mpi.simulator import Job
+
+
+def install(
+    job: Job,
+    spec: FaultSpec,
+    rng: np.random.Generator | None = None,
+) -> InjectionRecord:
+    """Arm one fault on a not-yet-started job; returns its record."""
+    record = InjectionRecord(spec)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if spec.region is Region.MESSAGE:
+        injector = MessageFaultInjector(job, spec, record)
+    else:
+        injector = MemoryFaultInjector(job, spec, record, rng)
+    job.pre_run_hooks.append(lambda _job: injector.arm())
+    return record
+
+
+def install_from_config_text(job: Job, text: str) -> InjectionRecord:
+    """The full MPI_Init-wrapper path: parse the configuration file body
+    and arm the injector it describes."""
+    config: InjectionConfig = parse_config(text)
+    rng = np.random.default_rng(config.seed)
+    return install(job, config.spec, rng)

@@ -1,0 +1,46 @@
+"""Simulated Linux/x86 process memory substrate.
+
+Implements the process memory model of the paper's Figure 1: text, data and
+BSS segments laid out by a linker-style :class:`~repro.memory.symbols.Linker`,
+a heap managed by a tagging ``malloc`` (the paper's GNU-hook wrapper that
+marks each chunk *user* or *MPI*), and a frame-linked downward-growing stack.
+Every segment records last-access times per granule so the Valgrind-style
+working-set analysis of Tables 5-7 can be reproduced.
+"""
+
+from repro.memory.layout import (
+    GRANULE,
+    KERNEL_BASE,
+    PAGE,
+    SHARED_LIBS_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+)
+from repro.memory.segments import Perm, Segment
+from repro.memory.address_space import AddressSpace
+from repro.memory.heap import ChunkTag, HeapAllocator, HeapCorruption
+from repro.memory.stack import StackManager, StackFrame
+from repro.memory.symbols import Symbol, SymbolTable, Linker, ObjectDef
+from repro.memory.process import ProcessImage
+
+__all__ = [
+    "GRANULE",
+    "KERNEL_BASE",
+    "PAGE",
+    "SHARED_LIBS_BASE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "Perm",
+    "Segment",
+    "AddressSpace",
+    "ChunkTag",
+    "HeapAllocator",
+    "HeapCorruption",
+    "StackManager",
+    "StackFrame",
+    "Symbol",
+    "SymbolTable",
+    "Linker",
+    "ObjectDef",
+    "ProcessImage",
+]

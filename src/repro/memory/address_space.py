@@ -1,0 +1,162 @@
+"""The per-process virtual address space.
+
+Aggregates the segments of one simulated MPI process and provides the
+checked load/store path used by the VM, plus the unchecked bit-flip path
+used by the fault injector (a physical upset does not respect page
+permissions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.clock import Clock
+from repro.errors import SimSegfault
+from repro.memory.segments import Perm, Segment
+
+
+class AddressSpace:
+    """An ordered collection of non-overlapping :class:`Segment` objects."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._segments: list[Segment] = []
+        #: Most-recently-hit segment (spatial locality makes this a very
+        #: effective one-entry cache on the VM's load/store path).
+        self._last: Segment | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, segment: Segment) -> Segment:
+        for existing in self._segments:
+            if segment.base < existing.end and existing.base < segment.end:
+                raise ValueError(
+                    f"segment {segment.name} overlaps {existing.name}"
+                )
+        segment.clock = self.clock
+        self._segments.append(segment)
+        self._segments.sort(key=lambda s: s.base)
+        return segment
+
+    def map(
+        self, name: str, base: int, size: int, perm: Perm = Perm.RW, track: bool = False
+    ) -> Segment:
+        return self.add(Segment(name, base, size, perm, self.clock, track))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def segments(self) -> Iterable[Segment]:
+        return tuple(self._segments)
+
+    def segment(self, name: str) -> Segment:
+        for seg in self._segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"no segment named {name!r}")
+
+    def find(self, addr: int, size: int = 1) -> Segment:
+        """Segment containing ``[addr, addr+size)`` or raise SimSegfault."""
+        last = self._last
+        if last is not None and last.base <= addr and addr + size <= last.end:
+            return last
+        for seg in self._segments:
+            if seg.contains(addr, size):
+                self._last = seg
+                return seg
+        raise SimSegfault(f"unmapped address 0x{addr:08x}+{size}")
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        return any(seg.contains(addr, size) for seg in self._segments)
+
+    # ------------------------------------------------------------------
+    # checked access path (used by the VM)
+    # ------------------------------------------------------------------
+    def _checked(self, addr: int, size: int, want: Perm) -> Segment:
+        seg = self.find(addr, size)
+        if not seg.perm_mask & want:
+            raise SimSegfault(
+                f"{want.name or want} access to 0x{addr:08x} denied in "
+                f"segment {seg.name} ({seg.perm!r})"
+            )
+        return seg
+
+    def load_u32(self, addr: int) -> int:
+        seg = self._checked(addr, 4, Perm.R)
+        seg.note_load(addr, 4)
+        return seg.read_u32(addr)
+
+    def store_u32(self, addr: int, value: int) -> None:
+        seg = self._checked(addr, 4, Perm.W)
+        seg.note_store(addr, 4)
+        seg.write_u32(addr, value)
+
+    def load_i32(self, addr: int) -> int:
+        seg = self._checked(addr, 4, Perm.R)
+        seg.note_load(addr, 4)
+        return seg.read_i32(addr)
+
+    def store_i32(self, addr: int, value: int) -> None:
+        seg = self._checked(addr, 4, Perm.W)
+        seg.note_store(addr, 4)
+        seg.write_i32(addr, value)
+
+    def load_f64(self, addr: int) -> float:
+        seg = self._checked(addr, 8, Perm.R)
+        seg.note_load(addr, 8)
+        return seg.read_f64(addr)
+
+    def store_f64(self, addr: int, value: float) -> None:
+        seg = self._checked(addr, 8, Perm.W)
+        seg.note_store(addr, 8)
+        seg.write_f64(addr, value)
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        seg = self._checked(addr, size, Perm.R)
+        seg.note_load(addr, size)
+        return seg.read_bytes(addr, size)
+
+    def store_bytes(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        seg = self._checked(addr, len(data), Perm.W)
+        seg.note_store(addr, len(data))
+        seg.write_bytes(addr, data)
+
+    def vector_f64(self, addr: int, count: int, *, write: bool = False) -> np.ndarray:
+        """Float64 view for a VM vector instruction.
+
+        Records the whole range as loaded (and stored, for destination
+        operands) so vector kernels participate in working-set tracking.
+        """
+        if count < 0:
+            raise SimSegfault(f"negative vector length {count} at 0x{addr:08x}")
+        seg = self._checked(addr, count * 8, Perm.W if write else Perm.R)
+        if write:
+            seg.note_store(addr, count * 8)
+        else:
+            seg.note_load(addr, count * 8)
+        return seg.view_f64(addr, count)
+
+    def fetch_code(self, addr: int, size: int) -> bytes:
+        """Instruction fetch: requires execute permission, records text
+        working set."""
+        seg = self._checked(addr, size, Perm.X)
+        seg.note_exec(addr, size)
+        return seg.read_bytes(addr, size)
+
+    # ------------------------------------------------------------------
+    # fault injection path (unchecked)
+    # ------------------------------------------------------------------
+    def flip_bit(self, addr: int, bit: int) -> int:
+        """Flip one bit anywhere in mapped memory, ignoring permissions."""
+        return self.find(addr).flip_bit(addr, bit)
+
+    def iter_addresses(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(base, size)`` of every mapped segment, ascending."""
+        for seg in self._segments:
+            yield seg.base, seg.size
+
+    def total_mapped(self) -> int:
+        return sum(seg.size for seg in self._segments)

@@ -1,0 +1,225 @@
+"""Heap allocator with the paper's tagging ``malloc`` wrapper.
+
+Section 3.2 of the paper describes a customized allocator built on GNU C
+library malloc hooks: every chunk is allocated *eight bytes larger* than
+requested, and the extra bytes hold a 32-bit identifier (user vs MPI) and
+the chunk size.  A flag is set at entry to every MPI routine and cleared on
+exit, so allocations performed while inside the MPI library are tagged MPI.
+The heap fault injector then scans forward from a random address for a
+chunk tagged *user* and flips a random bit inside it.
+
+This module implements exactly that: a first-fit free-list allocator whose
+chunk headers live in simulated memory (so they too can be corrupted), an
+``inside_mpi`` context manager standing in for the entry/exit flag, and the
+forward-scan used by the injector.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.memory.segments import Segment
+
+#: Header size prepended to every chunk, as in the paper.
+HEADER_SIZE = 8
+
+#: Allocation alignment (suits float64 vector views).
+ALIGN = 8
+
+
+class HeapCorruption(SimulationError):
+    """The allocator found an invalid chunk header (e.g. after a fault)."""
+
+
+class ChunkTag(enum.IntEnum):
+    """32-bit chunk identifiers stored in the header."""
+
+    USER = 0x5553_4552  # 'USER'
+    MPI = 0x4D50_4921  # 'MPI!'
+    FREE = 0x4652_4545  # 'FREE'
+
+    @classmethod
+    def is_valid(cls, raw: int) -> bool:
+        return raw in (cls.USER, cls.MPI, cls.FREE)
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """Metadata of one heap chunk (payload coordinates)."""
+
+    addr: int  # payload start address
+    size: int  # payload size in bytes
+    tag: ChunkTag
+
+
+class HeapAllocator:
+    """First-fit allocator over the heap segment.
+
+    The allocator keeps an authoritative side table of live chunks (like
+    glibc's internal arena state, which lives outside the chunks the paper
+    injects into) while also *writing* each header into simulated memory.
+    Reads used by :meth:`iter_chunks` go through simulated memory, so a
+    bit flip that lands on a header is visible to the scan - and a
+    corrupted tag raises :class:`HeapCorruption`, modelling glibc's
+    ``malloc(): invalid chunk`` aborts.
+    """
+
+    def __init__(self, segment: Segment) -> None:
+        self.segment = segment
+        # free list of (offset, size) over the whole segment, offsets are
+        # relative to segment.base and cover header+payload extents.
+        self._free: list[tuple[int, int]] = [(0, segment.size)]
+        self._live: dict[int, ChunkInfo] = {}  # payload addr -> info
+        self._mpi_depth = 0
+        self.high_water = 0  # peak bytes in use (header + payload)
+        self.in_use = 0
+
+    # ------------------------------------------------------------------
+    # the MPI entry/exit flag
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def inside_mpi(self) -> Iterator[None]:
+        """Mark allocations performed in the dynamic extent as MPI-owned."""
+        self._mpi_depth += 1
+        try:
+            yield
+        finally:
+            self._mpi_depth -= 1
+
+    @property
+    def current_tag(self) -> ChunkTag:
+        return ChunkTag.MPI if self._mpi_depth > 0 else ChunkTag.USER
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def malloc(self, size: int, tag: ChunkTag | None = None) -> int:
+        """Allocate ``size`` payload bytes; returns the payload address."""
+        if size <= 0:
+            raise ValueError(f"malloc size must be positive: {size}")
+        if tag is None:
+            tag = self.current_tag
+        need = _round_up(HEADER_SIZE + size)
+        for i, (off, avail) in enumerate(self._free):
+            if avail >= need:
+                rest = avail - need
+                if rest > 0:
+                    self._free[i] = (off + need, rest)
+                else:
+                    del self._free[i]
+                payload = self.segment.base + off + HEADER_SIZE
+                info = ChunkInfo(payload, size, tag)
+                self._live[payload] = info
+                self._write_header(off, tag, size)
+                self.in_use += need
+                self.high_water = max(self.high_water, self.in_use)
+                return payload
+        raise MemoryError(
+            f"heap exhausted: need {need} bytes, "
+            f"largest free block {max((s for _, s in self._free), default=0)}"
+        )
+
+    def calloc(self, size: int, tag: ChunkTag | None = None) -> int:
+        addr = self.malloc(size, tag)
+        self.segment.write_bytes(addr, bytes(size))
+        return addr
+
+    def free(self, addr: int) -> None:
+        info = self._live.pop(addr, None)
+        if info is None:
+            raise HeapCorruption(f"free() of non-live pointer 0x{addr:08x}")
+        off = addr - self.segment.base - HEADER_SIZE
+        extent = _round_up(HEADER_SIZE + info.size)
+        self._write_header(off, ChunkTag.FREE, info.size)
+        self.in_use -= extent
+        self._free.append((off, extent))
+        self._coalesce()
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        info = self._live.get(addr)
+        if info is None:
+            raise HeapCorruption(f"realloc() of non-live pointer 0x{addr:08x}")
+        new_addr = self.malloc(new_size, info.tag)
+        n = min(info.size, new_size)
+        self.segment.write_bytes(new_addr, self.segment.read_bytes(addr, n))
+        self.free(addr)
+        return new_addr
+
+    def _coalesce(self) -> None:
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for off, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((off, size))
+        self._free = merged
+
+    def _write_header(self, off: int, tag: ChunkTag, size: int) -> None:
+        base = self.segment.base + off
+        self.segment.write_u32(base, int(tag))
+        self.segment.write_u32(base + 4, size)
+
+    # ------------------------------------------------------------------
+    # inspection (reads headers from simulated memory)
+    # ------------------------------------------------------------------
+    def chunk_at(self, addr: int) -> ChunkInfo | None:
+        return self._live.get(addr)
+
+    def iter_chunks(self) -> Iterator[ChunkInfo]:
+        """Walk live chunks in address order, validating headers.
+
+        Header contents are read back from simulated memory so that an
+        injected flip in a header byte surfaces as HeapCorruption on the
+        next walk - the analogue of glibc detecting arena corruption.
+        """
+        for payload in sorted(self._live):
+            info = self._live[payload]
+            hdr = payload - HEADER_SIZE
+            raw_tag = self.segment.read_u32(hdr)
+            raw_size = self.segment.read_u32(hdr + 4)
+            if not ChunkTag.is_valid(raw_tag) or raw_size != info.size:
+                raise HeapCorruption(
+                    f"chunk header at 0x{hdr:08x} corrupted "
+                    f"(tag=0x{raw_tag:08x}, size={raw_size})"
+                )
+            yield ChunkInfo(payload, raw_size, ChunkTag(raw_tag))
+
+    def user_chunks(self) -> list[ChunkInfo]:
+        return [c for c in self.iter_chunks() if c.tag is ChunkTag.USER]
+
+    def find_user_chunk_from(self, addr: int) -> ChunkInfo | None:
+        """The paper's injector scan: starting at a random address, look
+        forward (wrapping) for the first chunk tagged *user*."""
+        chunks = self.user_chunks()
+        if not chunks:
+            return None
+        for c in chunks:
+            if c.addr + c.size > addr:
+                return c
+        return chunks[0]  # wrap around
+
+    def extent(self) -> int:
+        """Bytes from the segment base to the end of the highest live
+        chunk - the simulated program break.  The heap injector draws its
+        scan-start addresses inside this extent, as the paper's injector
+        operates within the process's actual heap, not the whole mapping.
+        """
+        end = 0
+        for payload, info in self._live.items():
+            end = max(end, payload + info.size - self.segment.base)
+        return end
+
+    def user_bytes(self) -> int:
+        return sum(c.size for c in self._live.values() if c.tag is ChunkTag.USER)
+
+    def mpi_bytes(self) -> int:
+        return sum(c.size for c in self._live.values() if c.tag is ChunkTag.MPI)
+
+
+def _round_up(n: int) -> int:
+    return (n + ALIGN - 1) & ~(ALIGN - 1)

@@ -1,0 +1,44 @@
+"""Virtual-address constants of the classic 32-bit Linux process layout.
+
+These mirror the paper's Figure 1: the executable image (text, data, BSS)
+near ``0x0804_8000``, the heap growing upward above BSS, shared libraries
+mapped at ``0x4000_0000``, the stack growing downward from just below
+``0xC000_0000``, and kernel space above that.
+"""
+
+from __future__ import annotations
+
+#: Page size used for segment alignment.
+PAGE = 0x1000
+
+#: Base virtual address of the executable's text section (Figure 1 shows the
+#: image loaded at the traditional i386 ELF load address).
+TEXT_BASE = 0x0804_8000
+
+#: Base of the shared-library mapping region (where, on a real system, the
+#: MPI shared library and libc would live).
+SHARED_LIBS_BASE = 0x4000_0000
+
+#: Highest user stack address + 1; the stack grows down from here.
+STACK_TOP = 0xC000_0000
+
+#: Start of kernel space (never mapped for user access).
+KERNEL_BASE = 0xC000_0000
+
+#: Granularity (bytes) of last-access tracking for working-set analysis.
+#: 32 bytes approximates a cache-line-sized unit and keeps tracker arrays
+#: small; the paper's Valgrind traces operate at instruction/load level but
+#: report working-set *percentages*, which are insensitive to granule size.
+GRANULE = 32
+
+
+def align_up(value: int, alignment: int = PAGE) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a positive power of two: {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def granules(nbytes: int) -> int:
+    """Number of tracking granules covering ``nbytes`` bytes."""
+    return (nbytes + GRANULE - 1) // GRANULE

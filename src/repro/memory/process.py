@@ -1,0 +1,78 @@
+"""Process image: the full memory state of one simulated MPI process."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock import Clock
+from repro.memory.address_space import AddressSpace
+from repro.memory.heap import HeapAllocator
+from repro.memory.segments import Segment
+from repro.memory.stack import StackManager
+from repro.memory.symbols import LinkedImage, Linker, SymbolTable
+
+
+@dataclass
+class ProcessImage:
+    """Everything the fault injector can target for one MPI rank."""
+
+    rank: int
+    clock: Clock
+    address_space: AddressSpace
+    symtab: SymbolTable
+    text: Segment
+    data: Segment
+    bss: Segment
+    heap_segment: Segment
+    stack_segment: Segment
+    heap: HeapAllocator
+    stack: StackManager
+    entry_points: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_linker(cls, linker: Linker, rank: int = 0, **link_kwargs) -> "ProcessImage":
+        clock = link_kwargs.pop("clock", None) or Clock()
+        image: LinkedImage = linker.link(clock=clock, **link_kwargs)
+        return cls(
+            rank=rank,
+            clock=clock,
+            address_space=image.address_space,
+            symtab=image.symtab,
+            text=image.text,
+            data=image.data,
+            bss=image.bss,
+            heap_segment=image.heap,
+            stack_segment=image.stack,
+            heap=HeapAllocator(image.heap),
+            stack=StackManager(image.stack),
+            entry_points=dict(image.entry_points),
+        )
+
+    # ------------------------------------------------------------------
+    # profile queries (Table 1 inputs)
+    # ------------------------------------------------------------------
+    def addr_of(self, name: str) -> int:
+        return self.symtab.lookup(name).addr
+
+    def section_sizes(self) -> dict[str, int]:
+        """Sizes as ``objdump``/``nm`` plus the malloc wrapper report them:
+        text/data/bss from the symbol table, heap from live allocations,
+        stack from the current ESP extent."""
+        return {
+            "text": self.symtab.section_size("text"),
+            "data": self.symtab.section_size("data"),
+            "bss": self.symtab.section_size("bss"),
+            "heap": self.heap.in_use,
+            "stack": self.stack.used_bytes(),
+        }
+
+    def user_text_range(self) -> list[tuple[int, int]]:
+        """Address ranges of *user* text symbols (the stack walker uses
+        these to decide which frames belong to the application)."""
+        return [
+            (s.addr, s.end) for s in self.symtab.symbols("text", "user")
+        ]
+
+    def in_user_text(self, addr: int) -> bool:
+        sym = self.symtab.resolve(addr)
+        return sym is not None and sym.section == "text" and sym.library == "user"

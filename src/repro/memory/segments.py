@@ -1,0 +1,222 @@
+"""Byte-addressable memory segments with access tracking.
+
+Each segment owns a NumPy ``uint8`` buffer plus (optionally) per-granule
+last-access timestamps, measured in executed basic blocks.  The timestamps
+drive the working-set analysis of the paper's Tables 5-7: the working set
+at time *t* is the set of granules whose last access is at or after *t*.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+import numpy as np
+
+from repro.clock import Clock
+from repro.errors import SimBusError, SimSegfault
+from repro.memory.layout import GRANULE, granules
+
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+_F64 = struct.Struct("<d")
+
+
+class Perm(enum.IntFlag):
+    """Segment permissions (subset of mmap PROT_* semantics)."""
+
+    R = 1
+    W = 2
+    X = 4
+    RW = R | W
+    RX = R | X
+    RWX = R | W | X
+
+
+class Segment:
+    """A contiguous mapped region of the simulated address space.
+
+    Parameters
+    ----------
+    name:
+        Section name (``"text"``, ``"data"``, ``"bss"``, ``"heap"``,
+        ``"stack"``).
+    base:
+        Lowest virtual address of the segment.
+    size:
+        Size in bytes.
+    perm:
+        Access permissions; writes to a read-only segment (e.g. text)
+        through the normal access path raise :class:`SimSegfault`.  The
+        fault injector bypasses permissions, exactly as a physical bit
+        flip would.
+    clock:
+        Shared basic-block counter used to timestamp accesses.
+    track:
+        Enable per-granule access tracking (costs one int64 array per
+        access kind).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        perm: Perm = Perm.RW,
+        clock: Clock | None = None,
+        track: bool = False,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"segment {name!r} must have positive size, got {size}")
+        if base < 0 or base + size > 0x1_0000_0000:
+            raise ValueError(f"segment {name!r} does not fit in a 32-bit address space")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.perm = perm
+        #: Integer permission mask for the hot access path (IntFlag
+        #: bitwise ops are an order of magnitude slower).
+        self.perm_mask = int(perm)
+        self.clock = clock if clock is not None else Clock()
+        self.buf = np.zeros(size, dtype=np.uint8)
+        #: Bumped on every mutation; the VM's decode cache uses it to
+        #: notice text-segment corruption.
+        self.version = 0
+        self.tracking = bool(track)
+        ngran = granules(size)
+        # -1 means "never accessed"; timestamps are block counts (>= 0).
+        if track:
+            self.last_load = np.full(ngran, -1, dtype=np.int64)
+            self.last_store = np.full(ngran, -1, dtype=np.int64)
+            self.last_exec = np.full(ngran, -1, dtype=np.int64)
+        else:
+            self.last_load = None
+            self.last_store = None
+            self.last_exec = None
+
+    # ------------------------------------------------------------------
+    # address arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def end(self) -> int:
+        """One past the highest mapped address."""
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+    def _offset(self, addr: int, size: int) -> int:
+        if not self.contains(addr, size):
+            raise SimSegfault(
+                f"address 0x{addr:08x}+{size} outside segment {self.name} "
+                f"[0x{self.base:08x}, 0x{self.end:08x})"
+            )
+        return addr - self.base
+
+    # ------------------------------------------------------------------
+    # tracking
+    # ------------------------------------------------------------------
+    def _mark(self, arr: np.ndarray | None, off: int, size: int) -> None:
+        if arr is None:
+            return
+        g0 = off // GRANULE
+        g1 = (off + size - 1) // GRANULE + 1
+        arr[g0:g1] = self.clock.blocks
+
+    def note_load(self, addr: int, size: int) -> None:
+        """Record a data load (used for working-set analysis)."""
+        if self.tracking:
+            self._mark(self.last_load, addr - self.base, size)
+
+    def note_store(self, addr: int, size: int) -> None:
+        if self.tracking:
+            self._mark(self.last_store, addr - self.base, size)
+
+    def note_exec(self, addr: int, size: int) -> None:
+        """Record instruction fetch (text working set)."""
+        if self.tracking:
+            self._mark(self.last_exec, addr - self.base, size)
+
+    # ------------------------------------------------------------------
+    # raw access (no permission checks; timestamps recorded by callers)
+    # ------------------------------------------------------------------
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        off = self._offset(addr, size)
+        return self.buf[off : off + size].tobytes()
+
+    def write_bytes(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        off = self._offset(addr, len(data))
+        self.buf[off : off + len(data)] = np.frombuffer(bytes(data), dtype=np.uint8)
+        self.version += 1
+
+    def read_u8(self, addr: int) -> int:
+        return int(self.buf[self._offset(addr, 1)])
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self.buf[self._offset(addr, 1)] = value & 0xFF
+        self.version += 1
+
+    def read_u32(self, addr: int) -> int:
+        off = self._offset(addr, 4)
+        return _U32.unpack_from(self.buf.data, off)[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        off = self._offset(addr, 4)
+        _U32.pack_into(self.buf.data, off, value & 0xFFFF_FFFF)
+        self.version += 1
+
+    def read_i32(self, addr: int) -> int:
+        off = self._offset(addr, 4)
+        return _I32.unpack_from(self.buf.data, off)[0]
+
+    def write_i32(self, addr: int, value: int) -> None:
+        off = self._offset(addr, 4)
+        _I32.pack_into(self.buf.data, off, int(value))
+        self.version += 1
+
+    def read_f64(self, addr: int) -> float:
+        off = self._offset(addr, 8)
+        return _F64.unpack_from(self.buf.data, off)[0]
+
+    def write_f64(self, addr: int, value: float) -> None:
+        off = self._offset(addr, 8)
+        _F64.pack_into(self.buf.data, off, float(value))
+        self.version += 1
+
+    def view_f64(self, addr: int, count: int) -> np.ndarray:
+        """A writable float64 view of ``count`` elements at ``addr``.
+
+        The view aliases the segment's backing store, so VM vector
+        instructions operate on the very bytes the fault injector flips.
+        Raises :class:`SimBusError` for misaligned addresses (float64
+        element access must be 8-byte aligned relative to the segment
+        base, as on hardware that traps unaligned SSE loads).
+        """
+        off = self._offset(addr, count * 8)
+        if off % 8:
+            raise SimBusError(f"unaligned f64 view at 0x{addr:08x}")
+        return self.buf[off : off + count * 8].view(np.float64)
+
+    def view_u8(self, addr: int, count: int) -> np.ndarray:
+        off = self._offset(addr, count)
+        return self.buf[off : off + count]
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def flip_bit(self, addr: int, bit: int) -> int:
+        """Flip bit ``bit`` (0..7) of the byte at ``addr``; returns the new
+        byte value.  Permissions are deliberately ignored: a cosmic-ray
+        upset does not consult the MMU."""
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index must be in [0, 8): {bit}")
+        off = self._offset(addr, 1)
+        self.buf[off] ^= np.uint8(1 << bit)
+        self.version += 1
+        return int(self.buf[off])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Segment({self.name!r}, base=0x{self.base:08x}, "
+            f"size={self.size}, perm={self.perm!r})"
+        )

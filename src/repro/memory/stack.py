@@ -1,0 +1,178 @@
+"""The simulated call stack (downward-growing, EBP-linked frames).
+
+Per the paper (section 3.2): "the stack is composed of stack frames.  Each
+function call pushes a frame onto stack ... Each frame contains saved
+registers, arguments, local variables, return address, and a pointer to the
+next frame.  The stack frames in use by an application can be identified by
+a walk-through from the top to bottom frames (using the EBP and ESP
+registers) and by examination of the 'return address' field in each frame."
+
+Frame layout (standard i386 cdecl, addresses ascending):
+
+    [ebp - locals_size .. ebp)   locals (including MPI-call descriptors)
+    [ebp]                        saved EBP of the caller (frame link)
+    [ebp + 4]                    return address
+    [ebp + 8 ...]                arguments (pushed right-to-left)
+
+The fault injector walks this chain and injects only into frames whose
+return address lies in the *user* text region - which is exactly why the
+paper observed stack faults surfacing as MPI-detected argument errors: the
+stack holds the arguments of pending MPI calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import SimSegfault, SimulationError
+from repro.memory.segments import Segment
+
+
+class StackOverflow(SimulationError):
+    """ESP ran off the bottom of the stack segment."""
+
+
+@dataclass
+class StackFrame:
+    """One live frame, in payload coordinates."""
+
+    ebp: int
+    return_addr: int
+    locals_base: int  # lowest local address
+    locals_size: int
+    args_base: int  # address of first (leftmost) argument
+    nargs: int
+
+    def arg_addr(self, i: int) -> int:
+        if not 0 <= i < self.nargs:
+            raise IndexError(f"frame has {self.nargs} args, asked for {i}")
+        return self.args_base + 4 * i
+
+    def local_addr(self, offset: int) -> int:
+        if not 0 <= offset < self.locals_size:
+            raise IndexError(f"local offset {offset} outside frame")
+        return self.locals_base + offset
+
+    @property
+    def low(self) -> int:
+        return self.locals_base
+
+    @property
+    def high(self) -> int:
+        """One past the last argument slot."""
+        return self.args_base + 4 * self.nargs
+
+
+class StackManager:
+    """Owns ESP/EBP for the Python-orchestrated portion of execution.
+
+    The VM mirrors these registers while a kernel runs and writes them
+    back on return, so there is a single coherent stack per process.
+    """
+
+    def __init__(self, segment: Segment) -> None:
+        self.segment = segment
+        self.esp = segment.end  # empty stack: ESP at the top
+        self.ebp = 0  # no frame yet (NULL terminates the walk)
+
+    # ------------------------------------------------------------------
+    # raw push/pop
+    # ------------------------------------------------------------------
+    def push_u32(self, value: int) -> int:
+        self.esp -= 4
+        if self.esp < self.segment.base:
+            raise StackOverflow(f"stack overflow at ESP=0x{self.esp:08x}")
+        self.segment.note_store(self.esp, 4)
+        self.segment.write_u32(self.esp, value)
+        return self.esp
+
+    def pop_u32(self) -> int:
+        if self.esp + 4 > self.segment.end:
+            raise SimSegfault(f"stack underflow at ESP=0x{self.esp:08x}")
+        self.segment.note_load(self.esp, 4)
+        value = self.segment.read_u32(self.esp)
+        self.esp += 4
+        return value
+
+    def alloca(self, size: int) -> int:
+        """Reserve ``size`` bytes of locals; returns the lowest address."""
+        size = (size + 3) & ~3
+        self.esp -= size
+        if self.esp < self.segment.base:
+            raise StackOverflow(f"stack overflow at ESP=0x{self.esp:08x}")
+        return self.esp
+
+    # ------------------------------------------------------------------
+    # frames
+    # ------------------------------------------------------------------
+    def push_frame(
+        self,
+        return_addr: int,
+        args: Sequence[int] = (),
+        locals_size: int = 0,
+    ) -> StackFrame:
+        """Build a cdecl frame: args right-to-left, return address, saved
+        EBP; EBP then points at the saved-EBP slot and locals are reserved
+        below it."""
+        for value in reversed(args):
+            self.push_u32(value)
+        args_base = self.esp
+        self.push_u32(return_addr)
+        self.push_u32(self.ebp)
+        self.ebp = self.esp
+        locals_base = self.alloca(locals_size) if locals_size else self.esp
+        return StackFrame(
+            ebp=self.ebp,
+            return_addr=return_addr,
+            locals_base=locals_base,
+            locals_size=locals_size,
+            args_base=args_base,
+            nargs=len(args),
+        )
+
+    def pop_frame(self, frame: StackFrame) -> int:
+        """Tear a frame down; returns the (possibly corrupted) return
+        address read back from simulated memory."""
+        if self.ebp != frame.ebp:
+            # A corrupted EBP chain is a real failure mode: the epilogue
+            # restores ESP from EBP, so a flipped EBP slot derails it.
+            raise SimSegfault(
+                f"frame teardown with EBP=0x{self.ebp:08x}, "
+                f"expected 0x{frame.ebp:08x}"
+            )
+        self.esp = self.ebp
+        saved_ebp = self.pop_u32()
+        ret = self.pop_u32()
+        self.esp += 4 * frame.nargs  # caller pops args (cdecl)
+        self.ebp = saved_ebp
+        return ret
+
+    def walk_frames(self, start_ebp: int | None = None) -> Iterator[tuple[int, int]]:
+        """Yield ``(ebp, return_addr)`` from the innermost frame outward,
+        reading the links from simulated memory (so corruption is felt).
+
+        ``start_ebp`` overrides the starting frame pointer - the injector
+        passes the *register-file* EBP when it halts the VM mid-kernel,
+        just as the paper's injector reads EBP via ptrace.
+
+        Stops at a NULL saved EBP or any link that leaves the segment,
+        mirroring how a real unwinder gives up on a smashed stack.
+        """
+        ebp = self.ebp if start_ebp is None else start_ebp
+        seen = 0
+        while ebp and self.segment.contains(ebp, 8) and seen < 10_000:
+            ret = self.segment.read_u32(ebp + 4)
+            yield ebp, ret
+            nxt = self.segment.read_u32(ebp)
+            if nxt <= ebp:  # links must move toward the stack top
+                break
+            ebp = nxt
+            seen += 1
+
+    def live_extent(self) -> tuple[int, int]:
+        """``(low, high)`` of the in-use stack region: [ESP, stack top)."""
+        return self.esp, self.segment.end
+
+    def used_bytes(self) -> int:
+        return self.segment.end - self.esp

@@ -1,0 +1,489 @@
+"""The user-facing MPI-1.1 API layer.
+
+``Comm`` mirrors the MPI-1.1 point-to-point and collective operations the
+paper's application suite exercises.  All methods are *generators*: they
+``yield`` pending requests to the cooperative scheduler and resume when
+the operation completes, which is how blocking MPI semantics are realised
+deterministically.
+
+Fidelity notes:
+
+* Argument checking happens at the top of every call, and a failed check
+  is the **only** event dispatched to the registered error handler -
+  matching the MPICH behaviour the paper documents in section 6.2.  All
+  buffers live in *simulated* memory, and the buffer-pointer, count, rank
+  and tag arguments are plain integers that applications deliberately
+  keep in stack-resident locals; a stack bit flip therefore corrupts a
+  future MPI call's arguments and surfaces here as "MPI Detected".
+* Every call runs with the heap allocator's *inside-MPI* flag set (the
+  paper's malloc-wrapper flag), so staging buffers allocated during the
+  call are tagged as MPI chunks and skipped by the heap injector.
+* Collectives are built from point-to-point messages (binomial trees,
+  dissemination barrier), so control/data traffic mixes emerge from
+  application structure as they do under MPICH.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+import numpy as np
+
+from repro.errors import MPIError
+from repro.memory.heap import ChunkTag
+from repro.memory.process import ProcessImage
+from repro.mpi.adi import AdiEngine
+from repro.mpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    INTERNAL_TAG_BASE,
+    PREDEFINED_DATATYPES,
+    PREDEFINED_OPS,
+    TAG_UB,
+    Datatype,
+    ReduceOp,
+)
+from repro.mpi.errhandler import ErrhandlerSlot, ErrorClass
+from repro.mpi.status import Request, Status
+
+Yield = Generator[Request, None, None]
+
+
+class Comm:
+    """MPI_COMM_WORLD for one rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        adi: AdiEngine,
+        image: ProcessImage,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.adi = adi
+        self.image = image
+        self.errhandler = ErrhandlerSlot()
+        #: MPI call counter (per profiling layer / PMPI introspection).
+        self.calls: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _count_call(self, name: str) -> None:
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def _error(self, klass: ErrorClass, message: str) -> None:
+        """Argument-check failure: dispatch to the error handler (the only
+        path that can produce an 'MPI Detected' outcome)."""
+        self.errhandler.invoke(self, MPIError(klass.value, message, self.rank))
+
+    def _check_buffer(self, addr: int, nbytes: int, what: str) -> None:
+        if nbytes and not self.image.address_space.is_mapped(addr, nbytes):
+            self._error(
+                ErrorClass.MPI_ERR_BUFFER,
+                f"{what} buffer 0x{addr:08x}+{nbytes} is not addressable",
+            )
+
+    def _check_count(self, count: int) -> None:
+        if count < 0:
+            self._error(ErrorClass.MPI_ERR_COUNT, f"negative count {count}")
+
+    def _check_dtype(self, dtype) -> None:
+        if dtype not in PREDEFINED_DATATYPES:
+            self._error(ErrorClass.MPI_ERR_TYPE, f"invalid datatype {dtype!r}")
+
+    def _check_rank(self, rank: int, *, wildcard: bool, what: str) -> None:
+        if wildcard and rank == ANY_SOURCE:
+            return
+        if not 0 <= rank < self.size:
+            self._error(
+                ErrorClass.MPI_ERR_RANK, f"invalid {what} rank {rank} (size {self.size})"
+            )
+
+    def _check_tag(self, tag: int, *, wildcard: bool) -> None:
+        if wildcard and tag == ANY_TAG:
+            return
+        if not 0 <= tag <= TAG_UB:
+            self._error(ErrorClass.MPI_ERR_TAG, f"invalid tag {tag}")
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            self._error(ErrorClass.MPI_ERR_ROOT, f"invalid root {root}")
+
+    def _check_op(self, op) -> None:
+        if op not in PREDEFINED_OPS:
+            self._error(ErrorClass.MPI_ERR_OP, f"invalid reduce op {op!r}")
+
+    @staticmethod
+    def _wait(req: Request) -> Generator[Request, None, Status]:
+        while not req.ready():
+            yield req
+        if req.error is not None:
+            raise req.error
+        return req.status
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(
+        self, buf_addr: int, count: int, dtype: Datatype, dest: int, tag: int
+    ) -> Request:
+        """Nonblocking send; returns a request immediately."""
+        self._count_call("MPI_Isend")
+        with self.image.heap.inside_mpi():
+            self._check_count(count)
+            self._check_dtype(dtype)
+            self._check_rank(dest, wildcard=False, what="destination")
+            self._check_tag(tag, wildcard=False)
+            nbytes = count * dtype.size
+            self._check_buffer(buf_addr, nbytes, "send")
+            payload = (
+                self.image.address_space.load_bytes(buf_addr, nbytes) if nbytes else b""
+            )
+            return self.adi.send(dest, tag, payload)
+
+    def send(
+        self, buf_addr: int, count: int, dtype: Datatype, dest: int, tag: int
+    ) -> Yield:
+        """Blocking standard-mode send."""
+        self._count_call("MPI_Send")
+        req = self.isend(buf_addr, count, dtype, dest, tag)
+        yield from self._wait(req)
+
+    def irecv(
+        self, buf_addr: int, count: int, dtype: Datatype, source: int, tag: int
+    ) -> Request:
+        """Nonblocking receive; returns a request immediately."""
+        self._count_call("MPI_Irecv")
+        with self.image.heap.inside_mpi():
+            self._check_count(count)
+            self._check_dtype(dtype)
+            self._check_rank(source, wildcard=True, what="source")
+            self._check_tag(tag, wildcard=True)
+            nbytes = count * dtype.size
+            self._check_buffer(buf_addr, nbytes, "receive")
+            return self.adi.post_recv(source, tag, buf_addr, nbytes)
+
+    def recv(
+        self, buf_addr: int, count: int, dtype: Datatype, source: int, tag: int
+    ) -> Generator[Request, None, Status]:
+        """Blocking receive; returns the :class:`Status`."""
+        self._count_call("MPI_Recv")
+        req = self.irecv(buf_addr, count, dtype, source, tag)
+        return (yield from self._wait(req))
+
+    def wait(self, req: Request) -> Generator[Request, None, Status]:
+        self._count_call("MPI_Wait")
+        return (yield from self._wait(req))
+
+    def waitall(self, reqs: Iterable[Request]) -> Generator[Request, None, list[Status]]:
+        self._count_call("MPI_Waitall")
+        out = []
+        for req in reqs:
+            out.append((yield from self._wait(req)))
+        return out
+
+    def sendrecv(
+        self,
+        send_addr: int,
+        send_count: int,
+        send_dtype: Datatype,
+        dest: int,
+        send_tag: int,
+        recv_addr: int,
+        recv_count: int,
+        recv_dtype: Datatype,
+        source: int,
+        recv_tag: int,
+    ) -> Generator[Request, None, Status]:
+        """Combined send/receive (deadlock-free halo exchange primitive)."""
+        self._count_call("MPI_Sendrecv")
+        rreq = self.irecv(recv_addr, recv_count, recv_dtype, source, recv_tag)
+        sreq = self.isend(send_addr, send_count, send_dtype, dest, send_tag)
+        yield from self._wait(sreq)
+        return (yield from self._wait(rreq))
+
+    # ------------------------------------------------------------------
+    # collectives (built on point-to-point, MPICH-style algorithms)
+    # ------------------------------------------------------------------
+    def barrier(self) -> Yield:
+        """Dissemination barrier: ceil(log2(n)) rounds of header-only
+        control messages."""
+        self._count_call("MPI_Barrier")
+        n = self.size
+        if n == 1:
+            return
+        scratch = self._mpi_scratch(8)
+        k, round_no = 1, 0
+        while k < n:
+            dst = (self.rank + k) % n
+            src = (self.rank - k + n) % n
+            tag = INTERNAL_TAG_BASE + 0x100 + round_no
+            rreq = self.adi.post_recv(src, tag, scratch, 0)
+            self.adi.send(dst, tag, b"")
+            yield from self._wait(rreq)
+            k <<= 1
+            round_no += 1
+        self._free_scratch(scratch)
+
+    def bcast(
+        self, buf_addr: int, count: int, dtype: Datatype, root: int
+    ) -> Yield:
+        """Binomial-tree broadcast."""
+        self._count_call("MPI_Bcast")
+        self._check_root(root)
+        self._check_count(count)
+        self._check_dtype(dtype)
+        nbytes = count * dtype.size
+        self._check_buffer(buf_addr, nbytes, "broadcast")
+        n = self.size
+        if n == 1 or nbytes == 0:
+            return
+        rel = (self.rank - root) % n
+        tag = INTERNAL_TAG_BASE + 0x200
+        mask = 1
+        while mask < n:
+            if rel & mask:
+                src = (rel - mask + root) % n
+                req = self.adi.post_recv(src, tag, buf_addr, nbytes)
+                yield from self._wait(req)
+                break
+            mask <<= 1
+        mask >>= 1
+        payload = None
+        while mask > 0:
+            if rel + mask < n:
+                dst = (rel + mask + root) % n
+                if payload is None:
+                    payload = self.image.address_space.load_bytes(buf_addr, nbytes)
+                req = self.adi.send(dst, tag, payload)
+                yield from self._wait(req)
+            mask >>= 1
+
+    def reduce(
+        self,
+        send_addr: int,
+        recv_addr: int,
+        count: int,
+        dtype: Datatype,
+        op: ReduceOp,
+        root: int,
+    ) -> Yield:
+        """Binomial-tree reduction to ``root``."""
+        self._count_call("MPI_Reduce")
+        self._check_root(root)
+        self._check_count(count)
+        self._check_dtype(dtype)
+        self._check_op(op)
+        nbytes = count * dtype.size
+        self._check_buffer(send_addr, nbytes, "reduce send")
+        if self.rank == root:
+            self._check_buffer(recv_addr, nbytes, "reduce recv")
+        space = self.image.address_space
+        acc = dtype.to_numpy(space.load_bytes(send_addr, nbytes)) if nbytes else None
+        n = self.size
+        rel = (self.rank - root) % n
+        tag = INTERNAL_TAG_BASE + 0x300
+        mask = 1
+        while mask < n and nbytes:
+            if rel & mask == 0:
+                src_rel = rel | mask
+                if src_rel < n:
+                    src = (src_rel + root) % n
+                    scratch = self._mpi_scratch(nbytes)
+                    req = self.adi.post_recv(src, tag, scratch, nbytes)
+                    yield from self._wait(req)
+                    partial = dtype.to_numpy(space.load_bytes(scratch, nbytes))
+                    self._free_scratch(scratch)
+                    acc = op(acc, partial)
+            else:
+                dst = ((rel & ~mask) + root) % n
+                req = self.adi.send(dst, tag, dtype.to_bytes(acc))
+                yield from self._wait(req)
+                break
+            mask <<= 1
+        if self.rank == root and nbytes:
+            space.store_bytes(recv_addr, dtype.to_bytes(acc))
+
+    def allreduce(
+        self,
+        send_addr: int,
+        recv_addr: int,
+        count: int,
+        dtype: Datatype,
+        op: ReduceOp,
+    ) -> Yield:
+        """Reduce to rank 0 followed by broadcast (MPICH-1 algorithm)."""
+        self._count_call("MPI_Allreduce")
+        yield from self.reduce(send_addr, recv_addr, count, dtype, op, 0)
+        yield from self.bcast(recv_addr, count, dtype, 0)
+
+    def gather(
+        self,
+        send_addr: int,
+        count: int,
+        dtype: Datatype,
+        recv_addr: int,
+        root: int,
+    ) -> Yield:
+        """Linear gather: each rank's block lands at
+        ``recv_addr + rank * count * dtype.size`` on the root."""
+        self._count_call("MPI_Gather")
+        self._check_root(root)
+        self._check_count(count)
+        self._check_dtype(dtype)
+        nbytes = count * dtype.size
+        self._check_buffer(send_addr, nbytes, "gather send")
+        tag = INTERNAL_TAG_BASE + 0x400
+        space = self.image.address_space
+        if self.rank != root:
+            req = self.adi.send(root, tag, space.load_bytes(send_addr, nbytes))
+            yield from self._wait(req)
+            return
+        self._check_buffer(recv_addr, nbytes * self.size, "gather recv")
+        space.store_bytes(
+            recv_addr + self.rank * nbytes, space.load_bytes(send_addr, nbytes)
+        )
+        for src in range(self.size):
+            if src == root:
+                continue
+            req = self.adi.post_recv(src, tag, recv_addr + src * nbytes, nbytes)
+            yield from self._wait(req)
+
+    def scatter(
+        self,
+        send_addr: int,
+        count: int,
+        dtype: Datatype,
+        recv_addr: int,
+        root: int,
+    ) -> Yield:
+        """Linear scatter of ``count``-element blocks from the root."""
+        self._count_call("MPI_Scatter")
+        self._check_root(root)
+        self._check_count(count)
+        self._check_dtype(dtype)
+        nbytes = count * dtype.size
+        self._check_buffer(recv_addr, nbytes, "scatter recv")
+        tag = INTERNAL_TAG_BASE + 0x500
+        space = self.image.address_space
+        if self.rank == root:
+            self._check_buffer(send_addr, nbytes * self.size, "scatter send")
+            for dst in range(self.size):
+                block = space.load_bytes(send_addr + dst * nbytes, nbytes)
+                if dst == root:
+                    space.store_bytes(recv_addr, block)
+                else:
+                    req = self.adi.send(dst, tag, block)
+                    yield from self._wait(req)
+        else:
+            req = self.adi.post_recv(root, tag, recv_addr, nbytes)
+            yield from self._wait(req)
+
+    def allgather(
+        self, send_addr: int, count: int, dtype: Datatype, recv_addr: int
+    ) -> Yield:
+        """Gather to rank 0, then broadcast the assembled buffer."""
+        self._count_call("MPI_Allgather")
+        yield from self.gather(send_addr, count, dtype, recv_addr, 0)
+        yield from self.bcast(recv_addr, count * self.size, dtype, 0)
+
+    def alltoall(
+        self, send_addr: int, count: int, dtype: Datatype, recv_addr: int
+    ) -> Yield:
+        """Pairwise-exchange all-to-all: rank ``i`` sends its ``j``-th
+        ``count``-element block to rank ``j`` (the MPICH-1 algorithm for
+        transposes, e.g. CAM's spectral transforms)."""
+        self._count_call("MPI_Alltoall")
+        self._check_count(count)
+        self._check_dtype(dtype)
+        nbytes = count * dtype.size
+        self._check_buffer(send_addr, nbytes * self.size, "alltoall send")
+        self._check_buffer(recv_addr, nbytes * self.size, "alltoall recv")
+        tag = INTERNAL_TAG_BASE + 0x600
+        space = self.image.address_space
+        if nbytes == 0:
+            return
+        # own block
+        space.store_bytes(
+            recv_addr + self.rank * nbytes,
+            space.load_bytes(send_addr + self.rank * nbytes, nbytes),
+        )
+        # pairwise rounds: in round k, exchange with rank ^ k is ideal for
+        # powers of two; the general form pairs (rank + k) / (rank - k).
+        for k in range(1, self.size):
+            dst = (self.rank + k) % self.size
+            src = (self.rank - k + self.size) % self.size
+            rreq = self.adi.post_recv(src, tag + k, recv_addr + src * nbytes, nbytes)
+            sreq = self.adi.send(
+                dst, tag + k, space.load_bytes(send_addr + dst * nbytes, nbytes)
+            )
+            yield from self._wait(sreq)
+            yield from self._wait(rreq)
+
+    def iprobe(self, source: int, tag: int) -> Status | None:
+        """MPI_Iprobe: non-blocking check for a matching message; returns
+        a Status (source/tag/byte count) without receiving it."""
+        self._count_call("MPI_Iprobe")
+        self._check_rank(source, wildcard=True, what="source")
+        self._check_tag(tag, wildcard=True)
+        self.adi.progress()
+        hit = self.adi.probe_unexpected(source, tag)
+        if hit is None:
+            return None
+        src, mtag, length = hit
+        return Status(source=src, tag=mtag, count_bytes=length)
+
+    def probe(self, source: int, tag: int) -> Generator[Request, None, Status]:
+        """MPI_Probe: block until a matching message is pending.
+
+        Implemented as a busy-wait (yielding to the scheduler between
+        polls), like a real single-threaded MPI progress engine; a probe
+        that can never match is bounded only by the job's round budget,
+        not by the deadlock detector."""
+        self._count_call("MPI_Probe")
+        while True:
+            status = self.iprobe(source, tag)
+            if status is not None:
+                return status
+            yield None
+
+    # ------------------------------------------------------------------
+    # environment
+    # ------------------------------------------------------------------
+    def get_rank(self) -> int:
+        self._count_call("MPI_Comm_rank")
+        return self.rank
+
+    def get_size(self) -> int:
+        self._count_call("MPI_Comm_size")
+        return self.size
+
+    def set_errhandler(self, handler) -> None:
+        """MPI_Errhandler_set on MPI_COMM_WORLD."""
+        self._count_call("MPI_Errhandler_set")
+        self.errhandler.set(handler)
+
+    def abort(self, errorcode: int = 1) -> None:
+        """MPI_Abort: terminate all tasks of the job.
+
+        MPI-1.1 makes a "best effort" to abort every task; in MPICH the
+        whole job dies with the caller's error code - here the raised
+        :class:`MPIAbort` unwinds to the scheduler, which stops every
+        rank."""
+        self._count_call("MPI_Abort")
+        from repro.errors import MPIAbort
+
+        raise MPIAbort(
+            f"MPI_Abort called on rank {self.rank}", exit_code=errorcode
+        )
+
+    # ------------------------------------------------------------------
+    # internal scratch buffers (MPI-tagged heap chunks)
+    # ------------------------------------------------------------------
+    def _mpi_scratch(self, nbytes: int) -> int:
+        return self.image.heap.malloc(max(nbytes, 8), ChunkTag.MPI)
+
+    def _free_scratch(self, addr: int) -> None:
+        self.image.heap.free(addr)

@@ -1,0 +1,81 @@
+"""MPI datatypes and reduction operations (MPI-1.1 subset).
+
+Datatypes map between simulated-memory byte buffers and NumPy dtypes;
+reduction operations implement the predefined MPI_Op set over NumPy
+arrays with x87-style masked arithmetic (Inf/NaN propagate silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A predefined MPI datatype."""
+
+    name: str
+    size: int  # bytes per element
+    np_dtype: str  # numpy dtype string
+
+    def to_numpy(self, raw: bytes) -> np.ndarray:
+        return np.frombuffer(raw, dtype=self.np_dtype).copy()
+
+    def to_bytes(self, values: np.ndarray) -> bytes:
+        return np.asarray(values, dtype=self.np_dtype).tobytes()
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.name}"
+
+
+MPI_DOUBLE = Datatype("DOUBLE", 8, "<f8")
+MPI_FLOAT = Datatype("FLOAT", 4, "<f4")
+MPI_INT = Datatype("INT", 4, "<i4")
+MPI_LONG = Datatype("LONG", 8, "<i8")
+MPI_BYTE = Datatype("BYTE", 1, "u1")
+MPI_CHAR = Datatype("CHAR", 1, "u1")
+
+#: All predefined datatypes, for argument validation.
+PREDEFINED_DATATYPES = (
+    MPI_DOUBLE,
+    MPI_FLOAT,
+    MPI_INT,
+    MPI_LONG,
+    MPI_BYTE,
+    MPI_CHAR,
+)
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A predefined MPI reduction operation."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        with np.errstate(all="ignore"):
+            return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.name}"
+
+
+MPI_SUM = ReduceOp("SUM", np.add)
+MPI_PROD = ReduceOp("PROD", np.multiply)
+MPI_MIN = ReduceOp("MIN", np.minimum)
+MPI_MAX = ReduceOp("MAX", np.maximum)
+
+PREDEFINED_OPS = (MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX)
+
+#: Wildcards and limits from MPI-1.1.
+ANY_SOURCE = -1
+ANY_TAG = -1
+TAG_UB = 32767
+
+#: Tags at or above this value are reserved for the library's internal
+#: collective algorithms (invisible to user-level matching).
+INTERNAL_TAG_BASE = 1 << 20

@@ -1,0 +1,89 @@
+"""MPI error handlers with the semantics the paper measured.
+
+MPI-1.1 specifies that by default an error during an MPI call aborts the
+application (MPI_ERRORS_ARE_FATAL).  A user may register a handler via
+``MPI_Errhandler_set``.  Crucially, section 6.2 of the paper reports that
+in MPICH (and LAM/MPI and LA-MPI) the registered handler is invoked *only*
+when incorrect arguments are passed to MPI routines; abnormal termination
+of peer processes aborts the job without invoking it.  This module encodes
+exactly that behaviour, which is what lets stack faults - which corrupt
+the arguments of pending MPI calls - surface as "MPI Detected" while
+everything else becomes a Crash.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.errors import MPIAbort, MPIError
+
+
+class ErrorClass(str, enum.Enum):
+    """MPI-1.1 error classes raised by argument checking."""
+
+    MPI_ERR_BUFFER = "MPI_ERR_BUFFER"
+    MPI_ERR_COUNT = "MPI_ERR_COUNT"
+    MPI_ERR_TYPE = "MPI_ERR_TYPE"
+    MPI_ERR_TAG = "MPI_ERR_TAG"
+    MPI_ERR_COMM = "MPI_ERR_COMM"
+    MPI_ERR_RANK = "MPI_ERR_RANK"
+    MPI_ERR_ROOT = "MPI_ERR_ROOT"
+    MPI_ERR_OP = "MPI_ERR_OP"
+    MPI_ERR_ARG = "MPI_ERR_ARG"
+
+
+#: ``handler(comm, error) -> None``; may raise to abort.
+Handler = Callable[[object, MPIError], None]
+
+
+class ErrorsAreFatal:
+    """The MPI-1.1 default: print an MPICH-style diagnostic and abort."""
+
+    name = "MPI_ERRORS_ARE_FATAL"
+
+    def __call__(self, comm, error: MPIError) -> None:
+        rank = getattr(comm, "rank", "?")
+        raise MPIAbort(
+            f"MPI process rank {rank} killed by fatal error: {error}", exit_code=1
+        )
+
+
+class ErrorsReturn:
+    """MPI_ERRORS_RETURN: the call reports the error to the caller."""
+
+    name = "MPI_ERRORS_RETURN"
+
+    def __call__(self, comm, error: MPIError) -> None:
+        # The caller receives the MPIError as the operation's result.
+        raise error
+
+
+MPI_ERRORS_ARE_FATAL = ErrorsAreFatal()
+MPI_ERRORS_RETURN = ErrorsReturn()
+
+
+class ErrhandlerSlot:
+    """Per-communicator handler slot (MPI_Errhandler_set /_get)."""
+
+    def __init__(self) -> None:
+        self._handler: Handler = MPI_ERRORS_ARE_FATAL
+        #: Number of times a *user* handler was invoked (the campaign's
+        #: "MPI Detected" signal).
+        self.user_invocations = 0
+
+    def set(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def get(self) -> Handler:
+        return self._handler
+
+    @property
+    def is_user_handler(self) -> bool:
+        return self._handler not in (MPI_ERRORS_ARE_FATAL, MPI_ERRORS_RETURN)
+
+    def invoke(self, comm, error: MPIError) -> None:
+        """Dispatch an *argument-check* failure to the installed handler."""
+        if self.is_user_handler:
+            self.user_invocations += 1
+        self._handler(comm, error)

@@ -1,0 +1,97 @@
+"""Link-map objects for the simulated MPI library.
+
+The paper's fault dictionary is built from ``nm`` listings of *both* the
+application and the MPI library, and every address whose symbol appears in
+the MPI library's list is removed as an injection point.  For that filter
+to be meaningful, the linked image must actually contain MPI-library text,
+data and BSS objects at real addresses.  This module contributes them:
+opaque code/data blobs with the classic MPICH symbol names, sized so the
+library occupies a realistic share of the image.
+
+The blobs are never executed or read by the simulator (the MPI logic runs
+natively in :mod:`repro.mpi`), exactly as the paper's injector never
+targets them - but a *mis-targeted* injection (e.g. a wild pointer) can
+still land there harmlessly, as on the real system.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Insn, Op, encode
+from repro.memory.symbols import Linker
+
+#: (symbol, text bytes) - sizes loosely follow MPICH 1.2's objects.
+MPI_TEXT_SYMBOLS: tuple[tuple[str, int], ...] = (
+    ("MPI_Init", 1024),
+    ("MPI_Finalize", 512),
+    ("MPI_Send", 2048),
+    ("MPI_Recv", 2048),
+    ("MPI_Isend", 1536),
+    ("MPI_Irecv", 1536),
+    ("MPI_Wait", 768),
+    ("MPI_Waitall", 1024),
+    ("MPI_Sendrecv", 1024),
+    ("MPI_Bcast", 3072),
+    ("MPI_Reduce", 3072),
+    ("MPI_Allreduce", 1536),
+    ("MPI_Barrier", 1024),
+    ("MPI_Gather", 2048),
+    ("MPI_Scatter", 2048),
+    ("MPI_Allgather", 1536),
+    ("MPI_Comm_rank", 256),
+    ("MPI_Comm_size", 256),
+    ("MPI_Errhandler_set", 512),
+    ("MPI_Abort", 512),
+    ("MPID_ADI_Init", 4096),
+    ("MPID_RecvComplete", 2048),
+    ("MPID_SendControl", 2048),
+    ("MPID_CH_Eagerb_send", 3072),
+    ("MPID_CH_Rndvb_isend", 3072),
+    ("p4_initenv", 4096),
+    ("p4_send", 3072),
+    ("p4_recv", 3072),
+    ("net_recv", 2048),
+    ("net_send", 2048),
+)
+
+MPI_DATA_SYMBOLS: tuple[tuple[str, int], ...] = (
+    ("MPID_DevSet", 2048),
+    ("MPIR_ToPointer_table", 4096),
+    ("p4_global", 8192),
+)
+
+MPI_BSS_SYMBOLS: tuple[tuple[str, int], ...] = (
+    ("MPID_recv_buffer_pool", 32768),
+    ("p4_procgroup", 8192),
+    ("MPIR_errhandler_storage", 1024),
+)
+
+
+def _opaque_code(size: int) -> bytes:
+    """Fill library text with valid encoded instructions (NOP sleds ending
+    in RET) so the bytes look like code to any tool that decodes them."""
+    nwords = size // 8
+    body = encode(Insn(Op.NOP)) * max(nwords - 1, 0)
+    return body + encode(Insn(Op.RET))
+
+
+def add_mpi_library(
+    linker: Linker,
+    *,
+    text_scale: float = 1.0,
+    data_scale: float = 1.0,
+) -> None:
+    """Contribute the MPI library's objects to a link.
+
+    ``text_scale``/``data_scale`` let application builders adjust how much
+    of the image the library occupies (NAMD links far more library code
+    than Wavetoy does).
+    """
+    for name, size in MPI_TEXT_SYMBOLS:
+        scaled = max(64, int(size * text_scale)) & ~7
+        linker.add_text(name, _opaque_code(scaled), library="mpi")
+    for name, size in MPI_DATA_SYMBOLS:
+        scaled = max(64, int(size * data_scale))
+        linker.add_data(name, scaled, library="mpi")
+    for name, size in MPI_BSS_SYMBOLS:
+        scaled = max(64, int(size * data_scale))
+        linker.add_bss(name, scaled, library="mpi")

@@ -1,0 +1,83 @@
+"""PMPI-style profiling interposition.
+
+The paper's injector is linked in as a library of MPI wrapper functions:
+each wrapper "performs fault injection tasks and then calls the actual MPI
+function via the MPI profiling interface (PMPI)".  :class:`ProfilingComm`
+is the same mechanism: it exposes the full :class:`~repro.mpi.api.Comm`
+surface, runs registered interceptors around each call, and forwards to
+the underlying communicator (the ``PMPI_*`` entry points).
+
+The fault-injection wrapper in :mod:`repro.injection.wrappers` builds on
+this layer, exactly mirroring the paper's ``MPI_Init`` wrapper that parses
+a configuration file and spawns the memory fault injector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mpi.api import Comm
+
+#: ``interceptor(call_name, args, kwargs) -> None`` invoked before the
+#: underlying PMPI routine.
+Interceptor = Callable[[str, tuple, dict], None]
+
+#: The generator-returning Comm methods that must be forwarded verbatim.
+_FORWARDED = (
+    "send",
+    "recv",
+    "isend",
+    "irecv",
+    "wait",
+    "waitall",
+    "sendrecv",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "probe",
+    "iprobe",
+    "get_rank",
+    "get_size",
+    "set_errhandler",
+)
+
+
+class ProfilingComm:
+    """A communicator wrapper in the shape of the PMPI shim library."""
+
+    def __init__(self, comm: Comm) -> None:
+        self._pmpi = comm
+        self._interceptors: list[Interceptor] = []
+        self.call_counts: dict[str, int] = {}
+        for name in _FORWARDED:
+            setattr(self, name, self._make_wrapper(name))
+
+    # attribute passthrough for rank/size/errhandler/etc.
+    def __getattr__(self, name: str):
+        return getattr(self._pmpi, name)
+
+    def add_interceptor(self, fn: Interceptor) -> None:
+        self._interceptors.append(fn)
+
+    def _make_wrapper(self, name: str):
+        target = getattr(self._pmpi, name)
+
+        def wrapper(*args, **kwargs):
+            self.call_counts[name] = self.call_counts.get(name, 0) + 1
+            for fn in self._interceptors:
+                fn(name, args, kwargs)
+            return target(*args, **kwargs)
+
+        wrapper.__name__ = name
+        wrapper.__doc__ = f"PMPI wrapper for MPI {name}"
+        return wrapper
+
+    @property
+    def pmpi(self) -> Comm:
+        """The underlying 'real' MPI implementation (PMPI_* symbols)."""
+        return self._pmpi

@@ -1,0 +1,296 @@
+"""Deterministic cooperative MPI job simulator.
+
+Runs every rank of an MPI application as a generator coroutine under a
+round-robin scheduler.  All blocking MPI semantics are expressed as
+yielded :class:`~repro.mpi.status.Request` objects; a rank resumes when
+its request becomes ready.  Determinism (fixed scheduling order, seeded
+RNGs) is what lets the outcome classifier compare a faulty run against a
+fault-free reference - the paper's "little variability in execution
+times" under exclusive cluster access.
+
+Failure semantics mirror the paper's experimental set-up:
+
+* a simulated signal (SIGSEGV/SIGILL/SIGBUS/SIGFPE) in any rank makes the
+  runtime print an MPICH-style ``p4_error`` line to the captured stderr
+  and abort the whole job - the classifier recognises a Crash by exactly
+  those messages (section 5.1);
+* an :class:`~repro.errors.AppAbort` (internal consistency check) prints
+  to the console and aborts - Application Detected;
+* an :class:`~repro.errors.MPIAbort` raised from a *user* error handler
+  is MPI Detected; from the default fatal handler, it is a Crash;
+* deadlock (no rank can advance, no packet in flight) or an exceeded
+  block/round budget is a Hang (the paper waited "one minute beyond the
+  expected execution completion time").
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    AppAbort,
+    HangDetected,
+    MPIAbort,
+    SimSignal,
+    SimulationError,
+)
+from repro.memory.heap import HeapCorruption
+from repro.memory.process import ProcessImage
+from repro.memory.stack import StackOverflow
+from repro.mpi.adi import AdiConfig, AdiEngine, ChannelProtocolError
+from repro.mpi.api import Comm
+from repro.mpi.channel import ChannelEndpoint
+from repro.cpu.vm import VM
+
+
+class JobStatus(enum.Enum):
+    """Raw termination condition of one simulated job execution."""
+
+    COMPLETED = "completed"
+    CRASHED = "crashed"
+    HUNG = "hung"
+    APP_DETECTED = "app_detected"
+    MPI_DETECTED = "mpi_detected"
+
+
+@dataclass
+class JobConfig:
+    """Execution parameters for one job."""
+
+    nprocs: int
+    seed: int = 12345
+    track_memory: bool = False
+    eager_threshold: int = 2048
+    #: Scheduler-round budget (None: derive nothing; the runner sets it
+    #: from a fault-free profile).
+    round_limit: int | None = None
+    #: Per-rank basic-block budget applied to every VM.
+    block_limit: int | None = None
+    #: Extra keyword parameters forwarded to the application build.
+    app_params: dict[str, Any] = field(default_factory=dict)
+
+
+class RankContext:
+    """Everything one rank's ``main`` generator can touch."""
+
+    def __init__(self, rank: int, job: "Job", image: ProcessImage, vm: VM, comm: Comm):
+        self.rank = rank
+        self.nprocs = job.config.nprocs
+        self.job = job
+        self.image = image
+        self.vm = vm
+        self.comm = comm
+        self.rng = np.random.default_rng([job.config.seed, rank])
+
+    def print(self, text: str) -> None:
+        """Write a line to the job's captured console (stdout)."""
+        self.job.stdout.append(f"[{self.rank}] {text}")
+
+    def write_output(self, name: str, content: str | bytes) -> None:
+        """Record an application output artifact (e.g. rank 0's result
+        file); the classifier compares these against the reference."""
+        self.job.outputs[name] = content
+
+    def abort(self, check: str, message: str = "") -> None:
+        """Fail an internal consistency check and abort the application."""
+        raise AppAbort(check, message)
+
+
+@dataclass
+class JobResult:
+    """Externally visible artifacts of one execution."""
+
+    status: JobStatus
+    detail: str
+    stdout: list[str]
+    stderr: list[str]
+    outputs: dict[str, str | bytes]
+    rounds: int
+    blocks_per_rank: list[int]
+    error: BaseException | None = None
+    faulting_rank: int | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status is JobStatus.COMPLETED
+
+
+class Job:
+    """One simulated MPI job: N ranks of one application."""
+
+    def __init__(self, app, config: JobConfig) -> None:
+        self.app = app
+        self.config = config
+        n = config.nprocs
+        if n < 1:
+            raise ValueError(f"nprocs must be >= 1, got {n}")
+        self.stdout: list[str] = []
+        self.stderr: list[str] = []
+        self.outputs: dict[str, str | bytes] = {}
+        self.images: list[ProcessImage] = []
+        self.vms: list[VM] = []
+        self.endpoints: list[ChannelEndpoint] = []
+        self.adis: list[AdiEngine] = []
+        self.comms: list[Comm] = []
+        self.contexts: list[RankContext] = []
+        adi_cfg = AdiConfig(eager_threshold=config.eager_threshold)
+        for rank in range(n):
+            image, vm = app.build_process(rank, n, config)
+            if config.block_limit is not None:
+                vm.block_limit = config.block_limit
+            endpoint = ChannelEndpoint(rank)
+            adi = AdiEngine(rank, n, image, endpoint, adi_cfg)
+            adi.attach_router(self._route)
+            comm = Comm(rank, n, adi, image)
+            self.images.append(image)
+            self.vms.append(vm)
+            self.endpoints.append(endpoint)
+            self.adis.append(adi)
+            self.comms.append(comm)
+            self.contexts.append(RankContext(rank, self, image, vm, comm))
+        self._current_rank: int = 0
+        #: Hooks run once, immediately before the first scheduler round
+        #: (the injector uses this to arm per-rank faults after MPI_Init).
+        self.pre_run_hooks: list[Callable[["Job"], None]] = []
+
+    def _route(self, dst: int) -> ChannelEndpoint:
+        # Out-of-range destinations can only be produced by corrupted
+        # arguments that slipped past validation; a real sender's writev
+        # to a closed socket aborts the process.
+        if not 0 <= dst < len(self.endpoints):
+            raise ChannelProtocolError(f"send to nonexistent rank {dst}")
+        return self.endpoints[dst]
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+    def run(self) -> JobResult:
+        """Execute the job to termination and classify how it ended."""
+        n = self.config.nprocs
+        for hook in self.pre_run_hooks:
+            hook(self)
+        gens: list[Generator | None] = []
+        try:
+            for ctx in self.contexts:
+                gens.append(self.app.main(ctx))
+        except Exception as exc:  # construction failure = startup crash
+            return self._result_for_exception(exc, rounds=0)
+
+        waiting: list[Any] = [None] * n  # pending Request per rank
+        done = [False] * n
+        rounds = 0
+        try:
+            while True:
+                progressed = False
+                for rank in range(n):
+                    if done[rank]:
+                        continue
+                    self._current_rank = rank
+                    if self.adis[rank].progress():
+                        progressed = True
+                    req = waiting[rank]
+                    if req is not None and not req.ready():
+                        continue
+                    waiting[rank] = None
+                    try:
+                        item = next(gens[rank])
+                    except StopIteration:
+                        done[rank] = True
+                        progressed = True
+                        continue
+                    waiting[rank] = item  # None = voluntary yield
+                    progressed = True
+                rounds += 1
+                if all(done):
+                    return JobResult(
+                        status=JobStatus.COMPLETED,
+                        detail="all ranks exited",
+                        stdout=self.stdout,
+                        stderr=self.stderr,
+                        outputs=self.outputs,
+                        rounds=rounds,
+                        blocks_per_rank=[im.clock.blocks for im in self.images],
+                    )
+                if self.config.round_limit is not None and rounds > self.config.round_limit:
+                    raise HangDetected("scheduler round budget exceeded", rounds)
+                if not progressed:
+                    # One last progress sweep before declaring deadlock.
+                    if not any(adi.progress() for adi in self.adis):
+                        raise HangDetected("deadlock: all ranks blocked")
+        except BaseException as exc:
+            return self._result_for_exception(exc, rounds)
+
+    # ------------------------------------------------------------------
+    # failure classification (raw job level)
+    # ------------------------------------------------------------------
+    def _result_for_exception(self, exc: BaseException, rounds: int) -> JobResult:
+        rank = self._current_rank
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise exc
+        status, detail = self._classify(exc, rank)
+        return JobResult(
+            status=status,
+            detail=detail,
+            stdout=self.stdout,
+            stderr=self.stderr,
+            outputs=self.outputs,
+            rounds=rounds,
+            blocks_per_rank=[im.clock.blocks for im in self.images],
+            error=exc,
+            faulting_rank=rank,
+        )
+
+    def _classify(self, exc: BaseException, rank: int) -> tuple[JobStatus, str]:
+        if isinstance(exc, SimSignal):
+            # MPICH catches the fatal signal and prints its diagnostic.
+            self.stderr.append(
+                f"p4_error: interrupt {exc.signame}: rank {rank}: {exc}"
+            )
+            self.stderr.append(
+                f"p4_error: latest msg from perror: killing all MPI processes"
+            )
+            return JobStatus.CRASHED, f"{exc.signame} on rank {rank}"
+        if isinstance(exc, (ChannelProtocolError, HeapCorruption, StackOverflow)):
+            self.stderr.append(f"p4_error: net_recv failed on rank {rank}: {exc}")
+            return JobStatus.CRASHED, f"runtime fault on rank {rank}: {exc}"
+        if isinstance(exc, MemoryError):
+            self.stderr.append(f"p4_error: out of memory on rank {rank}: {exc}")
+            return JobStatus.CRASHED, f"heap exhaustion on rank {rank}"
+        if isinstance(exc, AppAbort):
+            self.stdout.append(f"[{rank}] ABORT {exc}")
+            return JobStatus.APP_DETECTED, str(exc)
+        if isinstance(exc, MPIAbort):
+            if self.comms[rank].errhandler.user_invocations > 0:
+                self.stdout.append(f"[{rank}] MPI error handler invoked: {exc}")
+                return JobStatus.MPI_DETECTED, str(exc)
+            self.stderr.append(f"p4_error: {exc} (rank {rank})")
+            return JobStatus.CRASHED, str(exc)
+        if isinstance(exc, HangDetected):
+            return JobStatus.HUNG, str(exc)
+        if isinstance(exc, SimulationError):
+            self.stderr.append(f"p4_error: {type(exc).__name__} on rank {rank}: {exc}")
+            return JobStatus.CRASHED, f"{type(exc).__name__}: {exc}"
+        # Anything else is a genuine bug in the *simulator or application
+        # harness* unless a fault was injected, in which case corrupted
+        # values reaching orchestration code are also a crash (e.g. a
+        # flipped size feeding a negative array length into a kernel).
+        buf = io.StringIO()
+        traceback.print_exception(exc, file=buf)
+        self.stderr.append(f"p4_error: unhandled {type(exc).__name__} on rank {rank}")
+        self.stderr.append(buf.getvalue())
+        return JobStatus.CRASHED, f"unhandled {type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+    # ------------------------------------------------------------------
+    def total_blocks(self) -> int:
+        return sum(im.clock.blocks for im in self.images)
+
+    def received_bytes(self, rank: int) -> int:
+        return self.endpoints[rank].bytes_received

@@ -1,0 +1,50 @@
+"""MPI_Status and request objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Status:
+    """Completion information for a receive (MPI_Status)."""
+
+    source: int = -1
+    tag: int = -1
+    count_bytes: int = 0
+    error: int = 0
+
+    def get_count(self, datatype) -> int:
+        """Number of whole elements received (MPI_Get_count)."""
+        return self.count_bytes // datatype.size
+
+
+@dataclass
+class Request:
+    """A nonblocking communication request (MPI_Request).
+
+    The scheduler treats a yielded request as a blocking condition: the
+    rank resumes when :meth:`ready` is true.
+    """
+
+    kind: str = "null"
+    done: bool = False
+    status: Status = field(default_factory=Status)
+    #: Set by the ADI when the operation failed in a way that must be
+    #: surfaced on the wait (rare; most failures abort directly).
+    error: Exception | None = None
+
+    def ready(self) -> bool:
+        return self.done
+
+    def complete(self, status: Status | None = None) -> None:
+        if status is not None:
+            self.status = status
+        self.done = True
+
+
+class CompletedRequest(Request):
+    """A request that is born complete (eager sends)."""
+
+    def __init__(self, kind: str = "send"):
+        super().__init__(kind=kind, done=True)

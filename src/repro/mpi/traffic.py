@@ -1,0 +1,97 @@
+"""Traffic measurement at the Channel and ADI levels.
+
+Section 4.2 of the paper: "For messages, we modified the MPICH library to
+measure and classify the incoming traffic at the Channel and ADI levels."
+This module aggregates those measurements into the per-process profiles
+reported in Table 1 (message volume, and the header vs user-data split of
+received bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.simulator import Job
+
+
+@dataclass(frozen=True)
+class RankTraffic:
+    """Received-traffic profile of one MPI process."""
+
+    rank: int
+    total_bytes: int
+    header_bytes: int
+    payload_bytes: int
+    packets: int
+    control_packets: int
+    data_packets: int
+    messages_control: int  # ADI-level classification
+    messages_data: int
+    dropped_packets: int
+
+    @property
+    def header_percent(self) -> float:
+        """Percent of received volume that is header bytes - Table 1's
+        'Header' distribution column."""
+        return 100.0 * self.header_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def user_percent(self) -> float:
+        """Percent of received volume that is user payload."""
+        return 100.0 * self.payload_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def control_message_percent(self) -> float:
+        total = self.messages_control + self.messages_data
+        return 100.0 * self.messages_control / total if total else 0.0
+
+
+def rank_traffic(job: Job, rank: int) -> RankTraffic:
+    """Snapshot the traffic counters of one rank."""
+    ep = job.endpoints[rank]
+    adi = job.adis[rank]
+    s = ep.stats
+    return RankTraffic(
+        rank=rank,
+        total_bytes=s.total_bytes,
+        header_bytes=s.header_bytes,
+        payload_bytes=s.payload_bytes,
+        packets=s.packets,
+        control_packets=s.control_packets,
+        data_packets=s.data_packets,
+        messages_control=adi.messages_control,
+        messages_data=adi.messages_data,
+        dropped_packets=s.dropped_packets,
+    )
+
+
+def job_traffic(job: Job) -> list[RankTraffic]:
+    return [rank_traffic(job, r) for r in range(job.config.nprocs)]
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate over ranks (per-process mean and range, as Table 1
+    reports e.g. 'Message (MB) 2.4-4.8')."""
+
+    mean_bytes: float
+    min_bytes: int
+    max_bytes: int
+    mean_header_percent: float
+    mean_user_percent: float
+    mean_control_message_percent: float
+
+
+def summarize(job: Job) -> TrafficSummary:
+    per_rank = job_traffic(job)
+    totals = [t.total_bytes for t in per_rank]
+    n = len(per_rank)
+    return TrafficSummary(
+        mean_bytes=sum(totals) / n,
+        min_bytes=min(totals),
+        max_bytes=max(totals),
+        mean_header_percent=sum(t.header_percent for t in per_rank) / n,
+        mean_user_percent=sum(t.user_percent for t in per_rank) / n,
+        mean_control_message_percent=sum(t.control_message_percent for t in per_rank)
+        / n,
+    )

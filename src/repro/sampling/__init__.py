@@ -1,0 +1,23 @@
+"""Sampling theory for fault-injection campaigns (paper section 4.3)."""
+
+from repro.sampling.theory import (
+    z_alpha,
+    sample_size,
+    sample_size_oversampled,
+    achieved_error,
+    proportion_ci,
+    injection_space_size,
+)
+from repro.sampling.plans import CampaignPlan, default_plan, DEFAULT_REGION_N
+
+__all__ = [
+    "z_alpha",
+    "sample_size",
+    "sample_size_oversampled",
+    "achieved_error",
+    "proportion_ci",
+    "injection_space_size",
+    "CampaignPlan",
+    "default_plan",
+    "DEFAULT_REGION_N",
+]

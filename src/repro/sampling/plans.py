@@ -1,0 +1,69 @@
+"""Campaign sizing plans.
+
+The paper performed 400-500 injections per region over two months of
+cluster time.  Simulated executions are cheap but not free, so the
+default plan is smaller and CI-friendly; the achieved estimation error d
+is always computed and reported alongside the results, exactly as
+section 4.3 prescribes.  Set the ``REPRO_CAMPAIGN_N`` environment
+variable (e.g. to 500) to reproduce the paper's scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.sampling.theory import achieved_error
+
+#: Default injections per region for benches/tests.
+DEFAULT_REGION_N = 60
+
+#: The eight injection regions of Tables 2-4, in the paper's row order.
+PAPER_REGIONS = (
+    "regular_reg",
+    "fp_reg",
+    "bss",
+    "data",
+    "stack",
+    "text",
+    "heap",
+    "message",
+)
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """How many injections to run per region, with the statistical
+    quality that buys."""
+
+    per_region: dict[str, int] = field(default_factory=dict)
+    alpha: float = 0.05
+
+    def n_for(self, region: str) -> int:
+        return self.per_region[region]
+
+    def d_for(self, region: str) -> float:
+        """Achieved estimation error for the region's sample size."""
+        return achieved_error(self.per_region[region], self.alpha)
+
+    @property
+    def total_injections(self) -> int:
+        return sum(self.per_region.values())
+
+
+def default_plan(
+    n: int | None = None,
+    regions: tuple[str, ...] = PAPER_REGIONS,
+    alpha: float = 0.05,
+) -> CampaignPlan:
+    """Uniform plan over the paper's eight regions.
+
+    Priority of ``n``: explicit argument, then ``REPRO_CAMPAIGN_N`` in
+    the environment, then :data:`DEFAULT_REGION_N`.
+    """
+    if n is None:
+        env = os.environ.get("REPRO_CAMPAIGN_N")
+        n = int(env) if env else DEFAULT_REGION_N
+    if n <= 0:
+        raise ValueError(f"injections per region must be positive: {n}")
+    return CampaignPlan(per_region={r: n for r in regions}, alpha=alpha)

@@ -1,0 +1,39 @@
+"""Valgrind-style memory tracing and application profiling.
+
+The segments record a last-access block count per granule while a job
+runs; this package turns those records into the working-set curves of
+Tables 5-7 and the per-process application profiles of Table 1.
+"""
+
+from repro.trace.accesses import (
+    access_histogram,
+    liveness_summary,
+    never_accessed_bytes,
+    overwritten_after_read_fraction,
+    touched_fraction,
+)
+from repro.trace.working_set import (
+    WorkingSetCurve,
+    working_set_sizes,
+    section_curve,
+    combined_curve,
+    MemoryTraceReport,
+    trace_memory,
+)
+from repro.trace.profiles import ApplicationProfile, profile_application
+
+__all__ = [
+    "access_histogram",
+    "liveness_summary",
+    "never_accessed_bytes",
+    "overwritten_after_read_fraction",
+    "touched_fraction",
+    "WorkingSetCurve",
+    "working_set_sizes",
+    "section_curve",
+    "combined_curve",
+    "MemoryTraceReport",
+    "trace_memory",
+    "ApplicationProfile",
+    "profile_application",
+]

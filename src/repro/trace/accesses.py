@@ -1,0 +1,85 @@
+"""Access-pattern utilities over the per-granule trace records.
+
+Complements :mod:`repro.trace.working_set` with the spatial queries the
+paper's section 6.1.2 analysis makes: how much of a section was ever
+touched, how accesses distribute across it, and which granules were
+written after their last read (the overwrite-before-read masking
+conjecture).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.layout import GRANULE
+from repro.memory.segments import Segment
+
+
+def _track_array(segment: Segment, kind: str) -> np.ndarray:
+    arr = {
+        "load": segment.last_load,
+        "store": segment.last_store,
+        "exec": segment.last_exec,
+    }.get(kind)
+    if kind not in ("load", "store", "exec"):
+        raise ValueError(f"kind must be load/store/exec, got {kind!r}")
+    if arr is None:
+        raise ValueError(f"segment {segment.name!r} was not created with track=True")
+    return arr
+
+
+def touched_fraction(segment: Segment, kind: str = "load") -> float:
+    """Fraction of the segment's granules ever accessed this run."""
+    arr = _track_array(segment, kind)
+    return float(np.count_nonzero(arr >= 0)) / arr.size if arr.size else 0.0
+
+
+def never_accessed_bytes(segment: Segment, kind: str = "load") -> int:
+    """Bytes with no recorded access - where a fault cannot manifest."""
+    arr = _track_array(segment, kind)
+    return int(np.count_nonzero(arr < 0)) * GRANULE
+
+
+def access_histogram(
+    segment: Segment, kind: str = "load", bins: int = 16
+) -> np.ndarray:
+    """Spatial histogram: per address-range bin, the fraction of granules
+    accessed (shows hot arrays against cold bulk)."""
+    if bins <= 0:
+        raise ValueError(f"bins must be positive: {bins}")
+    arr = _track_array(segment, kind)
+    if arr.size == 0:
+        return np.zeros(bins)
+    edges = np.linspace(0, arr.size, bins + 1).astype(int)
+    out = np.empty(bins)
+    for i in range(bins):
+        chunk = arr[edges[i] : edges[i + 1]]
+        out[i] = float(np.count_nonzero(chunk >= 0)) / max(chunk.size, 1)
+    return out
+
+
+def overwritten_after_read_fraction(segment: Segment) -> float:
+    """Of the granules that were both read and written, the fraction
+    whose *last* event was a store - cells where a post-store fault is
+    masked until the next read, the paper's overwrite conjecture for the
+    low Data/BSS/Heap rates."""
+    loads = _track_array(segment, "load")
+    stores = _track_array(segment, "store")
+    both = (loads >= 0) & (stores >= 0)
+    if not np.count_nonzero(both):
+        return 0.0
+    return float(np.count_nonzero(stores[both] >= loads[both])) / int(
+        np.count_nonzero(both)
+    )
+
+
+def liveness_summary(segment: Segment) -> dict:
+    """One-segment roll-up used by the analysis notebooks and tests."""
+    return {
+        "name": segment.name,
+        "size": segment.size,
+        "loaded_fraction": touched_fraction(segment, "load"),
+        "stored_fraction": touched_fraction(segment, "store"),
+        "cold_bytes": never_accessed_bytes(segment, "load"),
+        "overwrite_masked_fraction": overwritten_after_read_fraction(segment),
+    }

@@ -1,0 +1,43 @@
+"""Working-set / error-rate correlation (section 6.1.2)."""
+
+import pytest
+
+from repro.analysis.correlation import correlate_working_set
+from repro.injection.campaign import Campaign
+from repro.injection.faults import Region
+from repro.mpi.simulator import JobConfig
+from repro.sampling.plans import CampaignPlan
+from repro.trace.working_set import trace_memory
+from tests.conftest import SMALL_NPROCS, SMALL_WAVETOY
+
+
+@pytest.fixture(scope="module")
+def correlation():
+    from repro.apps import WavetoyApp
+
+    cfg = JobConfig(nprocs=SMALL_NPROCS)
+    factory = lambda: WavetoyApp(**SMALL_WAVETOY)
+    report = trace_memory(factory(), cfg)
+    campaign = Campaign(
+        factory,
+        cfg,
+        plan=CampaignPlan(per_region={r.value: 8 for r in Region}),
+        seed=6,
+    )
+    result = campaign.run(
+        regions=(Region.TEXT, Region.DATA, Region.BSS, Region.HEAP)
+    )
+    return correlate_working_set(report, result)
+
+
+class TestCorrelation:
+    def test_paper_consistency_claim(self, correlation):
+        """Error rates must be bounded by the compute-phase working set
+        (a fault outside the working set cannot manifest)."""
+        assert correlation.consistent
+
+    def test_fields_populated(self, correlation):
+        assert correlation.app_name == "wavetoy"
+        assert 0 <= correlation.text_wss_compute <= 100
+        assert 0 <= correlation.dbh_error_rate <= 100
+        assert "wavetoy" in correlation.text

@@ -1,0 +1,90 @@
+"""Atmosphere-model application behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ClimateApp
+from repro.mpi.simulator import Job, JobConfig, JobStatus
+from repro.mpi.traffic import summarize
+from tests.conftest import SMALL_CLIMATE, SMALL_NPROCS
+
+
+@pytest.fixture(scope="module")
+def run():
+    job = Job(ClimateApp(**SMALL_CLIMATE), JobConfig(nprocs=SMALL_NPROCS))
+    result = job.run()
+    return result, job
+
+
+class TestExecution:
+    def test_completes(self, run):
+        result, _ = run
+        assert result.status is JobStatus.COMPLETED
+
+    def test_binary_outputs(self, run):
+        result, _ = run
+        p = SMALL_CLIMATE
+        expected = SMALL_NPROCS * p["nlon"] * p["nlat_local"] * 8
+        assert len(result.outputs["climate_T.bin"]) == expected
+        assert len(result.outputs["climate_Q.bin"]) == expected
+
+    def test_fields_physical(self, run):
+        result, _ = run
+        T = np.frombuffer(result.outputs["climate_T.bin"], dtype=np.float64)
+        Q = np.frombuffer(result.outputs["climate_Q.bin"], dtype=np.float64)
+        assert np.all(np.isfinite(T))
+        assert np.all(T > 150.0) and np.all(T < 400.0)
+        assert np.all(Q >= SMALL_CLIMATE.get("qmin_check", 0.05))
+
+    def test_control_dominated_traffic(self, run):
+        """CAM's signature: header bytes dominate received volume."""
+        _, job = run
+        s = summarize(job)
+        assert s.mean_header_percent > 40.0
+
+    def test_bss_heavy_profile(self, run):
+        """CAM's BSS dwarfs its heap (static field arrays)."""
+        _, job = run
+        image = job.images[1]
+        sizes = image.section_sizes()
+        assert sizes["bss"] > image.heap.high_water
+
+    def test_deterministic(self):
+        cfg = JobConfig(nprocs=SMALL_NPROCS)
+        r1 = Job(ClimateApp(**SMALL_CLIMATE), cfg).run()
+        r2 = Job(ClimateApp(**SMALL_CLIMATE), cfg).run()
+        assert r1.outputs == r2.outputs
+
+    def test_single_rank_degenerates(self):
+        result = Job(ClimateApp(**SMALL_CLIMATE), JobConfig(nprocs=1)).run()
+        assert result.status is JobStatus.COMPLETED
+
+
+class TestMoistureCheck:
+    def test_drained_moisture_aborts(self):
+        """Section 6.2: 'any moisture value below a minimum threshold can
+        trigger a warning and abort the application'."""
+        app = ClimateApp(**{**SMALL_CLIMATE, "evap": 0.0, "precip": 5.0})
+        result = Job(app, JobConfig(nprocs=2)).run()
+        assert result.status is JobStatus.APP_DETECTED
+        assert "QNEG" in result.detail or "moisture" in result.detail
+
+    def test_corrupted_solar_descriptor_changes_output(self):
+        """The work descriptor parameterizes the physics: corrupting its
+        payload must perturb the binary output (silent data corruption)."""
+        from repro.injection.faults import FaultSpec, Region
+        from repro.injection.wrappers import install
+        from repro.mpi.channel import HEADER_SIZE
+
+        cfg = JobConfig(nprocs=2, round_limit=5000)
+        reference = Job(ClimateApp(**SMALL_CLIMATE), cfg).run()
+        # Rank 1's first received packet is a work descriptor; flip a
+        # high mantissa bit of the solar value.
+        spec = FaultSpec(Region.MESSAGE, 1, bit=4, target_byte=HEADER_SIZE + 6)
+        job = Job(ClimateApp(**SMALL_CLIMATE), cfg)
+        record = install(job, spec)
+        result = job.run()
+        assert record.delivered
+        assert result.status in (JobStatus.COMPLETED, JobStatus.APP_DETECTED)
+        if result.status is JobStatus.COMPLETED:
+            assert result.outputs != reference.outputs

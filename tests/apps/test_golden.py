@@ -1,0 +1,57 @@
+"""Golden regression pins for the frozen application suite.
+
+The campaign tables in EXPERIMENTS.md were measured against these exact
+outputs (seed 12345, 8 ranks).  Any change to an application's physics,
+kernels or communication invalidates the published numbers - these pins
+make that impossible to do silently.  If you change an application on
+purpose, re-run the campaigns and update both the hashes and
+EXPERIMENTS.md.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.mpi.simulator import Job, JobConfig
+
+GOLDEN = {
+    "wavetoy": (
+        "207c7571be06d5f220fa10a51c9ee6e8c4b072e5a22a8f6a9815ba66bd105c5e",
+        16969,
+    ),
+    "moldyn": (
+        "698423ef2728bc37993a6027d5084199b455b340c141a56f055b6d2649672813",
+        17035,
+    ),
+    "climate": (
+        "799d5b8faed65bc01f49b0b70fae06a37a8f3a66cd973963a97e8705ba435e14",
+        15820,
+    ),
+}
+
+
+def output_digest(outputs: dict) -> str:
+    h = hashlib.sha256()
+    for name in sorted(outputs):
+        v = outputs[name]
+        h.update(name.encode())
+        h.update(v if isinstance(v, bytes) else v.encode())
+    return h.hexdigest()
+
+
+@pytest.mark.parametrize("app_name", sorted(GOLDEN))
+def test_golden_outputs(app_name):
+    from repro.apps import APPLICATION_SUITE
+
+    job = Job(APPLICATION_SUITE[app_name](), JobConfig(nprocs=8, seed=12345))
+    result = job.run()
+    assert result.completed
+    digest, blocks = GOLDEN[app_name]
+    assert output_digest(result.outputs) == digest, (
+        f"{app_name} output changed - the EXPERIMENTS.md campaign numbers "
+        f"are now stale; rerun them and update this pin"
+    )
+    assert max(result.blocks_per_rank) == blocks, (
+        f"{app_name} block count changed (kernel/codegen drift) - the "
+        f"injection time axis moved; rerun the campaigns"
+    )

@@ -1,0 +1,261 @@
+"""Numerical validation of every application kernel against NumPy
+references - the kernels are the computation under test, so their
+fault-free semantics must be exactly right."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.assembler import Program
+from repro.cpu.vm import VM
+from repro.memory.process import ProcessImage
+from repro.memory.symbols import Linker
+
+
+def build(sources: dict, data: dict, data_init: dict | None = None):
+    prog = Program()
+    for name, src in sources.items():
+        prog.add(name, src)
+    linker = Linker()
+    prog.add_to_linker(linker)
+    for name, size in data.items():
+        linker.add_data(name, size)
+    image = ProcessImage.from_linker(linker, heap_size=1 << 18)
+    prog.relocate(image)
+    for name, values in (data_init or {}).items():
+        image.data.view_f64(image.addr_of(name), len(values))[:] = values
+    return image, VM(image)
+
+
+class TestWavetoyStep:
+    def test_leapfrog_matches_numpy(self):
+        from repro.apps.wavetoy import kernels
+
+        nx, rows = 16, 3
+        total = rows + 2
+        rng = np.random.default_rng(0)
+        u_prev = rng.standard_normal((total, nx))
+        u_curr = rng.standard_normal((total, nx))
+        r2c, damping = 0.2, 0.1
+        sponge = 1.0 - 0.02 * rng.random(nx)
+        source = 1e-6 * rng.standard_normal(nx)
+        srcamp = 0.05
+
+        image, vm = build(
+            {"wt_step": kernels.step_source(nx)},
+            {
+                "wt_r2c": 8, "wt_damp": 8, "wt_srcamp": 8,
+                "wt_sponge": nx * 8, "wt_source": nx * 8,
+            },
+            {"wt_sponge": sponge, "wt_source": source},
+        )
+        image.data.write_f64(image.addr_of("wt_r2c"), r2c)
+        image.data.write_f64(image.addr_of("wt_damp"), 1.0 - damping)
+        image.data.write_f64(image.addr_of("wt_srcamp"), srcamp)
+        heap = image.heap
+        up = heap.malloc(total * nx * 8)
+        uc = heap.malloc(total * nx * 8)
+        un = heap.malloc(total * nx * 8)
+        sc = heap.malloc((nx - 2) * 8)
+        image.heap_segment.view_f64(up, total * nx)[:] = u_prev.reshape(-1)
+        image.heap_segment.view_f64(uc, total * nx)[:] = u_curr.reshape(-1)
+
+        vm.call("wt_step", [up, uc, un, rows, sc, 1])
+
+        # NumPy reference
+        expected = np.zeros_like(u_curr)
+        lap = (
+            u_curr[:-2, 1:-1] + u_curr[2:, 1:-1]
+            + u_curr[1:-1, :-2] + u_curr[1:-1, 2:]
+            - 4 * u_curr[1:-1, 1:-1]
+        )
+        expected[1:-1, 1:-1] = (
+            2 * u_curr[1:-1, 1:-1] - u_prev[1:-1, 1:-1] + r2c * lap
+        ) * (1.0 - damping)
+        expected[1, 1:-1] = expected[1, 1:-1] * sponge[1:-1] + srcamp * source[1:-1]
+        got = np.array(image.heap_segment.view_f64(un, total * nx)).reshape(
+            total, nx
+        )
+        np.testing.assert_allclose(got[1:-1, 1:-1], expected[1:-1, 1:-1],
+                                   rtol=1e-12)
+
+
+class TestMoldynKernels:
+    def _setup(self, n=100):
+        from repro.apps.moldyn import kernels
+
+        rng = np.random.default_rng(1)
+        image, vm = build(
+            {
+                "md_force": kernels.force_source(),
+                "md_integrate": kernels.integrate_source(),
+                "md_thermostat": kernels.thermostat_source(),
+                "md_blend": kernels.blend_source(),
+                "md_energies": kernels.energies_source(),
+            },
+            {"md_k": 8, "md_dt": 8, "md_halfk": 8, "md_minv": n * 8},
+        )
+        return image, vm, rng
+
+    def test_force_matches_numpy(self):
+        n = 100
+        image, vm, rng = self._setup(n)
+        k = 1.7
+        image.data.write_f64(image.addr_of("md_k"), k)
+        x = rng.standard_normal(n + 2)
+        xa = image.heap.malloc((n + 2) * 8)
+        fa = image.heap.malloc((n + 2) * 8)
+        image.heap_segment.view_f64(xa, n + 2)[:] = x
+        vm.call("md_force", [xa, fa, n])
+        expected = k * (x[2:] - 2 * x[1:-1] + x[:-2])
+        got = np.array(image.heap_segment.view_f64(fa + 8, n))
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_integrate_matches_numpy(self):
+        n = 70  # crosses chunk boundaries (32, 64)
+        image, vm, rng = self._setup(n)
+        dt = 0.05
+        image.data.write_f64(image.addr_of("md_dt"), dt)
+        minv = 1.0 / (1.0 + 0.1 * rng.random(n))
+        image.data.view_f64(image.addr_of("md_minv"), n)[:] = minv
+        x = rng.standard_normal(n)
+        v = rng.standard_normal(n)
+        f = rng.standard_normal(n)
+        xa, va, fa, sc = (image.heap.malloc(n * 8) for _ in range(4))
+        image.heap_segment.view_f64(xa, n)[:] = x
+        image.heap_segment.view_f64(va, n)[:] = v
+        image.heap_segment.view_f64(fa, n)[:] = f
+        vm.call("md_integrate", [xa, va, fa, n, image.addr_of("md_minv"), sc])
+        v_new = v + dt * f * minv
+        x_new = x + dt * v_new
+        np.testing.assert_allclose(
+            np.array(image.heap_segment.view_f64(va, n)), v_new, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            np.array(image.heap_segment.view_f64(xa, n)), x_new, rtol=1e-12
+        )
+
+    def test_energies_match_numpy(self):
+        n = 50
+        image, vm, rng = self._setup(n)
+        k = 2.5
+        image.data.write_f64(image.addr_of("md_halfk"), 0.5 * k)
+        x = np.sort(rng.standard_normal(n))
+        v = rng.standard_normal(n)
+        xa, va = image.heap.malloc(n * 8), image.heap.malloc(n * 8)
+        sc, out = image.heap.malloc(n * 8), image.heap.malloc(16)
+        image.heap_segment.view_f64(xa, n)[:] = x
+        image.heap_segment.view_f64(va, n)[:] = v
+        vm.call("md_energies", [xa, va, n, sc, out])
+        ke = image.heap_segment.read_f64(out)
+        pe = image.heap_segment.read_f64(out + 8)
+        assert ke == pytest.approx(0.5 * np.sum(v**2), rel=1e-12)
+        assert pe == pytest.approx(0.5 * k * np.sum(np.diff(x) ** 2), rel=1e-12)
+
+    def test_blend_matches_numpy(self):
+        n = 40
+        image, vm, rng = self._setup(n)
+        a = rng.standard_normal(n)
+        b = rng.standard_normal(n)
+        aa, ba = image.heap.malloc(n * 8), image.heap.malloc(n * 8)
+        image.heap_segment.view_f64(aa, n)[:] = a
+        image.heap_segment.view_f64(ba, n)[:] = b
+        vm.call("md_blend", [aa, ba, n])
+        np.testing.assert_allclose(
+            np.array(image.heap_segment.view_f64(aa, n)), (a + b) / 2, rtol=1e-12
+        )
+
+    def test_thermostat_matches_numpy(self):
+        n = 30
+        image, vm, rng = self._setup(n)
+        v = rng.standard_normal(n)
+        prof = 1.0 - 0.001 * rng.random(n)
+        va, pa = image.heap.malloc(n * 8), image.heap.malloc(n * 8)
+        image.heap_segment.view_f64(va, n)[:] = v
+        image.heap_segment.view_f64(pa, n)[:] = prof
+        vm.call("md_thermostat", [va, pa, n])
+        np.testing.assert_allclose(
+            np.array(image.heap_segment.view_f64(va, n)), v * prof, rtol=1e-12
+        )
+
+
+class TestClimateKernels:
+    def _setup(self):
+        from repro.apps.climate import kernels
+
+        return build(
+            {
+                "cam_dynamics": kernels.dynamics_source(),
+                "cam_physics": kernels.physics_source(),
+                "cam_diag": kernels.diag_source(),
+            },
+            {
+                "cam_negc": 8, "cam_dt": 8, "cam_negalpha": 8,
+                "cam_solar": 8, "cam_evap": 8, "cam_negprecip": 8,
+            },
+        )
+
+    def test_dynamics_matches_numpy(self):
+        image, vm = self._setup()
+        rng = np.random.default_rng(5)
+        nrows, nlon = 3, 24
+        c = 0.3
+        image.data.write_f64(image.addr_of("cam_negc"), -c)
+        t = rng.standard_normal((nrows, nlon))
+        ta = image.heap.malloc(nrows * nlon * 8)
+        sc = image.heap.malloc(nlon * 8)
+        image.heap_segment.view_f64(ta, nrows * nlon)[:] = t.reshape(-1)
+        vm.call("cam_dynamics", [ta, nrows, nlon, sc])
+        expected = t.copy()
+        expected[:, 1:] = t[:, 1:] - c * (t[:, 1:] - t[:, :-1])
+        got = np.array(
+            image.heap_segment.view_f64(ta, nrows * nlon)
+        ).reshape(nrows, nlon)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_physics_matches_numpy(self):
+        image, vm = self._setup()
+        rng = np.random.default_rng(6)
+        nrows, nlon = 2, 16
+        dt, alpha, solar, evap, precip = 0.1, 0.05, 1.2, 0.02, 0.1
+        for name, val in (
+            ("cam_dt", dt), ("cam_negalpha", -alpha), ("cam_solar", solar),
+            ("cam_evap", evap), ("cam_negprecip", -precip),
+        ):
+            image.data.write_f64(image.addr_of(name), val)
+        t = 280 + rng.standard_normal((nrows, nlon))
+        q = 0.3 + 0.01 * rng.standard_normal((nrows, nlon))
+        s = 1.0 + 0.1 * rng.standard_normal((nrows, nlon))
+        ta, qa, sa = (image.heap.malloc(nrows * nlon * 8) for _ in range(3))
+        sc = image.heap.malloc(nlon * 8)
+        image.heap_segment.view_f64(ta, nrows * nlon)[:] = t.reshape(-1)
+        image.heap_segment.view_f64(qa, nrows * nlon)[:] = q.reshape(-1)
+        image.heap_segment.view_f64(sa, nrows * nlon)[:] = s.reshape(-1)
+        vm.call("cam_physics", [ta, qa, sa, nrows, nlon, sc])
+        t_new = t + dt * (solar * s - alpha * t)
+        q_new = q + dt * (evap - precip * q)
+        np.testing.assert_allclose(
+            np.array(image.heap_segment.view_f64(ta, nrows * nlon)).reshape(
+                nrows, nlon
+            ),
+            t_new, rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            np.array(image.heap_segment.view_f64(qa, nrows * nlon)).reshape(
+                nrows, nlon
+            ),
+            q_new, rtol=1e-12,
+        )
+
+    def test_diag_matches_numpy(self):
+        image, vm = self._setup()
+        rng = np.random.default_rng(7)
+        n = 32
+        t = rng.standard_normal(n)
+        q = rng.random(n)
+        ta, qa = image.heap.malloc(n * 8), image.heap.malloc(n * 8)
+        out = image.heap.malloc(16)
+        image.heap_segment.view_f64(ta, n)[:] = t
+        image.heap_segment.view_f64(qa, n)[:] = q
+        vm.call("cam_diag", [ta, qa, n, out])
+        assert image.heap_segment.read_f64(out) == pytest.approx(t.sum(), rel=1e-12)
+        assert image.heap_segment.read_f64(out + 8) == pytest.approx(q.min())

@@ -1,0 +1,120 @@
+"""Molecular-dynamics application behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MoldynApp
+from repro.mpi.simulator import Job, JobConfig, JobStatus
+from tests.conftest import SMALL_MOLDYN, SMALL_NPROCS
+
+
+@pytest.fixture(scope="module")
+def run():
+    job = Job(MoldynApp(**SMALL_MOLDYN), JobConfig(nprocs=SMALL_NPROCS))
+    result = job.run()
+    return result, job
+
+
+def energies(result):
+    lines = result.outputs["moldyn.log"].strip().splitlines()
+    return [
+        tuple(float(x) for x in line.split()[2:5]) for line in lines
+    ]  # (KE, PE, TOTAL)
+
+
+class TestExecution:
+    def test_completes(self, run):
+        result, _ = run
+        assert result.status is JobStatus.COMPLETED
+
+    def test_energy_log_per_step(self, run):
+        result, _ = run
+        log = result.outputs["moldyn.log"]
+        assert log.count("ENERGY:") == SMALL_MOLDYN["steps"]
+
+    def test_console_mirrors_log(self, run):
+        result, _ = run
+        assert any("ENERGY:" in line for line in result.stdout)
+
+    def test_energies_finite_and_positive(self, run):
+        result, _ = run
+        for ke, pe, tot in energies(result):
+            assert np.isfinite(tot)
+            assert ke >= 0.0
+
+    def test_energy_roughly_conserved(self, run):
+        """Symplectic integration: total energy drift stays bounded."""
+        result, _ = run
+        totals = [t for _, _, t in energies(result)]
+        assert max(totals) - min(totals) < 0.5 * (abs(totals[0]) + 1.0)
+
+    def test_deterministic_given_seed(self):
+        cfg = JobConfig(nprocs=SMALL_NPROCS, seed=77)
+        r1 = Job(MoldynApp(**SMALL_MOLDYN), cfg).run()
+        r2 = Job(MoldynApp(**SMALL_MOLDYN), cfg).run()
+        assert r1.outputs == r2.outputs
+
+    def test_checksums_add_overhead(self):
+        cfg = JobConfig(nprocs=SMALL_NPROCS)
+        with_ck = Job(MoldynApp(**SMALL_MOLDYN), cfg).run()
+        without = Job(
+            MoldynApp(**{**SMALL_MOLDYN, "checksums": False}), cfg
+        ).run()
+        assert without.status is JobStatus.COMPLETED
+        assert max(with_ck.blocks_per_rank) > max(without.blocks_per_rank)
+
+    def test_checksum_overhead_is_small(self):
+        """NAMD's checks cost ~3%; ours must stay the same order."""
+        cfg = JobConfig(nprocs=SMALL_NPROCS)
+        with_ck = max(Job(MoldynApp(**SMALL_MOLDYN), cfg).run().blocks_per_rank)
+        without = max(
+            Job(MoldynApp(**{**SMALL_MOLDYN, "checksums": False}), cfg)
+            .run()
+            .blocks_per_rank
+        )
+        overhead = (with_ck - without) / without
+        assert 0.0 < overhead < 0.15
+
+    def test_heap_dominant_profile(self):
+        # Default sizes: the SMALL test config shrinks the atom arrays
+        # below the static parameter tables.
+        job = Job(MoldynApp(), JobConfig(nprocs=SMALL_NPROCS))
+        result = job.run()
+        assert result.status is JobStatus.COMPLETED
+        sizes = job.images[0].section_sizes()
+        assert job.images[0].heap.high_water > sizes["data"]
+
+
+class TestValidation:
+    def test_boundary_vs_atoms(self):
+        with pytest.raises(ValueError, match="boundary"):
+            Job(
+                MoldynApp(atoms_per_rank=16, boundary=16),
+                JobConfig(nprocs=2),
+            )
+
+    def test_unknown_param(self):
+        with pytest.raises(ValueError):
+            MoldynApp(cutoff=12.0)
+
+
+class TestDetection:
+    def test_corrupted_coordinate_message_detected(self):
+        """A flip in a sealed coordinate payload must be caught by the
+        checksum (Application Detected), not silently used."""
+        from repro.injection.faults import FaultSpec, Region
+        from repro.injection.wrappers import install
+        from repro.mpi.channel import HEADER_SIZE
+
+        cfg = JobConfig(nprocs=2, round_limit=2000)
+        # First coordinate message payload: right after the header of the
+        # first received packet on rank 1.
+        spec = FaultSpec(
+            Region.MESSAGE, 1, bit=4, target_byte=HEADER_SIZE + 20
+        )
+        job = Job(MoldynApp(**SMALL_MOLDYN), cfg)
+        record = install(job, spec)
+        result = job.run()
+        assert record.delivered
+        assert result.status is JobStatus.APP_DETECTED
+        assert "checksum" in result.detail

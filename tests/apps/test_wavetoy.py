@@ -1,0 +1,116 @@
+"""Wavetoy application behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps import WavetoyApp
+from repro.apps.wavetoy.io import format_field, parse_field
+from repro.mpi.simulator import Job, JobConfig, JobStatus
+from repro.mpi.traffic import summarize
+from tests.conftest import SMALL_NPROCS, SMALL_WAVETOY
+
+
+@pytest.fixture(scope="module")
+def run():
+    job = Job(WavetoyApp(**SMALL_WAVETOY), JobConfig(nprocs=SMALL_NPROCS))
+    result = job.run()
+    return result, job
+
+
+class TestExecution:
+    def test_completes(self, run):
+        result, _ = run
+        assert result.status is JobStatus.COMPLETED
+
+    def test_output_written_by_rank0(self, run):
+        result, _ = run
+        assert "wavetoy.out" in result.outputs
+        field = parse_field(result.outputs["wavetoy.out"])
+        assert field.size == SMALL_WAVETOY["ny"] * SMALL_WAVETOY["nx"]
+
+    def test_all_cells_nonzero(self, run):
+        """Background keeps cells away from exact zero so low-order
+        payload perturbations stay below the text precision."""
+        result, _ = run
+        field = parse_field(result.outputs["wavetoy.out"])
+        assert np.all(field != 0.0)
+
+    def test_field_is_near_zero_amplitude(self, run):
+        result, _ = run
+        field = parse_field(result.outputs["wavetoy.out"])
+        assert np.abs(field).max() < 0.1  # "very close to zero"
+
+    def test_wave_propagates(self, run):
+        result, _ = run
+        field = parse_field(result.outputs["wavetoy.out"])
+        assert np.abs(field).max() > 1e-8  # the pulse did something
+
+    def test_deterministic(self):
+        cfg = JobConfig(nprocs=SMALL_NPROCS)
+        r1 = Job(WavetoyApp(**SMALL_WAVETOY), cfg).run()
+        r2 = Job(WavetoyApp(**SMALL_WAVETOY), cfg).run()
+        assert r1.outputs == r2.outputs
+
+    def test_traffic_mostly_user_data(self, run):
+        _, job = run
+        s = summarize(job)
+        assert s.mean_user_percent > 75.0
+
+
+class TestParameters:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            WavetoyApp(grid_size=10)
+
+    def test_binary_output_mode(self):
+        app = WavetoyApp(**{**SMALL_WAVETOY, "output_format": "binary"})
+        result = Job(app, JobConfig(nprocs=SMALL_NPROCS)).run()
+        assert isinstance(result.outputs["wavetoy.out"], bytes)
+
+    def test_too_many_ranks_rejected(self):
+        app = WavetoyApp(**SMALL_WAVETOY)
+        with pytest.raises(ValueError, match="too small"):
+            Job(app, JobConfig(nprocs=64))
+        # construction already fails; nothing ever runs
+
+    def test_single_rank(self):
+        result = Job(WavetoyApp(**SMALL_WAVETOY), JobConfig(nprocs=1)).run()
+        assert result.status is JobStatus.COMPLETED
+
+
+class TestTextMasking:
+    """The section-6.2 Cactus output-masking mechanism."""
+
+    def test_low_order_perturbation_masked(self):
+        values = np.full(16, 1.234567890123e-3)
+        a = format_field(values, 4, 4, precision=6)
+        values2 = values.copy()
+        values2[5] *= 1 + 1e-9  # below 6 significant digits
+        b = format_field(values2, 4, 4, precision=6)
+        assert a == b
+
+    def test_large_perturbation_visible(self):
+        values = np.full(16, 1.2345e-3)
+        a = format_field(values, 4, 4, precision=6)
+        values2 = values.copy()
+        values2[5] *= 2.0
+        assert format_field(values2, 4, 4, precision=6) != a
+
+    def test_stride_subsamples(self):
+        values = np.arange(64.0)
+        full = format_field(values, 8, 8, stride=1)
+        sub = format_field(values, 8, 8, stride=2)
+        assert len(sub) < len(full)
+
+    def test_parse_roundtrip(self):
+        values = np.linspace(-1, 1, 24)
+        text = format_field(values, 4, 6, precision=17)
+        np.testing.assert_allclose(parse_field(text), values)
+
+    def test_format_validation(self):
+        with pytest.raises(ValueError):
+            format_field(np.zeros(3), 2, 2)
+        with pytest.raises(ValueError):
+            format_field(np.zeros(4), 2, 2, precision=0)
+        with pytest.raises(ValueError):
+            format_field(np.zeros(4), 2, 2, stride=0)

@@ -1,0 +1,81 @@
+"""Network checksum models (Stone & Partridge, section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.netchecksum import (
+    crc32,
+    escape_experiment,
+    flip_random_bits,
+    host_corruption_experiment,
+    internet_checksum,
+)
+
+
+class TestInternetChecksum:
+    def test_deterministic_16_bit(self):
+        c = internet_checksum(b"hello world")
+        assert 0 <= c <= 0xFFFF
+        assert c == internet_checksum(b"hello world")
+
+    def test_detects_simple_change(self):
+        assert internet_checksum(b"abcd") != internet_checksum(b"abce")
+
+    def test_known_weakness_reordering(self):
+        """Ones'-complement sums are word-order insensitive - a class of
+        error the 16-bit TCP checksum provably misses."""
+        assert internet_checksum(b"\x01\x02\x03\x04") == internet_checksum(
+            b"\x03\x04\x01\x02"
+        )
+
+    def test_odd_length(self):
+        assert internet_checksum(b"abc") == internet_checksum(b"abc\x00")
+
+    def test_rfc1071_example(self):
+        # 0x0001 + 0x0203 = 0x0204 -> complement 0xFDFB
+        assert internet_checksum(bytes([0x00, 0x01, 0x02, 0x03])) == 0xFDFB
+
+
+class TestCrc32:
+    def test_standard_value(self):
+        assert crc32(b"123456789") == 0xCBF43926  # CRC-32 check value
+
+    def test_single_bit_always_detected(self):
+        rng = np.random.default_rng(0)
+        packet = bytes(rng.integers(0, 256, 64, dtype=np.uint8))
+        good = crc32(packet)
+        for _ in range(50):
+            assert crc32(flip_random_bits(packet, 1, rng)) != good
+
+
+class TestFlipHelper:
+    def test_flips_exact_count(self):
+        rng = np.random.default_rng(1)
+        packet = bytes(32)
+        bad = flip_random_bits(packet, 5, rng)
+        diff = int.from_bytes(packet, "little") ^ int.from_bytes(bad, "little")
+        assert bin(diff).count("1") == 5
+
+    def test_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            flip_random_bits(b"ab", -1, rng)
+        with pytest.raises(ValueError):
+            flip_random_bits(b"a", 9, rng)
+
+
+class TestExperiments:
+    def test_wire_corruption_mostly_caught(self):
+        stats = escape_experiment(300, 128, 2, np.random.default_rng(2))
+        assert stats.trials == 300
+        # CRC-32 escape odds ~2^-32: never in 300 trials.
+        assert stats.escaped_crc == 0
+        assert stats.escape_rate("both") == 0.0
+
+    def test_host_corruption_blinds_the_crc(self):
+        """The Stone-Partridge mechanism: the link CRC verified a clean
+        packet, so every post-CRC error 'escapes' it; only the 16-bit
+        checksum remains."""
+        stats = host_corruption_experiment(200, 128, 2, np.random.default_rng(3))
+        assert stats.escape_rate("crc") == 1.0
+        assert stats.caught_tcp + stats.escaped_tcp == 200

@@ -1,0 +1,79 @@
+"""Reliability arithmetic (E1) and cluster models."""
+
+import pytest
+
+from repro.cluster.machines import METACLUSTER, RHAPSODY, SYMPHONY
+from repro.cluster.reliability import (
+    ASCI_Q,
+    CONSERVATIVE_FIT_PER_MB,
+    asci_q_escaped_errors,
+    days_between_errors,
+    expected_soft_errors,
+    fit_to_failures_per_hour,
+    fit_to_mtbf_hours,
+    mtbf_years_to_fit,
+)
+
+
+class TestFitConversions:
+    def test_fit_definition(self):
+        assert fit_to_failures_per_hour(1e9) == 1.0
+
+    def test_mtbf_inverse(self):
+        fit = 2000.0
+        assert mtbf_years_to_fit(fit_to_mtbf_hours(fit) / (24 * 365.25)) == pytest.approx(fit)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_to_mtbf_hours(0)
+        with pytest.raises(ValueError):
+            fit_to_failures_per_hour(-1)
+        with pytest.raises(ValueError):
+            mtbf_years_to_fit(0)
+
+
+class TestPaperNumbers:
+    def test_one_gb_every_ten_days(self):
+        """Section 2.1: 500 FIT/Mb, 1 GB -> an error every ~10 days."""
+        days = days_between_errors(1.0, CONSERVATIVE_FIT_PER_MB)
+        assert 9.5 < days < 10.5
+
+    def test_asci_q_escapes(self):
+        """Section 1: 33,000 x 0.05 ~ 1,650 escaped errors / 10 days."""
+        assert asci_q_escaped_errors() == pytest.approx(1650.0)
+        assert ASCI_Q.raw_errors_per_window() == 33_000.0
+
+    def test_expected_errors_scales_linearly(self):
+        one = expected_soft_errors(1024, 500, 240)
+        two = expected_soft_errors(2048, 500, 240)
+        assert two == pytest.approx(2 * one)
+
+
+class TestClusterSpecs:
+    def test_rhapsody(self):
+        assert RHAPSODY.nodes == 32
+        assert RHAPSODY.node.cpu_mhz == 930
+        assert RHAPSODY.total_cpus == 64
+        assert RHAPSODY.total_ram_bytes == 32 << 30
+
+    def test_symphony(self):
+        assert SYMPHONY.nodes == 16
+        assert "Myrinet" in SYMPHONY.interconnects
+        assert SYMPHONY.node.ram_bytes == 512 << 20
+
+    def test_metacluster_capacity(self):
+        assert METACLUSTER.total_cpus == 96
+
+    def test_wavetoy_placement(self):
+        """196 MPI processes, two per processor (section 4.2.1)."""
+        placement = METACLUSTER.placement(196, processes_per_cpu=2)
+        assert len(placement) == 196
+        assert placement[0][0] == "Rhapsody"
+
+    def test_placement_capacity_enforced(self):
+        # Mild oversubscription (up to 2x) wraps; beyond that is an error.
+        assert len(METACLUSTER.placement(97, processes_per_cpu=1)) == 97
+        with pytest.raises(ValueError):
+            METACLUSTER.placement(400, processes_per_cpu=1)
+        with pytest.raises(ValueError):
+            METACLUSTER.placement(0)

@@ -1,0 +1,154 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.cpu.assembler import AssemblerError, Program, assemble_function
+from repro.cpu.isa import INSN_SIZE, Op, RedOp, VecOp, decode
+
+
+class TestBasics:
+    def test_simple_function(self):
+        fn = assemble_function("f", "movi eax, 5\nret")
+        assert len(fn.insns) == 2
+        assert fn.insns[0].op is Op.MOVI
+        assert fn.insns[0].imm == 5
+        assert fn.insns[1].op is Op.RET
+        assert fn.size == 2 * INSN_SIZE
+
+    def test_comments_and_blank_lines(self):
+        fn = assemble_function("f", "; header\n\n  nop ; trailing\nret\n")
+        assert [i.op for i in fn.insns] == [Op.NOP, Op.RET]
+
+    def test_hex_immediates(self):
+        fn = assemble_function("f", "movi ebx, 0x10\nret")
+        assert fn.insns[0].imm == 16
+
+    def test_code_decodes(self):
+        fn = assemble_function("f", "add eax, ecx\nret")
+        insn = decode(fn.code[:INSN_SIZE])
+        assert insn.op is Op.ADD and insn.r1 == 0 and insn.r2 == 1
+
+
+class TestMemoryOperands:
+    def test_load_store(self):
+        fn = assemble_function("f", "load eax, [ebp+8]\nstore [esi-4], ecx\nret")
+        assert fn.insns[0].imm == 8 and fn.insns[0].r2 == 5
+        assert fn.insns[1].imm == -4 and fn.insns[1].r1 == 6 and fn.insns[1].r2 == 1
+
+    def test_bare_register_operand(self):
+        fn = assemble_function("f", "fld [esi]\nret")
+        assert fn.insns[0].imm == 0
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble_function("f", "load eax, [nope+8]\nret")
+
+
+class TestBranches:
+    def test_backward_branch(self):
+        fn = assemble_function(
+            "f", "movi ecx, 0\nlp: addi ecx, 1\ncmpi ecx, 3\njl lp\nret"
+        )
+        jl = fn.insns[3]
+        # from insn 4 back to insn 1: displacement -3 words
+        assert jl.imm == -3 * INSN_SIZE
+
+    def test_forward_branch(self):
+        fn = assemble_function("f", "jmp out\nnop\nout: ret")
+        assert fn.insns[0].imm == 1 * INSN_SIZE
+
+    def test_label_on_own_line(self):
+        fn = assemble_function("f", "start:\n  nop\n  jmp start\n  ret")
+        assert fn.insns[1].imm == -2 * INSN_SIZE
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble_function("f", "jmp nowhere\nret")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble_function("f", "a: nop\na: ret")
+
+
+class TestVectorSyntax:
+    def test_vbin_suffix(self):
+        fn = assemble_function("f", "vbin.mul eax, ecx, edx, ebx\nret")
+        assert fn.insns[0].subop == VecOp.MUL
+        assert (fn.insns[0].r1, fn.insns[0].r4) == (0, 3)
+
+    def test_vred_dot_takes_three(self):
+        fn = assemble_function("f", "vred.dot eax, ecx, edx\nret")
+        assert fn.insns[0].subop == RedOp.DOT
+
+    def test_vred_sum_takes_two(self):
+        fn = assemble_function("f", "vred.sum eax, ecx\nret")
+        assert fn.insns[0].subop == RedOp.SUM
+        with pytest.raises(AssemblerError):
+            assemble_function("f", "vred.sum eax, ecx, edx\nret")
+
+    def test_unknown_suffix(self):
+        with pytest.raises(AssemblerError, match="suffix"):
+            assemble_function("f", "vbin.pow eax, ecx, edx, ebx\nret")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble_function("f", "frobnicate eax\nret")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 2"):
+            assemble_function("f", "mov eax\nret")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError, match="unknown register"):
+            assemble_function("f", "mov rax, eax\nret")
+
+    def test_call_requires_at(self):
+        with pytest.raises(AssemblerError, match="@function"):
+            assemble_function("f", "call g\nret")
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble_function("f", "nop\nbogus op\nret")
+
+
+class TestProgramAndRelocation:
+    def test_relocations_recorded(self):
+        prog = Program()
+        fn = prog.add("f", "movi esi, $table\ncall @g\nret")
+        prog.add("g", "ret")
+        assert {r.symbol for r in fn.relocations} == {"table", "g"}
+
+    def test_duplicate_function(self):
+        prog = Program()
+        prog.add("f", "ret")
+        with pytest.raises(ValueError):
+            prog.add("f", "nop\nret")
+
+    def test_relocation_patches_linked_image(self):
+        from tests.conftest import build_image
+
+        image, vm = build_image(
+            {
+                "main": "movi esi, $table\nload eax, [esi]\nret",
+            },
+            data={"table": 8},
+        )
+        image.data.write_u32(image.addr_of("table"), 77)
+        assert vm.call("main") == 77
+
+    def test_call_relocation_executes(self):
+        from tests.conftest import build_image
+
+        image, vm = build_image(
+            {
+                "main": "call @leaf\nret",
+                "leaf": "movi eax, 9\nret",
+            }
+        )
+        assert vm.call("main") == 9
+
+    def test_registers_used_static(self):
+        fn = assemble_function("f", "mov eax, ecx\nvred.sum esi, edi\nret")
+        assert fn.registers_used() == {"eax", "ecx", "esi", "edi"}

@@ -1,0 +1,137 @@
+"""Unit tests for the x87 FPU model."""
+
+import math
+
+import pytest
+
+from repro.cpu.fpu import FPU, FPU_SPECIAL_REGS, TagValue
+
+
+class TestStack:
+    def test_push_pop(self):
+        fpu = FPU()
+        fpu.push(1.5)
+        fpu.push(2.5)
+        assert fpu.pop() == 2.5
+        assert fpu.pop() == 1.5
+
+    def test_read_st_indexing(self):
+        fpu = FPU()
+        fpu.push(1.0)
+        fpu.push(2.0)
+        assert fpu.read_st(0) == 2.0
+        assert fpu.read_st(1) == 1.0
+
+    def test_underflow_yields_nan(self):
+        fpu = FPU()
+        assert math.isnan(fpu.read_st(0))
+        assert fpu.swd & 0x41  # stack-fault bits set
+
+    def test_exchange(self):
+        fpu = FPU()
+        fpu.push(1.0)
+        fpu.push(2.0)
+        fpu.exchange(1)
+        assert fpu.read_st(0) == 1.0
+        assert fpu.read_st(1) == 2.0
+
+    def test_depth_statistics(self):
+        fpu = FPU()
+        fpu.push(1.0)
+        fpu.push(2.0)
+        fpu.pop()
+        assert fpu.depth == 1
+        assert fpu.max_depth == 2
+        assert fpu.registers_in_use() == 1
+
+
+class TestTagWord:
+    def test_initially_all_empty(self):
+        fpu = FPU()
+        assert fpu.twd == 0xFFFF
+
+    def test_tags_track_values(self):
+        fpu = FPU()
+        fpu.push(0.0)
+        assert fpu.tag_of(fpu.top) == TagValue.ZERO
+        fpu.push(1.0)
+        assert fpu.tag_of(fpu.top) == TagValue.VALID
+        fpu.push(math.nan)
+        assert fpu.tag_of(fpu.top) == TagValue.SPECIAL
+
+    def test_tag_flip_valid_to_zero_reads_zero(self):
+        """The paper's TWD finding: a tag flip turns a valid number into
+        zero or NaN."""
+        fpu = FPU()
+        fpu.push(42.0)
+        phys = fpu.top
+        assert fpu.tag_of(phys) == TagValue.VALID  # 0b00
+        fpu.flip_special_bit("twd", 2 * phys)  # VALID(00) -> ZERO(01)
+        assert fpu.read_st(0) == 0.0
+
+    def test_tag_flip_valid_to_special_reads_nan(self):
+        fpu = FPU()
+        fpu.push(42.0)
+        phys = fpu.top
+        fpu.flip_special_bit("twd", 2 * phys + 1)  # VALID(00) -> SPECIAL(10)
+        assert math.isnan(fpu.read_st(0))
+
+
+class TestSpecialRegisters:
+    def test_power_on_control_word(self):
+        assert FPU().cwd == 0x037F  # exceptions masked
+
+    def test_all_seven_paper_registers_exist(self):
+        fpu = FPU()
+        assert FPU_SPECIAL_REGS == ("cwd", "swd", "twd", "fip", "fcs", "foo", "fos")
+        for name in FPU_SPECIAL_REGS:
+            assert hasattr(fpu, name)
+
+    def test_special_flip_roundtrip(self):
+        fpu = FPU()
+        before = fpu.fip
+        fpu.flip_special_bit("fip", 12)
+        assert fpu.fip == before ^ (1 << 12)
+
+    def test_flip_validation(self):
+        fpu = FPU()
+        with pytest.raises(ValueError):
+            fpu.flip_special_bit("cwd", 16)
+        with pytest.raises(ValueError):
+            fpu.flip_special_bit("nope", 0)
+
+    def test_inert_registers_do_not_affect_data(self):
+        """FIP/FCS/FOO/FOS flips never perturb arithmetic (the paper
+        found most special-register injections benign)."""
+        fpu = FPU()
+        fpu.push(3.25)
+        for name in ("fip", "fcs", "foo", "fos", "swd", "cwd"):
+            fpu.flip_special_bit(name, 3)
+        assert fpu.read_st(0) == 3.25
+
+
+class TestDataRegisterBits:
+    def test_low_mantissa_flip_discarded_on_double_store(self):
+        """80-bit registers carry guard bits that a 64-bit store
+        discards - one cause of the paper's low FP error rate."""
+        fpu = FPU()
+        fpu.push(1.0)
+        before = fpu.to_double(fpu.read_st(0))
+        fpu.flip_data_bit(0, 0)  # lowest extended-mantissa bit
+        after = fpu.to_double(fpu.read_st(0))
+        assert after == before
+
+    def test_high_bit_flip_changes_value(self):
+        fpu = FPU()
+        fpu.push(1.0)
+        fpu.flip_data_bit(0, 79)  # sign bit of the 80-bit format
+        assert fpu.to_double(fpu.read_st(0)) == -1.0
+
+    def test_flip_validation(self):
+        fpu = FPU()
+        with pytest.raises(ValueError):
+            fpu.flip_data_bit(0, 80)
+
+    def test_to_double_narrowing(self):
+        assert FPU.to_double(1.0) == 1.0
+        assert math.isnan(FPU.to_double(math.nan))

@@ -1,0 +1,99 @@
+"""Unit tests for instruction encoding/decoding."""
+
+import pytest
+
+from repro.cpu.isa import (
+    INSN_SIZE,
+    BRANCH_OPS,
+    Insn,
+    Op,
+    RedOp,
+    UndefinedOpcode,
+    VecOp,
+    decode,
+    disassemble,
+    encode,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_fields(self):
+        insn = Insn(Op.VBIN, r1=1, r2=2, r3=3, r4=4, subop=5, imm=-1234)
+        assert decode(encode(insn)) == insn
+
+    def test_word_size(self):
+        assert len(encode(Insn(Op.NOP))) == INSN_SIZE
+
+    def test_every_opcode_roundtrips(self):
+        for op in Op:
+            insn = Insn(op, r1=7, r2=3, imm=42)
+            assert decode(encode(insn)).op is op
+
+    def test_undefined_opcode_raises(self):
+        word = bytes([0xEE]) + bytes(7)
+        with pytest.raises(UndefinedOpcode) as err:
+            decode(word)
+        assert err.value.opcode == 0xEE
+
+    def test_zero_word_is_undefined(self):
+        # All-zero memory must not decode (jumping into zeroed data
+        # yields SIGILL, not silent NOPs).
+        with pytest.raises(UndefinedOpcode):
+            decode(bytes(8))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode(b"\x01" * 7)
+
+    def test_register_field_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Insn(Op.MOV, r1=16))
+
+    def test_imm_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Insn(Op.MOVI, imm=2**31))
+
+    def test_subop_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Insn(Op.VBIN, subop=256))
+
+    def test_negative_imm_roundtrip(self):
+        assert decode(encode(Insn(Op.JMP, imm=-8))).imm == -8
+
+
+class TestBitFlips:
+    def test_opcode_flip_changes_instruction(self):
+        word = bytearray(encode(Insn(Op.ADD, r1=0, r2=1)))
+        word[0] ^= 0x01  # ADD (0x20) -> SUB (0x21)
+        assert decode(bytes(word)).op is Op.SUB
+
+    def test_register_field_flip(self):
+        word = bytearray(encode(Insn(Op.MOV, r1=0, r2=1)))
+        word[1] ^= 0x10  # r1 0 -> 1
+        assert decode(bytes(word)).r1 == 1
+
+    def test_imm_flip(self):
+        word = bytearray(encode(Insn(Op.MOVI, r1=0, imm=0)))
+        word[4] ^= 0x80
+        assert decode(bytes(word)).imm == 128
+
+    def test_some_opcode_flips_are_undefined(self):
+        # Flipping the top bit of most opcodes leaves the defined range.
+        word = bytearray(encode(Insn(Op.ADD)))
+        word[0] ^= 0x80
+        with pytest.raises(UndefinedOpcode):
+            decode(bytes(word))
+
+
+class TestMetadata:
+    def test_branch_ops_classified(self):
+        assert Op.JZ in BRANCH_OPS
+        assert Op.CALL not in BRANCH_OPS
+
+    def test_vecop_and_redop_values_fit_subop(self):
+        assert all(0 <= int(v) < 256 for v in VecOp)
+        assert all(0 <= int(v) < 256 for v in RedOp)
+
+    def test_disassemble(self):
+        assert "ADD" in disassemble(encode(Insn(Op.ADD, r1=1, r2=2)))
+        assert "undefined" in disassemble(bytes([0xEE]) + bytes(7))

@@ -1,0 +1,78 @@
+"""Unit tests for the integer register file."""
+
+import pytest
+
+from repro.cpu.registers import EAX, ESP, REG_INDEX, REG_NAMES, RegisterFile
+
+
+class TestAccess:
+    def test_names_are_x86_order(self):
+        assert REG_NAMES == ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+        assert REG_INDEX["esp"] == ESP == 4
+
+    def test_put_masks_32_bits(self):
+        rf = RegisterFile()
+        rf.put(EAX, 0x1_2345_6789)
+        assert rf.get(EAX) == 0x2345_6789
+
+    def test_signed_roundtrip(self):
+        rf = RegisterFile()
+        rf.put_signed(EAX, -5)
+        assert rf.get_signed(EAX) == -5
+        assert rf.get(EAX) == 0xFFFF_FFFB
+
+    def test_access_counters(self):
+        rf = RegisterFile()
+        rf.put(EAX, 1)
+        rf.get(EAX)
+        rf.get(EAX)
+        assert rf.write_count[EAX] == 1
+        assert rf.read_count[EAX] == 2
+
+    def test_peek_poke_uncounted(self):
+        rf = RegisterFile()
+        rf.poke(EAX, 9)
+        assert rf.peek(EAX) == 9
+        assert rf.read_count[EAX] == 0
+        assert rf.write_count[EAX] == 0
+
+
+class TestFlags:
+    def test_set_flags(self):
+        rf = RegisterFile()
+        rf.set_flags(0)
+        assert rf.zf and not rf.sf
+        rf.set_flags(-3)
+        assert not rf.zf and rf.sf
+        rf.set_flags(7)
+        assert not rf.zf and not rf.sf
+
+
+class TestInjection:
+    def test_flip_bit(self):
+        rf = RegisterFile()
+        rf.poke(EAX, 0)
+        assert rf.flip_bit(EAX, 31) == 0x8000_0000
+        assert rf.flip_bit(EAX, 31) == 0
+
+    def test_flip_validation(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError):
+            rf.flip_bit(8, 0)
+        with pytest.raises(ValueError):
+            rf.flip_bit(0, 32)
+
+
+class TestLiveness:
+    def test_live_registers(self):
+        rf = RegisterFile()
+        rf.put(EAX, 1)
+        rf.get(EAX)
+        rf.get(ESP)
+        assert set(rf.live_registers()) == {"eax", "esp"}
+        assert rf.live_registers(min_accesses=2) == []
+
+    def test_snapshot(self):
+        rf = RegisterFile()
+        rf.poke(EAX, 0x42)
+        assert rf.snapshot()["eax"] == 0x42

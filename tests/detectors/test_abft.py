@@ -1,0 +1,116 @@
+"""ABFT checksum-matrix scheme (section 8.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.abft import (
+    AbftOutcome,
+    checked_matmul,
+    coverage_experiment,
+    encode_columns,
+    encode_rows,
+    flip_float_bit,
+    overhead_ratio,
+    verify_and_correct,
+)
+
+
+@pytest.fixture
+def product(rng):
+    a = rng.standard_normal((8, 6))
+    b = rng.standard_normal((6, 10))
+    return checked_matmul(a, b), (a @ b)
+
+
+class TestEncoding:
+    def test_column_encoding(self, rng):
+        a = rng.standard_normal((5, 4))
+        enc = encode_columns(a)
+        assert enc.shape == (6, 4)
+        np.testing.assert_allclose(enc[5], a.sum(axis=0))
+
+    def test_row_encoding(self, rng):
+        b = rng.standard_normal((4, 7))
+        enc = encode_rows(b)
+        assert enc.shape == (4, 8)
+        np.testing.assert_allclose(enc[:, 7], b.sum(axis=1))
+
+    def test_vector_rejected(self):
+        with pytest.raises(ValueError):
+            encode_columns(np.zeros(4))
+
+    def test_product_is_fully_encoded(self, product):
+        c_full, truth = product
+        np.testing.assert_allclose(c_full[:8, :10], truth, atol=1e-12)
+        np.testing.assert_allclose(c_full[8, :10], truth.sum(axis=0), atol=1e-10)
+        np.testing.assert_allclose(c_full[:8, 10], truth.sum(axis=1), atol=1e-10)
+
+
+class TestVerifyCorrect:
+    def test_clean_product_ok(self, product):
+        c_full, truth = product
+        data, report = verify_and_correct(c_full)
+        assert report.outcome is AbftOutcome.OK
+        np.testing.assert_array_equal(data, truth)
+
+    @pytest.mark.parametrize("bit", [40, 52, 55, 62])
+    def test_data_element_corrected(self, product, bit):
+        c_full, truth = product
+        c = c_full.copy()
+        c[3, 4] = flip_float_bit(c[3, 4], bit)
+        data, report = verify_and_correct(c)
+        assert report.outcome is AbftOutcome.CORRECTED
+        assert report.location == (3, 4)
+        np.testing.assert_allclose(data, truth, rtol=1e-9)
+
+    def test_astronomical_upset_corrected_exactly(self, product):
+        """Exponent flips to ~1e300 must not destroy the recomputed
+        value through floating-point absorption."""
+        c_full, truth = product
+        c = c_full.copy()
+        c[2, 2] = flip_float_bit(c[2, 2], 62)
+        assert abs(c[2, 2]) > 1e70 or not np.isfinite(c[2, 2])
+        data, report = verify_and_correct(c)
+        assert report.outcome is AbftOutcome.CORRECTED
+        np.testing.assert_allclose(data, truth, rtol=1e-9)
+
+    def test_checksum_entry_corruption_detected(self, product):
+        c_full, _ = product
+        c = c_full.copy()
+        c[8, 3] = flip_float_bit(c[8, 3], 60)  # checksum row element
+        _, report = verify_and_correct(c)
+        assert report.outcome is AbftOutcome.DETECTED
+
+    def test_two_element_damage_not_miscorrected(self, product):
+        c_full, truth = product
+        c = c_full.copy()
+        c[1, 1] = flip_float_bit(c[1, 1], 58)
+        c[2, 5] = flip_float_bit(c[2, 5], 58)
+        data, report = verify_and_correct(c)
+        assert report.outcome is AbftOutcome.DETECTED
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            verify_and_correct(np.zeros((1, 1)))
+
+
+class TestCoverage:
+    def test_no_escapes(self, rng):
+        stats = coverage_experiment(120, 10, rng)
+        assert stats.escaped == 0
+        assert stats.coverage == 1.0
+        assert stats.corrected > 0
+        assert stats.detected > 0  # checksum-entry hits
+
+    def test_flip_float_bit_involution(self):
+        v = 1.2345
+        assert flip_float_bit(flip_float_bit(v, 17), 17) == v
+        with pytest.raises(ValueError):
+            flip_float_bit(v, 64)
+
+    def test_overhead_matches_silva(self):
+        """~10% at n ~ 20 (Silva's measurement the paper cites)."""
+        assert 0.08 < overhead_ratio(20) < 0.12
+        assert overhead_ratio(100) < overhead_ratio(10)
+        with pytest.raises(ValueError):
+            overhead_ratio(0)

@@ -1,0 +1,115 @@
+"""Control-flow signature checking (section 8.2 extension)."""
+
+import pytest
+
+from repro.cpu.isa import INSN_SIZE
+from repro.detectors.cfcheck import ControlFlowChecker, ControlFlowViolation, install
+from tests.conftest import build_image
+
+LOOP = """
+    movi ecx, 0
+lp: addi ecx, 1
+    cmpi ecx, 20
+    jl lp
+    movi eax, 7
+    ret
+"""
+
+CALLS = """
+    call @leaf
+    addi eax, 1
+    ret
+"""
+
+LEAF = """
+    movi eax, 10
+    ret
+"""
+
+
+class TestCleanRuns:
+    def test_loop_passes(self):
+        image, vm = build_image({"main": LOOP})
+        checker = install(vm)
+        assert vm.call("main") == 7
+        assert checker.checked > 20
+        assert checker.violations == 0
+
+    def test_calls_and_returns_pass(self):
+        image, vm = build_image({"main": CALLS, "leaf": LEAF})
+        checker = install(vm)
+        assert vm.call("main") == 11
+        assert checker.violations == 0
+
+    def test_indirect_call_to_known_entry_passes(self):
+        image, vm = build_image(
+            {"main": "movi ecx, @leaf\ncallr ecx\nret", "leaf": LEAF}
+        )
+        install(vm)
+        assert vm.call("main") == 10
+
+    def test_apps_run_clean_under_cfc(self):
+        """The full wavetoy kernels must produce zero violations."""
+        from repro.apps import WavetoyApp
+        from repro.mpi.simulator import Job, JobConfig
+        from tests.conftest import SMALL_NPROCS, SMALL_WAVETOY
+
+        class CheckedWavetoy(WavetoyApp):
+            def build_process(self, rank, nprocs, config):
+                image, vm = super().build_process(rank, nprocs, config)
+                install(vm)
+                return image, vm
+
+        result = Job(
+            CheckedWavetoy(**SMALL_WAVETOY), JobConfig(nprocs=SMALL_NPROCS)
+        ).run()
+        assert result.completed
+
+
+class TestViolations:
+    def test_corrupted_branch_target_detected(self):
+        image, vm = build_image({"main": LOOP})
+        install(vm)
+        # flip a bit of the JL displacement (instruction 3, imm byte)
+        image.text.flip_bit(image.addr_of("main") + 3 * INSN_SIZE + 4, 4)
+        with pytest.raises(ControlFlowViolation):
+            vm.call("main")
+
+    def test_opcode_turned_into_jump_detected(self):
+        image, vm = build_image({"main": LOOP})
+        install(vm)
+        # turn 'movi eax, 7' (0x10) into JMP (0x30): imm=7 -> wild jump
+        addr = image.addr_of("main") + 4 * INSN_SIZE
+        image.text.write_u8(addr, 0x30)
+        with pytest.raises(ControlFlowViolation):
+            vm.call("main")
+
+    def test_violation_is_app_detected(self):
+        from repro.errors import AppAbort
+
+        assert issubclass(ControlFlowViolation, AppAbort)
+
+    def test_counters(self):
+        image, vm = build_image({"main": LOOP})
+        checker = install(vm)
+        image.text.flip_bit(image.addr_of("main") + 3 * INSN_SIZE + 4, 6)
+        with pytest.raises(ControlFlowViolation):
+            vm.call("main")
+        assert checker.violations == 1
+
+
+class TestSignature:
+    def test_signature_covers_user_text_only(self):
+        image, vm = build_image({"main": LOOP}, mpi_lib=True)
+        checker = ControlFlowChecker(image)
+        mpi_send = image.symtab.lookup("MPI_Send")
+        assert mpi_send.addr not in checker._successors
+        assert image.addr_of("main") in checker._successors
+
+    def test_study_runs(self):
+        from repro.analysis.cfc_study import control_flow_study
+
+        report = control_flow_study(trials=30, seed=1)
+        assert report.metrics["trials"] == 30
+        assert report.metrics["detected"] >= 0
+        assert "CFC" in report.text

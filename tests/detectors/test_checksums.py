@@ -1,0 +1,88 @@
+"""Application-level message checksums."""
+
+import pytest
+
+from repro.detectors.checksums import (
+    ChecksumMismatch,
+    checksum_cost_blocks,
+    fletcher32,
+    seal,
+    verify,
+)
+from repro.errors import AppAbort
+
+
+class TestFletcher32:
+    def test_deterministic(self):
+        assert fletcher32(b"abcdef") == fletcher32(b"abcdef")
+
+    def test_known_sensitivity(self):
+        assert fletcher32(b"abcdef") != fletcher32(b"abcdeg")
+
+    def test_order_sensitive(self):
+        # (unlike a plain sum - Fletcher catches transpositions)
+        assert fletcher32(b"ab") != fletcher32(b"ba")
+
+    def test_empty(self):
+        assert fletcher32(b"") == 0
+
+    def test_odd_length_padded(self):
+        assert fletcher32(b"abc") == fletcher32(b"abc\x00")
+
+    def test_large_input_exact(self):
+        # Exercise the blocked modulo reduction.
+        data = bytes(range(256)) * 2048  # 512 KiB
+        reference = _fletcher_slow(data)
+        assert fletcher32(data) == reference
+
+
+def _fletcher_slow(data: bytes) -> int:
+    if len(data) % 2:
+        data += b"\x00"
+    c0 = c1 = 0
+    for i in range(0, len(data), 2):
+        w = data[i] | (data[i + 1] << 8)
+        c0 = (c0 + w) % 65535
+        c1 = (c1 + c0) % 65535
+    return (c1 << 16) | c0
+
+
+class TestSealVerify:
+    def test_roundtrip(self):
+        payload = b"coordinates" * 10
+        assert verify(seal(payload)) == payload
+
+    def test_single_bit_flip_detected(self):
+        sealed = bytearray(seal(b"x" * 64))
+        for offset in (0, 4, 8, 40):  # trailer and payload positions
+            corrupted = bytearray(sealed)
+            corrupted[offset] ^= 0x10
+            with pytest.raises(ChecksumMismatch):
+                verify(bytes(corrupted))
+
+    def test_mismatch_is_app_abort(self):
+        assert issubclass(ChecksumMismatch, AppAbort)
+
+    def test_truncated_blob(self):
+        with pytest.raises(ChecksumMismatch):
+            verify(b"\x01\x02")
+
+    def test_length_field_checked(self):
+        sealed = bytearray(seal(b"abcd"))
+        sealed[4] ^= 0x01  # length field
+        with pytest.raises(ChecksumMismatch):
+            verify(bytes(sealed))
+
+
+class TestCostModel:
+    def test_verify_charges_clock(self):
+        from tests.conftest import build_image
+
+        _, vm = build_image({"main": "ret"})
+        before = vm.clock.blocks
+        verify(seal(b"y" * 640), vm=vm)
+        assert vm.clock.blocks - before == checksum_cost_blocks(640)
+
+    def test_cost_scales_with_size(self):
+        assert checksum_cost_blocks(64) < checksum_cost_blocks(6400)
+        assert checksum_cost_blocks(1) >= 1

@@ -1,0 +1,67 @@
+"""NaN checks, bound checks and assertions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detectors.assertions import bound_check, sanity_assert
+from repro.detectors.nan_checks import nan_check_array, nan_check_value
+from repro.errors import AppAbort
+
+
+class TestNanChecks:
+    def test_value_passes(self):
+        assert nan_check_value(1.5, "x") == 1.5
+
+    def test_nan_aborts(self):
+        with pytest.raises(AppAbort, match="NaN check"):
+            nan_check_value(math.nan, "energy")
+
+    def test_inf_aborts(self):
+        with pytest.raises(AppAbort):
+            nan_check_value(math.inf, "energy")
+
+    def test_array_passes(self):
+        nan_check_array(np.arange(10.0), "field")
+
+    def test_array_with_nan_aborts(self):
+        arr = np.arange(10.0)
+        arr[3] = math.nan
+        with pytest.raises(AppAbort, match="non-finite"):
+            nan_check_array(arr, "field")
+
+    def test_array_check_charges_clock(self):
+        from tests.conftest import build_image
+
+        _, vm = build_image({"main": "ret"})
+        before = vm.clock.blocks
+        nan_check_array(np.zeros(800), "field", vm=vm)
+        assert vm.clock.blocks > before
+
+
+class TestBoundChecks:
+    def test_within_bounds(self):
+        bound_check(np.array([0.1, 0.5]), "q", minimum=0.05, maximum=1.0)
+
+    def test_below_minimum_aborts(self):
+        """The CAM moisture mechanism."""
+        with pytest.raises(AppAbort, match="below minimum"):
+            bound_check(np.array([0.1, 0.01]), "moisture", minimum=0.05)
+
+    def test_above_maximum_aborts(self):
+        with pytest.raises(AppAbort, match="above maximum"):
+            bound_check(np.array([10.0, 100.0]), "velocity", maximum=50.0)
+
+    def test_one_sided_checks(self):
+        bound_check(np.array([1e9]), "x", minimum=0.0)  # no max: fine
+        bound_check(np.array([-1e9]), "x", maximum=0.0)  # no min: fine
+
+
+class TestSanityAssert:
+    def test_pass(self):
+        sanity_assert(True, "invariant")
+
+    def test_fail_aborts(self):
+        with pytest.raises(AppAbort, match="assertion"):
+            sanity_assert(False, "atom count", "expected 92000")

@@ -1,0 +1,86 @@
+"""Progress-metric hang detection (section 7)."""
+
+import pytest
+
+from repro.detectors.progress import ProgressMonitor, ProgressSample
+
+
+def feed(monitor, rates, start_tick=1, start_value=0):
+    value = start_value
+    tick = start_tick
+    for r in rates:
+        value += r
+        monitor.record(ProgressSample(tick=tick, blocks=value, messages=value // 10))
+        tick += 1
+    return tick, value
+
+
+class TestRates:
+    def test_rate_needs_two_samples(self):
+        m = ProgressMonitor()
+        assert m.rate() is None
+        feed(m, [100])
+        assert m.rate() is None
+        feed(m, [100], start_tick=2, start_value=100)
+        assert m.rate() == 100.0
+
+    def test_windowed_rate(self):
+        m = ProgressMonitor(window=3)
+        feed(m, [100, 100, 100, 0, 0])
+        assert m.rate() == 0.0  # window covers only the stalled tail
+
+    def test_monotonic_ticks_enforced(self):
+        m = ProgressMonitor()
+        m.record(ProgressSample(tick=5, blocks=1))
+        with pytest.raises(ValueError):
+            m.record(ProgressSample(tick=5, blocks=2))
+
+
+class TestStallDetection:
+    def test_healthy_run_never_stalls(self):
+        m = ProgressMonitor(window=4, threshold=0.1)
+        feed(m, [100] * 10)
+        m.calibrate()
+        feed(m, [95] * 10, start_tick=11, start_value=1000)
+        assert not m.stalled()
+
+    def test_stall_detected(self):
+        m = ProgressMonitor(window=4, threshold=0.1)
+        next_tick, value = feed(m, [100] * 10)
+        m.calibrate()
+        feed(m, [0] * 8, start_tick=next_tick, start_value=value)
+        assert m.stalled()
+
+    def test_detection_tick_post_hoc(self):
+        m = ProgressMonitor(window=4, threshold=0.1)
+        next_tick, value = feed(m, [100] * 10)
+        m.calibrate()
+        feed(m, [0] * 10, start_tick=next_tick, start_value=value)
+        t = m.detection_tick()
+        assert t is not None
+        assert t <= next_tick + m.window  # bounded latency
+
+    def test_uncalibrated_never_stalls(self):
+        m = ProgressMonitor()
+        feed(m, [0] * 5)
+        assert not m.stalled()
+        assert m.detection_tick() is None
+
+    def test_calibrate_requires_samples(self):
+        with pytest.raises(ValueError):
+            ProgressMonitor().calibrate()
+
+    def test_message_metric(self):
+        m = ProgressMonitor(window=4, threshold=0.1, metric="messages")
+        next_tick, value = feed(m, [100] * 8)
+        m.calibrate()
+        feed(m, [0] * 8, start_tick=next_tick, start_value=value)
+        assert m.stalled()
+
+    def test_slowdown_below_threshold_detected(self):
+        # 5% of the calibrated rate < 10% threshold -> stall.
+        m = ProgressMonitor(window=4, threshold=0.1)
+        next_tick, value = feed(m, [1000] * 8)
+        m.calibrate()
+        feed(m, [50] * 8, start_tick=next_tick, start_value=value)
+        assert m.stalled()

@@ -1,0 +1,31 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "E12" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "3.93e+06" in out
+
+    def test_run_with_override(self, capsys):
+        assert main(["run", "E2", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "1-bit upsets" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "T99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

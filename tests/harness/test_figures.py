@@ -1,0 +1,40 @@
+"""Working-set figure rendering (Tables 5-7 output form)."""
+
+import pytest
+
+from repro.harness.figures import render_working_set_table
+from repro.mpi.simulator import JobConfig
+from repro.trace.working_set import trace_memory
+from tests.conftest import SMALL_NPROCS, small_wavetoy
+
+
+@pytest.fixture(scope="module")
+def report():
+    return trace_memory(small_wavetoy(), JobConfig(nprocs=SMALL_NPROCS))
+
+
+class TestRendering:
+    def test_contains_all_series(self, report):
+        text = render_working_set_table(report)
+        for col in ("blocks", "text %", "d+b+h %", "data %", "bss %", "heap %"):
+            assert col in text
+
+    def test_summary_line(self, report):
+        text = render_working_set_table(report)
+        assert "compute phase" in text
+        assert "wavetoy" in text
+
+    def test_sample_count(self, report):
+        text = render_working_set_table(report, samples=8)
+        data_lines = [
+            l for l in text.splitlines() if l.strip() and l.lstrip()[0].isdigit()
+        ]
+        assert len(data_lines) == 8
+
+    def test_percentages_in_range(self, report):
+        text = render_working_set_table(report, samples=6)
+        for line in text.splitlines():
+            parts = line.split()
+            if parts and parts[0].isdigit():
+                for value in parts[1:]:
+                    assert 0.0 <= float(value) <= 100.0

@@ -1,0 +1,94 @@
+"""Campaign driver tests (small campaigns over the wavetoy miniature)."""
+
+import numpy as np
+import pytest
+
+from repro.injection.campaign import Campaign
+from repro.injection.faults import Region
+from repro.injection.outcomes import Manifestation
+from repro.mpi.simulator import JobConfig
+from repro.sampling.plans import CampaignPlan
+from tests.conftest import SMALL_NPROCS, SMALL_WAVETOY
+
+
+def small_campaign(seed=3):
+    from repro.apps import WavetoyApp
+
+    return Campaign(
+        lambda: WavetoyApp(**SMALL_WAVETOY),
+        JobConfig(nprocs=SMALL_NPROCS),
+        plan=CampaignPlan(per_region={r.value: 4 for r in Region}),
+        seed=seed,
+    )
+
+
+class TestReference:
+    def test_reference_profile(self):
+        c = small_campaign()
+        ref = c.reference()
+        assert ref.result.completed
+        assert len(ref.blocks_per_rank) == SMALL_NPROCS
+        assert all(b > 0 for b in ref.blocks_per_rank)
+        assert any(b > 0 for b in ref.received_bytes_per_rank)
+        assert ref.block_limit > max(ref.blocks_per_rank)
+        assert ref.round_limit > ref.rounds
+        assert ref.dictionary.size("text") > 0
+
+    def test_reference_cached(self):
+        c = small_campaign()
+        assert c.reference() is c.reference()
+
+
+class TestSampling:
+    @pytest.mark.parametrize("region", list(Region))
+    def test_specs_valid_for_every_region(self, region, rng):
+        c = small_campaign()
+        for i in range(5):
+            spec = c.sample_spec(region, np.random.default_rng(i))
+            assert spec.region is region
+            assert 0 <= spec.rank < SMALL_NPROCS
+            if region is not Region.MESSAGE:
+                assert spec.time_blocks >= 1
+
+    def test_message_target_within_volume(self):
+        c = small_campaign()
+        ref = c.reference()
+        for i in range(10):
+            spec = c.sample_spec(Region.MESSAGE, np.random.default_rng(i))
+            assert spec.target_byte < max(ref.received_bytes_per_rank)
+
+
+class TestExecution:
+    def test_run_region_tally(self):
+        c = small_campaign()
+        row = c.run_region(Region.REGULAR_REG, 5)
+        assert row.executions == 5
+        assert len(row.records) == 5
+        assert 0 <= row.error_rate_percent <= 100
+        assert row.estimation_error_percent > 0
+
+    def test_injection_reproducible(self):
+        c1 = small_campaign(seed=11)
+        c2 = small_campaign(seed=11)
+        r1 = c1.run_region(Region.MESSAGE, 4)
+        r2 = c2.run_region(Region.MESSAGE, 4)
+        assert [m for _, _, m in r1.records] == [m for _, _, m in r2.records]
+
+    def test_full_run_covers_requested_regions(self):
+        c = small_campaign()
+        result = c.run(regions=(Region.HEAP, Region.MESSAGE))
+        assert set(result.regions) == {Region.HEAP, Region.MESSAGE}
+        assert result.total_injections() == 8
+        assert result.app_name == "wavetoy"
+
+    def test_fault_free_determinism_guard(self):
+        """Two fresh fault-free runs must classify as CORRECT against the
+        reference - otherwise the whole campaign is unsound."""
+        c = small_campaign()
+        ref = c.reference()
+        from repro.mpi.simulator import Job
+
+        result = Job(c.app_factory(), c.config).run()
+        from repro.injection.outcomes import classify
+
+        assert classify(result, ref.result, c.compare) is Manifestation.CORRECT

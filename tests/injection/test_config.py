@@ -1,0 +1,95 @@
+"""Injection configuration parsing (the MPI_Init wrapper's config file)."""
+
+import pytest
+
+from repro.injection.config import (
+    ConfigError,
+    InjectionConfig,
+    format_config,
+    parse_config,
+)
+from repro.injection.faults import FaultSpec, Region
+
+
+class TestParse:
+    def test_minimal(self):
+        cfg = parse_config("[injection]\nregion = heap\n")
+        assert cfg.spec.region is Region.HEAP
+        assert cfg.spec.rank == 0
+        assert cfg.seed == 0
+
+    def test_full_register_config(self):
+        cfg = parse_config(
+            """
+            [injection]
+            region = regular_reg
+            rank = 3
+            time = 12000
+            bit = 17
+            reg = 2
+            seed = 99
+            """
+        )
+        spec = cfg.spec
+        assert spec.region is Region.REGULAR_REG
+        assert (spec.rank, spec.time_blocks, spec.bit, spec.reg_index) == (3, 12000, 17, 2)
+        assert cfg.seed == 99
+
+    def test_hex_address(self):
+        cfg = parse_config(
+            "[injection]\nregion = text\naddress = 0x08048010\nbit = 2\n"
+        )
+        assert cfg.spec.address == 0x08048010
+
+    def test_message_config(self):
+        cfg = parse_config(
+            "[injection]\nregion = message\nrank = 1\ntarget_byte = 4096\nbit = 7\n"
+        )
+        assert cfg.spec.target_byte == 4096
+
+    def test_comments_ignored(self):
+        cfg = parse_config("[injection] ; setup\nregion = bss ; static\n")
+        assert cfg.spec.region is Region.BSS
+
+
+class TestErrors:
+    def test_missing_region(self):
+        with pytest.raises(ConfigError, match="region"):
+            parse_config("[injection]\nrank = 1\n")
+
+    def test_unknown_region_lists_valid(self):
+        with pytest.raises(ConfigError, match="regular_reg"):
+            parse_config("[injection]\nregion = l1cache\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(ConfigError, match="integer"):
+            parse_config("[injection]\nregion = heap\nrank = three\n")
+
+    def test_key_outside_section(self):
+        with pytest.raises(ConfigError, match="section"):
+            parse_config("region = heap\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(ConfigError, match="key = value"):
+            parse_config("[injection]\nregion heap\n")
+
+    def test_semantic_validation_surfaces(self):
+        with pytest.raises(ConfigError):
+            parse_config("[injection]\nregion = regular_reg\nbit = 40\nreg = 1\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(Region.REGULAR_REG, 1, time_blocks=10, bit=3, reg_index=5),
+            FaultSpec(Region.FP_REG, 0, time_blocks=7, bit=70, fp_target="st3"),
+            FaultSpec(Region.TEXT, 2, time_blocks=3, bit=1, address=0x8048200),
+            FaultSpec(Region.MESSAGE, 1, bit=6, target_byte=12345),
+        ],
+    )
+    def test_format_then_parse(self, spec):
+        text = format_config(InjectionConfig(spec=spec, seed=42))
+        cfg = parse_config(text)
+        assert cfg.spec == spec
+        assert cfg.seed == 42

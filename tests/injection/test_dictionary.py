@@ -1,0 +1,70 @@
+"""Fault dictionary: user-only static addresses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidFaultSpec
+from repro.injection.dictionary import FaultDictionary
+from tests.conftest import build_image
+
+
+@pytest.fixture
+def image():
+    img, _ = build_image(
+        {"kernel": "movi eax, 1\nret"},
+        data={"user_table": 512},
+        bss={"user_zeros": 256},
+        mpi_lib=True,
+    )
+    return img
+
+
+class TestConstruction:
+    def test_sections_populated(self, image, rng):
+        d = FaultDictionary(image, rng, entries_per_section=256)
+        for section in ("text", "data", "bss"):
+            assert d.size(section) > 0
+
+    def test_entries_resolve_to_user_symbols(self, image, rng):
+        d = FaultDictionary(image, rng, entries_per_section=512)
+        mpi_names = {s.name for s in image.symtab.symbols(library="mpi")}
+        for section in ("text", "data", "bss"):
+            for entry in d.entries[section]:
+                assert entry.symbol not in mpi_names
+                sym = image.symtab.resolve(entry.address)
+                assert sym is not None and sym.library == "user"
+
+    def test_addresses_within_section(self, image, rng):
+        d = FaultDictionary(image, rng, entries_per_section=128)
+        for entry in d.entries["data"]:
+            assert image.data.contains(entry.address)
+
+    def test_invalid_entry_count(self, image, rng):
+        with pytest.raises(ValueError):
+            FaultDictionary(image, rng, entries_per_section=0)
+
+
+class TestSampling:
+    def test_sample_returns_entry(self, image, rng):
+        d = FaultDictionary(image, rng)
+        e = d.sample("text", rng)
+        assert e.section == "text"
+
+    def test_sample_empty_section_raises(self, rng):
+        img, _ = build_image({"k": "ret"}, bss={"b": 8})
+        d = FaultDictionary(img, rng)
+        assert d.size("data") == 0
+        with pytest.raises(InvalidFaultSpec):
+            d.sample("data", rng)
+
+    def test_sampling_is_byte_uniform_across_symbols(self, rng):
+        """A symbol 9x larger must receive ~9x the entries."""
+        img, _ = build_image(
+            {"k": "ret"}, data={"small": 64, "big": 64 * 9}
+        )
+        d = FaultDictionary(img, rng, entries_per_section=4096)
+        by_symbol = {}
+        for e in d.entries["data"]:
+            by_symbol[e.symbol] = by_symbol.get(e.symbol, 0) + 1
+        ratio = by_symbol["big"] / by_symbol["small"]
+        assert 6 < ratio < 13

@@ -1,0 +1,101 @@
+"""Fault specification validation and FP bit-space mapping."""
+
+import pytest
+
+from repro.injection.faults import (
+    FP_DATA_BITS,
+    FP_SPECIAL_BITS,
+    FP_TOTAL_BITS,
+    FaultSpec,
+    InjectionRecord,
+    MEMORY_REGIONS,
+    PROCESS_REGIONS,
+    Region,
+    fp_target_from_bitindex,
+)
+
+
+class TestRegions:
+    def test_eight_regions(self):
+        assert len(Region) == 8
+
+    def test_region_classification(self):
+        assert Region.HEAP in MEMORY_REGIONS
+        assert Region.REGULAR_REG not in MEMORY_REGIONS
+        assert Region.REGULAR_REG in PROCESS_REGIONS
+        assert Region.MESSAGE not in PROCESS_REGIONS
+
+
+class TestFaultSpecValidation:
+    def test_regular_reg_ok(self):
+        FaultSpec(Region.REGULAR_REG, 0, time_blocks=5, bit=31, reg_index=7)
+
+    def test_regular_reg_requires_index(self):
+        with pytest.raises(ValueError):
+            FaultSpec(Region.REGULAR_REG, 0, bit=0)
+        with pytest.raises(ValueError):
+            FaultSpec(Region.REGULAR_REG, 0, bit=0, reg_index=8)
+
+    def test_regular_reg_bit_range(self):
+        with pytest.raises(ValueError):
+            FaultSpec(Region.REGULAR_REG, 0, bit=32, reg_index=0)
+
+    def test_fp_requires_target(self):
+        with pytest.raises(ValueError):
+            FaultSpec(Region.FP_REG, 0, bit=0)
+
+    def test_message_requires_target_byte(self):
+        with pytest.raises(ValueError):
+            FaultSpec(Region.MESSAGE, 0, bit=0)
+        FaultSpec(Region.MESSAGE, 0, bit=7, target_byte=100)
+
+    def test_message_bit_range(self):
+        with pytest.raises(ValueError):
+            FaultSpec(Region.MESSAGE, 0, bit=8, target_byte=0)
+
+    def test_memory_bit_range(self):
+        with pytest.raises(ValueError):
+            FaultSpec(Region.HEAP, 0, bit=9)
+
+    def test_negative_rank_or_time(self):
+        with pytest.raises(ValueError):
+            FaultSpec(Region.HEAP, -1, bit=0)
+        with pytest.raises(ValueError):
+            FaultSpec(Region.HEAP, 0, time_blocks=-5, bit=0)
+
+
+class TestFpBitSpace:
+    def test_space_sizes(self):
+        assert FP_DATA_BITS == 640  # 8 registers x 80 bits
+        assert FP_TOTAL_BITS == FP_DATA_BITS + FP_SPECIAL_BITS
+
+    def test_data_register_mapping(self):
+        assert fp_target_from_bitindex(0) == ("st0", 0)
+        assert fp_target_from_bitindex(79) == ("st0", 79)
+        assert fp_target_from_bitindex(80) == ("st1", 0)
+        assert fp_target_from_bitindex(639) == ("st7", 79)
+
+    def test_special_register_mapping(self):
+        assert fp_target_from_bitindex(640) == ("cwd", 0)
+        assert fp_target_from_bitindex(640 + 16) == ("swd", 0)
+        assert fp_target_from_bitindex(640 + 32) == ("twd", 0)
+
+    def test_every_index_maps(self):
+        seen = set()
+        for i in range(FP_TOTAL_BITS):
+            name, bit = fp_target_from_bitindex(i)
+            seen.add(name)
+        assert seen == {f"st{i}" for i in range(8)} | {
+            "cwd", "swd", "twd", "fip", "fcs", "foo", "fos"
+        }
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            fp_target_from_bitindex(FP_TOTAL_BITS)
+
+
+class TestRecord:
+    def test_defaults(self):
+        rec = InjectionRecord(FaultSpec(Region.HEAP, 0, bit=1))
+        assert not rec.delivered
+        assert rec.notes == []

@@ -1,0 +1,217 @@
+"""The ptrace-analogue memory/register injector."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.vm import VM
+from repro.injection.faults import FaultSpec, InjectionRecord, Region
+from repro.injection.injector import MemoryFaultInjector
+from repro.memory.heap import ChunkTag
+from repro.memory.process import ProcessImage
+from repro.memory.symbols import Linker
+from repro.mpi.library import add_mpi_library
+from repro.mpi.simulator import Job, JobConfig
+
+KERNEL = """
+    push ebp
+    mov ebp, esp
+    movi eax, 0
+    movi ecx, 0
+lp: add eax, ecx
+    addi ecx, 1
+    cmpi ecx, 200
+    jl lp
+    mov esp, ebp
+    pop ebp
+    ret
+"""
+
+
+class VMApp:
+    """Runs a register-heavy kernel with heap and stack state present."""
+
+    name = "vmapp"
+
+    def build_process(self, rank, nprocs, config):
+        from repro.cpu.assembler import Program
+
+        prog = Program()
+        prog.add("kernel", KERNEL)
+        linker = Linker()
+        prog.add_to_linker(linker)
+        linker.add_data("table", 256)
+        linker.add_bss("zeros", 256)
+        add_mpi_library(linker, text_scale=0.05, data_scale=0.05)
+        image = ProcessImage.from_linker(linker, rank=rank, heap_size=1 << 16)
+        prog.relocate(image)
+        return image, VM(image)
+
+    def main(self, ctx):
+        heap = ctx.image.heap
+        self.user_chunk = heap.malloc(128)
+        with heap.inside_mpi():
+            self.mpi_chunk = heap.malloc(128)
+        # A stack frame whose return address is in user text.
+        ctx.image.stack.push_frame(
+            return_addr=ctx.image.addr_of("kernel"), args=(1, 2), locals_size=64
+        )
+        ctx.vm.call("kernel")
+        yield None
+
+
+def run_with(spec, rng_seed=0, app=None):
+    app = app or VMApp()
+    job = Job(app, JobConfig(nprocs=1))
+    record = InjectionRecord(spec)
+    injector = MemoryFaultInjector(job, spec, record, np.random.default_rng(rng_seed))
+    job.pre_run_hooks.append(lambda j: injector.arm())
+    result = job.run()
+    return record, result, app, job
+
+
+class TestRegisterInjection:
+    def test_regular_register_flip_delivered(self):
+        spec = FaultSpec(Region.REGULAR_REG, 0, time_blocks=50, bit=4, reg_index=0)
+        record, result, _, _ = run_with(spec)
+        assert record.delivered
+        assert record.detail == "eax"
+        assert record.new_value == record.old_value ^ (1 << 4)
+
+    def test_fp_data_register_flip(self):
+        spec = FaultSpec(Region.FP_REG, 0, time_blocks=50, bit=3, fp_target="st0")
+        record, result, _, _ = run_with(spec)
+        assert record.delivered
+        assert record.detail == "st0"
+
+    def test_fp_special_register_flip(self):
+        spec = FaultSpec(Region.FP_REG, 0, time_blocks=50, bit=2, fp_target="twd")
+        record, _, _, _ = run_with(spec)
+        assert record.delivered
+        assert record.new_value == record.old_value ^ 4
+
+
+class TestStaticInjection:
+    def test_data_flip_at_dictionary_address(self):
+        app = VMApp()
+        probe_job = Job(app, JobConfig(nprocs=1))
+        addr = probe_job.images[0].addr_of("table") + 10
+        spec = FaultSpec(Region.DATA, 0, time_blocks=50, bit=1, address=addr)
+        record, result, _, job = run_with(spec)
+        assert record.delivered
+        assert record.symbol == "table"
+        assert job.images[0].data.read_u8(addr) == 2
+
+    def test_missing_address_rejected(self):
+        spec = FaultSpec(Region.TEXT, 0, time_blocks=50, bit=0)
+        from repro.errors import InvalidFaultSpec
+
+        record, result, _, _ = run_with(spec)
+        # the hook fires inside the VM; the job classifies the failure
+        assert not record.delivered
+
+
+class TestHeapInjection:
+    def test_scan_hits_user_chunk_only(self):
+        spec = FaultSpec(Region.HEAP, 0, time_blocks=50, bit=0)
+        record, result, app, _ = run_with(spec)
+        assert record.delivered
+        assert app.user_chunk <= record.address < app.user_chunk + 128
+
+    def test_no_user_chunks_means_undelivered(self):
+        class MPIOnlyApp(VMApp):
+            def main(self, ctx):
+                with ctx.image.heap.inside_mpi():
+                    ctx.image.heap.malloc(64)
+                ctx.vm.call("kernel")
+                yield None
+
+        spec = FaultSpec(Region.HEAP, 0, time_blocks=50, bit=0)
+        record, result, _, _ = run_with(spec, app=MPIOnlyApp())
+        assert not record.delivered
+        assert any("no user heap chunk" in n for n in record.notes)
+
+
+class TestStackInjection:
+    def test_flip_lands_in_live_stack(self):
+        spec = FaultSpec(Region.STACK, 0, time_blocks=50, bit=0)
+        record, result, _, job = run_with(spec)
+        assert record.delivered
+        seg = job.images[0].stack_segment
+        assert seg.contains(record.address)
+        assert record.detail == "stack frame"
+
+
+class TestValidation:
+    def test_wrong_region_rejected(self):
+        from repro.errors import InvalidFaultSpec
+
+        job = Job(VMApp(), JobConfig(nprocs=1))
+        spec = FaultSpec(Region.MESSAGE, 0, bit=0, target_byte=0)
+        with pytest.raises(InvalidFaultSpec):
+            MemoryFaultInjector(job, spec, InjectionRecord(spec), np.random.default_rng())
+
+    def test_rank_out_of_range_rejected(self):
+        from repro.errors import InvalidFaultSpec
+
+        job = Job(VMApp(), JobConfig(nprocs=1))
+        spec = FaultSpec(Region.HEAP, 3, bit=0)
+        with pytest.raises(InvalidFaultSpec):
+            MemoryFaultInjector(job, spec, InjectionRecord(spec), np.random.default_rng())
+
+
+class TestStuckAtFaults:
+    """Section 8.1: persistent faults re-asserted by the injector."""
+
+    def test_register_stuck_at_reasserts(self):
+        from repro.injection.faults import Persistence
+
+        spec = FaultSpec(
+            Region.REGULAR_REG, 0, time_blocks=100, bit=0, reg_index=1,
+            persistence=Persistence.STUCK_AT_0, reassert_blocks=8,
+        )
+        record, result, _, job = run_with(spec)
+        assert record.delivered
+        assert sum("reasserted" in n for n in record.notes) > 10
+
+    def test_memory_stuck_at_defeats_overwrite(self):
+        """A transient flip into a constantly rewritten cell heals; the
+        stuck-at version keeps the bit forced."""
+        from repro.injection.faults import Persistence
+
+        app = VMApp()
+        probe = Job(app, JobConfig(nprocs=1))
+        addr = probe.images[0].addr_of("table")
+        spec = FaultSpec(
+            Region.DATA, 0, time_blocks=100, bit=3, address=addr,
+            persistence=Persistence.STUCK_AT_1, reassert_blocks=16,
+        )
+        record, result, _, job = run_with(spec)
+        assert record.delivered
+        assert job.images[0].data.read_u8(addr) & 0b1000
+
+    def test_fp_stuck_at_rejected(self):
+        from repro.errors import InvalidFaultSpec
+        from repro.injection.faults import Persistence
+
+        job = Job(VMApp(), JobConfig(nprocs=1))
+        spec = FaultSpec(
+            Region.FP_REG, 0, time_blocks=1, bit=0, fp_target="st0",
+            persistence=Persistence.STUCK_AT_1,
+        )
+        with pytest.raises(InvalidFaultSpec):
+            MemoryFaultInjector(
+                job, spec, InjectionRecord(spec), np.random.default_rng()
+            )
+
+    def test_message_stuck_at_rejected_at_spec_level(self):
+        from repro.injection.faults import Persistence
+
+        with pytest.raises(ValueError, match="transient"):
+            FaultSpec(
+                Region.MESSAGE, 0, bit=0, target_byte=1,
+                persistence=Persistence.STUCK_AT_0,
+            )
+
+    def test_reassert_period_validated(self):
+        with pytest.raises(ValueError, match="reassert"):
+            FaultSpec(Region.HEAP, 0, bit=0, reassert_blocks=0)

@@ -1,0 +1,101 @@
+"""Channel-level message fault injection."""
+
+import pytest
+
+from repro.errors import InvalidFaultSpec
+from repro.injection.faults import FaultSpec, InjectionRecord, Region
+from repro.injection.message_injector import MessageFaultInjector
+from repro.mpi.channel import HEADER_SIZE
+from repro.mpi.datatypes import MPI_DOUBLE
+from repro.mpi.simulator import Job, JobConfig, JobStatus
+from tests.mpi._util import GenericApp, buf_addr
+
+
+def exchange_main(ctx):
+    buf = buf_addr(ctx)
+    sp = ctx.image.address_space
+    if ctx.rank == 0:
+        sp.store_f64(buf, 1.0)
+        for _ in range(4):
+            yield from ctx.comm.send(buf, 8, MPI_DOUBLE, 1, 1)
+    else:
+        for _ in range(4):
+            yield from ctx.comm.recv(buf, 8, MPI_DOUBLE, 0, 1)
+
+
+def run_msg_fault(target_byte: int, bit: int = 0, rank: int = 1):
+    job = Job(GenericApp(exchange_main), JobConfig(nprocs=2, round_limit=500))
+    spec = FaultSpec(Region.MESSAGE, rank, bit=bit, target_byte=target_byte)
+    record = InjectionRecord(spec)
+    MessageFaultInjector(job, spec, record).arm()
+    result = job.run()
+    return record, result, job
+
+
+class TestDelivery:
+    def test_payload_flip_recorded(self):
+        # First packet: bytes [0, 48) header, [48, 112) payload.
+        record, result, job = run_msg_fault(HEADER_SIZE + 5, bit=3)
+        assert record.delivered
+        assert record.detail == "payload"
+        assert record.new_value == record.old_value ^ 8
+        # Silent data corruption: job still completes.
+        assert result.status is JobStatus.COMPLETED
+
+    def test_header_flip_recorded(self):
+        record, result, job = run_msg_fault(4, bit=1)  # src field, packet 1
+        assert record.delivered
+        assert record.detail == "header"
+
+    def test_counter_crossing_in_later_packet(self):
+        pkt = HEADER_SIZE + 64
+        record, _, _ = run_msg_fault(2 * pkt + 10)
+        assert record.delivered
+
+    def test_target_beyond_traffic_is_undelivered(self):
+        record, result, _ = run_msg_fault(10_000_000)
+        assert not record.delivered
+        assert result.status is JobStatus.COMPLETED
+
+    def test_fires_exactly_once(self):
+        record, _, job = run_msg_fault(HEADER_SIZE + 1)
+        # bytes_received spans all packets but only one byte was flipped:
+        # delivered stays True and old/new differ by exactly one bit.
+        assert record.delivered
+        assert bin(record.old_value ^ record.new_value).count("1") == 1
+
+
+class TestHeaderConsequences:
+    def test_magic_flip_crashes(self):
+        record, result, _ = run_msg_fault(0, bit=6)  # magic byte 0
+        assert record.delivered
+        assert result.status is JobStatus.CRASHED
+        assert any("p4_error" in l for l in result.stderr)
+
+    def test_dst_flip_hangs(self):
+        # dst field at bytes [8, 12): misrouted message is dropped; the
+        # posted receive never completes.
+        record, result, _ = run_msg_fault(8, bit=0)
+        assert record.delivered
+        assert result.status is JobStatus.HUNG
+
+    def test_padding_flip_benign(self):
+        record, result, _ = run_msg_fault(HEADER_SIZE - 4, bit=5)
+        assert record.delivered
+        assert record.detail == "header"
+        assert result.status is JobStatus.COMPLETED
+
+
+class TestValidation:
+    def test_wrong_region(self):
+        job = Job(GenericApp(exchange_main), JobConfig(nprocs=2))
+        spec = FaultSpec(Region.HEAP, 0, bit=0)
+        with pytest.raises(InvalidFaultSpec):
+            MessageFaultInjector(job, spec, InjectionRecord(spec))
+
+    def test_double_arm_rejected(self):
+        job = Job(GenericApp(exchange_main), JobConfig(nprocs=2))
+        spec = FaultSpec(Region.MESSAGE, 1, bit=0, target_byte=0)
+        MessageFaultInjector(job, spec, InjectionRecord(spec)).arm()
+        with pytest.raises(InvalidFaultSpec):
+            MessageFaultInjector(job, spec, InjectionRecord(spec)).arm()

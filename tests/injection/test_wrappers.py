@@ -1,0 +1,60 @@
+"""The MPI_Init fault-injection wrapper (config-file path)."""
+
+import pytest
+
+from repro.injection.faults import Region
+from repro.injection.wrappers import install, install_from_config_text
+from repro.injection.faults import FaultSpec
+from repro.mpi.simulator import Job, JobConfig
+from tests.conftest import SMALL_NPROCS, SMALL_WAVETOY
+
+
+def job():
+    from repro.apps import WavetoyApp
+
+    return Job(WavetoyApp(**SMALL_WAVETOY), JobConfig(nprocs=SMALL_NPROCS))
+
+
+class TestInstall:
+    def test_memory_fault_armed_via_pre_run_hook(self):
+        j = job()
+        spec = FaultSpec(
+            Region.REGULAR_REG, 1, time_blocks=50, bit=2, reg_index=0
+        )
+        record = install(j, spec)
+        assert j.vms[1].pending_hooks() == 0  # armed only at run time
+        j.run()
+        assert record.delivered
+
+    def test_message_fault_armed(self):
+        j = job()
+        spec = FaultSpec(Region.MESSAGE, 1, bit=0, target_byte=60)
+        record = install(j, spec)
+        j.run()
+        assert record.delivered
+
+
+class TestConfigFilePath:
+    def test_full_pipeline(self):
+        j = job()
+        record = install_from_config_text(
+            j,
+            """
+            [injection]
+            region = regular_reg
+            rank = 2
+            time = 100
+            bit = 5
+            reg = 6
+            seed = 3
+            """,
+        )
+        result = j.run()
+        assert record.delivered
+        assert record.detail == "esi"
+
+    def test_bad_config_raises_before_run(self):
+        from repro.injection.config import ConfigError
+
+        with pytest.raises(ConfigError):
+            install_from_config_text(job(), "[injection]\nregion = cache\n")

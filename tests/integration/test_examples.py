@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    saved = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+class TestExamples:
+    def test_custom_app_injection(self, capsys):
+        run_example("custom_app_injection.py")
+        out = capsys.readouterr().out
+        assert "pi = 3.14159" in out
+        assert "fault armed" in out
+
+    def test_reliability_asciq(self, capsys):
+        run_example("reliability_asciq.py")
+        out = capsys.readouterr().out
+        assert "1,650" in out
+        assert "SECDED" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "one injection per region" in out
+        assert out.count("->") >= 8
+
+    @pytest.mark.slow
+    def test_fault_campaign_small(self, capsys):
+        run_example("fault_campaign.py", ["wavetoy", "3"])
+        out = capsys.readouterr().out
+        assert "Fault Injection Results (wavetoy)" in out
+        assert "Regular Reg." in out
+
+    @pytest.mark.slow
+    def test_working_set_analysis_small(self, capsys):
+        run_example("working_set_analysis.py", ["3"])
+        out = capsys.readouterr().out
+        assert "Memory trace of wavetoy" in out
+        assert "consistent with the paper" in out
+
+    @pytest.mark.slow
+    def test_detector_study_small(self, capsys):
+        run_example("detector_study.py", ["6"])
+        out = capsys.readouterr().out
+        assert "checksum" in out
+        assert "detector fires" in out

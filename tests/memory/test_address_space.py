@@ -1,0 +1,99 @@
+"""Unit tests for the address space."""
+
+import pytest
+
+from repro.errors import SimSegfault
+from repro.memory.address_space import AddressSpace
+from repro.memory.segments import Perm
+
+
+@pytest.fixture
+def space():
+    sp = AddressSpace()
+    sp.map("text", 0x1000, 0x1000, Perm.RX, track=True)
+    sp.map("data", 0x4000, 0x1000, Perm.RW, track=True)
+    return sp
+
+
+class TestMapping:
+    def test_overlap_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map("bad", 0x4800, 0x1000)
+
+    def test_find_unmapped_raises(self, space):
+        with pytest.raises(SimSegfault):
+            space.find(0x9000)
+
+    def test_find_by_name(self, space):
+        assert space.segment("data").name == "data"
+        with pytest.raises(KeyError):
+            space.segment("nope")
+
+    def test_is_mapped(self, space):
+        assert space.is_mapped(0x4000, 0x1000)
+        assert not space.is_mapped(0x4000, 0x1001)
+
+    def test_total_mapped(self, space):
+        assert space.total_mapped() == 0x2000
+
+    def test_iter_addresses_sorted(self, space):
+        assert list(space.iter_addresses()) == [(0x1000, 0x1000), (0x4000, 0x1000)]
+
+
+class TestPermissions:
+    def test_write_to_text_denied(self, space):
+        with pytest.raises(SimSegfault):
+            space.store_u32(0x1000, 1)
+
+    def test_execute_data_denied(self, space):
+        with pytest.raises(SimSegfault):
+            space.fetch_code(0x4000, 8)
+
+    def test_read_text_allowed(self, space):
+        assert space.load_u32(0x1000) == 0
+
+    def test_vector_write_to_text_denied(self, space):
+        with pytest.raises(SimSegfault):
+            space.vector_f64(0x1000, 4, write=True)
+
+    def test_injector_flip_ignores_permissions(self, space):
+        space.flip_bit(0x1000, 3)  # text write via flip is allowed
+        assert space.load_u32(0x1000) == 8
+
+
+class TestAccess:
+    def test_scalar_roundtrips(self, space):
+        space.store_u32(0x4000, 0xCAFEBABE)
+        assert space.load_u32(0x4000) == 0xCAFEBABE
+        space.store_i32(0x4004, -42)
+        assert space.load_i32(0x4004) == -42
+        space.store_f64(0x4008, 2.5)
+        assert space.load_f64(0x4008) == 2.5
+        space.store_bytes(0x4010, b"abc")
+        assert space.load_bytes(0x4010, 3) == b"abc"
+
+    def test_vector_negative_count(self, space):
+        with pytest.raises(SimSegfault):
+            space.vector_f64(0x4000, -1)
+
+    def test_vector_roundtrip(self, space):
+        v = space.vector_f64(0x4000, 4, write=True)
+        v[:] = [1.0, 2.0, 3.0, 4.0]
+        assert space.load_f64(0x4018) == 4.0
+
+    def test_loads_recorded(self, space):
+        space.clock.blocks = 9
+        space.load_u32(0x4000)
+        assert space.segment("data").last_load[0] == 9
+
+    def test_fetch_records_exec(self, space):
+        space.clock.blocks = 3
+        space.fetch_code(0x1000, 8)
+        assert space.segment("text").last_exec[0] == 3
+
+    def test_find_cache_consistency(self, space):
+        # Repeated hits through the one-entry cache must stay correct
+        # when alternating segments.
+        for _ in range(3):
+            assert space.find(0x1000).name == "text"
+            assert space.find(0x4000).name == "data"

@@ -1,0 +1,156 @@
+"""Unit tests for the tagging heap allocator (the paper's malloc wrapper)."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.memory.heap import ChunkTag, HEADER_SIZE, HeapAllocator, HeapCorruption
+from repro.memory.segments import Perm, Segment
+
+
+@pytest.fixture
+def heap():
+    seg = Segment("heap", 0x10000, 1 << 16, Perm.RW, Clock())
+    return HeapAllocator(seg)
+
+
+class TestAllocation:
+    def test_malloc_returns_payload_addr(self, heap):
+        addr = heap.malloc(100)
+        assert heap.segment.contains(addr, 100)
+
+    def test_header_written_to_memory(self, heap):
+        addr = heap.malloc(64)
+        assert heap.segment.read_u32(addr - HEADER_SIZE) == int(ChunkTag.USER)
+        assert heap.segment.read_u32(addr - HEADER_SIZE + 4) == 64
+
+    def test_eight_byte_header_per_paper(self):
+        assert HEADER_SIZE == 8
+
+    def test_disjoint_chunks(self, heap):
+        a = heap.malloc(100)
+        b = heap.malloc(100)
+        assert abs(a - b) >= 100 + HEADER_SIZE
+
+    def test_zero_size_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.malloc(0)
+
+    def test_exhaustion_raises_memoryerror(self, heap):
+        with pytest.raises(MemoryError):
+            heap.malloc(1 << 20)
+
+    def test_calloc_zeroes(self, heap):
+        addr = heap.malloc(16)
+        heap.segment.write_bytes(addr, b"\xff" * 16)
+        heap.free(addr)
+        addr2 = heap.calloc(16)
+        assert heap.segment.read_bytes(addr2, 16) == bytes(16)
+
+    def test_alignment(self, heap):
+        for _ in range(5):
+            assert heap.malloc(13) % 8 == 0
+
+
+class TestFree:
+    def test_free_and_reuse(self, heap):
+        a = heap.malloc(64)
+        heap.free(a)
+        b = heap.malloc(64)
+        assert b == a  # first fit reuses the hole
+
+    def test_double_free_detected(self, heap):
+        a = heap.malloc(8)
+        heap.free(a)
+        with pytest.raises(HeapCorruption):
+            heap.free(a)
+
+    def test_free_wild_pointer_detected(self, heap):
+        with pytest.raises(HeapCorruption):
+            heap.free(0x10020)
+
+    def test_coalescing(self, heap):
+        a = heap.malloc(1000)
+        b = heap.malloc(1000)
+        c = heap.malloc(1000)
+        heap.free(a)
+        heap.free(b)
+        heap.free(c)
+        big = heap.malloc(3000)  # only possible if holes merged
+        assert heap.segment.contains(big, 3000)
+
+    def test_in_use_accounting(self, heap):
+        base = heap.in_use
+        a = heap.malloc(100)
+        assert heap.in_use > base
+        heap.free(a)
+        assert heap.in_use == base
+
+    def test_high_water(self, heap):
+        a = heap.malloc(100)
+        heap.free(a)
+        assert heap.high_water >= 100
+
+
+class TestRealloc:
+    def test_realloc_preserves_contents(self, heap):
+        a = heap.malloc(16)
+        heap.segment.write_bytes(a, b"0123456789abcdef")
+        b = heap.realloc(a, 32)
+        assert heap.segment.read_bytes(b, 16) == b"0123456789abcdef"
+
+    def test_realloc_keeps_tag(self, heap):
+        a = heap.malloc(16, ChunkTag.MPI)
+        b = heap.realloc(a, 8)
+        assert heap.chunk_at(b).tag is ChunkTag.MPI
+
+
+class TestTagging:
+    def test_default_tag_is_user(self, heap):
+        assert heap.chunk_at(heap.malloc(8)).tag is ChunkTag.USER
+
+    def test_inside_mpi_flag(self, heap):
+        with heap.inside_mpi():
+            a = heap.malloc(8)
+        b = heap.malloc(8)
+        assert heap.chunk_at(a).tag is ChunkTag.MPI
+        assert heap.chunk_at(b).tag is ChunkTag.USER
+
+    def test_inside_mpi_nests(self, heap):
+        with heap.inside_mpi():
+            with heap.inside_mpi():
+                pass
+            assert heap.current_tag is ChunkTag.MPI
+        assert heap.current_tag is ChunkTag.USER
+
+    def test_byte_accounting_by_tag(self, heap):
+        heap.malloc(100)
+        with heap.inside_mpi():
+            heap.malloc(50)
+        assert heap.user_bytes() == 100
+        assert heap.mpi_bytes() == 50
+
+
+class TestInjectorScan:
+    def test_scan_finds_user_chunk(self, heap):
+        with heap.inside_mpi():
+            heap.malloc(64)
+        user = heap.malloc(64)
+        found = heap.find_user_chunk_from(heap.segment.base)
+        assert found.addr == user
+
+    def test_scan_wraps_around(self, heap):
+        user = heap.malloc(64)
+        found = heap.find_user_chunk_from(heap.segment.end - 1)
+        assert found.addr == user
+
+    def test_scan_skips_mpi_chunks(self, heap):
+        with heap.inside_mpi():
+            for _ in range(4):
+                heap.malloc(32)
+        assert heap.find_user_chunk_from(heap.segment.base) is None
+
+    def test_corrupted_header_detected_by_walk(self, heap):
+        addr = heap.malloc(64)
+        heap.segment.flip_bit(addr - HEADER_SIZE, 3)  # damage the tag
+        with pytest.raises(HeapCorruption):
+            list(heap.iter_chunks())

@@ -1,0 +1,67 @@
+"""Memory layout constants and helpers (Figure 1)."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.memory.layout import (
+    GRANULE,
+    KERNEL_BASE,
+    PAGE,
+    SHARED_LIBS_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+    align_up,
+    granules,
+)
+
+
+class TestFigure1Constants:
+    def test_ordering(self):
+        """Text below libraries below stack below kernel space."""
+        assert TEXT_BASE < SHARED_LIBS_BASE < STACK_TOP <= KERNEL_BASE
+
+    def test_classic_values(self):
+        assert TEXT_BASE == 0x08048000
+        assert SHARED_LIBS_BASE == 0x40000000
+        assert KERNEL_BASE == 0xC0000000
+
+    def test_page_power_of_two(self):
+        assert PAGE & (PAGE - 1) == 0
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        "value,alignment,expected",
+        [(0, 16, 0), (1, 16, 16), (16, 16, 16), (17, 16, 32), (4095, PAGE, PAGE)],
+    )
+    def test_align_up(self, value, alignment, expected):
+        assert align_up(value, alignment) == expected
+
+    def test_align_up_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+    def test_granules(self):
+        assert granules(0) == 0
+        assert granules(1) == 1
+        assert granules(GRANULE) == 1
+        assert granules(GRANULE + 1) == 2
+
+
+class TestClock:
+    def test_tick_and_reset(self):
+        c = Clock()
+        assert c.blocks == 0
+        assert c.tick() == 1
+        assert c.tick(10) == 11
+        c.reset()
+        assert c.blocks == 0
+
+    def test_shared_reference_semantics(self):
+        """Segments and VMs share one clock object per process."""
+        c = Clock()
+        alias = c
+        alias.tick(5)
+        assert c.blocks == 5

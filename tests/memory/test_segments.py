@@ -1,0 +1,133 @@
+"""Unit tests for memory segments."""
+
+import numpy as np
+import pytest
+
+from repro.clock import Clock
+from repro.errors import SimBusError, SimSegfault
+from repro.memory.layout import GRANULE
+from repro.memory.segments import Perm, Segment
+
+
+@pytest.fixture
+def seg():
+    return Segment("data", 0x1000, 4096, Perm.RW, Clock(), track=True)
+
+
+class TestAddressing:
+    def test_contains(self, seg):
+        assert seg.contains(0x1000)
+        assert seg.contains(0x1FFF)
+        assert not seg.contains(0x2000)
+        assert not seg.contains(0xFFF)
+        assert seg.contains(0x1FF0, 16)
+        assert not seg.contains(0x1FF0, 17)
+
+    def test_end(self, seg):
+        assert seg.end == 0x2000
+
+    def test_out_of_range_read_raises(self, seg):
+        with pytest.raises(SimSegfault):
+            seg.read_u32(0x2000)
+
+    def test_straddling_access_raises(self, seg):
+        with pytest.raises(SimSegfault):
+            seg.read_bytes(0x1FFE, 4)
+
+    def test_zero_size_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Segment("x", 0, 0)
+
+    def test_segment_must_fit_32_bits(self):
+        with pytest.raises(ValueError):
+            Segment("x", 0xFFFF_F000, 0x2000)
+
+
+class TestScalarAccess:
+    def test_u32_roundtrip(self, seg):
+        seg.write_u32(0x1010, 0xDEADBEEF)
+        assert seg.read_u32(0x1010) == 0xDEADBEEF
+
+    def test_u32_little_endian(self, seg):
+        seg.write_u32(0x1000, 0x04030201)
+        assert seg.read_bytes(0x1000, 4) == b"\x01\x02\x03\x04"
+
+    def test_i32_roundtrip_negative(self, seg):
+        seg.write_i32(0x1004, -12345)
+        assert seg.read_i32(0x1004) == -12345
+
+    def test_f64_roundtrip(self, seg):
+        seg.write_f64(0x1008, 3.14159)
+        assert seg.read_f64(0x1008) == 3.14159
+
+    def test_u8_masking(self, seg):
+        seg.write_u8(0x1000, 0x1FF)
+        assert seg.read_u8(0x1000) == 0xFF
+
+    def test_bytes_roundtrip(self, seg):
+        seg.write_bytes(0x1100, b"hello world")
+        assert seg.read_bytes(0x1100, 11) == b"hello world"
+
+
+class TestViews:
+    def test_f64_view_aliases_storage(self, seg):
+        view = seg.view_f64(0x1000, 8)
+        view[:] = np.arange(8.0)
+        assert seg.read_f64(0x1000 + 3 * 8) == 3.0
+
+    def test_unaligned_f64_view_raises(self, seg):
+        with pytest.raises(SimBusError):
+            seg.view_f64(0x1004, 2)
+
+    def test_u8_view(self, seg):
+        seg.write_bytes(0x1000, b"\x01\x02\x03")
+        assert list(seg.view_u8(0x1000, 3)) == [1, 2, 3]
+
+
+class TestBitFlips:
+    def test_flip_sets_and_clears(self, seg):
+        assert seg.flip_bit(0x1000, 0) == 1
+        assert seg.flip_bit(0x1000, 0) == 0
+
+    def test_flip_changes_f64(self, seg):
+        seg.write_f64(0x1000, 1.0)
+        seg.flip_bit(0x1007, 7)  # sign bit of the little-endian double
+        assert seg.read_f64(0x1000) == -1.0
+
+    def test_flip_bad_bit_index(self, seg):
+        with pytest.raises(ValueError):
+            seg.flip_bit(0x1000, 8)
+
+    def test_flip_bumps_version(self, seg):
+        v = seg.version
+        seg.flip_bit(0x1000, 1)
+        assert seg.version == v + 1
+
+    def test_writes_bump_version(self, seg):
+        v = seg.version
+        seg.write_u32(0x1000, 1)
+        seg.write_bytes(0x1004, b"xy")
+        seg.write_f64(0x1008, 2.0)
+        assert seg.version == v + 3
+
+
+class TestTracking:
+    def test_load_marks_granules(self, seg):
+        seg.clock.blocks = 77
+        seg.note_load(0x1000, GRANULE + 1)  # spans two granules
+        assert seg.last_load[0] == 77
+        assert seg.last_load[1] == 77
+        assert seg.last_load[2] == -1
+
+    def test_store_and_exec_tracked_separately(self, seg):
+        seg.clock.blocks = 5
+        seg.note_store(0x1000, 4)
+        seg.note_exec(0x1040, 8)
+        assert seg.last_store[0] == 5
+        assert seg.last_load[0] == -1
+        assert seg.last_exec[2] == 5
+
+    def test_untracked_segment_has_no_arrays(self):
+        seg = Segment("x", 0, 64, track=False)
+        assert seg.last_load is None
+        seg.note_load(0, 4)  # no-op, must not raise

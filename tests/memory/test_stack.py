@@ -1,0 +1,101 @@
+"""Unit tests for the EBP-linked stack."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.errors import SimSegfault
+from repro.memory.segments import Perm, Segment
+from repro.memory.stack import StackManager, StackOverflow
+
+
+@pytest.fixture
+def stack():
+    seg = Segment("stack", 0xB000_0000, 1 << 14, Perm.RW, Clock())
+    return StackManager(seg)
+
+
+class TestPushPop:
+    def test_roundtrip(self, stack):
+        stack.push_u32(0xAABBCCDD)
+        stack.push_u32(7)
+        assert stack.pop_u32() == 7
+        assert stack.pop_u32() == 0xAABBCCDD
+
+    def test_grows_down(self, stack):
+        top = stack.esp
+        stack.push_u32(1)
+        assert stack.esp == top - 4
+
+    def test_underflow_raises(self, stack):
+        with pytest.raises(SimSegfault):
+            stack.pop_u32()
+
+    def test_overflow_raises(self, stack):
+        with pytest.raises(StackOverflow):
+            for _ in range(10_000):
+                stack.push_u32(0)
+
+    def test_alloca(self, stack):
+        base = stack.alloca(100)
+        assert base == stack.esp
+        assert stack.used_bytes() >= 100
+
+
+class TestFrames:
+    def test_frame_layout(self, stack):
+        frame = stack.push_frame(0x08048100, args=(11, 22), locals_size=8)
+        seg = stack.segment
+        assert seg.read_u32(frame.ebp + 4) == 0x08048100  # return address
+        assert seg.read_u32(frame.arg_addr(0)) == 11
+        assert seg.read_u32(frame.arg_addr(1)) == 22
+
+    def test_frame_bounds(self, stack):
+        frame = stack.push_frame(0x1000, args=(1,), locals_size=16)
+        assert frame.low == frame.locals_base
+        assert frame.high == frame.args_base + 4
+        with pytest.raises(IndexError):
+            frame.arg_addr(1)
+        with pytest.raises(IndexError):
+            frame.local_addr(16)
+
+    def test_pop_restores(self, stack):
+        esp0, ebp0 = stack.esp, stack.ebp
+        frame = stack.push_frame(0x1234, args=(1, 2, 3), locals_size=4)
+        ret = stack.pop_frame(frame)
+        assert ret == 0x1234
+        assert stack.esp == esp0
+        assert stack.ebp == ebp0
+
+    def test_walk_chain(self, stack):
+        f1 = stack.push_frame(0x1000)
+        f2 = stack.push_frame(0x2000)
+        walked = list(stack.walk_frames())
+        assert [ret for _, ret in walked] == [0x2000, 0x1000]
+        assert walked[0][0] == f2.ebp
+        assert walked[1][0] == f1.ebp
+
+    def test_walk_with_start_override(self, stack):
+        f1 = stack.push_frame(0x1000)
+        stack.push_frame(0x2000)
+        walked = list(stack.walk_frames(start_ebp=f1.ebp))
+        assert [ret for _, ret in walked] == [0x1000]
+
+    def test_walk_stops_on_corrupt_link(self, stack):
+        stack.push_frame(0x1000)
+        f2 = stack.push_frame(0x2000)
+        # Smash the saved-EBP link so it points below itself.
+        stack.segment.write_u32(f2.ebp, f2.ebp - 64)
+        walked = list(stack.walk_frames())
+        assert len(walked) == 1  # unwinder gives up
+
+    def test_pop_with_corrupted_ebp_faults(self, stack):
+        frame = stack.push_frame(0x1000)
+        stack.ebp ^= 0x40  # register corruption
+        with pytest.raises(SimSegfault):
+            stack.pop_frame(frame)
+
+    def test_live_extent(self, stack):
+        stack.push_frame(0x1000, args=(1,), locals_size=32)
+        low, high = stack.live_extent()
+        assert low == stack.esp
+        assert high == stack.segment.end

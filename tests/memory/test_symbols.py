@@ -1,0 +1,129 @@
+"""Unit tests for symbols and the linker."""
+
+import pytest
+
+from repro.memory.layout import PAGE, STACK_TOP, TEXT_BASE
+from repro.memory.symbols import Linker, ObjectDef, Symbol, SymbolTable
+
+
+class TestSymbolTable:
+    def test_lookup_and_resolve(self):
+        st = SymbolTable(
+            [
+                Symbol("a", 0x1000, 16, "text", "user"),
+                Symbol("b", 0x1010, 16, "text", "mpi"),
+            ]
+        )
+        assert st.lookup("a").addr == 0x1000
+        assert st.resolve(0x1015).name == "b"
+        assert st.resolve(0x1020) is None
+        with pytest.raises(KeyError):
+            st.lookup("missing")
+
+    def test_duplicate_rejected(self):
+        st = SymbolTable([Symbol("a", 0, 8, "data", "user")])
+        with pytest.raises(ValueError):
+            st.add(Symbol("a", 0x100, 8, "data", "user"))
+
+    def test_filters(self):
+        st = SymbolTable(
+            [
+                Symbol("t1", 0x0, 8, "text", "user"),
+                Symbol("t2", 0x8, 8, "text", "mpi"),
+                Symbol("d1", 0x100, 8, "data", "user"),
+            ]
+        )
+        assert {s.name for s in st.symbols("text")} == {"t1", "t2"}
+        assert {s.name for s in st.symbols(library="mpi")} == {"t2"}
+        assert st.section_size("text") == 16
+        assert st.section_size("text", "user") == 8
+
+
+class TestObjectDef:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectDef("x", "text", 0)
+        with pytest.raises(ValueError):
+            ObjectDef("x", "data", 4, init=b"12345")
+        with pytest.raises(ValueError):
+            ObjectDef("x", "bss", 8, init=b"1")
+
+
+class TestLinker:
+    def test_figure1_layout(self):
+        linker = Linker()
+        linker.add_text("code", b"\x01" * 64)
+        linker.add_data("globals", 128, init=b"\xaa" * 4)
+        linker.add_bss("zeros", 256)
+        image = linker.link(heap_size=4096, stack_size=4096)
+        assert image.text.base == TEXT_BASE
+        assert image.text.base < image.data.base < image.bss.base < image.heap.base
+        assert image.stack.end == STACK_TOP
+        assert image.data.base % PAGE == 0
+
+    def test_symbols_and_content(self):
+        linker = Linker()
+        linker.add_text("f", b"\x02" * 16)
+        linker.add_data("g", 8, init=b"\x05\x00\x00\x00\x00\x00\x00\x00")
+        image = linker.link()
+        f = image.symtab.lookup("f")
+        assert image.text.read_bytes(f.addr, 16) == b"\x02" * 16
+        g = image.symtab.lookup("g")
+        assert image.data.read_u32(g.addr) == 5
+
+    def test_bss_zero_initialized(self):
+        linker = Linker()
+        linker.add_text("f", b"\x01" * 8)
+        linker.add_bss("z", 64)
+        image = linker.link()
+        z = image.symtab.lookup("z")
+        assert image.bss.read_bytes(z.addr, 64) == bytes(64)
+
+    def test_entry_points(self):
+        linker = Linker()
+        linker.add_text("main", b"\x01" * 8)
+        linker.add_text("helper", b"\x01" * 8)
+        image = linker.link()
+        assert set(image.entry_points) == {"main", "helper"}
+
+    def test_duplicate_object_rejected(self):
+        linker = Linker()
+        linker.add_text("f", b"\x01" * 8)
+        with pytest.raises(ValueError):
+            linker.add_data("f", 8)
+
+    def test_mixed_libraries_share_sections(self):
+        linker = Linker()
+        linker.add_text("user_fn", b"\x01" * 8, library="user")
+        linker.add_text("MPI_Send", b"\x01" * 8, library="mpi")
+        image = linker.link()
+        u = image.symtab.lookup("user_fn")
+        m = image.symtab.lookup("MPI_Send")
+        assert image.text.contains(u.addr) and image.text.contains(m.addr)
+
+
+class TestProcessImage:
+    def test_section_sizes(self):
+        from repro.memory.process import ProcessImage
+
+        linker = Linker()
+        linker.add_text("f", b"\x01" * 100)
+        linker.add_data("d", 50)
+        linker.add_bss("b", 25)
+        image = ProcessImage.from_linker(linker)
+        sizes = image.section_sizes()
+        assert sizes["text"] == 100
+        assert sizes["data"] == 50
+        assert sizes["bss"] == 25
+        assert sizes["heap"] == 0
+
+    def test_user_text_detection(self):
+        from repro.memory.process import ProcessImage
+
+        linker = Linker()
+        linker.add_text("app", b"\x01" * 16, library="user")
+        linker.add_text("MPI_Recv", b"\x01" * 16, library="mpi")
+        image = ProcessImage.from_linker(linker)
+        assert image.in_user_text(image.addr_of("app"))
+        assert not image.in_user_text(image.addr_of("MPI_Recv"))
+        assert not image.in_user_text(0)

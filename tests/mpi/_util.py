@@ -1,0 +1,43 @@
+"""Helpers for MPI runtime tests: a minimal application wrapper."""
+
+from __future__ import annotations
+
+from repro.cpu.vm import VM
+from repro.memory.process import ProcessImage
+from repro.memory.symbols import Linker
+from repro.mpi.library import add_mpi_library
+from repro.mpi.simulator import Job, JobConfig
+
+
+class GenericApp:
+    """Wraps a ``main(ctx) -> generator`` function as an application."""
+
+    name = "generic"
+
+    def __init__(self, main_fn, *, bss_size: int = 1024, heap_size: int = 1 << 16):
+        self._main = main_fn
+        self.bss_size = bss_size
+        self.heap_size = heap_size
+
+    def build_process(self, rank: int, nprocs: int, config: JobConfig):
+        linker = Linker()
+        linker.add_text("app_main", b"\x01" * 64)
+        linker.add_bss("buf", self.bss_size)
+        add_mpi_library(linker, text_scale=0.05, data_scale=0.05)
+        image = ProcessImage.from_linker(
+            linker, rank=rank, heap_size=self.heap_size
+        )
+        return image, VM(image)
+
+    def main(self, ctx):
+        return self._main(ctx)
+
+
+def run_app(main_fn, nprocs: int = 4, **cfg_kwargs):
+    """Run a generator main over ``nprocs`` ranks; returns (result, job)."""
+    job = Job(GenericApp(main_fn), JobConfig(nprocs=nprocs, **cfg_kwargs))
+    return job.run(), job
+
+
+def buf_addr(ctx) -> int:
+    return ctx.image.addr_of("buf")

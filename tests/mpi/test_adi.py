@@ -1,0 +1,83 @@
+"""Unit tests for the ADI layer: framing, matching, protocols."""
+
+import pytest
+
+from repro.mpi.adi import (
+    ChannelProtocolError,
+    MAGIC,
+    MSG_CTS,
+    MSG_EAGER,
+    MSG_RTS,
+    pack_header,
+    parse_packet,
+)
+from repro.mpi.channel import HEADER_SIZE
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        pkt = pack_header(1, 2, 7, MSG_EAGER, 3, 99) + b"abc"
+        msg = parse_packet(pkt)
+        assert (msg.src, msg.dst, msg.tag) == (1, 2, 7)
+        assert msg.mtype == MSG_EAGER
+        assert msg.payload == b"abc"
+        assert msg.seq == 99
+
+    def test_header_is_channel_header_size(self):
+        assert len(pack_header(0, 0, 0, MSG_EAGER, 0, 0)) == HEADER_SIZE
+
+    def test_short_packet_fatal(self):
+        with pytest.raises(ChannelProtocolError, match="short"):
+            parse_packet(b"\x00" * 10)
+
+    def test_bad_magic_fatal(self):
+        pkt = bytearray(pack_header(0, 1, 0, MSG_EAGER, 0, 0))
+        pkt[0] ^= 0x40
+        with pytest.raises(ChannelProtocolError, match="magic"):
+            parse_packet(pkt)
+
+    def test_length_mismatch_fatal(self):
+        pkt = pack_header(0, 1, 0, MSG_EAGER, 5, 0) + b"abc"
+        with pytest.raises(ChannelProtocolError, match="length"):
+            parse_packet(pkt)
+
+    def test_unknown_type_fatal(self):
+        pkt = pack_header(0, 1, 0, 200, 0, 0)
+        with pytest.raises(ChannelProtocolError, match="type"):
+            parse_packet(pkt)
+
+    def test_padding_flips_benign(self):
+        """Flips in the 16 padding bytes parse identically - part of why
+        only ~40% of header flips corrupt execution."""
+        pkt = bytearray(pack_header(3, 1, 7, MSG_EAGER, 2, 5) + b"hi")
+        pkt[HEADER_SIZE - 1] ^= 0x80  # last pad byte
+        msg = parse_packet(pkt)
+        assert (msg.src, msg.dst, msg.tag, msg.payload) == (3, 1, 7, b"hi")
+
+    def test_seq_flip_benign_for_eager(self):
+        pkt = bytearray(pack_header(3, 1, 7, MSG_EAGER, 2, 5) + b"hi")
+        pkt[24] ^= 0x01  # seq field
+        msg = parse_packet(pkt)
+        assert msg.payload == b"hi"
+        assert msg.seq != 5
+
+
+class TestSensitiveFieldFlips:
+    def test_src_flip_changes_matching_identity(self):
+        pkt = bytearray(pack_header(3, 1, 7, MSG_EAGER, 0, 0))
+        pkt[4] ^= 0x04  # src 3 -> 7
+        assert parse_packet(pkt).src == 7
+
+    def test_type_flip_eager_to_rts(self):
+        pkt = bytearray(pack_header(0, 1, 7, MSG_EAGER, 0, 0))
+        pkt[16] ^= MSG_EAGER ^ MSG_RTS
+        assert parse_packet(pkt).mtype == MSG_RTS
+
+    def test_len_flip_detected(self):
+        pkt = bytearray(pack_header(0, 1, 7, MSG_EAGER, 4, 0) + b"abcd")
+        pkt[20] ^= 0x02  # payload_len 4 -> 6
+        with pytest.raises(ChannelProtocolError):
+            parse_packet(pkt)
+
+    def test_magic_constant_value(self):
+        assert MAGIC == 0x4849504D  # 'MPIH'

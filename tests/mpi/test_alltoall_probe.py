@@ -1,0 +1,124 @@
+"""MPI_Alltoall and MPI_Probe/Iprobe."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, MPI_DOUBLE, MPI_INT
+from repro.mpi.simulator import JobStatus
+from tests.mpi._util import buf_addr, run_app
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+    def test_transpose_semantics(self, nprocs):
+        """recv[j] on rank i must equal send[i] of rank j."""
+
+        def main(ctx):
+            n = ctx.nprocs
+            send = ctx.image.heap.malloc(n * 8)
+            recv = ctx.image.heap.malloc(n * 8)
+            sview = ctx.image.heap_segment.view_f64(send, n)
+            sview[:] = [100.0 * ctx.rank + j for j in range(n)]
+            yield from ctx.comm.alltoall(send, 1, MPI_DOUBLE, recv)
+            rview = ctx.image.heap_segment.view_f64(recv, n)
+            np.testing.assert_array_equal(
+                rview, [100.0 * j + ctx.rank for j in range(n)]
+            )
+
+        result, _ = run_app(main, nprocs=nprocs)
+        assert result.status is JobStatus.COMPLETED, result.detail
+
+    def test_multi_element_blocks(self):
+        def main(ctx):
+            n, c = ctx.nprocs, 4
+            send = ctx.image.heap.malloc(n * c * 8)
+            recv = ctx.image.heap.malloc(n * c * 8)
+            sview = ctx.image.heap_segment.view_f64(send, n * c)
+            sview[:] = np.arange(n * c) + 1000 * ctx.rank
+            yield from ctx.comm.alltoall(send, c, MPI_DOUBLE, recv)
+            rview = ctx.image.heap_segment.view_f64(recv, n * c)
+            for j in range(n):
+                np.testing.assert_array_equal(
+                    rview[j * c : (j + 1) * c],
+                    np.arange(ctx.rank * c, (ctx.rank + 1) * c) + 1000 * j,
+                )
+
+        result, _ = run_app(main, nprocs=4)
+        assert result.status is JobStatus.COMPLETED, result.detail
+
+    def test_single_rank_copies(self):
+        def main(ctx):
+            send = ctx.image.heap.malloc(8)
+            recv = ctx.image.heap.malloc(8)
+            ctx.image.heap_segment.write_f64(send, 9.0)
+            yield from ctx.comm.alltoall(send, 1, MPI_DOUBLE, recv)
+            assert ctx.image.heap_segment.read_f64(recv) == 9.0
+
+        result, _ = run_app(main, nprocs=1)
+        assert result.status is JobStatus.COMPLETED
+
+
+class TestProbe:
+    def test_iprobe_sees_pending_without_consuming(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            if ctx.rank == 0:
+                sp.store_i32(buf, 5)
+                yield from ctx.comm.send(buf, 1, MPI_INT, 1, 7)
+            else:
+                while ctx.comm.iprobe(0, 7) is None:
+                    yield None
+                st = ctx.comm.iprobe(0, 7)
+                assert st.source == 0 and st.tag == 7
+                assert st.get_count(MPI_INT) == 1
+                # still receivable afterwards
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 7)
+                assert sp.load_i32(buf) == 5
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED, result.detail
+
+    def test_iprobe_returns_none_when_empty(self):
+        def main(ctx):
+            assert ctx.comm.iprobe(ANY_SOURCE, ANY_TAG) is None
+            yield None
+
+        result, _ = run_app(main, nprocs=1)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_blocking_probe_then_sized_receive(self):
+        """The classic probe pattern: learn the size, then receive."""
+
+        def main(ctx):
+            sp = ctx.image.address_space
+            if ctx.rank == 0:
+                n = 13
+                addr = ctx.image.heap.malloc(n * 8)
+                ctx.image.heap_segment.view_f64(addr, n)[:] = 2.5
+                yield from ctx.comm.send(addr, n, MPI_DOUBLE, 1, 3)
+            else:
+                st = yield from ctx.comm.probe(ANY_SOURCE, 3)
+                n = st.get_count(MPI_DOUBLE)
+                assert n == 13
+                addr = ctx.image.heap.malloc(n * 8)
+                yield from ctx.comm.recv(addr, n, MPI_DOUBLE, st.source, 3)
+                assert ctx.image.heap_segment.read_f64(addr) == 2.5
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED, result.detail
+
+    def test_probe_with_wrong_tag_never_matches(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                yield from ctx.comm.send(buf, 1, MPI_INT, 1, 1)
+            else:
+                for _ in range(20):
+                    yield None
+                assert ctx.comm.iprobe(0, 99) is None
+                assert ctx.comm.iprobe(0, 1) is not None
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 1)
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED

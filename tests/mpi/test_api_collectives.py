@@ -1,0 +1,160 @@
+"""Collective operation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import MPI_DOUBLE, MPI_INT, MPI_MAX, MPI_MIN, MPI_SUM
+from repro.mpi.simulator import JobStatus
+from tests.mpi._util import buf_addr, run_app
+
+
+class TestBarrier:
+    def test_barrier_completes(self):
+        def main(ctx):
+            yield from ctx.comm.barrier()
+
+        for n in (1, 2, 3, 5, 8):
+            result, _ = run_app(main, nprocs=n)
+            assert result.status is JobStatus.COMPLETED, n
+
+    def test_barrier_orders_phases(self):
+        def main(ctx):
+            ctx.job.stdout.append(f"pre-{ctx.rank}")
+            yield from ctx.comm.barrier()
+            ctx.job.stdout.append(f"post-{ctx.rank}")
+
+        result, _ = run_app(main, nprocs=4)
+        pres = [i for i, l in enumerate(result.stdout) if l.startswith("pre")]
+        posts = [i for i, l in enumerate(result.stdout) if l.startswith("post")]
+        assert max(pres) < min(posts)
+
+    def test_barrier_traffic_is_control(self):
+        def main(ctx):
+            yield from ctx.comm.barrier()
+
+        _, job = run_app(main, nprocs=4)
+        for ep in job.endpoints:
+            assert ep.stats.data_packets == 0
+            assert ep.stats.control_packets >= 2  # ceil(log2(4)) rounds
+
+
+class TestBcast:
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_bcast_from_any_root(self, root):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            if ctx.rank == root:
+                sp.store_f64(buf, 6.5)
+            yield from ctx.comm.bcast(buf, 1, MPI_DOUBLE, root)
+            assert sp.load_f64(buf) == 6.5
+
+        result, _ = run_app(main, nprocs=5)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_bcast_array(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            view = ctx.image.bss.view_f64(buf, 16)
+            if ctx.rank == 0:
+                view[:] = np.arange(16.0)
+            yield from ctx.comm.bcast(buf, 16, MPI_DOUBLE, 0)
+            np.testing.assert_array_equal(view, np.arange(16.0))
+
+        result, _ = run_app(main, nprocs=6)
+        assert result.status is JobStatus.COMPLETED
+
+
+class TestReduce:
+    def test_reduce_sum(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            sp.store_f64(buf, float(ctx.rank + 1))
+            yield from ctx.comm.reduce(buf, buf + 8, 1, MPI_DOUBLE, MPI_SUM, 0)
+            if ctx.rank == 0:
+                assert sp.load_f64(buf + 8) == 15.0  # 1+2+3+4+5
+
+        result, _ = run_app(main, nprocs=5)
+        assert result.status is JobStatus.COMPLETED
+
+    @pytest.mark.parametrize("op,expected", [(MPI_MIN, 1.0), (MPI_MAX, 4.0)])
+    def test_reduce_minmax(self, op, expected):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            sp.store_f64(buf, float(ctx.rank + 1))
+            yield from ctx.comm.reduce(buf, buf + 8, 1, MPI_DOUBLE, op, 0)
+            if ctx.rank == 0:
+                assert sp.load_f64(buf + 8) == expected
+
+        result, _ = run_app(main, nprocs=4)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_allreduce(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            view = ctx.image.bss.view_f64(buf, 4)
+            view[:] = ctx.rank
+            yield from ctx.comm.allreduce(buf, buf + 32, 4, MPI_DOUBLE, MPI_SUM)
+            out = ctx.image.bss.view_f64(buf + 32, 4)
+            np.testing.assert_array_equal(out, np.full(4, sum(range(ctx.nprocs))))
+
+        result, _ = run_app(main, nprocs=7)
+        assert result.status is JobStatus.COMPLETED
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            sp.store_i32(buf, ctx.rank * 11)
+            recv = buf + 64
+            yield from ctx.comm.gather(buf, 1, MPI_INT, recv, 0)
+            if ctx.rank == 0:
+                for r in range(ctx.nprocs):
+                    assert sp.load_i32(recv + 4 * r) == r * 11
+
+        result, _ = run_app(main, nprocs=4)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_scatter(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            send = buf + 64
+            if ctx.rank == 0:
+                for r in range(ctx.nprocs):
+                    sp.store_i32(send + 4 * r, 100 + r)
+            yield from ctx.comm.scatter(send, 1, MPI_INT, buf, 0)
+            assert sp.load_i32(buf) == 100 + ctx.rank
+
+        result, _ = run_app(main, nprocs=4)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_allgather(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            sp.store_i32(buf, ctx.rank + 1)
+            recv = buf + 64
+            yield from ctx.comm.allgather(buf, 1, MPI_INT, recv)
+            for r in range(ctx.nprocs):
+                assert sp.load_i32(recv + 4 * r) == r + 1
+
+        result, _ = run_app(main, nprocs=5)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_gather_nonroot_root(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            sp.store_i32(buf, ctx.rank)
+            recv = buf + 64
+            yield from ctx.comm.gather(buf, 1, MPI_INT, recv, 2)
+            if ctx.rank == 2:
+                assert [sp.load_i32(recv + 4 * r) for r in range(4)] == [0, 1, 2, 3]
+
+        result, _ = run_app(main, nprocs=4)
+        assert result.status is JobStatus.COMPLETED

@@ -1,0 +1,197 @@
+"""Point-to-point MPI semantics, via full job runs."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, MPI_BYTE, MPI_DOUBLE, MPI_INT
+from repro.mpi.simulator import JobStatus
+from tests.mpi._util import buf_addr, run_app
+
+
+class TestSendRecv:
+    def test_basic_transfer(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                ctx.image.address_space.store_f64(buf, 1.25)
+                yield from ctx.comm.send(buf, 1, MPI_DOUBLE, 1, 5)
+            else:
+                st = yield from ctx.comm.recv(buf, 1, MPI_DOUBLE, 0, 5)
+                assert ctx.image.address_space.load_f64(buf) == 1.25
+                assert st.source == 0 and st.tag == 5
+                assert st.get_count(MPI_DOUBLE) == 1
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_message_ordering_preserved(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            if ctx.rank == 0:
+                for i in range(5):
+                    sp.store_i32(buf, i)
+                    yield from ctx.comm.send(buf, 1, MPI_INT, 1, 3)
+            else:
+                for i in range(5):
+                    yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 3)
+                    assert sp.load_i32(buf) == i
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_tag_selectivity(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            if ctx.rank == 0:
+                sp.store_i32(buf, 111)
+                yield from ctx.comm.send(buf, 1, MPI_INT, 1, 1)
+                sp.store_i32(buf, 222)
+                yield from ctx.comm.send(buf, 1, MPI_INT, 1, 2)
+            else:
+                # Receive tag 2 first even though tag 1 arrived first.
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 2)
+                assert sp.load_i32(buf) == 222
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 1)
+                assert sp.load_i32(buf) == 111
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_any_source_any_tag(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                seen = set()
+                for _ in range(3):
+                    st = yield from ctx.comm.recv(
+                        buf, 1, MPI_INT, ANY_SOURCE, ANY_TAG
+                    )
+                    seen.add(st.source)
+                assert seen == {1, 2, 3}
+            else:
+                ctx.image.address_space.store_i32(buf, ctx.rank)
+                yield from ctx.comm.send(buf, 1, MPI_INT, 0, 40 + ctx.rank)
+
+        result, _ = run_app(main, nprocs=4)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_rendezvous_large_message(self):
+        n = 512  # 4096 bytes > default 1024 eager threshold
+
+        def main(ctx):
+            addr = ctx.image.heap.malloc(n * 8)
+            view = ctx.image.heap_segment.view_f64(addr, n)
+            if ctx.rank == 0:
+                view[:] = np.arange(n)
+                yield from ctx.comm.send(addr, n, MPI_DOUBLE, 1, 9)
+            else:
+                yield from ctx.comm.recv(addr, n, MPI_DOUBLE, 0, 9)
+                np.testing.assert_array_equal(view, np.arange(n))
+
+        result, job = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+        # Receiver saw RTS (control) + data; sender saw CTS (control).
+        assert job.endpoints[1].stats.control_packets >= 1
+        assert job.endpoints[0].stats.control_packets >= 1
+
+    def test_isend_irecv_wait(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            if ctx.rank == 0:
+                sp.store_i32(buf, 7)
+                req = ctx.comm.isend(buf, 1, MPI_INT, 1, 2)
+                yield from ctx.comm.wait(req)
+            else:
+                req = ctx.comm.irecv(buf, 1, MPI_INT, 0, 2)
+                st = yield from ctx.comm.wait(req)
+                assert sp.load_i32(buf) == 7
+                assert st.count_bytes == 4
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_sendrecv_exchange(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            sp = ctx.image.address_space
+            other = 1 - ctx.rank
+            sp.store_i32(buf, ctx.rank + 100)
+            st = yield from ctx.comm.sendrecv(
+                buf, 1, MPI_INT, other, 1, buf + 16, 1, MPI_INT, other, 1
+            )
+            assert sp.load_i32(buf + 16) == other + 100
+            assert st.source == other
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_unexpected_message_staged_in_mpi_heap(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                ctx.image.address_space.store_i32(buf, 1)
+                yield from ctx.comm.send(buf, 1, MPI_INT, 1, 5)
+            else:
+                # Let the message arrive before posting the receive.
+                for _ in range(6):
+                    yield None
+                ctx.job.adis[1].progress()
+                assert ctx.image.heap.mpi_bytes() > 0  # staged chunk
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 5)
+                assert ctx.image.heap.mpi_bytes() == 0  # freed on match
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_zero_count_message(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                yield from ctx.comm.send(buf, 0, MPI_BYTE, 1, 1)
+            else:
+                st = yield from ctx.comm.recv(buf, 0, MPI_BYTE, 0, 1)
+                assert st.count_bytes == 0
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+
+
+class TestDeadlocks:
+    def test_recv_without_send_deadlocks(self):
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.recv(buf_addr(ctx), 1, MPI_INT, 1, 1)
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.HUNG
+        assert "deadlock" in result.detail
+
+    def test_mismatched_tags_deadlock(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                yield from ctx.comm.send(buf, 1, MPI_INT, 1, 1)
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 1, 2)
+            else:
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 1)
+                yield from ctx.comm.send(buf, 1, MPI_INT, 0, 99)  # wrong tag
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.HUNG
+
+
+class TestTruncation:
+    def test_overlong_message_is_fatal(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                yield from ctx.comm.send(buf, 8, MPI_INT, 1, 1)
+            else:
+                yield from ctx.comm.recv(buf, 1, MPI_INT, 0, 1)
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.CRASHED
+        assert any("p4_error" in line for line in result.stderr)

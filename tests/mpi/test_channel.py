@@ -1,0 +1,79 @@
+"""Unit tests for the Channel layer."""
+
+from repro.mpi.channel import HEADER_SIZE, ChannelEndpoint
+
+
+def make_packet(payload: bytes) -> bytes:
+    return bytes(HEADER_SIZE) + payload
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        ep = ChannelEndpoint(0)
+        ep.push(make_packet(b"a"))
+        ep.push(make_packet(b"b"))
+        assert bytes(ep.recv())[-1:] == b"a"
+        assert bytes(ep.recv())[-1:] == b"b"
+
+    def test_empty_returns_none(self):
+        assert ChannelEndpoint(0).recv() is None
+
+    def test_pending(self):
+        ep = ChannelEndpoint(0)
+        assert ep.pending() == 0
+        ep.push(make_packet(b""))
+        assert ep.pending() == 1
+
+
+class TestCounters:
+    def test_bytes_received(self):
+        ep = ChannelEndpoint(0)
+        ep.push(make_packet(b"abc"))
+        ep.recv()
+        assert ep.bytes_received == HEADER_SIZE + 3
+
+    def test_control_vs_data_classification(self):
+        ep = ChannelEndpoint(0)
+        ep.push(make_packet(b""))
+        ep.push(make_packet(b"payload"))
+        ep.recv()
+        ep.recv()
+        assert ep.stats.control_packets == 1
+        assert ep.stats.data_packets == 1
+        assert ep.stats.header_bytes == 2 * HEADER_SIZE
+        assert ep.stats.payload_bytes == 7
+
+    def test_header_fraction(self):
+        ep = ChannelEndpoint(0)
+        ep.push(make_packet(b"x" * HEADER_SIZE))  # 50/50 split
+        ep.recv()
+        assert ep.stats.header_fraction() == 0.5
+
+    def test_drop_accounting(self):
+        ep = ChannelEndpoint(0)
+        ep.note_drop()
+        assert ep.stats.dropped_packets == 1
+
+
+class TestInjectionHook:
+    def test_hook_sees_offset_and_can_corrupt(self):
+        ep = ChannelEndpoint(0)
+        seen = []
+
+        def hook(packet, start):
+            seen.append((bytes(packet), start))
+            packet[0] ^= 0xFF
+            return packet
+
+        ep.inject_hook = hook
+        ep.push(make_packet(b"x"))
+        ep.push(make_packet(b"y"))
+        p1 = ep.recv()
+        p2 = ep.recv()
+        assert p1[0] == 0xFF  # corrupted header byte
+        assert seen[0][1] == 0
+        assert seen[1][1] == HEADER_SIZE + 1  # counter advanced
+
+    def test_header_size_in_paper_range(self):
+        # "both have 32-64 bytes of header"
+        assert 32 <= HEADER_SIZE <= 64

@@ -1,0 +1,77 @@
+"""Unit tests for MPI datatypes and reduce ops."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MPI_BYTE,
+    MPI_DOUBLE,
+    MPI_INT,
+    MPI_MAX,
+    MPI_MIN,
+    MPI_PROD,
+    MPI_SUM,
+    PREDEFINED_DATATYPES,
+    PREDEFINED_OPS,
+    TAG_UB,
+)
+
+
+class TestDatatypes:
+    def test_sizes(self):
+        assert MPI_DOUBLE.size == 8
+        assert MPI_INT.size == 4
+        assert MPI_BYTE.size == 1
+
+    def test_roundtrip(self):
+        values = np.array([1.5, -2.5, 3.0])
+        raw = MPI_DOUBLE.to_bytes(values)
+        assert len(raw) == 24
+        np.testing.assert_array_equal(MPI_DOUBLE.to_numpy(raw), values)
+
+    def test_int_roundtrip(self):
+        values = np.array([-1, 0, 2**31 - 1], dtype=np.int32)
+        np.testing.assert_array_equal(
+            MPI_INT.to_numpy(MPI_INT.to_bytes(values)), values
+        )
+
+    def test_to_numpy_returns_copy(self):
+        raw = MPI_DOUBLE.to_bytes(np.array([1.0]))
+        arr = MPI_DOUBLE.to_numpy(raw)
+        arr[0] = 9.0  # must not raise (writable copy)
+
+    def test_repr(self):
+        assert repr(MPI_DOUBLE) == "MPI_DOUBLE"
+
+    def test_predefined_list(self):
+        assert MPI_DOUBLE in PREDEFINED_DATATYPES
+        assert len(PREDEFINED_DATATYPES) == 6
+
+
+class TestReduceOps:
+    def test_ops(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 2.0])
+        np.testing.assert_array_equal(MPI_SUM(a, b), [4.0, 7.0])
+        np.testing.assert_array_equal(MPI_PROD(a, b), [3.0, 10.0])
+        np.testing.assert_array_equal(MPI_MIN(a, b), [1.0, 2.0])
+        np.testing.assert_array_equal(MPI_MAX(a, b), [3.0, 5.0])
+
+    def test_nan_propagates_silently(self):
+        a = np.array([np.nan])
+        out = MPI_SUM(a, np.array([1.0]))
+        assert np.isnan(out[0])
+
+    def test_predefined(self):
+        assert set(PREDEFINED_OPS) == {MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX}
+
+
+class TestConstants:
+    def test_wildcards(self):
+        assert ANY_SOURCE == -1
+        assert ANY_TAG == -1
+
+    def test_tag_ub(self):
+        assert TAG_UB == 32767

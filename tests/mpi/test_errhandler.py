@@ -1,0 +1,124 @@
+"""Error-handler semantics: the paper's MPI-Detected pathway."""
+
+import pytest
+
+from repro.errors import MPIAbort, MPIError
+from repro.mpi.datatypes import MPI_DOUBLE, MPI_INT
+from repro.mpi.errhandler import (
+    MPI_ERRORS_ARE_FATAL,
+    MPI_ERRORS_RETURN,
+    ErrhandlerSlot,
+)
+from repro.mpi.simulator import JobStatus
+from tests.mpi._util import buf_addr, run_app
+
+
+class TestSlot:
+    def test_default_is_fatal(self):
+        slot = ErrhandlerSlot()
+        with pytest.raises(MPIAbort):
+            slot.invoke(None, MPIError("MPI_ERR_RANK", "bad"))
+        assert slot.user_invocations == 0
+
+    def test_errors_return(self):
+        slot = ErrhandlerSlot()
+        slot.set(MPI_ERRORS_RETURN)
+        with pytest.raises(MPIError):
+            slot.invoke(None, MPIError("MPI_ERR_TAG", "bad"))
+        assert not slot.is_user_handler
+
+    def test_user_handler_counted(self):
+        slot = ErrhandlerSlot()
+        calls = []
+        slot.set(lambda comm, err: calls.append(err))
+        slot.invoke("comm", MPIError("MPI_ERR_COUNT", "bad"))
+        assert slot.user_invocations == 1
+        assert slot.is_user_handler
+        assert calls[0].mpi_class == "MPI_ERR_COUNT"
+
+
+class TestArgumentChecks:
+    """Each invalid argument must reach the registered handler - the
+    *only* path the paper found to trigger it in MPICH/LAM/LA-MPI."""
+
+    @staticmethod
+    def _app(bad_call):
+        def main(ctx):
+            detected = []
+            ctx.comm.set_errhandler(
+                lambda comm, err: (_ for _ in ()).throw(
+                    MPIAbort(f"user handler: {err}")
+                )
+            )
+            if ctx.rank == 0:
+                yield from bad_call(ctx)
+            else:
+                yield None
+
+        return main
+
+    @pytest.mark.parametrize(
+        "bad_call,detail",
+        [
+            (
+                lambda ctx: ctx.comm.send(buf_addr(ctx), 1, MPI_INT, 99, 1),
+                "rank",
+            ),
+            (
+                lambda ctx: ctx.comm.send(buf_addr(ctx), -5, MPI_INT, 0, 1),
+                "count",
+            ),
+            (
+                lambda ctx: ctx.comm.send(buf_addr(ctx), 1, MPI_INT, 0, -3),
+                "tag",
+            ),
+            (
+                lambda ctx: ctx.comm.send(buf_addr(ctx), 1, MPI_INT, 0, 40000),
+                "tag above TAG_UB",
+            ),
+            (
+                lambda ctx: ctx.comm.send(0xDEAD0000, 4, MPI_DOUBLE, 0, 1),
+                "buffer",
+            ),
+            (
+                lambda ctx: ctx.comm.send(buf_addr(ctx), 1, "not a type", 0, 1),
+                "datatype",
+            ),
+            (
+                lambda ctx: ctx.comm.bcast(buf_addr(ctx), 1, MPI_INT, 99),
+                "root",
+            ),
+            (
+                lambda ctx: ctx.comm.recv(buf_addr(ctx), 1, MPI_INT, 77, 1),
+                "source",
+            ),
+        ],
+    )
+    def test_bad_argument_invokes_user_handler(self, bad_call, detail):
+        result, job = run_app(self._app(bad_call), nprocs=2)
+        assert result.status is JobStatus.MPI_DETECTED, detail
+        assert job.comms[0].errhandler.user_invocations == 1
+
+    def test_without_user_handler_its_a_crash(self):
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(buf_addr(ctx), 1, MPI_INT, 99, 1)
+            else:
+                yield None
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.CRASHED
+        assert any("p4_error" in line for line in result.stderr)
+
+    def test_wildcards_pass_argument_checks(self):
+        from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                yield from ctx.comm.send(buf, 1, MPI_INT, 1, 1)
+            else:
+                yield from ctx.comm.recv(buf, 1, MPI_INT, ANY_SOURCE, ANY_TAG)
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED

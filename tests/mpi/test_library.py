@@ -1,0 +1,51 @@
+"""MPI library link-map objects."""
+
+from repro.memory.process import ProcessImage
+from repro.memory.symbols import Linker
+from repro.mpi.library import (
+    MPI_BSS_SYMBOLS,
+    MPI_DATA_SYMBOLS,
+    MPI_TEXT_SYMBOLS,
+    add_mpi_library,
+)
+
+
+def linked_image(**kwargs) -> ProcessImage:
+    linker = Linker()
+    linker.add_text("user_main", b"\x01" * 64)
+    add_mpi_library(linker, **kwargs)
+    return ProcessImage.from_linker(linker)
+
+
+class TestLinkMap:
+    def test_all_symbols_present(self):
+        image = linked_image()
+        for name, _ in MPI_TEXT_SYMBOLS + MPI_DATA_SYMBOLS + MPI_BSS_SYMBOLS:
+            sym = image.symtab.lookup(name)
+            assert sym.library == "mpi"
+
+    def test_classic_names_included(self):
+        names = {n for n, _ in MPI_TEXT_SYMBOLS}
+        assert {"MPI_Init", "MPI_Send", "MPI_Recv", "p4_recv"} <= names
+
+    def test_scaling(self):
+        small = linked_image(text_scale=0.1)
+        large = linked_image(text_scale=1.0)
+        assert small.symtab.section_size("text", "mpi") < large.symtab.section_size(
+            "text", "mpi"
+        )
+
+    def test_blobs_are_decodable_code(self):
+        from repro.cpu.isa import Op, decode
+
+        image = linked_image(text_scale=0.1)
+        sym = image.symtab.lookup("MPI_Send")
+        first = decode(image.text.read_bytes(sym.addr, 8))
+        last = decode(image.text.read_bytes(sym.end - 8, 8))
+        assert first.op is Op.NOP
+        assert last.op is Op.RET
+
+    def test_user_text_distinguished(self):
+        image = linked_image()
+        assert image.in_user_text(image.addr_of("user_main"))
+        assert not image.in_user_text(image.addr_of("MPI_Bcast"))

@@ -1,0 +1,52 @@
+"""PMPI profiling interposition."""
+
+from repro.mpi.datatypes import MPI_INT
+from repro.mpi.pmpi import ProfilingComm
+from repro.mpi.simulator import JobStatus
+from tests.mpi._util import GenericApp, buf_addr, run_app
+
+
+class TestProfilingComm:
+    def test_counts_and_forwards(self):
+        counts = {}
+
+        def main(ctx):
+            prof = ProfilingComm(ctx.comm)
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                ctx.image.address_space.store_i32(buf, 5)
+                yield from prof.send(buf, 1, MPI_INT, 1, 1)
+            else:
+                yield from prof.recv(buf, 1, MPI_INT, 0, 1)
+                assert ctx.image.address_space.load_i32(buf) == 5
+            counts[ctx.rank] = dict(prof.call_counts)
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+        assert counts[0] == {"send": 1}
+        assert counts[1] == {"recv": 1}
+
+    def test_interceptor_runs_before_call(self):
+        seen = []
+
+        def main(ctx):
+            prof = ProfilingComm(ctx.comm)
+            prof.add_interceptor(lambda name, args, kwargs: seen.append(name))
+            yield from prof.barrier()
+            assert prof.get_rank() == ctx.rank
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED
+        assert seen.count("barrier") == 2
+        assert "get_rank" in seen
+
+    def test_attribute_passthrough(self):
+        def main(ctx):
+            prof = ProfilingComm(ctx.comm)
+            assert prof.rank == ctx.rank
+            assert prof.size == ctx.nprocs
+            assert prof.pmpi is ctx.comm
+            yield None
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.COMPLETED

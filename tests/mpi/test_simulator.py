@@ -1,0 +1,182 @@
+"""Scheduler and failure-classification semantics of the Job simulator."""
+
+import pytest
+
+from repro.errors import AppAbort, SimSegfault
+from repro.mpi.datatypes import MPI_INT
+from repro.mpi.simulator import JobConfig, JobStatus
+from tests.mpi._util import GenericApp, buf_addr, run_app
+from repro.mpi.simulator import Job
+
+
+class TestCompletion:
+    def test_single_rank(self):
+        def main(ctx):
+            yield None
+
+        result, _ = run_app(main, nprocs=1)
+        assert result.status is JobStatus.COMPLETED
+
+    def test_console_and_outputs_collected(self):
+        def main(ctx):
+            ctx.print("hello")
+            if ctx.rank == 0:
+                ctx.write_output("result", "data")
+            yield None
+
+        result, _ = run_app(main, nprocs=2)
+        assert "[0] hello" in result.stdout
+        assert result.outputs == {"result": "data"}
+
+    def test_blocks_per_rank_reported(self):
+        def main(ctx):
+            ctx.image.clock.tick(ctx.rank * 10)
+            yield None
+
+        result, _ = run_app(main, nprocs=3)
+        assert result.blocks_per_rank == [0, 10, 20]
+
+    def test_determinism_across_runs(self):
+        def main(ctx):
+            ctx.print(f"draw {float(ctx.rng.random()):.6f}")
+            yield from ctx.comm.barrier()
+
+        r1, _ = run_app(main, nprocs=3, seed=5)
+        r2, _ = run_app(main, nprocs=3, seed=5)
+        assert r1.stdout == r2.stdout
+
+    def test_seed_changes_rng(self):
+        def main(ctx):
+            ctx.print(f"{float(ctx.rng.random()):.9f}")
+            yield None
+
+        r1, _ = run_app(main, nprocs=1, seed=1)
+        r2, _ = run_app(main, nprocs=1, seed=2)
+        assert r1.stdout != r2.stdout
+
+
+class TestFailureClassification:
+    def test_sim_signal_is_crash_with_p4_error(self):
+        def main(ctx):
+            if ctx.rank == 1:
+                raise SimSegfault("boom", rank=1)
+            yield None
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.CRASHED
+        assert result.faulting_rank == 1
+        assert any("SIGSEGV" in l for l in result.stderr)
+        assert any("p4_error" in l for l in result.stderr)
+
+    def test_app_abort_is_app_detected(self):
+        def main(ctx):
+            yield None
+            if ctx.rank == 0:
+                raise AppAbort("NaN check", "energy is NaN")
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.APP_DETECTED
+        assert any("ABORT" in l for l in result.stdout)
+
+    def test_round_limit_is_hang(self):
+        def main(ctx):
+            while True:
+                yield None
+
+        job = Job(GenericApp(lambda ctx: main(ctx)), JobConfig(nprocs=2, round_limit=50))
+        result = job.run()
+        assert result.status is JobStatus.HUNG
+
+    def test_block_limit_is_hang(self):
+        def main(ctx):
+            yield None
+            while True:
+                ctx.vm.clock.tick(10)
+                ctx.vm.block_limit = 100
+                from repro.errors import HangDetected
+
+                if ctx.vm.clock.blocks > 100:
+                    raise HangDetected("block budget exceeded")
+
+        result, _ = run_app(main, nprocs=1)
+        assert result.status is JobStatus.HUNG
+
+    def test_unhandled_exception_is_crash_with_traceback(self):
+        def main(ctx):
+            yield None
+            raise ValueError("corrupted value reached orchestration")
+
+        result, _ = run_app(main, nprocs=1)
+        assert result.status is JobStatus.CRASHED
+        assert any("ValueError" in l for l in result.stderr)
+
+    def test_crash_aborts_whole_job(self):
+        """One rank's signal kills every MPI process (MPICH behaviour)."""
+        progress = []
+
+        def main(ctx):
+            if ctx.rank == 0:
+                raise SimSegfault("early death")
+            for i in range(100):
+                progress.append(ctx.rank)
+                yield None
+
+        result, _ = run_app(main, nprocs=3)
+        assert result.status is JobStatus.CRASHED
+        # Other ranks must not have run to completion (100 iterations).
+        assert len(progress) < 10
+
+
+class TestConfig:
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            run_app(lambda ctx: iter(()), nprocs=0)
+
+    def test_received_bytes_query(self):
+        def main(ctx):
+            buf = buf_addr(ctx)
+            if ctx.rank == 0:
+                yield from ctx.comm.send(buf, 4, MPI_INT, 1, 1)
+            else:
+                yield from ctx.comm.recv(buf, 4, MPI_INT, 0, 1)
+
+        result, job = run_app(main, nprocs=2)
+        assert job.received_bytes(1) > 0
+        assert job.received_bytes(0) == 0
+        assert job.total_blocks() == sum(result.blocks_per_rank)
+
+    def test_pre_run_hooks_fire_once(self):
+        calls = []
+
+        def main(ctx):
+            yield None
+
+        job = Job(GenericApp(main), JobConfig(nprocs=1))
+        job.pre_run_hooks.append(lambda j: calls.append(j))
+        job.run()
+        assert calls == [job]
+
+
+class TestMpiAbort:
+    def test_abort_kills_the_job(self):
+        def main(ctx):
+            yield None
+            if ctx.rank == 1:
+                ctx.comm.abort(errorcode=3)
+
+        result, _ = run_app(main, nprocs=3)
+        assert result.status is JobStatus.CRASHED
+        assert any("MPI_Abort" in l for l in result.stderr)
+        assert result.error.exit_code == 3
+
+    def test_abort_without_user_handler_is_not_mpi_detected(self):
+        """MPI_Abort is a deliberate job kill, not an argument-check
+        error: the user error handler plays no role."""
+        def main(ctx):
+            ctx.comm.set_errhandler(lambda comm, err: None)
+            yield None
+            if ctx.rank == 0:
+                ctx.comm.abort()
+
+        result, _ = run_app(main, nprocs=2)
+        assert result.status is JobStatus.CRASHED

@@ -1,0 +1,35 @@
+"""Status and Request objects."""
+
+from repro.mpi.datatypes import MPI_DOUBLE, MPI_INT
+from repro.mpi.status import CompletedRequest, Request, Status
+
+
+class TestStatus:
+    def test_get_count(self):
+        st = Status(source=2, tag=7, count_bytes=24)
+        assert st.get_count(MPI_DOUBLE) == 3
+        assert st.get_count(MPI_INT) == 6
+
+    def test_defaults(self):
+        st = Status()
+        assert st.source == -1 and st.tag == -1 and st.count_bytes == 0
+
+
+class TestRequest:
+    def test_lifecycle(self):
+        req = Request(kind="recv")
+        assert not req.ready()
+        req.complete(Status(source=1, tag=2, count_bytes=8))
+        assert req.ready()
+        assert req.status.source == 1
+
+    def test_complete_without_status_keeps_default(self):
+        req = Request()
+        req.complete()
+        assert req.ready()
+        assert req.status.source == -1
+
+    def test_completed_request_born_ready(self):
+        req = CompletedRequest()
+        assert req.ready()
+        assert req.kind == "send"

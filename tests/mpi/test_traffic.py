@@ -1,0 +1,54 @@
+"""Traffic measurement (Table 1 machinery)."""
+
+from repro.mpi.channel import HEADER_SIZE
+from repro.mpi.datatypes import MPI_DOUBLE
+from repro.mpi.traffic import job_traffic, rank_traffic, summarize
+from tests.mpi._util import buf_addr, run_app
+
+
+def exchange_app(payload_doubles: int):
+    def main(ctx):
+        buf = buf_addr(ctx)
+        if ctx.rank == 0:
+            yield from ctx.comm.send(buf, payload_doubles, MPI_DOUBLE, 1, 1)
+        else:
+            yield from ctx.comm.recv(buf, payload_doubles, MPI_DOUBLE, 0, 1)
+
+    return main
+
+
+class TestRankTraffic:
+    def test_header_user_split(self):
+        _, job = run_app(exchange_app(10), nprocs=2)
+        t = rank_traffic(job, 1)
+        assert t.header_bytes == HEADER_SIZE
+        assert t.payload_bytes == 80
+        assert abs(t.header_percent + t.user_percent - 100.0) < 1e-9
+        assert t.messages_data == 1
+
+    def test_sender_receives_nothing(self):
+        _, job = run_app(exchange_app(10), nprocs=2)
+        t = rank_traffic(job, 0)
+        assert t.total_bytes == 0
+        assert t.header_percent == 0.0
+
+    def test_control_message_percent(self):
+        def main(ctx):
+            yield from ctx.comm.barrier()
+
+        _, job = run_app(main, nprocs=2)
+        t = rank_traffic(job, 0)
+        assert t.control_message_percent == 100.0
+
+
+class TestSummary:
+    def test_summarize_ranges(self):
+        _, job = run_app(exchange_app(4), nprocs=2)
+        s = summarize(job)
+        assert s.min_bytes == 0
+        assert s.max_bytes == HEADER_SIZE + 32
+        assert s.mean_bytes == (HEADER_SIZE + 32) / 2
+
+    def test_job_traffic_covers_all_ranks(self):
+        _, job = run_app(exchange_app(1), nprocs=2)
+        assert [t.rank for t in job_traffic(job)] == [0, 1]

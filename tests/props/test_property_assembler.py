@@ -1,0 +1,90 @@
+"""Property-based tests on the assembler: rendered programs must
+round-trip through assembly, encoding and decoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.assembler import assemble_function
+from repro.cpu.isa import INSN_SIZE, Op, decode
+from repro.cpu.registers import REG_NAMES
+
+regs = st.sampled_from(REG_NAMES)
+imms = st.integers(-(2**15), 2**15 - 1)
+offsets = st.integers(0, 255)
+
+
+@st.composite
+def rr_line(draw):
+    op = draw(st.sampled_from(["mov", "add", "sub", "imul", "and", "or", "xor", "cmp"]))
+    return f"{op} {draw(regs)}, {draw(regs)}"
+
+
+@st.composite
+def ri_line(draw):
+    op = draw(st.sampled_from(["addi", "cmpi"]))
+    return f"{op} {draw(regs)}, {draw(imms)}"
+
+
+@st.composite
+def mem_line(draw):
+    kind = draw(st.sampled_from(["load", "store", "fld", "fstp"]))
+    reg, off = draw(regs), draw(offsets)
+    operand = f"[{reg}+{off}]" if off else f"[{reg}]"
+    if kind == "load":
+        return f"load {draw(regs)}, {operand}"
+    if kind == "store":
+        return f"store {operand}, {draw(regs)}"
+    return f"{kind} {operand}"
+
+
+@st.composite
+def movi_line(draw):
+    return f"movi {draw(regs)}, {draw(imms)}"
+
+
+@st.composite
+def nullary_line(draw):
+    return draw(st.sampled_from(["nop", "fldz", "fld1", "fdup", "fpop"]))
+
+
+lines = st.one_of(rr_line(), ri_line(), mem_line(), movi_line(), nullary_line())
+
+
+class TestAssemblerProperties:
+    @given(st.lists(lines, min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_assembled_code_decodes_cleanly(self, body):
+        source = "\n".join(body) + "\nret"
+        fn = assemble_function("f", source)
+        assert fn.size == (len(body) + 1) * INSN_SIZE
+        for i in range(len(body) + 1):
+            insn = decode(fn.code[i * INSN_SIZE : (i + 1) * INSN_SIZE])
+            assert insn.op in Op
+        # the final instruction is the RET
+        assert decode(fn.code[-INSN_SIZE:]).op is Op.RET
+
+    @given(st.lists(lines, min_size=1, max_size=10), st.integers(1, 5))
+    @settings(max_examples=30)
+    def test_branch_displacement_scales_with_body(self, body, extra):
+        """A backward branch over the body must encode a displacement of
+        exactly -(len(body)+1) words regardless of content."""
+        source = "top:\n" + "\n".join(body) + "\njmp top\nret"
+        fn = assemble_function("f", source)
+        jmp = fn.insns[len(body)]
+        assert jmp.op is Op.JMP
+        assert jmp.imm == -(len(body) + 1) * INSN_SIZE
+
+    @given(st.lists(lines, min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_registers_used_is_sound(self, body):
+        """Every register named in the source appears in the static usage
+        set (no under-reporting)."""
+        source = "\n".join(body) + "\nret"
+        fn = assemble_function("f", source)
+        used = fn.registers_used()
+        for line in body:
+            for token in line.replace(",", " ").replace("[", " ").replace(
+                "]", " "
+            ).replace("+", " ").split():
+                if token in REG_NAMES:
+                    assert token in used, (token, line)

@@ -1,0 +1,120 @@
+"""Property-based tests: collectives must agree with NumPy references
+for arbitrary (small) job sizes, counts and data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import MPI_DOUBLE, MPI_MAX, MPI_MIN, MPI_PROD, MPI_SUM
+from repro.mpi.simulator import JobStatus
+from tests.mpi._util import run_app
+
+sizes = st.integers(1, 6)
+counts = st.integers(1, 8)
+ops = st.sampled_from([MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX])
+seeds = st.integers(0, 2**16)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes, counts, ops, seeds)
+def test_allreduce_matches_numpy(nprocs, count, op, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.5, 2.0, size=(nprocs, count))  # positive: PROD-safe
+    expected = {
+        "SUM": data.sum(axis=0),
+        "PROD": data.prod(axis=0),
+        "MIN": data.min(axis=0),
+        "MAX": data.max(axis=0),
+    }[op.name]
+
+    def main(ctx):
+        send = ctx.image.heap.malloc(count * 8)
+        recv = ctx.image.heap.malloc(count * 8)
+        ctx.image.heap_segment.view_f64(send, count)[:] = data[ctx.rank]
+        yield from ctx.comm.allreduce(send, recv, count, MPI_DOUBLE, op)
+        got = np.array(ctx.image.heap_segment.view_f64(recv, count))
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    result, _ = run_app(main, nprocs=nprocs)
+    assert result.status is JobStatus.COMPLETED, result.detail
+
+
+@settings(max_examples=20, deadline=None)
+@given(sizes, counts, st.integers(0, 5), seeds)
+def test_bcast_matches_root_data(nprocs, count, root_raw, seed):
+    root = root_raw % nprocs
+    rng = np.random.default_rng(seed)
+    payload = rng.standard_normal(count)
+
+    def main(ctx):
+        buf = ctx.image.heap.malloc(count * 8)
+        if ctx.rank == root:
+            ctx.image.heap_segment.view_f64(buf, count)[:] = payload
+        yield from ctx.comm.bcast(buf, count, MPI_DOUBLE, root)
+        got = np.array(ctx.image.heap_segment.view_f64(buf, count))
+        np.testing.assert_array_equal(got, payload)
+
+    result, _ = run_app(main, nprocs=nprocs)
+    assert result.status is JobStatus.COMPLETED, result.detail
+
+
+@settings(max_examples=20, deadline=None)
+@given(sizes, counts, seeds)
+def test_allgather_assembles_all_blocks(nprocs, count, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((nprocs, count))
+
+    def main(ctx):
+        send = ctx.image.heap.malloc(count * 8)
+        recv = ctx.image.heap.malloc(nprocs * count * 8)
+        ctx.image.heap_segment.view_f64(send, count)[:] = data[ctx.rank]
+        yield from ctx.comm.allgather(send, count, MPI_DOUBLE, recv)
+        got = np.array(
+            ctx.image.heap_segment.view_f64(recv, nprocs * count)
+        ).reshape(nprocs, count)
+        np.testing.assert_array_equal(got, data)
+
+    result, _ = run_app(main, nprocs=nprocs)
+    assert result.status is JobStatus.COMPLETED, result.detail
+
+
+@settings(max_examples=15, deadline=None)
+@given(sizes, counts, seeds)
+def test_alltoall_transpose_property(nprocs, count, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((nprocs, nprocs, count))  # [rank][dest][elem]
+
+    def main(ctx):
+        n = ctx.nprocs
+        send = ctx.image.heap.malloc(n * count * 8)
+        recv = ctx.image.heap.malloc(n * count * 8)
+        ctx.image.heap_segment.view_f64(send, n * count)[:] = data[
+            ctx.rank
+        ].reshape(-1)
+        yield from ctx.comm.alltoall(send, count, MPI_DOUBLE, recv)
+        got = np.array(
+            ctx.image.heap_segment.view_f64(recv, n * count)
+        ).reshape(n, count)
+        np.testing.assert_array_equal(got, data[:, ctx.rank, :])
+
+    result, _ = run_app(main, nprocs=nprocs)
+    assert result.status is JobStatus.COMPLETED, result.detail
+
+
+@settings(max_examples=15, deadline=None)
+@given(sizes)
+def test_mpi_heap_scratch_balanced(nprocs):
+    """Collectives must free every MPI-tagged scratch chunk they
+    allocate (no library heap leaks)."""
+
+    def main(ctx):
+        count = 4
+        send = ctx.image.heap.malloc(count * 8)
+        recv = ctx.image.heap.malloc(count * 8)
+        ctx.image.heap_segment.view_f64(send, count)[:] = 1.0
+        yield from ctx.comm.allreduce(send, recv, count, MPI_DOUBLE, MPI_SUM)
+        yield from ctx.comm.barrier()
+        assert ctx.image.heap.mpi_bytes() == 0
+
+    result, _ = run_app(main, nprocs=nprocs)
+    assert result.status is JobStatus.COMPLETED, result.detail

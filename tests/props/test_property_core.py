@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import INSN_SIZE, Insn, Op, UndefinedOpcode, decode, encode
+from repro.cluster.ecc import (
+    CODEWORD_BITS,
+    DecodeOutcome,
+    decode as ecc_decode,
+    encode as ecc_encode,
+    flip_bits,
+)
+from repro.cluster.netchecksum import internet_checksum
+from repro.detectors.checksums import fletcher32, seal, verify
+from repro.sampling.theory import achieved_error, sample_size_oversampled
+from repro.trace.working_set import working_set_sizes
+
+# ----------------------------------------------------------------------
+# ISA
+# ----------------------------------------------------------------------
+ops = st.sampled_from(list(Op))
+regs = st.integers(0, 15)
+imms = st.integers(-(2**31), 2**31 - 1)
+
+
+class TestIsaProperties:
+    @given(ops, regs, regs, regs, regs, st.integers(0, 255), imms)
+    def test_encode_decode_roundtrip(self, op, r1, r2, r3, r4, subop, imm):
+        insn = Insn(op, r1, r2, r3, r4, subop, imm)
+        assert decode(encode(insn)) == insn
+
+    @given(st.binary(min_size=INSN_SIZE, max_size=INSN_SIZE))
+    def test_decode_total_or_undefined(self, word):
+        """Decoding never fails in any way other than UndefinedOpcode."""
+        try:
+            insn = decode(word)
+        except UndefinedOpcode:
+            return
+        assert 0 <= insn.r1 < 16 and 0 <= insn.r4 < 16
+        assert encode(insn) == word  # re-encoding is exact
+
+    @given(ops, st.integers(0, 63))
+    def test_single_bit_flip_changes_decode_or_faults(self, op, bit):
+        word = bytearray(encode(Insn(op, r1=1, r2=2, imm=77)))
+        word[bit // 8] ^= 1 << (bit % 8)
+        try:
+            flipped = decode(bytes(word))
+        except UndefinedOpcode:
+            return
+        assert flipped != Insn(op, r1=1, r2=2, imm=77)
+
+
+# ----------------------------------------------------------------------
+# SECDED
+# ----------------------------------------------------------------------
+words = st.integers(0, (1 << 64) - 1)
+
+
+class TestEccProperties:
+    @given(words)
+    def test_clean_roundtrip(self, word):
+        data, outcome = ecc_decode(ecc_encode(word))
+        assert data == word and outcome is DecodeOutcome.OK
+
+    @given(words, st.integers(0, CODEWORD_BITS - 1))
+    @settings(max_examples=40)
+    def test_any_single_flip_corrected(self, word, pos):
+        data, outcome = ecc_decode(flip_bits(ecc_encode(word), [pos]))
+        assert data == word
+        assert outcome is DecodeOutcome.CORRECTED
+
+    @given(
+        words,
+        st.lists(
+            st.integers(0, CODEWORD_BITS - 1), min_size=2, max_size=2, unique=True
+        ),
+    )
+    @settings(max_examples=40)
+    def test_any_double_flip_detected(self, word, positions):
+        _, outcome = ecc_decode(flip_bits(ecc_encode(word), positions))
+        assert outcome is DecodeOutcome.DETECTED
+
+
+# ----------------------------------------------------------------------
+# checksums
+# ----------------------------------------------------------------------
+class TestChecksumProperties:
+    @given(st.binary(max_size=512))
+    def test_seal_verify_roundtrip(self, payload):
+        assert verify(seal(payload)) == payload
+
+    @given(st.binary(min_size=1, max_size=256), st.integers(0, 10_000))
+    def test_single_bit_flip_always_caught(self, payload, seed):
+        sealed = bytearray(seal(payload))
+        rng = np.random.default_rng(seed)
+        pos = int(rng.integers(len(sealed) * 8))
+        sealed[pos // 8] ^= 1 << (pos % 8)
+        import pytest
+
+        from repro.detectors.checksums import ChecksumMismatch
+
+        with pytest.raises(ChecksumMismatch):
+            verify(bytes(sealed))
+
+    @given(st.binary(max_size=300))
+    def test_fletcher_fits_32_bits(self, data):
+        assert 0 <= fletcher32(data) < (1 << 32)
+
+    @given(st.binary(max_size=128))
+    def test_internet_checksum_verifies_to_zero(self, data):
+        """Appending the checksum makes the ones'-complement sum verify
+        (the standard TCP receiver check)."""
+        if len(data) % 2:
+            data += b"\x00"
+        c = internet_checksum(data)
+        total = c
+        buf = np.frombuffer(data, dtype=np.uint8)
+        words = buf.reshape(-1, 2)
+        for hi, lo in words:
+            total += (int(hi) << 8) | int(lo)
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+
+# ----------------------------------------------------------------------
+# sampling theory
+# ----------------------------------------------------------------------
+class TestSamplingProperties:
+    @given(st.floats(0.005, 0.2))
+    def test_size_error_inverse(self, d):
+        n = sample_size_oversampled(d)
+        assert achieved_error(n) <= d
+        if n > 1:
+            assert achieved_error(n - 1) > d
+
+    @given(st.integers(1, 10_000))
+    def test_error_decreases_with_n(self, n):
+        assert achieved_error(n + 1) < achieved_error(n)
+
+
+# ----------------------------------------------------------------------
+# working sets
+# ----------------------------------------------------------------------
+class TestWorkingSetProperties:
+    @given(
+        st.lists(st.integers(-1, 1000), min_size=1, max_size=200),
+        st.lists(st.integers(0, 1001), min_size=1, max_size=50),
+    )
+    def test_nonincreasing_and_bounded(self, last, times):
+        last_arr = np.array(last, dtype=np.int64)
+        times_arr = np.array(sorted(times), dtype=np.int64)
+        sizes = working_set_sizes(last_arr, times_arr)
+        assert np.all(np.diff(sizes) <= 0)
+        assert sizes[0] <= np.count_nonzero(last_arr >= 0)
+        assert np.all(sizes >= 0)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+    def test_wss_at_zero_counts_all_accessed(self, last):
+        last_arr = np.array(last, dtype=np.int64)
+        assert working_set_sizes(last_arr, np.array([0]))[0] == len(last)

@@ -1,0 +1,124 @@
+"""Property-based tests on the memory substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import Clock
+from repro.memory.heap import ChunkTag, HEADER_SIZE, HeapAllocator
+from repro.memory.segments import Perm, Segment
+from repro.memory.stack import StackManager
+
+
+def fresh_heap(size=1 << 16):
+    return HeapAllocator(Segment("heap", 0x10000, size, Perm.RW, Clock()))
+
+
+class TestHeapProperties:
+    @given(
+        st.lists(st.integers(1, 400), min_size=1, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_alloc_free_invariants(self, sizes, data):
+        """Live chunks never overlap, headers always verify, and freeing
+        everything restores the arena."""
+        heap = fresh_heap()
+        live: list[tuple[int, int]] = []
+        for size in sizes:
+            addr = heap.malloc(size)
+            # no overlap with anything currently live (incl. headers)
+            for other, osize in live:
+                assert addr + size <= other - HEADER_SIZE or other + osize <= addr - HEADER_SIZE
+            live.append((addr, size))
+            # randomly free ~one third of the time
+            if live and data.draw(st.integers(0, 2)) == 0:
+                victim = data.draw(st.integers(0, len(live) - 1))
+                addr, _ = live.pop(victim)
+                heap.free(addr)
+            list(heap.iter_chunks())  # headers must verify
+        for addr, _ in live:
+            heap.free(addr)
+        assert heap.in_use == 0
+        assert heap.user_bytes() == 0
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_accounting_matches_tags(self, sizes):
+        heap = fresh_heap()
+        user_total = mpi_total = 0
+        for i, size in enumerate(sizes):
+            if i % 2:
+                with heap.inside_mpi():
+                    heap.malloc(size)
+                mpi_total += size
+            else:
+                heap.malloc(size)
+                user_total += size
+        assert heap.user_bytes() == user_total
+        assert heap.mpi_bytes() == mpi_total
+
+    @given(st.integers(0, (1 << 16) - 1))
+    @settings(max_examples=40)
+    def test_scan_always_returns_user_chunk_when_one_exists(self, offset):
+        heap = fresh_heap()
+        with heap.inside_mpi():
+            heap.malloc(64)
+        user = heap.malloc(64)
+        with heap.inside_mpi():
+            heap.malloc(64)
+        found = heap.find_user_chunk_from(heap.segment.base + offset)
+        assert found is not None and found.tag is ChunkTag.USER
+        assert found.addr == user
+
+
+class TestStackProperties:
+    @given(st.lists(st.integers(0, 0xFFFF_FFFF), min_size=1, max_size=100))
+    def test_push_pop_is_lifo(self, values):
+        stack = StackManager(Segment("stack", 0xB0000000, 1 << 14, Perm.RW, Clock()))
+        for v in values:
+            stack.push_u32(v)
+        for v in reversed(values):
+            assert stack.pop_u32() == v
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 64)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40)
+    def test_frame_walk_matches_push_order(self, shapes):
+        stack = StackManager(Segment("stack", 0xB0000000, 1 << 14, Perm.RW, Clock()))
+        frames = []
+        for nargs, locals_size in shapes:
+            ret = 0x0804_8000 + 8 * len(frames)
+            frames.append(
+                (stack.push_frame(ret, args=(1,) * nargs, locals_size=locals_size), ret)
+            )
+        walked = list(stack.walk_frames())
+        assert [r for _, r in walked] == [ret for _, ret in reversed(frames)]
+
+
+class TestSegmentProperties:
+    @given(st.integers(0, 4095), st.integers(0, 7))
+    def test_double_flip_restores(self, offset, bit):
+        seg = Segment("s", 0x1000, 4096, Perm.RW, Clock())
+        before = seg.read_u8(0x1000 + offset)
+        seg.flip_bit(0x1000 + offset, bit)
+        seg.flip_bit(0x1000 + offset, bit)
+        assert seg.read_u8(0x1000 + offset) == before
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_roundtrip(self, value):
+        seg = Segment("s", 0, 64, Perm.RW, Clock())
+        seg.write_f64(8, value)
+        assert seg.read_f64(8) == value
+
+    @given(st.integers(0, 0xFFFF_FFFF))
+    def test_u32_roundtrip(self, value):
+        seg = Segment("s", 0, 64, Perm.RW, Clock())
+        seg.write_u32(4, value)
+        assert seg.read_u32(4) == value

@@ -1,0 +1,77 @@
+"""Property-based tests on the MPI framing and protocol layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.adi import (
+    ChannelProtocolError,
+    MSG_CTS,
+    MSG_EAGER,
+    MSG_RNDV_DATA,
+    MSG_RTS,
+    pack_header,
+    parse_packet,
+)
+from repro.mpi.channel import HEADER_SIZE, ChannelEndpoint
+
+ranks = st.integers(-(2**31), 2**31 - 1)
+tags = st.integers(-(2**31), 2**31 - 1)
+types = st.sampled_from([MSG_EAGER, MSG_RTS, MSG_CTS, MSG_RNDV_DATA])
+payloads = st.binary(max_size=256)
+
+
+class TestFramingProperties:
+    @given(ranks, ranks, tags, types, payloads, st.integers(0, 2**32 - 1))
+    def test_roundtrip(self, src, dst, tag, mtype, payload, seq):
+        pkt = pack_header(src, dst, tag, mtype, len(payload), seq) + payload
+        msg = parse_packet(pkt)
+        assert (msg.src, msg.dst, msg.tag, msg.mtype) == (src, dst, tag, mtype)
+        assert msg.payload == payload
+        assert msg.seq == seq
+
+    @given(payloads, st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_single_bit_flip_never_escapes_silently_as_wrong_structure(
+        self, payload, seed
+    ):
+        """A one-bit header flip either (a) still parses with exactly one
+        field changed, or (b) raises ChannelProtocolError.  It can never
+        change two fields at once or corrupt the payload."""
+        pkt = bytearray(
+            pack_header(3, 1, 7, MSG_EAGER, len(payload), 42) + payload
+        )
+        rng = np.random.default_rng(seed)
+        bitpos = int(rng.integers(HEADER_SIZE * 8))
+        pkt[bitpos // 8] ^= 1 << (bitpos % 8)
+        try:
+            msg = parse_packet(bytes(pkt))
+        except ChannelProtocolError:
+            return
+        original = (3, 1, 7, MSG_EAGER, 42, 0)
+        parsed = (msg.src, msg.dst, msg.tag, msg.mtype, msg.seq, msg.comm_id)
+        changed = sum(a != b for a, b in zip(original, parsed))
+        assert changed <= 1
+        assert msg.payload == payload
+
+    @given(st.binary(min_size=0, max_size=HEADER_SIZE - 1))
+    def test_short_packets_always_fatal(self, junk):
+        with pytest.raises(ChannelProtocolError):
+            parse_packet(junk)
+
+
+class TestChannelProperties:
+    @given(st.lists(payloads, min_size=1, max_size=20))
+    def test_fifo_and_byte_accounting(self, bodies):
+        ep = ChannelEndpoint(0)
+        for body in bodies:
+            ep.push(pack_header(0, 0, 1, MSG_EAGER, len(body), 0) + body)
+        received = []
+        while (pkt := ep.recv()) is not None:
+            received.append(bytes(pkt)[HEADER_SIZE:])
+        assert received == bodies
+        assert ep.bytes_received == sum(len(b) + HEADER_SIZE for b in bodies)
+        assert ep.stats.packets == len(bodies)
+        assert ep.stats.header_bytes == len(bodies) * HEADER_SIZE
+        assert ep.stats.payload_bytes == sum(len(b) for b in bodies)

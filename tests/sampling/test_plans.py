@@ -1,0 +1,38 @@
+"""Campaign plans."""
+
+import pytest
+
+from repro.sampling.plans import (
+    DEFAULT_REGION_N,
+    PAPER_REGIONS,
+    CampaignPlan,
+    default_plan,
+)
+
+
+class TestDefaultPlan:
+    def test_covers_eight_regions(self):
+        plan = default_plan()
+        assert set(plan.per_region) == set(PAPER_REGIONS)
+        assert len(PAPER_REGIONS) == 8
+
+    def test_default_size(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CAMPAIGN_N", raising=False)
+        assert default_plan().n_for("heap") == DEFAULT_REGION_N
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_N", "500")
+        assert default_plan().n_for("text") == 500
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_N", "500")
+        assert default_plan(25).n_for("text") == 25
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            default_plan(0)
+
+    def test_totals_and_d(self):
+        plan = default_plan(100)
+        assert plan.total_injections == 800
+        assert 0.09 < plan.d_for("heap") < 0.11  # ~9.8% at n=100

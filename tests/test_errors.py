@@ -1,0 +1,58 @@
+"""The simulated fault-condition hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AppAbort,
+    HangDetected,
+    InvalidFaultSpec,
+    MPIAbort,
+    MPIError,
+    SimBusError,
+    SimFPE,
+    SimIllegalInstruction,
+    SimSegfault,
+    SimSignal,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_all_are_simulation_errors(self):
+        for exc in (
+            SimSegfault, SimBusError, SimIllegalInstruction, SimFPE,
+            MPIError, MPIAbort, AppAbort, HangDetected, InvalidFaultSpec,
+        ):
+            assert issubclass(exc, SimulationError)
+
+    def test_signals_have_signames(self):
+        assert SimSegfault().signame == "SIGSEGV"
+        assert SimBusError().signame == "SIGBUS"
+        assert SimIllegalInstruction().signame == "SIGILL"
+        assert SimFPE().signame == "SIGFPE"
+        assert issubclass(SimSegfault, SimSignal)
+
+    def test_signal_carries_rank(self):
+        err = SimSegfault("bad address", rank=3)
+        assert err.rank == 3
+        assert "bad address" in str(err)
+
+    def test_mpi_error_class(self):
+        err = MPIError("MPI_ERR_RANK", "rank 99", rank=1)
+        assert err.mpi_class == "MPI_ERR_RANK"
+        assert "MPI_ERR_RANK" in str(err)
+
+    def test_mpi_abort_exit_code(self):
+        assert MPIAbort("bye", exit_code=7).exit_code == 7
+        assert MPIAbort().exit_code == 1
+
+    def test_app_abort_check_name(self):
+        err = AppAbort("NaN check", "energy is nan")
+        assert err.check == "NaN check"
+        assert "energy is nan" in str(err)
+        assert str(AppAbort("bare")) == "bare"
+
+    def test_hang_detected_blocks(self):
+        err = HangDetected("budget exceeded", blocks=1234)
+        assert err.blocks == 1234
+        assert err.reason == "budget exceeded"

@@ -1,0 +1,72 @@
+"""Application profiling (Table 1 machinery)."""
+
+import pytest
+
+from repro.mpi.simulator import JobConfig
+from repro.trace.profiles import profile_application
+from repro.trace.working_set import trace_memory
+from tests.conftest import SMALL_NPROCS, small_wavetoy
+
+
+@pytest.fixture(scope="module")
+def wavetoy_profile():
+    # Default-size wavetoy: the SMALL test config shrinks the heap below
+    # the static tables, which would hide the Cactus-like profile shape.
+    from repro.apps import WavetoyApp
+
+    return profile_application(WavetoyApp(), JobConfig(nprocs=SMALL_NPROCS))
+
+
+class TestProfile:
+    def test_sections_positive(self, wavetoy_profile):
+        p = wavetoy_profile
+        assert p.text_size > 0
+        assert p.data_size > 0
+        assert p.bss_size > 0
+        assert p.heap_size_max > 0
+
+    def test_wavetoy_heap_dominates(self, wavetoy_profile):
+        """Cactus's profile: the heap is the largest data region."""
+        p = wavetoy_profile
+        assert p.heap_size_max > p.data_size
+        assert p.heap_size_max > p.bss_size
+
+    def test_distribution_sums_to_100(self, wavetoy_profile):
+        p = wavetoy_profile
+        assert p.header_percent + p.user_percent == pytest.approx(100.0)
+
+    def test_wavetoy_mostly_user_data(self, wavetoy_profile):
+        assert p_user(wavetoy_profile) > 80.0
+
+    def test_rows_render(self, wavetoy_profile):
+        rows = dict(wavetoy_profile.as_rows())
+        assert "Text Size (MB)" in rows
+        assert "Header %" in rows
+
+
+def p_user(profile):
+    return profile.user_percent
+
+
+class TestTraceMemory:
+    def test_report_shapes(self):
+        report = trace_memory(small_wavetoy(), JobConfig(nprocs=SMALL_NPROCS))
+        assert report.total_blocks > 0
+        for which in ("text", "data", "bss", "heap", "data_bss_heap"):
+            curve = getattr(report, which)
+            assert curve.is_nonincreasing(), which
+            assert 0 <= curve.percent[0] <= 100
+
+    def test_phase_behaviour(self):
+        """Init phase touches more than the compute phase (the paper's
+        phase-shift observation)."""
+        report = trace_memory(small_wavetoy(), JobConfig(nprocs=SMALL_NPROCS))
+        assert report.initial_percent("text") > report.compute_phase_percent("text")
+        assert (
+            report.initial_percent("data_bss_heap")
+            >= report.compute_phase_percent("data_bss_heap")
+        )
+
+    def test_text_working_set_small_in_compute_phase(self):
+        report = trace_memory(small_wavetoy(), JobConfig(nprocs=SMALL_NPROCS))
+        assert report.compute_phase_percent("text") < 50.0

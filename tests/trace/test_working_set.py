@@ -1,0 +1,93 @@
+"""Working-set analysis (Tables 5-7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.layout import GRANULE
+from repro.trace.working_set import (
+    combined_curve,
+    section_curve,
+    working_set_sizes,
+)
+from tests.conftest import build_image
+
+
+class TestWssMath:
+    def test_definition(self):
+        # granules last accessed at blocks 10, 20, 30; one never (-1).
+        last = np.array([10, 20, 30, -1], dtype=np.int64)
+        times = np.array([0, 15, 25, 31])
+        np.testing.assert_array_equal(working_set_sizes(last, times), [3, 2, 1, 0])
+
+    def test_nonincreasing_property(self):
+        rng = np.random.default_rng(0)
+        last = rng.integers(-1, 1000, size=500)
+        times = np.arange(0, 1001, 37)
+        sizes = working_set_sizes(last, times)
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_time_zero_counts_everything_accessed(self):
+        last = np.array([0, 5, -1, 7], dtype=np.int64)
+        assert working_set_sizes(last, np.array([0]))[0] == 3
+
+
+class TestSectionCurves:
+    def _traced_image(self):
+        src = """
+            movi esi, $hot
+            movi ecx, 8
+            movi eax, 0
+        lp: vred.sum esi, ecx
+            fpop
+            addi eax, 1
+            cmpi eax, 10
+            jl lp
+            ret
+        """
+        image, vm = build_image(
+            {"main": src}, data={"hot": 64, "cold": 4096}, track=True
+        )
+        vm.call("main")
+        return image
+
+    def test_exec_curve_for_text(self):
+        image = self._traced_image()
+        curve = section_curve(
+            image.text, kind="exec", total_blocks=image.clock.blocks
+        )
+        assert curve.percent[0] > 0
+        assert curve.is_nonincreasing()
+
+    def test_data_curve_excludes_cold(self):
+        image = self._traced_image()
+        curve = section_curve(
+            image.data, kind="load", total_blocks=image.clock.blocks,
+            section_bytes=64 + 4096,
+        )
+        # only the 64-byte hot table was loaded: about 64/(4160) ~ 1.5-3%
+        assert 0 < curve.percent[0] < 10
+
+    def test_untracked_segment_rejected(self):
+        image, vm = build_image({"main": "ret"})
+        with pytest.raises(ValueError, match="track=True"):
+            section_curve(image.text, kind="exec", total_blocks=10)
+
+    def test_combined_curve(self):
+        image = self._traced_image()
+        curve = combined_curve(
+            [image.data, image.bss, image.heap_segment],
+            kind="load",
+            total_blocks=image.clock.blocks,
+        )
+        assert curve.name == "combined"
+        assert curve.section_bytes == (
+            image.data.size + image.bss.size + image.heap_segment.size
+        )
+        assert curve.is_nonincreasing()
+
+    def test_at_lookup(self):
+        image = self._traced_image()
+        curve = section_curve(
+            image.text, kind="exec", total_blocks=image.clock.blocks
+        )
+        assert curve.at(0) == pytest.approx(float(curve.percent[0]))
