@@ -1,0 +1,25 @@
+"""Static AVF vs dynamic injection: rank correlation acceptance.
+
+The static analyser predicts per-register fault sensitivity without
+running a single injection.  This bench runs the dynamic register
+campaign over the section-6.1.1 ablation kernels and checks that the
+static ranking agrees (Spearman rho >= 0.6) - the validation that makes
+the AVF numbers in ``python -m repro analyze`` trustworthy.
+"""
+
+from benchmarks.conftest import BENCH_CAMPAIGN_N
+from repro.staticanalysis.validation import validate
+
+
+def test_static_avf_correlation(benchmark, capsys):
+    trials = max(BENCH_CAMPAIGN_N, 25)
+    report = benchmark.pedantic(
+        validate, kwargs={"trials": trials}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["spearman_rho"] = report.rank_correlation
+    benchmark.extra_info["points"] = len(report.static_scores)
+    with capsys.disabled():
+        print("\n=== Static AVF vs dynamic injection ===")
+        print(report.text)
+    assert report.liveness_agrees
+    assert report.rank_correlation >= 0.6

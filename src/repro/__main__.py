@@ -5,11 +5,14 @@ Usage::
     python -m repro list                    # show all experiments
     python -m repro run T2 [n]              # regenerate one artifact
     python -m repro report [n] [--out FILE] # run everything, emit markdown
+    python -m repro analyze wavetoy         # static AVF prediction
+    python -m repro analyze --lint moldyn   # assembly diagnostics
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -53,6 +56,74 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.staticanalysis.avf import analyze_function
+    from repro.staticanalysis.lint import lint_function
+    from repro.staticanalysis.lint import iter_shipped_kernels
+
+    kernels = list(iter_shipped_kernels())
+    owners = {owner for owner, _ in kernels}
+    selected = [
+        (owner, fn)
+        for owner, fn in kernels
+        if args.target in (owner, fn.name)
+    ]
+    if not selected:
+        names = sorted(owners | {fn.name for _, fn in kernels})
+        print(
+            f"unknown analysis target {args.target!r}; choose an "
+            f"application or kernel: {', '.join(names)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports = [(fn, analyze_function(fn)) for _, fn in selected]
+    diags = (
+        [d for _, fn in selected for d in lint_function(fn)]
+        if args.lint
+        else []
+    )
+
+    if args.json:
+        payload = {
+            "target": args.target,
+            "functions": [rep.to_dict() for _, rep in reports],
+        }
+        if args.lint:
+            payload["diagnostics"] = [
+                {
+                    "code": d.code,
+                    "function": d.function,
+                    "insn_index": d.insn_index,
+                    "message": d.message,
+                }
+                for d in diags
+            ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for fn, rep in reports:
+            print(
+                f"{rep.name}: {rep.n_insns} insns, {rep.n_blocks} blocks, "
+                f"program AVF {rep.program_avf:.3f}, text AVF "
+                f"{rep.text_avf:.3f}"
+            )
+            for reg, score in sorted(
+                rep.register_avf.items(), key=lambda kv: -kv[1]
+            ):
+                if score > 0.0:
+                    print(f"  {reg}: {score:.3f}")
+            bits = rep.text_bits
+            print(
+                f"  text bits: {bits['crash']} crash, "
+                f"{bits['incorrect']} incorrect, {bits['benign']} benign"
+            )
+        if args.lint:
+            for d in diags:
+                print(d)
+            print(f"lint: {len(diags)} diagnostic(s)")
+    return 1 if diags else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -70,6 +141,22 @@ def main(argv: list[str] | None = None) -> int:
     rep.add_argument("n", nargs="?", type=int, default=None)
     rep.add_argument("--out", default=None, help="output file")
     rep.set_defaults(fn=cmd_report)
+    ana = sub.add_parser(
+        "analyze",
+        help="static fault-vulnerability analysis of shipped kernels",
+    )
+    ana.add_argument(
+        "target", help="application (wavetoy, moldyn, climate, ablation) "
+        "or kernel function name (e.g. wt_step)"
+    )
+    ana.add_argument(
+        "--lint", action="store_true",
+        help="run the assembly linter too (exit 1 on any diagnostic)",
+    )
+    ana.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    ana.set_defaults(fn=cmd_analyze)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -119,53 +119,40 @@ class AssembledFunction:
     def size(self) -> int:
         return len(self.insns) * INSN_SIZE
 
-    def registers_used(self) -> set[str]:
-        """Static register usage - the Springer-[23] style measurement for
-        the optimization-level ablation (paper section 6.1.1)."""
-        from repro.cpu.registers import REG_NAMES
+    def _register_sets(self) -> tuple[set[str], set[str]]:
+        """(read, written) register names over every instruction.
 
-        used: set[str] = set()
-        reg_ops = {  # which fields hold register numbers, per opcode
-            Op.MOVI: ("r1",),
-            Op.MOV: ("r1", "r2"),
-            Op.LOAD: ("r1", "r2"),
-            Op.STORE: ("r1", "r2"),
-            Op.LEA: ("r1", "r2"),
-            Op.PUSH: ("r1",),
-            Op.POP: ("r1",),
-            Op.ADD: ("r1", "r2"),
-            Op.SUB: ("r1", "r2"),
-            Op.IMUL: ("r1", "r2"),
-            Op.IDIV: ("r1", "r2"),
-            Op.IREM: ("r1", "r2"),
-            Op.AND: ("r1", "r2"),
-            Op.OR: ("r1", "r2"),
-            Op.XOR: ("r1", "r2"),
-            Op.SHL: ("r1",),
-            Op.SHR: ("r1",),
-            Op.ADDI: ("r1",),
-            Op.CMP: ("r1", "r2"),
-            Op.CMPI: ("r1",),
-            Op.NEG: ("r1",),
-            Op.CALLR: ("r1",),
-            Op.FLD: ("r1",),
-            Op.FST: ("r1",),
-            Op.FSTP: ("r1",),
-            Op.VMOV: ("r1", "r2", "r3"),
-            Op.VFILL: ("r1", "r2"),
-            Op.VBIN: ("r1", "r2", "r3", "r4"),
-            Op.VBINS: ("r1", "r2", "r3"),
-            Op.VAXPY: ("r1", "r2", "r3", "r4"),
-            Op.VRED: ("r1", "r2", "r3"),
-        }
+        Only *explicit* operand registers are reported (the historical
+        ``registers_used`` contract): PUSH/POP/CALL/RET's implicit ESP
+        traffic is a property of the opcode, not of what the programmer
+        named, and the section-6.1.1 ablation counts named registers.
+        """
+        from repro.cpu.registers import REG_NAMES
+        from repro.cpu.semantics import effects
+
+        read: set[str] = set()
+        written: set[str] = set()
         for insn in self.insns:
-            for fieldname in reg_ops.get(insn.op, ()):
-                idx = getattr(insn, fieldname)
-                if insn.op == Op.VRED and insn.subop != RedOp.DOT and fieldname == "r3":
-                    continue  # non-dot reductions only use r1, r2
-                if 0 <= idx < len(REG_NAMES):
-                    used.add(REG_NAMES[idx])
-        return used
+            eff = effects(insn, include_implicit=False)
+            read.update(REG_NAMES[r] for r in eff.reads)
+            written.update(REG_NAMES[r] for r in eff.writes)
+        return read, written
+
+    def registers_read(self) -> set[str]:
+        """Registers whose value some instruction consumes (liveness
+        *uses*; includes address and count operands of vector ops)."""
+        return self._register_sets()[0]
+
+    def registers_written(self) -> set[str]:
+        """Registers some instruction defines (liveness *defs*)."""
+        return self._register_sets()[1]
+
+    def registers_used(self) -> set[str]:
+        """Static register usage, read or written - the Springer-[23]
+        style measurement for the optimization-level ablation (paper
+        section 6.1.1)."""
+        read, written = self._register_sets()
+        return read | written
 
 
 def _reg(token: str, line_no: int, line: str) -> int:
@@ -416,3 +403,15 @@ class Program:
         for fn in self.functions.values():
             used |= fn.registers_used()
         return used
+
+    def registers_read(self) -> set[str]:
+        read: set[str] = set()
+        for fn in self.functions.values():
+            read |= fn.registers_read()
+        return read
+
+    def registers_written(self) -> set[str]:
+        written: set[str] = set()
+        for fn in self.functions.values():
+            written |= fn.registers_written()
+        return written

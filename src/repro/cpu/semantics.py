@@ -1,0 +1,193 @@
+"""Static per-instruction semantics: register use/def sets and structure.
+
+The interpreter in :mod:`repro.cpu.vm` *is* the semantics of the ISA, but
+it only exposes them dynamically, one executed instruction at a time.
+The static analyses (:mod:`repro.staticanalysis`) need the same facts
+without executing anything: which register fields an opcode reads and
+writes, which instructions branch, and how each instruction moves the
+hardware stack.  This module is the single authority for those facts -
+the assembler's ``registers_read``/``registers_written`` reporting and
+the CFG/liveness/AVF passes all derive from the tables here, so a new
+opcode only needs describing once.
+
+Register operands come in two flavours the analyses must distinguish:
+
+* **explicit** operands, encoded in the r1..r4 fields (``OPERAND_FIELDS``);
+* **implicit** operands, baked into the opcode's semantics - PUSH/POP,
+  CALL/CALLR/RET all read and write ESP without naming it.
+
+``FXCH``'s r1 field is *not* a register operand: it selects an x87 stack
+slot, so it never appears in any register set here (mirroring the
+``reg_ops`` table the assembler historically used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.isa import BRANCH_OPS, Insn, Op, RedOp
+from repro.cpu.registers import ESP
+
+#: Explicit register operand fields per opcode, tagged with access mode:
+#: ``"r"`` read, ``"w"`` written, ``"rw"`` both.  Vector "destination"
+#: operands are *reads* - the register holds the destination address,
+#: the write goes to memory.
+OPERAND_FIELDS: dict[Op, tuple[tuple[str, str], ...]] = {
+    Op.NOP: (),
+    Op.HLT: (),
+    Op.MOVI: (("r1", "w"),),
+    Op.MOV: (("r1", "w"), ("r2", "r")),
+    Op.LOAD: (("r1", "w"), ("r2", "r")),
+    Op.STORE: (("r1", "r"), ("r2", "r")),
+    Op.LEA: (("r1", "w"), ("r2", "r")),
+    Op.PUSH: (("r1", "r"),),
+    Op.POP: (("r1", "w"),),
+    Op.ADD: (("r1", "rw"), ("r2", "r")),
+    Op.SUB: (("r1", "rw"), ("r2", "r")),
+    Op.IMUL: (("r1", "rw"), ("r2", "r")),
+    Op.IDIV: (("r1", "rw"), ("r2", "r")),
+    Op.IREM: (("r1", "rw"), ("r2", "r")),
+    Op.AND: (("r1", "rw"), ("r2", "r")),
+    Op.OR: (("r1", "rw"), ("r2", "r")),
+    Op.XOR: (("r1", "rw"), ("r2", "r")),
+    Op.SHL: (("r1", "rw"),),
+    Op.SHR: (("r1", "rw"),),
+    Op.ADDI: (("r1", "rw"),),
+    Op.CMP: (("r1", "r"), ("r2", "r")),
+    Op.CMPI: (("r1", "r"),),
+    Op.NEG: (("r1", "rw"),),
+    Op.JMP: (),
+    Op.JZ: (),
+    Op.JNZ: (),
+    Op.JL: (),
+    Op.JGE: (),
+    Op.JG: (),
+    Op.JLE: (),
+    Op.CALL: (),
+    Op.RET: (),
+    Op.CALLR: (("r1", "r"),),
+    Op.FLD: (("r1", "r"),),
+    Op.FST: (("r1", "r"),),
+    Op.FSTP: (("r1", "r"),),
+    Op.FLDZ: (),
+    Op.FLD1: (),
+    Op.FLDIMM: (),
+    Op.FADDP: (),
+    Op.FSUBP: (),
+    Op.FMULP: (),
+    Op.FDIVP: (),
+    Op.FCHS: (),
+    Op.FABS: (),
+    Op.FSQRT: (),
+    Op.FXCH: (),  # r1 is an x87 stack index, not a GPR
+    Op.FCOMIP: (),
+    Op.FDUP: (),
+    Op.FPOP: (),
+    Op.VMOV: (("r1", "r"), ("r2", "r"), ("r3", "r")),
+    Op.VFILL: (("r1", "r"), ("r2", "r")),
+    Op.VBIN: (("r1", "r"), ("r2", "r"), ("r3", "r"), ("r4", "r")),
+    Op.VBINS: (("r1", "r"), ("r2", "r"), ("r3", "r")),
+    Op.VAXPY: (("r1", "r"), ("r2", "r"), ("r3", "r"), ("r4", "r")),
+    Op.VRED: (("r1", "r"), ("r2", "r"), ("r3", "r")),
+}
+
+#: Opcodes using the imm field as a memory offset (base register + imm).
+MEM_OFFSET_OPS = frozenset(
+    {Op.LOAD, Op.STORE, Op.LEA, Op.FLD, Op.FST, Op.FSTP}
+)
+
+#: Opcodes whose imm field is read as plain data.
+IMM_DATA_OPS = frozenset(
+    {Op.MOVI, Op.ADDI, Op.CMPI, Op.SHL, Op.SHR, Op.FLDIMM}
+)
+
+#: Conditional branches (read the flags).
+COND_BRANCH_OPS = frozenset({Op.JZ, Op.JNZ, Op.JL, Op.JGE, Op.JG, Op.JLE})
+
+#: Opcodes that set ZF/SF.
+FLAG_WRITING_OPS = frozenset(
+    {
+        Op.ADD, Op.SUB, Op.IMUL, Op.IDIV, Op.IREM,
+        Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+        Op.ADDI, Op.CMP, Op.CMPI, Op.NEG, Op.FCOMIP,
+    }
+)
+
+#: Implicit ESP readers/writers (hardware stack movement).
+_STACK_OPS = frozenset({Op.PUSH, Op.POP, Op.CALL, Op.CALLR, Op.RET})
+
+
+def operand_fields(insn: Insn) -> tuple[tuple[str, str], ...]:
+    """The (field, mode) pairs actually live for this instruction -
+    ``VRED`` uses r3 only for the DOT reduction."""
+    fields = OPERAND_FIELDS[insn.op]
+    if insn.op is Op.VRED and insn.subop != RedOp.DOT:
+        fields = tuple(f for f in fields if f[0] != "r3")
+    return fields
+
+
+@dataclass(frozen=True)
+class InsnEffects:
+    """Register-level effects of one instruction."""
+
+    reads: frozenset[int]
+    writes: frozenset[int]
+    reads_flags: bool
+    writes_flags: bool
+    #: Net 32-bit stack slots pushed (+1) / popped (-1) by the
+    #: instruction itself.  CALL is 0: the pushed return address is
+    #: consumed by the callee's RET, so at this function's level the
+    #: pair is neutral.  RET is 0 for the same reason - it consumes the
+    #: slot our *caller* pushed, which was never part of this frame.
+    stack_delta: int
+
+
+def effects(insn: Insn, include_implicit: bool = True) -> InsnEffects:
+    """Static use/def sets for one decoded instruction.
+
+    With ``include_implicit`` the stack instructions report their ESP
+    traffic; without it only the encoded operand fields are reported
+    (the assembler's historical ``registers_used`` contract).
+    """
+    reads: set[int] = set()
+    writes: set[int] = set()
+    for fieldname, mode in operand_fields(insn):
+        # The register file masks indices to the 8 GPRs (i &= 7), so a
+        # 4-bit field with the alias bit set still names a real register.
+        idx = getattr(insn, fieldname) & 7
+        if "r" in mode:
+            reads.add(idx)
+        if "w" in mode:
+            writes.add(idx)
+    if include_implicit and insn.op in _STACK_OPS:
+        reads.add(ESP)
+        writes.add(ESP)
+    delta = 0
+    if insn.op is Op.PUSH:
+        delta = 1
+    elif insn.op is Op.POP:
+        delta = -1
+    return InsnEffects(
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        reads_flags=insn.op in COND_BRANCH_OPS,
+        writes_flags=insn.op in FLAG_WRITING_OPS,
+        stack_delta=delta,
+    )
+
+
+def is_branch(insn: Insn) -> bool:
+    """True for relative control transfers (the CFG edge formers)."""
+    return insn.op in BRANCH_OPS
+
+
+def is_terminator(insn: Insn) -> bool:
+    """True when the instruction ends a basic block."""
+    return insn.op in BRANCH_OPS or insn.op in (Op.RET, Op.HLT)
+
+
+def falls_through(insn: Insn) -> bool:
+    """True when execution can continue at the next instruction.
+    Conditional branches fall through; JMP/RET/HLT never do.  CALL and
+    CALLR resume at the next instruction once the callee returns."""
+    return insn.op not in (Op.JMP, Op.RET, Op.HLT)

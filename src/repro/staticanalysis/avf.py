@@ -1,0 +1,258 @@
+"""ACE/AVF-style static fault-sensitivity estimation.
+
+The architectural vulnerability factor of a storage bit is the fraction
+of time it holds state required for correct execution (ACE state).  The
+dynamic campaigns measure this by injection; here it is *predicted* from
+structure alone:
+
+* a register's AVF is the execution-weighted fraction of program points
+  at which it is live (liveness from :mod:`.dataflow`, weights from the
+  CFG's loop nesting - a static stand-in for a block-frequency profile);
+* a text bit's verdict comes from re-decoding the flipped word, the
+  exact mechanism the paper gives for text faults ("a bit error in the
+  instruction opcode can alter the instruction and halt the execution"):
+  flips that decode to an undefined opcode (or the privileged HLT, or a
+  control transfer out of the function) are predicted **Crash**; flips
+  that yield a different valid instruction are predicted **Incorrect**
+  (silent behaviour change); flips in fields the instruction never
+  reads - unused operand nibbles, the register alias bit the register
+  file masks off, dead immediates - are predicted **Benign**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu import semantics
+from repro.cpu.assembler import AssembledFunction, Program
+from repro.cpu.isa import INSN_SIZE, BRANCH_OPS, Insn, Op, RedOp, VecOp
+from repro.cpu.registers import REG_NAMES
+from repro.staticanalysis.cfg import ControlFlowGraph
+from repro.staticanalysis.dataflow import Liveness, liveness
+
+#: Execution weight multiplier per loop-nesting level (a block two loops
+#: deep is assumed to run LOOP_WEIGHT^2 times as often as straight-line
+#: code - the classic static profile guess).
+LOOP_WEIGHT = 10
+
+#: Memory-offset immediate bits at or above this position are predicted
+#: to escape every mapped segment when flipped (the largest segment the
+#: suite links is the 1 MiB heap), turning the access into a segfault.
+MEM_ESCAPE_BIT = 21
+
+_VALID_OPCODES = frozenset(int(op) for op in Op)
+_VALID_VECOPS = frozenset(int(v) for v in VecOp)
+_VALID_REDOPS = frozenset(int(v) for v in RedOp)
+
+
+class Predicted(enum.Enum):
+    """Predicted manifestation of a single text-bit flip."""
+
+    CRASH = "crash"
+    INCORRECT = "incorrect"
+    BENIGN = "benign"
+
+
+# ----------------------------------------------------------------------
+# per-register AVF
+# ----------------------------------------------------------------------
+def block_weights(cfg: ControlFlowGraph) -> list[float]:
+    """Per-instruction execution weight (unreachable code weighs 0)."""
+    reachable = cfg.reachable()
+    weights = [0.0] * len(cfg.insns)
+    for block in cfg.blocks:
+        w = float(LOOP_WEIGHT**block.loop_depth) if block.index in reachable else 0.0
+        for i in block.insn_indices():
+            weights[i] = w
+    return weights
+
+
+def register_avf(
+    cfg: ControlFlowGraph, live: Liveness | None = None
+) -> dict[str, float]:
+    """Weighted fraction of program points at which each register is
+    live - the predicted probability that a uniformly timed flip of that
+    register lands in a live window."""
+    live = live or liveness(cfg)
+    weights = block_weights(cfg)
+    total = sum(weights) or 1.0
+    scores = {name: 0.0 for name in REG_NAMES}
+    for i, w in enumerate(weights):
+        for r in live.before[i]:
+            scores[REG_NAMES[r]] += w
+    return {name: s / total for name, s in scores.items()}
+
+
+# ----------------------------------------------------------------------
+# text-segment vulnerability map
+# ----------------------------------------------------------------------
+def classify_bit(
+    insn: Insn, insn_index: int, n_insns: int, bit: int, relocated: bool = False
+) -> Predicted:
+    """Predict the manifestation of flipping ``bit`` (0..63, little
+    endian over the 8-byte word) of instruction ``insn_index``."""
+    byte, bit_in_byte = divmod(bit, 8)
+    op = insn.op
+
+    if byte == 0:  # opcode
+        flipped = int(op) ^ (1 << bit_in_byte)
+        if flipped not in _VALID_OPCODES:
+            return Predicted.CRASH  # SIGILL on next fetch
+        if flipped == int(Op.HLT):
+            return Predicted.CRASH  # privileged -> SIGSEGV
+        return Predicted.INCORRECT
+
+    if byte in (1, 2):  # register operand nibbles
+        if op is Op.FXCH and byte == 1 and bit_in_byte >= 4:
+            # r1 selects an x87 stack slot (unmasked): a flip retargets
+            # the exchange or underflows the FP stack.
+            return Predicted.INCORRECT
+        fields = {("r1", 1, True), ("r2", 1, False), ("r3", 2, True), ("r4", 2, False)}
+        used = {f for f, _ in semantics.operand_fields(insn)}
+        for fieldname, fbyte, high in fields:
+            if fbyte != byte or (bit_in_byte >= 4) != high:
+                continue
+            if fieldname not in used:
+                return Predicted.BENIGN
+            if bit_in_byte % 4 == 3:
+                # Register alias bit: the register file masks indices
+                # with i & 7, so +8 names the same GPR.
+                return Predicted.BENIGN
+            return Predicted.INCORRECT
+        return Predicted.BENIGN
+
+    if byte == 3:  # sub-opcode
+        flipped = insn.subop ^ (1 << bit_in_byte)
+        if op in (Op.VBIN, Op.VBINS):
+            return (
+                Predicted.INCORRECT
+                if flipped in _VALID_VECOPS
+                else Predicted.CRASH
+            )
+        if op is Op.VRED:
+            return (
+                Predicted.INCORRECT
+                if flipped in _VALID_REDOPS
+                else Predicted.CRASH
+            )
+        return Predicted.BENIGN
+
+    # bytes 4-7: the 32-bit immediate
+    imm_bit = bit - 32
+    if op in BRANCH_OPS:
+        # Flip on the encoded u32, then reinterpret as the signed i32
+        # the decoder produces.
+        u = (insn.imm & 0xFFFFFFFF) ^ (1 << imm_bit)
+        flipped = u - (1 << 32) if u >= (1 << 31) else u
+        if flipped % INSN_SIZE:
+            return Predicted.CRASH  # lands between words -> garbage fetch
+        target = insn_index + 1 + flipped // INSN_SIZE
+        if not 0 <= target < n_insns:
+            return Predicted.CRASH
+        return Predicted.INCORRECT
+    if op is Op.CALL or (op is Op.CALLR):
+        # CALL's imm is an absolute entry address (link-time patched);
+        # any flip sends control to a corrupted address. CALLR ignores
+        # its imm entirely.
+        return Predicted.CRASH if op is Op.CALL else Predicted.BENIGN
+    if relocated:
+        # The encoded imm is a link-time-patched absolute address
+        # (``$symbol`` data pointers): a flip strays off the object.
+        return (
+            Predicted.CRASH if imm_bit >= MEM_ESCAPE_BIT else Predicted.INCORRECT
+        )
+    if op in semantics.MEM_OFFSET_OPS:
+        return (
+            Predicted.CRASH if imm_bit >= MEM_ESCAPE_BIT else Predicted.INCORRECT
+        )
+    if op in semantics.IMM_DATA_OPS:
+        if op in (Op.SHL, Op.SHR) and imm_bit >= 5:
+            return Predicted.BENIGN  # shift count is masked with & 31
+        return Predicted.INCORRECT
+    return Predicted.BENIGN
+
+
+def text_vulnerability_map(cfg: ControlFlowGraph) -> list[list[Predicted]]:
+    """Per-instruction, per-bit (64 each) predicted manifestations."""
+    n = len(cfg.insns)
+    return [
+        [
+            classify_bit(insn, i, n, bit, relocated=i in cfg.relocated)
+            for bit in range(64)
+        ]
+        for i, insn in enumerate(cfg.insns)
+    ]
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AVFReport:
+    """Static fault-sensitivity prediction for one function."""
+
+    name: str
+    n_insns: int
+    n_blocks: int
+    #: register name -> live-fraction AVF score in [0, 1].
+    register_avf: dict[str, float]
+    #: mean register AVF over the whole file (the program score).
+    program_avf: float
+    #: registers with any live window at all.
+    live_registers: tuple[str, ...]
+    #: bit-count per predicted class over the text image.
+    text_bits: dict[str, int]
+
+    @property
+    def text_avf(self) -> float:
+        """Fraction of text bits whose flip is predicted to manifest."""
+        total = sum(self.text_bits.values()) or 1
+        vulnerable = self.text_bits["crash"] + self.text_bits["incorrect"]
+        return vulnerable / total
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_insns": self.n_insns,
+            "n_blocks": self.n_blocks,
+            "register_avf": {
+                k: round(v, 4) for k, v in self.register_avf.items()
+            },
+            "program_avf": round(self.program_avf, 4),
+            "live_registers": list(self.live_registers),
+            "text_bits": dict(self.text_bits),
+            "text_avf": round(self.text_avf, 4),
+        }
+
+
+def analyze_cfg(cfg: ControlFlowGraph) -> AVFReport:
+    live = liveness(cfg)
+    reg_avf = register_avf(cfg, live)
+    text_map = text_vulnerability_map(cfg)
+    counts = {p.value: 0 for p in Predicted}
+    for word in text_map:
+        for verdict in word:
+            counts[verdict.value] += 1
+    live_regs = tuple(
+        sorted(REG_NAMES[r] for r in live.live_registers())
+    )
+    return AVFReport(
+        name=cfg.name,
+        n_insns=len(cfg.insns),
+        n_blocks=len(cfg.blocks),
+        register_avf=reg_avf,
+        program_avf=sum(reg_avf.values()) / len(reg_avf),
+        live_registers=live_regs,
+        text_bits=counts,
+    )
+
+
+def analyze_function(fn: AssembledFunction) -> AVFReport:
+    return analyze_cfg(ControlFlowGraph.from_function(fn))
+
+
+def analyze_program(prog: Program) -> dict[str, AVFReport]:
+    return {
+        name: analyze_function(fn) for name, fn in prog.functions.items()
+    }

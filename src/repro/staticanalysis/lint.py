@@ -1,0 +1,287 @@
+"""Assembly diagnostics built on the CFG and dataflow analyses.
+
+Each diagnostic has a stable code so CI can gate on them and kernels can
+be audited by hand:
+
+======  ==============================================================
+code    meaning
+======  ==============================================================
+SA001   write to a dead register (the value can never be read)
+SA002   register read with no reaching definition (use before def)
+SA003   unreachable basic block
+SA004   push/pop stack imbalance on a path reaching RET
+SA005   branch to nowhere (target outside the function or off-grid)
+======  ==============================================================
+
+Two deliberate exemptions keep the checks useful on compiler-shaped
+code:
+
+* ``POP r`` with a dead destination is *not* SA001 - compilers emit
+  ``pop`` purely to deallocate a stack slot, and the ESP adjustment is
+  the point (the value being discarded is the idiom, not a bug);
+* writes to ESP/EBP are not SA001 - frame management keeps them live
+  through the implicit stack traffic and the exit convention anyway.
+
+The stack-balance check (SA004) understands the standard frame idiom:
+``mov ebp, esp`` snapshots the depth and ``mov esp, ebp`` restores it,
+so kernels that reset ESP through the frame pointer still verify.  Any
+other write to ESP makes the depth unknown and mutes the check on the
+affected paths rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu import semantics
+from repro.cpu.assembler import AssembledFunction
+from repro.cpu.isa import Op
+from repro.cpu.registers import EBP, ESP, REG_NAMES
+from repro.staticanalysis.cfg import ControlFlowGraph
+from repro.staticanalysis.dataflow import liveness, reaching_definitions
+
+#: Stable diagnostic codes and their one-line descriptions.
+LINT_CODES = {
+    "SA001": "write to a dead register",
+    "SA002": "use of a register before any definition",
+    "SA003": "unreachable basic block",
+    "SA004": "push/pop stack imbalance",
+    "SA005": "branch target outside the function",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    code: str
+    function: str
+    insn_index: int
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.code} {self.function}+{self.insn_index}: {self.message}"
+        )
+
+
+def lint_cfg(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    diags += _check_dead_writes(cfg)
+    diags += _check_use_before_def(cfg)
+    diags += _check_unreachable(cfg)
+    diags += _check_stack_balance(cfg)
+    diags += _check_branch_targets(cfg)
+    diags.sort(key=lambda d: (d.insn_index, d.code))
+    return diags
+
+
+def lint_function(fn: AssembledFunction) -> list[Diagnostic]:
+    return lint_cfg(ControlFlowGraph.from_function(fn))
+
+
+def lint_program(prog) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for fn in prog.functions.values():
+        out.extend(lint_function(fn))
+    return out
+
+
+def iter_shipped_kernels():
+    """Yield ``(owner, AssembledFunction)`` for every kernel the repo
+    ships: the three applications' kernels (built with their default
+    parameters) plus the liveness-ablation pair - the lint CI gate
+    covers all of them."""
+    from repro.analysis.liveness import OPTIMIZED_SOURCE, UNOPTIMIZED_SOURCE
+    from repro.apps import APPLICATION_SUITE
+    from repro.cpu.assembler import assemble_function
+
+    for app_name, app_cls in APPLICATION_SUITE.items():
+        prog = app_cls().program()
+        for fn in prog.functions.values():
+            yield app_name, fn
+    yield "ablation", assemble_function("opt_kernel", OPTIMIZED_SOURCE)
+    yield "ablation", assemble_function("unopt_kernel", UNOPTIMIZED_SOURCE)
+
+
+# ----------------------------------------------------------------------
+# SA001 - dead writes
+# ----------------------------------------------------------------------
+def _check_dead_writes(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    live = liveness(cfg)
+    reachable = cfg.reachable()
+    diags = []
+    for i, insn in enumerate(cfg.insns):
+        if cfg.block_of[i] not in reachable:
+            continue  # dead code is SA003's finding, not a dead write
+        if insn.op is Op.POP:
+            continue  # stack-deallocation idiom: the pop IS the point
+        eff = semantics.effects(insn)
+        for r in sorted(eff.writes):
+            if r in (ESP, EBP):
+                continue
+            if r not in live.after[i]:
+                diags.append(
+                    Diagnostic(
+                        "SA001",
+                        cfg.name,
+                        i,
+                        f"{insn.op.name} writes {REG_NAMES[r]} but the "
+                        f"value is never read",
+                    )
+                )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA002 - use before def
+# ----------------------------------------------------------------------
+def _check_use_before_def(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    reach = reaching_definitions(cfg)
+    reachable = cfg.reachable()
+    diags = []
+    for i, insn in enumerate(cfg.insns):
+        if cfg.block_of[i] not in reachable:
+            continue
+        eff = semantics.effects(insn)
+        for r in sorted(eff.reads):
+            if not reach.defs_of(i, r):
+                diags.append(
+                    Diagnostic(
+                        "SA002",
+                        cfg.name,
+                        i,
+                        f"{insn.op.name} reads {REG_NAMES[r]} before any "
+                        f"definition",
+                    )
+                )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA003 - unreachable blocks
+# ----------------------------------------------------------------------
+def _check_unreachable(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    reachable = cfg.reachable()
+    return [
+        Diagnostic(
+            "SA003",
+            cfg.name,
+            block.start,
+            f"block B{block.index} ({len(block)} instruction(s)) is "
+            f"unreachable from the entry",
+        )
+        for block in cfg.blocks
+        if block.index not in reachable
+    ]
+
+
+# ----------------------------------------------------------------------
+# SA004 - stack balance
+# ----------------------------------------------------------------------
+_UNKNOWN = object()
+
+
+def _check_stack_balance(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    """Forward walk of (depth, frame_depth) states; a conflict at a join
+    or a RET at nonzero depth is an imbalance.  States:
+
+    * ``depth``  - 32-bit slots pushed since entry (entry = 0);
+    * ``frame``  - depth snapshotted by ``mov ebp, esp`` (None before).
+
+    Writes to ESP other than push/pop/``mov esp, ebp`` poison the state
+    (depth becomes unknown) instead of producing noise.
+    """
+    diags: list[Diagnostic] = []
+    states: dict[int, object] = {0: (0, None)}
+    work = [0]
+    seen_conflict: set[int] = set()
+    while work:
+        b = work.pop()
+        state = states[b]
+        if state is _UNKNOWN:
+            for s in cfg.blocks[b].succs:
+                if s not in states:
+                    states[s] = _UNKNOWN
+                    work.append(s)
+            continue
+        depth, frame = state
+        for i in cfg.blocks[b].insn_indices():
+            insn = cfg.insns[i]
+            if insn.op is Op.MOV and insn.r1 == EBP and insn.r2 == ESP:
+                frame = depth
+            elif insn.op is Op.MOV and insn.r1 == ESP and insn.r2 == EBP:
+                if frame is None:
+                    depth = None  # restoring an unknown frame
+                else:
+                    depth = frame
+            elif insn.op is Op.RET:
+                if depth is not None and depth != 0:
+                    diags.append(
+                        Diagnostic(
+                            "SA004",
+                            cfg.name,
+                            i,
+                            f"RET with {depth} unpopped stack slot(s)",
+                        )
+                    )
+            elif depth is not None:
+                eff = semantics.effects(insn)
+                if insn.op is Op.PUSH:
+                    depth += 1
+                elif insn.op is Op.POP:
+                    depth -= 1
+                    if depth < 0:
+                        diags.append(
+                            Diagnostic(
+                                "SA004",
+                                cfg.name,
+                                i,
+                                "POP below the function's entry stack depth",
+                            )
+                        )
+                        depth = None
+                elif ESP in eff.writes and insn.op not in (
+                    Op.CALL,
+                    Op.CALLR,
+                    Op.RET,
+                ):
+                    depth = None  # arbitrary ESP arithmetic: give up
+            if depth is None and frame is None:
+                break
+        new_state = _UNKNOWN if depth is None else (depth, frame)
+        for s in cfg.blocks[b].succs:
+            if s not in states:
+                states[s] = new_state
+                work.append(s)
+            elif (
+                states[s] is not _UNKNOWN
+                and new_state is not _UNKNOWN
+                and states[s] != new_state
+                and s not in seen_conflict
+            ):
+                seen_conflict.add(s)
+                diags.append(
+                    Diagnostic(
+                        "SA004",
+                        cfg.name,
+                        cfg.blocks[s].start,
+                        f"inconsistent stack depth at join "
+                        f"(B{s}: {states[s][0]} vs {new_state[0]})",
+                    )
+                )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA005 - branch to nowhere
+# ----------------------------------------------------------------------
+def _check_branch_targets(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            "SA005",
+            cfg.name,
+            i,
+            f"{cfg.insns[i].op.name} displacement {disp} leaves the "
+            f"function body",
+        )
+        for i, disp in cfg.bad_branch_targets
+    ]

@@ -61,6 +61,37 @@ class TestEncodeDecode:
         assert decode(encode(Insn(Op.JMP, imm=-8))).imm == -8
 
 
+class TestExhaustiveRoundTrip:
+    """The AVF text map's foundation: every defined opcode round-trips
+    through encode/decode with all fields intact, and every byte value
+    outside the opcode table raises - so a static re-decode of a flipped
+    word predicts exactly what the VM's fetch path would do."""
+
+    def test_every_opcode_roundtrips_all_fields(self):
+        for op in Op:
+            for insn in (
+                Insn(op),
+                Insn(op, r1=15, r2=8, r3=7, r4=1, subop=255, imm=2**31 - 1),
+                Insn(op, r1=1, r2=2, r3=3, r4=4, subop=9, imm=-(2**31)),
+            ):
+                assert decode(encode(insn)) == insn
+
+    def test_every_undefined_opcode_byte_raises(self):
+        defined = {int(op) for op in Op}
+        undefined = set(range(256)) - defined
+        assert undefined, "opcode space unexpectedly saturated"
+        for value in undefined:
+            word = bytes([value]) + bytes(INSN_SIZE - 1)
+            with pytest.raises(UndefinedOpcode) as err:
+                decode(word)
+            assert err.value.opcode == value
+
+    def test_defined_opcodes_never_raise(self):
+        for op in Op:
+            word = bytes([int(op)]) + bytes(INSN_SIZE - 1)
+            assert decode(word).op is op
+
+
 class TestBitFlips:
     def test_opcode_flip_changes_instruction(self):
         word = bytearray(encode(Insn(Op.ADD, r1=0, r2=1)))

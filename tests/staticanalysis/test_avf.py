@@ -1,0 +1,203 @@
+"""AVF estimator: register scores, loop weighting, text-bit verdicts."""
+
+from repro.analysis.liveness import OPTIMIZED_SOURCE, UNOPTIMIZED_SOURCE
+from repro.cpu.assembler import assemble_function
+from repro.cpu.isa import Insn, Op, UndefinedOpcode, decode, encode
+from repro.staticanalysis.avf import (
+    Predicted,
+    analyze_function,
+    classify_bit,
+    register_avf,
+    text_vulnerability_map,
+)
+from repro.staticanalysis.cfg import ControlFlowGraph
+
+
+def cfg_of(source: str) -> ControlFlowGraph:
+    return ControlFlowGraph.from_function(assemble_function("f", source))
+
+
+class TestRegisterAVF:
+    def test_scores_are_probabilities(self):
+        for source in (OPTIMIZED_SOURCE, UNOPTIMIZED_SOURCE):
+            scores = register_avf(cfg_of(source))
+            assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+    def test_unused_registers_score_zero(self):
+        scores = register_avf(cfg_of("movi eax, 1\nret"))
+        assert scores["edi"] == 0.0
+        assert scores["ebx"] == 0.0
+
+    def test_loop_resident_register_scores_higher_than_scratch(self):
+        scores = register_avf(cfg_of(OPTIMIZED_SOURCE))
+        # the accumulator lives across the whole loop; edx is a one-insn
+        # temporary inside it
+        assert scores["eax"] > scores["edx"]
+
+    def test_loop_weighting_dominates(self):
+        # esi is the loop bound (live through the hot loop), read every
+        # iteration; without loop weighting its score would match any
+        # prologue-only register
+        scores = register_avf(cfg_of(OPTIMIZED_SOURCE))
+        assert scores["esi"] > 0.5
+
+    def test_optimized_kernel_has_more_live_registers(self):
+        """The tier-1 agreement check with the section-6.1.1 ablation:
+        register-resident code keeps strictly more registers live."""
+        opt = analyze_function(assemble_function("k", OPTIMIZED_SOURCE))
+        unopt = analyze_function(assemble_function("k", UNOPTIMIZED_SOURCE))
+        assert len(opt.live_registers) > len(unopt.live_registers)
+
+    def test_live_counts_match_registers_used_ablation(self):
+        """Static liveness agrees with the dynamic ablation's static
+        measurement exactly: every used register has a live window in
+        these kernels, and vice versa."""
+        for source in (OPTIMIZED_SOURCE, UNOPTIMIZED_SOURCE):
+            fn = assemble_function("kernel", source)
+            report = analyze_function(fn)
+            assert set(report.live_registers) == fn.registers_used()
+
+
+class TestTextMapOpcodeByte:
+    def test_matches_decoder_brute_force(self):
+        """The map's CRASH verdicts for opcode bits must agree with the
+        actual decoder outcome on the flipped word."""
+        fn = assemble_function("k", OPTIMIZED_SOURCE)
+        cfg = ControlFlowGraph.from_function(fn)
+        for i, insn in enumerate(cfg.insns):
+            word = bytearray(encode(insn))
+            for bit in range(8):
+                verdict = classify_bit(insn, i, len(cfg.insns), bit)
+                flipped = bytes([word[0] ^ (1 << bit)]) + bytes(word[1:])
+                try:
+                    new = decode(flipped)
+                    undefined = False
+                except UndefinedOpcode:
+                    undefined = True
+                if undefined:
+                    assert verdict is Predicted.CRASH
+                elif new.op is Op.HLT:
+                    assert verdict is Predicted.CRASH
+                else:
+                    assert verdict is Predicted.INCORRECT
+
+    def test_flip_to_hlt_is_crash(self):
+        # NOP (0x01) ^ bit0 -> 0x00 undefined; ^ bit1 -> 0x03 undefined;
+        # HLT (0x02) is one flip from NOP via bit 1? 0x01^0x02 = 0x03 no.
+        # MOVI 0x10 ^ ... use a direct pair: 0x03 undefined anyway, so
+        # construct from Op values: HLT=0x02, NOP=0x01 differ in 2 bits.
+        # Take 0x12 LOAD ^ bit4 = 0x02 HLT.
+        insn = Insn(Op.LOAD, r1=1, r2=2)
+        assert classify_bit(insn, 0, 4, 4) is Predicted.CRASH
+
+
+class TestTextMapRegisterFields:
+    def test_unused_field_is_benign(self):
+        insn = Insn(Op.MOVI, r1=1, imm=7)  # r2/r3/r4 unused
+        for bit in range(8, 12):  # low nibble of byte 1 = r2
+            assert classify_bit(insn, 0, 1, bit) is Predicted.BENIGN
+
+    def test_used_field_is_incorrect(self):
+        insn = Insn(Op.MOV, r1=1, r2=2)
+        # r1 = high nibble of byte 1 -> bits 12..14 matter
+        for bit in (12, 13, 14):
+            assert classify_bit(insn, 0, 1, bit) is Predicted.INCORRECT
+
+    def test_register_alias_bit_is_benign(self):
+        """The register file masks indices with & 7, so the top bit of a
+        used register field cannot change behaviour."""
+        insn = Insn(Op.MOV, r1=1, r2=2)
+        assert classify_bit(insn, 0, 1, 15) is Predicted.BENIGN  # r1 bit 3
+        assert classify_bit(insn, 0, 1, 11) is Predicted.BENIGN  # r2 bit 3
+
+
+class TestTextMapSubop:
+    def test_vector_subop_flip_to_valid_is_incorrect(self):
+        insn = Insn(Op.VBIN, r1=1, r2=2, r3=3, r4=4, subop=0)  # ADD
+        # ADD(0) ^ bit0 -> SUB(1): valid
+        assert classify_bit(insn, 0, 1, 24) is Predicted.INCORRECT
+
+    def test_vector_subop_flip_to_invalid_is_crash(self):
+        insn = Insn(Op.VBIN, r1=1, r2=2, r3=3, r4=4, subop=0)
+        # ADD(0) ^ bit7 -> 128: no such VecOp
+        assert classify_bit(insn, 0, 1, 31) is Predicted.CRASH
+
+    def test_scalar_subop_is_benign(self):
+        insn = Insn(Op.ADD, r1=1, r2=2)
+        for bit in range(24, 32):
+            assert classify_bit(insn, 0, 1, bit) is Predicted.BENIGN
+
+
+class TestTextMapImmediate:
+    def test_branch_flip_inside_function_is_incorrect(self):
+        # JMP +0 (to the next insn) in a 16-insn function: flipping bit
+        # 3 gives displacement 8, still inside
+        insn = Insn(Op.JMP, imm=0)
+        assert classify_bit(insn, 0, 16, 32 + 3) is Predicted.INCORRECT
+
+    def test_branch_flip_outside_function_is_crash(self):
+        insn = Insn(Op.JMP, imm=0)
+        # bit 10 -> displacement 1024 = 128 insns ahead: outside a
+        # 4-insn function
+        assert classify_bit(insn, 0, 4, 32 + 10) is Predicted.CRASH
+
+    def test_branch_flip_misaligning_is_crash(self):
+        insn = Insn(Op.JMP, imm=0)
+        assert classify_bit(insn, 0, 64, 32 + 0) is Predicted.CRASH
+
+    def test_branch_sign_bit_is_crash_for_short_functions(self):
+        insn = Insn(Op.JMP, imm=0)
+        assert classify_bit(insn, 4, 8, 32 + 31) is Predicted.CRASH
+
+    def test_unused_imm_is_benign(self):
+        insn = Insn(Op.ADD, r1=1, r2=2)
+        for bit in range(32, 64):
+            assert classify_bit(insn, 0, 1, bit) is Predicted.BENIGN
+
+    def test_data_imm_is_incorrect(self):
+        insn = Insn(Op.MOVI, r1=1, imm=5)
+        assert classify_bit(insn, 0, 1, 32 + 7) is Predicted.INCORRECT
+
+    def test_mem_offset_low_bits_incorrect_high_bits_crash(self):
+        insn = Insn(Op.LOAD, r1=1, r2=2, imm=8)
+        assert classify_bit(insn, 0, 1, 32 + 4) is Predicted.INCORRECT
+        assert classify_bit(insn, 0, 1, 32 + 30) is Predicted.CRASH
+
+    def test_shift_count_mask_bits_benign(self):
+        insn = Insn(Op.SHL, r1=1, imm=3)
+        assert classify_bit(insn, 0, 1, 32 + 2) is Predicted.INCORRECT
+        assert classify_bit(insn, 0, 1, 32 + 9) is Predicted.BENIGN
+
+    def test_relocated_imm_classified_as_address(self):
+        fn = assemble_function("f", "movi eax, $sym\nret")
+        cfg = ControlFlowGraph.from_function(fn)
+        vmap = text_vulnerability_map(cfg)
+        assert vmap[0][32 + 2] is Predicted.INCORRECT
+        assert vmap[0][32 + 30] is Predicted.CRASH
+
+
+class TestReport:
+    def test_map_shape(self):
+        cfg = cfg_of(OPTIMIZED_SOURCE)
+        vmap = text_vulnerability_map(cfg)
+        assert len(vmap) == len(cfg.insns)
+        assert all(len(bits) == 64 for bits in vmap)
+
+    def test_counts_sum_to_total_bits(self):
+        fn = assemble_function("k", OPTIMIZED_SOURCE)
+        report = analyze_function(fn)
+        assert sum(report.text_bits.values()) == 64 * report.n_insns
+
+    def test_text_avf_in_unit_interval(self):
+        report = analyze_function(assemble_function("k", OPTIMIZED_SOURCE))
+        assert 0.0 < report.text_avf < 1.0
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        report = analyze_function(assemble_function("k", UNOPTIMIZED_SOURCE))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["name"] == "k"
+        assert set(payload["register_avf"]) == {
+            "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+        }

@@ -1,0 +1,163 @@
+"""CFG construction: leaders, edges, reachability, loop depths."""
+
+import pytest
+
+from repro.cpu.assembler import assemble_function
+from repro.cpu.isa import INSN_SIZE, Insn, Op, encode
+from repro.staticanalysis.cfg import CFGError, ControlFlowGraph, decode_function
+
+STRAIGHT = """
+    movi eax, 1
+    addi eax, 2
+    ret
+"""
+
+DIAMOND = """
+    cmpi eax, 0
+    jz else_arm
+    movi ecx, 1
+    jmp join
+else_arm:
+    movi ecx, 2
+join:
+    mov eax, ecx
+    ret
+"""
+
+LOOP = """
+    movi eax, 0
+    movi ecx, 0
+loop:
+    add eax, ecx
+    addi ecx, 1
+    cmpi ecx, 10
+    jl loop
+    ret
+"""
+
+NESTED = """
+    movi eax, 0
+    movi edx, 0
+outer:
+    movi ecx, 0
+inner:
+    add eax, ecx
+    addi ecx, 1
+    cmpi ecx, 4
+    jl inner
+    addi edx, 1
+    cmpi edx, 4
+    jl outer
+    ret
+"""
+
+
+def cfg_of(source: str) -> ControlFlowGraph:
+    return ControlFlowGraph.from_function(assemble_function("f", source))
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = cfg_of(STRAIGHT)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs == []
+        assert cfg.blocks[0].loop_depth == 0
+
+    def test_block_covers_all_insns(self):
+        cfg = cfg_of(STRAIGHT)
+        assert list(cfg.blocks[0].insn_indices()) == [0, 1, 2]
+
+
+class TestDiamond:
+    def test_four_blocks(self):
+        cfg = cfg_of(DIAMOND)
+        assert len(cfg.blocks) == 4
+
+    def test_edges(self):
+        cfg = cfg_of(DIAMOND)
+        entry, then, els, join = cfg.blocks
+        assert sorted(entry.succs) == [then.index, els.index]
+        assert then.succs == [join.index]
+        assert els.succs == [join.index]
+        assert join.succs == []
+        assert sorted(join.preds) == sorted([then.index, els.index])
+
+    def test_no_loops(self):
+        cfg = cfg_of(DIAMOND)
+        assert all(b.loop_depth == 0 for b in cfg.blocks)
+
+
+class TestLoop:
+    def test_three_blocks(self):
+        cfg = cfg_of(LOOP)
+        assert len(cfg.blocks) == 3
+
+    def test_back_edge(self):
+        cfg = cfg_of(LOOP)
+        body = cfg.blocks[1]
+        assert body.index in body.succs  # self loop
+        assert body.loop_depth == 1
+
+    def test_pre_and_post_are_depth_zero(self):
+        cfg = cfg_of(LOOP)
+        assert cfg.blocks[0].loop_depth == 0
+        assert cfg.blocks[-1].loop_depth == 0
+
+    def test_nested_depths(self):
+        cfg = cfg_of(NESTED)
+        depths = {b.loop_depth for b in cfg.blocks}
+        assert max(depths) == 2  # inner body is two loops deep
+        inner = max(cfg.blocks, key=lambda b: b.loop_depth)
+        assert cfg.insns[inner.start].op is Op.ADD
+
+
+class TestStructure:
+    def test_call_does_not_end_a_block(self):
+        fn = assemble_function("f", "call @g\nmovi eax, 1\nret")
+        cfg = ControlFlowGraph.from_function(fn)
+        assert len(cfg.blocks) == 1
+        assert 0 in cfg.relocated
+
+    def test_hlt_terminates(self):
+        code = encode(Insn(Op.HLT)) + encode(Insn(Op.NOP)) + encode(
+            Insn(Op.RET)
+        )
+        cfg = ControlFlowGraph.from_code("f", code)
+        assert cfg.blocks[0].succs == []
+        assert cfg.blocks[1].index not in cfg.reachable()
+
+    def test_unreachable_block_detected(self):
+        cfg = cfg_of("jmp end\nmovi eax, 1\nend: ret")
+        assert len(cfg.reachable()) == 2
+        assert len(cfg.blocks) == 3
+
+    def test_bad_branch_target_recorded(self):
+        code = encode(Insn(Op.JMP, imm=10 * INSN_SIZE)) + encode(Insn(Op.RET))
+        cfg = ControlFlowGraph.from_code("f", code)
+        assert cfg.bad_branch_targets == [(0, 10 * INSN_SIZE)]
+        assert cfg.blocks[0].succs == []
+
+    def test_misaligned_branch_target_recorded(self):
+        code = encode(Insn(Op.JZ, imm=4)) + encode(Insn(Op.RET))
+        cfg = ControlFlowGraph.from_code("f", code)
+        assert cfg.bad_branch_targets == [(0, 4)]
+        # the conditional still falls through
+        assert cfg.blocks[0].succs == [1]
+
+    def test_decode_matches_assembler(self):
+        fn = assemble_function("f", LOOP)
+        assert decode_function(fn.code) == fn.insns
+
+    def test_ragged_code_rejected(self):
+        with pytest.raises(CFGError):
+            decode_function(b"\x01" * 12)
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(CFGError):
+            ControlFlowGraph.from_code("f", b"")
+
+    def test_block_of_is_consistent(self):
+        cfg = cfg_of(NESTED)
+        for block in cfg.blocks:
+            for i in block.insn_indices():
+                assert cfg.block_of[i] == block.index

@@ -1,0 +1,45 @@
+"""The ``python -m repro analyze`` subcommand."""
+
+import json
+
+from repro.__main__ import main
+
+
+class TestAnalyze:
+    def test_app_target_reports_every_kernel(self, capsys):
+        assert main(["analyze", "wavetoy"]) == 0
+        out = capsys.readouterr().out
+        for kernel in ("wt_step", "wt_init", "wt_norm", "wt_startup"):
+            assert kernel in out
+        assert "program AVF" in out
+
+    def test_single_kernel_target(self, capsys):
+        assert main(["analyze", "wt_norm"]) == 0
+        out = capsys.readouterr().out
+        assert "wt_norm" in out
+        assert "wt_step" not in out
+
+    def test_json_output_has_register_scores(self, capsys):
+        assert main(["analyze", "wavetoy", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {f["name"] for f in payload["functions"]}
+        assert "wt_step" in names
+        step = next(f for f in payload["functions"] if f["name"] == "wt_step")
+        assert set(step["register_avf"]) == {
+            "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+        }
+        assert 0.0 <= step["text_avf"] <= 1.0
+
+    def test_lint_clean_apps_exit_zero(self, capsys):
+        for target in ("wavetoy", "moldyn", "climate", "ablation"):
+            assert main(["analyze", "--lint", target]) == 0
+            assert "0 diagnostic(s)" in capsys.readouterr().out
+
+    def test_lint_json_payload(self, capsys):
+        assert main(["analyze", "--lint", "--json", "ablation"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+
+    def test_unknown_target_is_an_error(self, capsys):
+        assert main(["analyze", "nonesuch"]) == 2
+        assert "unknown analysis target" in capsys.readouterr().err

@@ -1,0 +1,174 @@
+"""Liveness and reaching-definitions fixpoints against hand-computed sets."""
+
+from repro.cpu.assembler import assemble_function
+from repro.cpu.registers import EAX, EBP, ECX, EDX, ESI, ESP
+from repro.staticanalysis.cfg import ControlFlowGraph
+from repro.staticanalysis.dataflow import (
+    ENTRY_DEF,
+    EXIT_LIVE,
+    liveness,
+    reaching_definitions,
+)
+
+
+def cfg_of(source: str) -> ControlFlowGraph:
+    return ControlFlowGraph.from_function(assemble_function("f", source))
+
+
+class TestLivenessStraightLine:
+    #   0: movi eax, 1      eax dead before, live after
+    #   1: mov ecx, eax     eax dies here (last read), ecx born
+    #   2: add eax, ecx     reads ecx+eax... eax was overwritten? no:
+    # keep it truly simple below.
+    SRC = """
+        movi eax, 1
+        mov ecx, eax
+        add ecx, eax
+        mov eax, ecx
+        ret
+    """
+
+    def test_hand_computed_live_sets(self):
+        live = liveness(cfg_of(self.SRC))
+        # before insn 0 only the convention set (esp for ret) is live
+        assert EAX not in live.before[0]
+        assert ECX not in live.before[0]
+        # eax carries from its def at 0 to its last read at 2
+        assert EAX in live.after[0]
+        assert EAX in live.before[2]
+        assert EAX not in live.after[2]
+        # ecx carries from 1 to its read at 3
+        assert ECX in live.after[1]
+        assert ECX in live.before[3]
+        assert ECX not in live.after[3]
+        # the return value is live out of the last instruction
+        assert EAX in live.after[3]
+
+    def test_exit_convention(self):
+        live = liveness(cfg_of(self.SRC))
+        ret_index = len(live.cfg.insns) - 1
+        assert live.after[ret_index] == EXIT_LIVE
+
+
+class TestLivenessLoop:
+    SRC = """
+        movi eax, 0
+        movi ecx, 0
+    loop:
+        add eax, ecx
+        addi ecx, 1
+        cmpi ecx, 8
+        jl loop
+        ret
+    """
+
+    def test_loop_carried_registers_live_through_backedge(self):
+        cfg = cfg_of(self.SRC)
+        live = liveness(cfg)
+        body = cfg.blocks[1]
+        # both accumulator and counter are live around the loop
+        assert EAX in live.block_in[body.index]
+        assert ECX in live.block_in[body.index]
+        assert EAX in live.block_out[body.index]
+        assert ECX in live.block_out[body.index]
+
+    def test_dead_after_function(self):
+        cfg = cfg_of(self.SRC)
+        live = liveness(cfg)
+        ret_index = len(cfg.insns) - 1
+        assert ECX not in live.after[ret_index]
+
+    def test_live_registers_summary(self):
+        live = liveness(cfg_of(self.SRC))
+        names = live.live_registers()
+        assert EAX in names and ECX in names
+        assert EDX not in names
+
+
+class TestLivenessDiamond:
+    SRC = """
+        cmpi eax, 0
+        jz other
+        movi ecx, 1
+        jmp join
+    other:
+        movi ecx, 2
+    join:
+        mov eax, ecx
+        ret
+    """
+
+    def test_both_defs_reach_the_join_use(self):
+        cfg = cfg_of(self.SRC)
+        live = liveness(cfg)
+        join = cfg.blocks[-1]
+        assert ECX in live.block_in[join.index]
+        # ecx is dead before its defs on both arms
+        assert ECX not in live.before[2]
+        assert ECX not in live.before[4]
+
+
+class TestImplicitStack:
+    def test_push_keeps_esp_live(self):
+        live = liveness(cfg_of("push eax\npop ecx\nret"))
+        assert ESP in live.before[0]
+        assert ESP in live.before[1]
+
+    def test_frame_registers_live_through_epilogue(self):
+        live = liveness(
+            cfg_of("push ebp\nmov ebp, esp\nmov esp, ebp\npop ebp\nret")
+        )
+        assert EBP in live.before[0]  # caller's ebp is saved
+        # esp is rewritten from ebp at insn 2: ebp must be live there,
+        # and the incoming esp value is dead (about to be overwritten)
+        assert EBP in live.before[2]
+        assert ESP not in live.before[2]
+        assert ESP in live.after[2]  # the pop consumes the restored esp
+
+
+class TestReachingDefs:
+    SRC = """
+        movi eax, 1
+        movi eax, 2
+        mov ecx, eax
+        ret
+    """
+
+    def test_redefinition_kills(self):
+        reach = reaching_definitions(cfg_of(self.SRC))
+        assert reach.defs_of(2, EAX) == frozenset({1})
+
+    def test_entry_defs_for_convention_registers(self):
+        reach = reaching_definitions(cfg_of(self.SRC))
+        assert reach.defs_of(0, ESP) == frozenset({ENTRY_DEF})
+        assert reach.defs_of(0, EBP) == frozenset({ENTRY_DEF})
+        assert reach.defs_of(0, EAX) == frozenset()
+
+    def test_merge_at_join(self):
+        src = """
+            cmpi eax, 0
+            jz other
+            movi ecx, 1
+            jmp join
+        other:
+            movi ecx, 2
+        join:
+            mov eax, ecx
+            ret
+        """
+        reach = reaching_definitions(cfg_of(src))
+        # the join's use of ecx sees both arm definitions (insns 2 and 4)
+        assert reach.defs_of(5, ECX) == frozenset({2, 4})
+
+    def test_loop_def_reaches_itself(self):
+        src = """
+            movi esi, 0
+        loop:
+            addi esi, 1
+            cmpi esi, 4
+            jl loop
+            ret
+        """
+        reach = reaching_definitions(cfg_of(src))
+        # around the back edge, both the init and the increment reach
+        assert reach.defs_of(1, ESI) == frozenset({0, 1})

@@ -1,0 +1,182 @@
+"""Linter diagnostics: one fixture per stable code, plus the exemptions."""
+
+from repro.cpu.assembler import assemble_function
+from repro.cpu.isa import INSN_SIZE, Insn, Op, encode
+from repro.staticanalysis.cfg import ControlFlowGraph
+from repro.staticanalysis.lint import (
+    LINT_CODES,
+    lint_cfg,
+    lint_function,
+    lint_program,
+)
+
+
+def lint_source(source: str):
+    return lint_function(assemble_function("f", source))
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestSA001DeadWrite:
+    def test_fires_on_overwritten_constant(self):
+        diags = lint_source("movi eax, 1\nmovi ebx, 5\nret")
+        assert codes(diags) == ["SA001"]
+        assert "ebx" in diags[0].message
+        assert diags[0].insn_index == 1
+
+    def test_fires_on_write_shadowed_before_read(self):
+        diags = lint_source("movi ecx, 1\nmovi ecx, 2\nmov eax, ecx\nret")
+        assert codes(diags) == ["SA001"]
+        assert diags[0].insn_index == 0
+
+    def test_clean_when_value_is_read(self):
+        assert lint_source("movi ecx, 1\nmov eax, ecx\nret") == []
+
+    def test_pop_deallocation_is_exempt(self):
+        # the popped value is dead, but the pop exists for ESP movement
+        assert lint_source("movi eax, 1\npush eax\npop ecx\nret") == []
+
+    def test_return_value_is_not_dead(self):
+        assert lint_source("movi eax, 7\nret") == []
+
+    def test_frame_pointer_writes_are_exempt(self):
+        assert (
+            lint_source("push ebp\nmov ebp, esp\nmovi eax, 1\n"
+                        "mov esp, ebp\npop ebp\nret")
+            == []
+        )
+
+    def test_write_read_only_on_one_arm_is_live(self):
+        # a value read on one branch arm is not a dead write
+        src = """
+            movi ecx, 3
+            cmpi eax, 0
+            jz skip
+            mov eax, ecx
+        skip:
+            ret
+        """
+        diags = [d for d in lint_source(src) if d.code == "SA001"]
+        assert diags == []
+
+
+class TestSA002UseBeforeDef:
+    def test_fires_on_uninitialized_read(self):
+        diags = lint_source("mov eax, ecx\nret")
+        assert codes(diags) == ["SA002"]
+        assert "ecx" in diags[0].message
+
+    def test_convention_registers_are_predefined(self):
+        # esp/ebp come from the calling convention: the standard
+        # prologue is not a use-before-def
+        assert lint_source("push ebp\nmov ebp, esp\nmovi eax, 0\n"
+                           "mov esp, ebp\npop ebp\nret") == []
+
+    def test_partial_path_definition_still_fires(self):
+        src = """
+            cmpi eax, 0
+            jz skip
+            movi ecx, 1
+        skip:
+            mov eax, ecx
+            ret
+        """
+        diags = [d for d in lint_source(src) if d.code == "SA002"]
+        # eax is also read before def by the cmpi; ecx read at the join
+        # has a def on only one path - but may-reaching keeps it: only
+        # the *no-def-on-any-path* case fires
+        assert [d for d in diags if "ecx" in d.message] == []
+        assert [d for d in diags if "eax" in d.message] != []
+
+
+class TestSA003Unreachable:
+    def test_fires_on_skipped_code(self):
+        diags = lint_source("movi eax, 1\njmp end\nmovi ecx, 2\nend: ret")
+        assert "SA003" in codes(diags)
+
+    def test_code_after_ret_is_unreachable(self):
+        diags = lint_source("movi eax, 1\nret\nmovi ecx, 2\nmov eax, ecx\nret")
+        assert codes(diags) == ["SA003"]
+
+    def test_no_secondary_noise_from_dead_code(self):
+        # the unreachable block contains a dead write and an undefined
+        # read; only SA003 should be reported for it
+        diags = lint_source("movi eax, 1\nret\nmov ebx, edi\nret")
+        assert codes(diags) == ["SA003"]
+
+
+class TestSA004StackBalance:
+    def test_fires_on_leaked_slot(self):
+        diags = lint_source("movi eax, 1\npush eax\nret")
+        assert "SA004" in codes(diags)
+        assert "unpopped" in [d for d in diags if d.code == "SA004"][0].message
+
+    def test_fires_on_underflow(self):
+        diags = lint_source("pop eax\nret")
+        assert "SA004" in codes(diags)
+
+    def test_frame_idiom_is_understood(self):
+        # push without matching pop, but the epilogue restores ESP
+        # through the frame pointer: balanced
+        src = """
+            push ebp
+            mov ebp, esp
+            movi eax, 3
+            push eax
+            push eax
+            mov esp, ebp
+            pop ebp
+            ret
+        """
+        assert [d for d in lint_source(src) if d.code == "SA004"] == []
+
+    def test_balanced_loop_body(self):
+        src = """
+            movi eax, 0
+            movi ecx, 0
+        loop:
+            push ecx
+            addi eax, 1
+            pop ecx
+            addi ecx, 1
+            cmpi ecx, 4
+            jl loop
+            ret
+        """
+        assert lint_source(src) == []
+
+
+class TestSA005BranchToNowhere:
+    def test_fires_on_out_of_range_target(self):
+        code = encode(Insn(Op.JMP, imm=32 * INSN_SIZE)) + encode(Insn(Op.RET))
+        diags = lint_cfg(ControlFlowGraph.from_code("f", code))
+        assert "SA005" in codes(diags)
+
+    def test_fires_on_misaligned_target(self):
+        code = encode(Insn(Op.JZ, imm=INSN_SIZE // 2)) + encode(Insn(Op.RET))
+        diags = lint_cfg(ControlFlowGraph.from_code("f", code))
+        assert codes(diags) == ["SA005"]
+
+    def test_label_branches_are_clean(self):
+        assert lint_source("loop: addi eax, 1\ncmpi eax, 3\njl loop\nret") == []
+
+
+class TestHarness:
+    def test_all_codes_documented(self):
+        assert set(LINT_CODES) == {"SA001", "SA002", "SA003", "SA004", "SA005"}
+
+    def test_lint_program_aggregates(self):
+        from repro.cpu.assembler import Program
+
+        prog = Program()
+        prog.add("good", "movi eax, 1\nret")
+        prog.add("bad", "movi ebx, 5\nret")
+        diags = lint_program(prog)
+        assert codes(diags) == ["SA001"]
+        assert diags[0].function == "bad"
+
+    def test_diagnostic_renders_with_location(self):
+        d = lint_source("movi ebx, 5\nret")[0]
+        assert str(d) == "SA001 f+0: MOVI writes ebx but the value is never read"

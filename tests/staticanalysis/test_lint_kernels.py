@@ -1,0 +1,26 @@
+"""CI gate: every shipped kernel must lint clean.
+
+This is the static analogue of the golden-output tests - a kernel edit
+that introduces a dead write, an unreachable block or a stack imbalance
+fails here before any campaign runs.  If a future kernel needs an
+exemption, justify it inline the way the POP-deallocation rule is
+justified in :mod:`repro.staticanalysis.lint`, don't weaken the gate.
+"""
+
+from repro.staticanalysis.lint import iter_shipped_kernels, lint_function
+
+
+def test_shipped_kernel_inventory_is_complete():
+    owners = {owner for owner, _ in iter_shipped_kernels()}
+    assert owners == {"wavetoy", "moldyn", "climate", "ablation"}
+    names = [fn.name for _, fn in iter_shipped_kernels()]
+    assert len(names) == len(set(names))  # no duplicates
+    assert "wt_step" in names and "opt_kernel" in names
+
+
+def test_all_shipped_kernels_lint_clean():
+    failures = []
+    for owner, fn in iter_shipped_kernels():
+        for diag in lint_function(fn):
+            failures.append(f"{owner}/{diag}")
+    assert failures == [], "\n".join(failures)
