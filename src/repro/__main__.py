@@ -7,6 +7,8 @@ Usage::
     python -m repro report [n] [--out FILE] # run everything, emit markdown
     python -m repro analyze wavetoy         # static AVF prediction
     python -m repro analyze --lint moldyn   # assembly diagnostics
+    python -m repro analyze --mpi climate   # communication skeleton + map
+    python -m repro analyze --mpi --lint buggy  # SA1xx gate (exits 1)
 """
 
 from __future__ import annotations
@@ -56,7 +58,85 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_analyze_mpi(args) -> int:
+    from repro.apps import APPLICATION_SUITE
+    from repro.staticanalysis.mpicheck import (
+        BuggyApp,
+        build_vulnerability_map,
+        check_skeleton,
+        extract_skeleton,
+    )
+
+    factories = dict(APPLICATION_SUITE)
+    factories["buggy"] = BuggyApp
+    factory = factories.get(args.target)
+    if factory is None:
+        print(
+            f"unknown MPI analysis target {args.target!r}; choose one of: "
+            f"{', '.join(sorted(factories))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    skeleton = extract_skeleton(factory(), args.nprocs)
+    vmap = build_vulnerability_map(skeleton)
+    diags = check_skeleton(skeleton) if args.lint else []
+
+    if args.json:
+        payload = {
+            "target": args.target,
+            "nprocs": args.nprocs,
+            "status": skeleton.status.value,
+            "skeleton": {
+                "events": len(skeleton.events),
+                "packets": len(skeleton.packets),
+                "kernel_calls": len(skeleton.kernel_calls),
+            },
+            "vulnerability": {
+                "total_bytes": vmap.total_bytes,
+                "structural_score": vmap.structural_score,
+                "detected_score": vmap.detected_score,
+                "byte_classes": vmap.byte_class_totals(),
+                "ranks": [
+                    {
+                        "rank": r.rank,
+                        "total_bytes": r.total_bytes,
+                        "header_fraction": r.header_fraction,
+                        "structural_score": r.structural_score,
+                    }
+                    for r in vmap.ranks
+                ],
+            },
+        }
+        if args.lint:
+            payload["diagnostics"] = [
+                {
+                    "code": d.code,
+                    "function": d.function,
+                    "insn_index": d.insn_index,
+                    "message": d.message,
+                }
+                for d in diags
+            ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{args.target}: {args.nprocs} ranks, dry run "
+            f"{skeleton.status.value}, {len(skeleton.events)} MPI events, "
+            f"{len(skeleton.packets)} packets, "
+            f"{len(skeleton.kernel_calls)} elided kernel calls"
+        )
+        print(vmap.report())
+        if args.lint:
+            for d in diags:
+                print(d)
+            print(f"lint: {len(diags)} diagnostic(s)")
+    return 1 if diags else 0
+
+
 def cmd_analyze(args) -> int:
+    if args.mpi:
+        return cmd_analyze_mpi(args)
     from repro.staticanalysis.avf import analyze_function
     from repro.staticanalysis.lint import lint_function
     from repro.staticanalysis.lint import iter_shipped_kernels
@@ -147,14 +227,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     ana.add_argument(
         "target", help="application (wavetoy, moldyn, climate, ablation) "
-        "or kernel function name (e.g. wt_step)"
+        "or kernel function name (e.g. wt_step); with --mpi, an "
+        "application or the 'buggy' fixture"
     )
     ana.add_argument(
         "--lint", action="store_true",
-        help="run the assembly linter too (exit 1 on any diagnostic)",
+        help="run the diagnostics too (exit 1 on any diagnostic)",
     )
     ana.add_argument(
         "--json", action="store_true", help="machine-readable output"
+    )
+    ana.add_argument(
+        "--mpi", action="store_true",
+        help="analyze the MPI communication skeleton instead of kernels "
+        "(match graph, SA1xx passes, message-vulnerability map)",
+    )
+    ana.add_argument(
+        "--nprocs", type=int, default=4,
+        help="ranks for the --mpi dry run (default 4)",
     )
     ana.set_defaults(fn=cmd_analyze)
     args = parser.parse_args(argv)

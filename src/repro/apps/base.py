@@ -145,6 +145,15 @@ class MPIApplication:
         """Silent-data-corruption test; default is bitwise equality."""
         return reference == observed
 
+    def message_classes(self) -> dict[int, str]:
+        """Static payload classification per application message tag, for
+        the message-vulnerability map: ``"control"`` (work descriptors and
+        other traffic that steers execution), ``"checksummed"`` (user data
+        protected by an application-level consistency check), or
+        ``"data"`` (unprotected user data, the default for unknown tags).
+        """
+        return {}
+
     #: (heap_size, stack_size) for the process image.
     heap_size = 1 << 20
     stack_size = 64 << 10

@@ -66,6 +66,12 @@ class MoldynApp(MPIApplication):
     heap_size = 1 << 20
     stack_size = 64 << 10
 
+    def message_classes(self) -> dict[int, str]:
+        # Coordinate patches carry the NAMD Fletcher-32 seal; force
+        # contributions travel unprotected.
+        coord = "checksummed" if self.params["checksums"] else "data"
+        return {_TAG_COORD: coord, _TAG_FORCE: "data"}
+
     def build_process(self, rank, nprocs, config):
         if self.params["atoms_per_rank"] < 2 * self.params["boundary"]:
             raise ValueError(
@@ -260,15 +266,16 @@ class MoldynApp(MPIApplication):
             )
             ke = hseg.read_f64(e_local)
             pe = hseg.read_f64(e_local + 8)
-            nan_check_value(ke, "kinetic energy")
-            nan_check_value(pe, "potential energy")
-            bound_check(
-                np.asarray(hseg.view_f64(v + B * _F64, local)),
-                "velocities",
-                minimum=-p["vmax"],
-                maximum=p["vmax"],
-                vm=vm_charge,
-            )
+            if not ctx.symbolic:  # kernel outputs are unset in a dry run
+                nan_check_value(ke, "kinetic energy")
+                nan_check_value(pe, "potential energy")
+                bound_check(
+                    np.asarray(hseg.view_f64(v + B * _F64, local)),
+                    "velocities",
+                    minimum=-p["vmax"],
+                    maximum=p["vmax"],
+                    vm=vm_charge,
+                )
             yield from comm.allreduce(
                 locals_.get("estage"), e_glob, locals_.get_signed("ecount"),
                 MPI_DOUBLE, MPI_SUM,
@@ -276,7 +283,8 @@ class MoldynApp(MPIApplication):
             if rank == 0:
                 gke = hseg.read_f64(e_glob)
                 gpe = hseg.read_f64(e_glob + 8)
-                nan_check_value(gke + gpe, "total energy")
+                if not ctx.symbolic:
+                    nan_check_value(gke + gpe, "total energy")
                 natoms = n * local
                 temp = 2.0 * gke / max(natoms, 1)
                 prec = p["energy_precision"]

@@ -70,6 +70,11 @@ class WavetoyApp(MPIApplication):
     def codegen_key(self) -> tuple:
         return (self.params["nx"],)
 
+    def message_classes(self) -> dict[int, str]:
+        # Pure halo exchange: every tagged byte is unprotected user data
+        # (Table 1's ~94 % user split).
+        return {_TAG_UP: "data", _TAG_DOWN: "data"}
+
     # ------------------------------------------------------------------
     # build
     # ------------------------------------------------------------------

@@ -27,6 +27,12 @@ from typing import Callable
 #: the start of this packet.  Returns the (possibly corrupted) packet.
 InjectHook = Callable[[bytearray, int], bytearray]
 
+#: Read-only observer signature: ``tap(packet_bytes)`` called for every
+#: drained packet *after* injection and accounting.  The static message
+#: analyzer uses this to classify each received byte without disturbing
+#: the stream.
+TapHook = Callable[[bytes], None]
+
 #: Header size in bytes (within the paper's 32-64 byte range).
 HEADER_SIZE = 48
 
@@ -60,6 +66,7 @@ class ChannelEndpoint:
         self.bytes_received = 0
         self.stats = ChannelStats()
         self.inject_hook: InjectHook | None = None
+        self.tap: TapHook | None = None
 
     # ------------------------------------------------------------------
     # sender side
@@ -87,6 +94,8 @@ class ChannelEndpoint:
         if self.inject_hook is not None:
             packet = self.inject_hook(packet, start)
         self._account(packet)
+        if self.tap is not None:
+            self.tap(bytes(packet))
         return packet
 
     def _account(self, packet: bytearray) -> None:

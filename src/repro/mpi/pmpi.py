@@ -14,6 +14,7 @@ a configuration file and spawns the memory fault injector.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.mpi.api import Comm
@@ -21,6 +22,15 @@ from repro.mpi.api import Comm
 #: ``interceptor(call_name, args, kwargs) -> None`` invoked before the
 #: underlying PMPI routine.
 Interceptor = Callable[[str, tuple, dict], None]
+
+#: ``interceptor(call_name, args, kwargs, result) -> None`` invoked after
+#: the underlying PMPI routine returns.  For generator-returning calls
+#: (the blocking operations), ``result`` is delivered only when the
+#: generator actually completes, and carries its return value (e.g. the
+#: :class:`~repro.mpi.status.Status` of a blocking receive) - a wrapper
+#: that never finishes (deadlock) never reports a result, which is
+#: exactly the observation the static deadlock passes need.
+ReturnInterceptor = Callable[[str, tuple, dict, object], None]
 
 #: The generator-returning Comm methods that must be forwarded verbatim.
 _FORWARDED = (
@@ -53,6 +63,7 @@ class ProfilingComm:
     def __init__(self, comm: Comm) -> None:
         self._pmpi = comm
         self._interceptors: list[Interceptor] = []
+        self._return_interceptors: list[ReturnInterceptor] = []
         self.call_counts: dict[str, int] = {}
         for name in _FORWARDED:
             setattr(self, name, self._make_wrapper(name))
@@ -64,6 +75,14 @@ class ProfilingComm:
     def add_interceptor(self, fn: Interceptor) -> None:
         self._interceptors.append(fn)
 
+    def add_return_interceptor(self, fn: ReturnInterceptor) -> None:
+        """Observe call results too (request handles, receive statuses)."""
+        self._return_interceptors.append(fn)
+
+    def _notify_return(self, name: str, args: tuple, kwargs: dict, result):
+        for fn in self._return_interceptors:
+            fn(name, args, kwargs, result)
+
     def _make_wrapper(self, name: str):
         target = getattr(self._pmpi, name)
 
@@ -71,11 +90,22 @@ class ProfilingComm:
             self.call_counts[name] = self.call_counts.get(name, 0) + 1
             for fn in self._interceptors:
                 fn(name, args, kwargs)
-            return target(*args, **kwargs)
+            result = target(*args, **kwargs)
+            if self._return_interceptors and inspect.isgenerator(result):
+                return self._wrap_generator(name, args, kwargs, result)
+            self._notify_return(name, args, kwargs, result)
+            return result
 
         wrapper.__name__ = name
         wrapper.__doc__ = f"PMPI wrapper for MPI {name}"
         return wrapper
+
+    def _wrap_generator(self, name: str, args: tuple, kwargs: dict, gen):
+        """Forward a blocking operation's yields; report its return value
+        to the return interceptors once (and only if) it completes."""
+        result = yield from gen
+        self._notify_return(name, args, kwargs, result)
+        return result
 
     @property
     def pmpi(self) -> Comm:

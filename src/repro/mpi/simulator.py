@@ -87,6 +87,10 @@ class RankContext:
         self.vm = vm
         self.comm = comm
         self.rng = np.random.default_rng([job.config.seed, rank])
+        #: True while the static analyzer drives a symbolic dry run: the
+        #: VM elides kernel execution, so applications must skip the
+        #: consistency checks that read kernel-produced values.
+        self.symbolic = False
 
     def print(self, text: str) -> None:
         """Write a line to the job's captured console (stdout)."""

@@ -63,6 +63,16 @@ class Diagnostic:
         )
 
 
+def sort_diagnostics(diags) -> list[Diagnostic]:
+    """Canonical report order, shared by every diagnostic producer (the
+    kernel lints here and the ``SA1xx`` MPI passes): stable
+    ``(function, position, code, message)`` sorting with exact
+    duplicates removed, so reports and CI gates are deterministic."""
+    return sorted(
+        set(diags), key=lambda d: (d.function, d.insn_index, d.code, d.message)
+    )
+
+
 def lint_cfg(cfg: ControlFlowGraph) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     diags += _check_dead_writes(cfg)
@@ -70,8 +80,7 @@ def lint_cfg(cfg: ControlFlowGraph) -> list[Diagnostic]:
     diags += _check_unreachable(cfg)
     diags += _check_stack_balance(cfg)
     diags += _check_branch_targets(cfg)
-    diags.sort(key=lambda d: (d.insn_index, d.code))
-    return diags
+    return sort_diagnostics(diags)
 
 
 def lint_function(fn: AssembledFunction) -> list[Diagnostic]:
@@ -82,7 +91,7 @@ def lint_program(prog) -> list[Diagnostic]:
     out: list[Diagnostic] = []
     for fn in prog.functions.values():
         out.extend(lint_function(fn))
-    return out
+    return sort_diagnostics(out)
 
 
 def iter_shipped_kernels():

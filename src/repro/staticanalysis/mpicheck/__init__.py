@@ -1,0 +1,65 @@
+"""Static MPI communication analysis (MUST/MPI-Checker-style).
+
+The register/text analyses in :mod:`repro.staticanalysis` predict what a
+fault does to one rank's *computation*.  This package predicts what the
+communication structure does to a whole job, without running any kernel:
+
+* :mod:`~repro.staticanalysis.mpicheck.skeleton` - extract an
+  application's communication skeleton by a symbolic dry run: the MPI
+  stack executes for real (matching, framing, rendezvous), while every
+  numeric kernel is elided by a :class:`DryRunVM`;
+* :mod:`~repro.staticanalysis.mpicheck.matchgraph` - pair the recorded
+  sends and receives into a global match graph across ranks;
+* :mod:`~repro.staticanalysis.mpicheck.passes` - the ``SA1xx``
+  diagnostic family over the skeleton and match graph (deadlock cycles,
+  unmatched endpoints, signature mismatches, wildcard nondeterminism,
+  leaked requests, divergent collectives);
+* :mod:`~repro.staticanalysis.mpicheck.vulnmap` - the per-byte message
+  vulnerability map: classify every transmitted byte as framing header
+  vs control/checksummed/unprotected payload and predict the structural
+  (crash + hang) manifestation rate of channel-level faults;
+* :mod:`~repro.staticanalysis.mpicheck.validation` - Spearman
+  cross-check of those predictions against a dynamic channel-layer
+  injection campaign;
+* :mod:`~repro.staticanalysis.mpicheck.fixture` - a deliberately buggy
+  application exercising every ``SA1xx`` diagnostic.
+"""
+
+from repro.staticanalysis.mpicheck.fixture import BuggyApp
+from repro.staticanalysis.mpicheck.matchgraph import MatchEdge, MatchGraph, build_match_graph
+from repro.staticanalysis.mpicheck.passes import MPI_LINT_CODES, check_skeleton
+from repro.staticanalysis.mpicheck.skeleton import (
+    CommEvent,
+    CommSkeleton,
+    DryRunVM,
+    PacketRecord,
+    extract_skeleton,
+)
+from repro.staticanalysis.mpicheck.validation import (
+    MessageValidationReport,
+    validate_message_vulnerability,
+)
+from repro.staticanalysis.mpicheck.vulnmap import (
+    RankVulnerability,
+    VulnerabilityMap,
+    build_vulnerability_map,
+)
+
+__all__ = [
+    "BuggyApp",
+    "CommEvent",
+    "CommSkeleton",
+    "DryRunVM",
+    "MatchEdge",
+    "MatchGraph",
+    "MessageValidationReport",
+    "MPI_LINT_CODES",
+    "PacketRecord",
+    "RankVulnerability",
+    "VulnerabilityMap",
+    "build_match_graph",
+    "build_vulnerability_map",
+    "check_skeleton",
+    "extract_skeleton",
+    "validate_message_vulnerability",
+]

@@ -1,0 +1,156 @@
+"""A deliberately buggy application exercising every SA1xx diagnostic.
+
+``BuggyApp`` is the negative test fixture behind the analyzer's CI gate:
+the three shipped applications must analyze clean, while each ``bug``
+variant here must trigger its diagnostic.  The variants:
+
+===================  ===============================================
+bug                  seeded defect (primary diagnostic)
+===================  ===============================================
+``deadlock``         ranks 0 and 1 Recv from each other first (SA101)
+``orphan``           rank 0 sends a message nobody receives (SA103)
+``type-mismatch``    4 x MPI_INT sent into 2 x MPI_DOUBLE (SA104)
+``truncation``       64-byte message into a 32-byte receive (SA105)
+``wildcard``         ANY_SOURCE receive fed two different message
+                     signatures (SA106)
+``leak``             an irecv whose request is never waited (SA107)
+``collective``       rank 0 calls Bcast where everyone else calls
+                     Barrier (SA108)
+``salad``            orphan + type-mismatch + wildcard + leak in one
+                     *completing* run - the CLI's nonzero-exit fixture
+===================  ===============================================
+
+Ranks beyond the two that stage a defect idle (joining the final
+barrier where the variant has one), so every variant runs at any
+``nprocs >= 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import MPIApplication, register_error_handler
+from repro.memory.symbols import Linker
+from repro.mpi.datatypes import ANY_SOURCE, MPI_DOUBLE, MPI_INT
+from repro.mpi.simulator import RankContext
+
+#: Tags used by the seeded defects (one per bug family).
+_TAG_ORPHAN = 12
+_TAG_TYPED = 13
+_TAG_TRUNC = 14
+_TAG_WILD = 15
+_TAG_LEAK = 16
+_TAG_DEADLOCK = 11
+
+BUG_VARIANTS = (
+    "deadlock",
+    "orphan",
+    "type-mismatch",
+    "truncation",
+    "wildcard",
+    "leak",
+    "collective",
+    "salad",
+)
+
+
+class BuggyApp(MPIApplication):
+    """Seeded-defect application for the MPI analyzer's negative tests."""
+
+    name = "buggy"
+
+    DEFAULTS = {"bug": "salad"}
+
+    heap_size = 1 << 16
+    stack_size = 16 << 10
+
+    def kernel_sources(self) -> dict[str, str]:
+        return {"bug_noop": "    movi eax, 0\n    ret"}
+
+    def add_static_objects(self, linker: Linker) -> None:
+        linker.add_data("bug_scratch", 64)
+
+    def build_process(self, rank, nprocs, config):
+        if self.params["bug"] not in BUG_VARIANTS:
+            raise ValueError(
+                f"unknown bug {self.params['bug']!r}; pick one of {BUG_VARIANTS}"
+            )
+        if nprocs < 2:
+            raise ValueError("BuggyApp needs at least 2 ranks to miscommunicate")
+        return super().build_process(rank, nprocs, config)
+
+    # ------------------------------------------------------------------
+    def main(self, ctx: RankContext) -> Generator:
+        bug = self.params["bug"]
+        rank, comm = ctx.rank, ctx.comm
+        buf = ctx.image.heap.malloc(64)
+        stage = ctx.image.heap.malloc(64)
+        register_error_handler(ctx)
+        yield  # settle into the scheduler before misbehaving
+
+        if bug == "deadlock":
+            # Classic head-to-head: both ranks Recv before either Sends.
+            if rank == 0:
+                yield from comm.recv(buf, 1, MPI_DOUBLE, 1, _TAG_DEADLOCK)
+                yield from comm.send(buf, 1, MPI_DOUBLE, 1, _TAG_DEADLOCK)
+            elif rank == 1:
+                yield from comm.recv(buf, 1, MPI_DOUBLE, 0, _TAG_DEADLOCK)
+                yield from comm.send(buf, 1, MPI_DOUBLE, 0, _TAG_DEADLOCK)
+
+        elif bug == "orphan":
+            if rank == 0:
+                yield from comm.send(buf, 2, MPI_DOUBLE, 1, _TAG_ORPHAN)
+
+        elif bug == "type-mismatch":
+            # Same byte count, different type signature.
+            if rank == 0:
+                yield from comm.send(buf, 4, MPI_INT, 1, _TAG_TYPED)
+            elif rank == 1:
+                yield from comm.recv(buf, 2, MPI_DOUBLE, 0, _TAG_TYPED)
+
+        elif bug == "truncation":
+            if rank == 0:
+                yield from comm.send(buf, 8, MPI_DOUBLE, 1, _TAG_TRUNC)
+            elif rank == 1:
+                yield from comm.recv(buf, 4, MPI_DOUBLE, 0, _TAG_TRUNC)
+
+        elif bug == "wildcard":
+            # Two same-tag messages with different sizes race into one
+            # wildcard receive pair.
+            if rank == 0:
+                yield from comm.recv(buf, 8, MPI_DOUBLE, ANY_SOURCE, _TAG_WILD)
+                yield from comm.recv(buf, 8, MPI_DOUBLE, ANY_SOURCE, _TAG_WILD)
+            elif rank == 1:
+                yield from comm.send(stage, 2, MPI_DOUBLE, 0, _TAG_WILD)
+                yield from comm.send(stage, 8, MPI_DOUBLE, 0, _TAG_WILD)
+
+        elif bug == "leak":
+            if rank == 0:
+                comm.irecv(buf, 2, MPI_DOUBLE, 1, _TAG_LEAK)  # never waited
+            elif rank == 1:
+                yield from comm.send(stage, 2, MPI_DOUBLE, 0, _TAG_LEAK)
+            yield from comm.barrier()
+
+        elif bug == "collective":
+            if rank == 0:
+                yield from comm.bcast(buf, 2, MPI_DOUBLE, 0)
+            else:
+                yield from comm.barrier()
+
+        elif bug == "salad":
+            # Every non-fatal defect at once; the job still completes.
+            if rank == 0:
+                yield from comm.send(buf, 4, MPI_INT, 1, _TAG_TYPED)
+                yield from comm.send(buf, 2, MPI_DOUBLE, 1, _TAG_ORPHAN)
+                yield from comm.recv(buf, 8, MPI_DOUBLE, ANY_SOURCE, _TAG_WILD)
+                yield from comm.recv(buf, 8, MPI_DOUBLE, ANY_SOURCE, _TAG_WILD)
+                comm.irecv(stage, 2, MPI_DOUBLE, 1, _TAG_LEAK)  # never waited
+            elif rank == 1:
+                yield from comm.recv(buf, 2, MPI_DOUBLE, 0, _TAG_TYPED)
+                yield from comm.send(stage, 2, MPI_DOUBLE, 0, _TAG_WILD)
+                yield from comm.send(stage, 8, MPI_DOUBLE, 0, _TAG_WILD)
+                yield from comm.send(stage, 2, MPI_DOUBLE, 0, _TAG_LEAK)
+            yield from comm.barrier()
+
+        if rank == 0:
+            ctx.print(f"bug variant '{bug}' staged")

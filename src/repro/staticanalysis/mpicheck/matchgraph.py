@@ -1,0 +1,120 @@
+"""Global send/receive match graph over a communication skeleton.
+
+Matching happens in two stages:
+
+1. **Observed matches.**  Every receive that completed during the dry
+   run carries its :class:`~repro.mpi.status.Status` (actual source and
+   tag), so it is paired with the k-th send of the same
+   ``(source, dest, tag)`` stream - the ADI delivers each such stream in
+   FIFO order, making the k-th-to-k-th pairing exact.
+2. **Replayed matches.**  Whatever remains (operations cut short by a
+   hang or crash) is replayed in global sequence order through the MPI
+   matching rules - posted-receive list first, then the unexpected
+   queue, wildcards honoured - so the passes can still reason about
+   messages that were in flight when the job stopped.
+
+Anything left after both stages is genuinely unmatched: a receive no
+send can satisfy, or a message no rank ever asks for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.staticanalysis.mpicheck.skeleton import CommEvent, CommSkeleton
+
+
+@dataclass(frozen=True)
+class MatchEdge:
+    """One send paired with the receive that consumes it."""
+
+    send: CommEvent
+    recv: CommEvent
+
+    @property
+    def truncated(self) -> bool:
+        """The message carries more bytes than the receive can hold."""
+        return self.send.nbytes > self.recv.nbytes
+
+    @property
+    def signature_mismatch(self) -> bool:
+        """Endpoints disagree on the element datatype."""
+        return self.send.dtype != self.recv.dtype
+
+
+@dataclass
+class MatchGraph:
+    edges: list[MatchEdge] = field(default_factory=list)
+    unmatched_sends: list[CommEvent] = field(default_factory=list)
+    unmatched_recvs: list[CommEvent] = field(default_factory=list)
+
+
+def _signature_match(send: CommEvent, recv: CommEvent) -> bool:
+    return (
+        send.peer == recv.rank
+        and (recv.peer == ANY_SOURCE or recv.peer == send.rank)
+        and (recv.tag == ANY_TAG or recv.tag == send.tag)
+    )
+
+
+def build_match_graph(skeleton: CommSkeleton) -> MatchGraph:
+    graph = MatchGraph()
+    sends = skeleton.sends()
+    recvs = skeleton.recvs()
+
+    # Stage 1: pair completed receives with their FIFO stream position.
+    streams: dict[tuple, list[CommEvent]] = defaultdict(list)
+    for send in sends:
+        streams[(send.rank, send.peer, send.tag)].append(send)
+    positions: dict[tuple, int] = defaultdict(int)
+    matched: set[int] = set()
+    for recv in recvs:
+        if not recv.completed or recv.status is None:
+            continue
+        key = (recv.status.source, recv.rank, recv.status.tag)
+        stream = streams.get(key, [])
+        pos = positions[key]
+        if pos < len(stream):
+            send = stream[pos]
+            positions[key] = pos + 1
+            graph.edges.append(MatchEdge(send, recv))
+            matched.add(id(send))
+            matched.add(id(recv))
+
+    # Stage 2: replay the leftovers through the MPI matching rules.
+    leftovers = sorted(
+        (e for e in sends + recvs if id(e) not in matched),
+        key=lambda e: e.seq,
+    )
+    posted: dict[int, list[CommEvent]] = defaultdict(list)
+    unexpected: dict[int, list[CommEvent]] = defaultdict(list)
+    for event in leftovers:
+        if event.kind == "send":
+            if event.peer is None or not 0 <= event.peer < skeleton.nprocs:
+                graph.unmatched_sends.append(event)
+                continue
+            queue = posted[event.peer]
+            for i, recv in enumerate(queue):
+                if _signature_match(event, recv):
+                    graph.edges.append(MatchEdge(event, recv))
+                    del queue[i]
+                    break
+            else:
+                unexpected[event.peer].append(event)
+        else:
+            queue = unexpected[event.rank]
+            for i, send in enumerate(queue):
+                if _signature_match(send, event):
+                    graph.edges.append(MatchEdge(send, event))
+                    del queue[i]
+                    break
+            else:
+                posted[event.rank].append(event)
+    for rank in sorted(unexpected):
+        graph.unmatched_sends.extend(unexpected[rank])
+    for rank in sorted(posted):
+        graph.unmatched_recvs.extend(posted[rank])
+    graph.edges.sort(key=lambda e: (e.recv.seq, e.send.seq))
+    return graph

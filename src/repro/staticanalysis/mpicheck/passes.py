@@ -1,0 +1,311 @@
+"""MUST/MPI-Checker-style verification passes over a skeleton.
+
+Each pass emits :class:`~repro.staticanalysis.lint.Diagnostic` entries in
+the ``SA1xx`` family (the ``SA0xx`` codes belong to the per-kernel
+assembly lints).  ``function`` carries the ``app:rankN`` label and
+``insn_index`` the job-global event sequence number, so the shared
+``(function, position, code, message)`` report order applies unchanged.
+
+How the job *ended* gates which findings are meaningful:
+
+* a **hung** job is exactly where deadlock cycles (SA101) live, and its
+  unmatched endpoints are real findings;
+* a **completed** job can still leak requests (SA107), strand messages
+  (SA103), or have executed divergent collective *counts* (SA108);
+* a **crashed or aborted** job is cut short mid-flight, so pending
+  operations are artifacts of the stop, not bugs - only the structural
+  checks (signature, truncation, wildcard, collective prefix) apply.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mpi.simulator import JobStatus
+from repro.staticanalysis.lint import Diagnostic, sort_diagnostics
+from repro.staticanalysis.mpicheck.matchgraph import (
+    MatchGraph,
+    _signature_match,
+    build_match_graph,
+)
+from repro.staticanalysis.mpicheck.skeleton import CommEvent, CommSkeleton
+
+#: Stable diagnostic codes of the MPI communication passes.
+MPI_LINT_CODES = {
+    "SA101": "communication deadlock (wait-for cycle)",
+    "SA102": "posted receive never matched by any send",
+    "SA103": "sent message never received",
+    "SA104": "datatype signature mismatch between matched endpoints",
+    "SA105": "message longer than the matched receive buffer",
+    "SA106": "nondeterministic wildcard receive",
+    "SA107": "request never completed by a wait",
+    "SA108": "collective sequence diverges across ranks",
+}
+
+#: Terminations the job reached on its own (queues fully drained).
+_SETTLED = (JobStatus.COMPLETED,)
+#: Terminations where pending operations are findings, not artifacts.
+_PENDING_MEANINGFUL = (JobStatus.COMPLETED, JobStatus.HUNG)
+
+
+def _src(peer: int | None) -> str:
+    return "ANY_SOURCE" if peer == ANY_SOURCE else f"rank {peer}"
+
+
+def _tag(tag: int | None) -> str:
+    return "ANY_TAG" if tag == ANY_TAG else str(tag)
+
+
+def _diag(skeleton: CommSkeleton, code: str, event: CommEvent, message: str) -> Diagnostic:
+    return Diagnostic(
+        code, f"{skeleton.app_name}:rank{event.rank}", event.seq, message
+    )
+
+
+# ----------------------------------------------------------------------
+# SA101 - deadlock wait-for cycles
+# ----------------------------------------------------------------------
+def _cyclic_components(adjacency: dict[int, set[int]]) -> list[list[int]]:
+    """Tarjan SCCs, keeping only components that contain a cycle."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    stack: list[int] = []
+    on_stack: set[int] = set()
+    out: list[list[int]] = []
+    counter = [0]
+
+    def strong(v: int) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(adjacency.get(v, ())):
+            if w not in index:
+                strong(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1 or v in adjacency.get(v, ()):
+                out.append(sorted(component))
+    for v in sorted(adjacency):
+        if v not in index:
+            strong(v)
+    return out
+
+
+def _check_deadlock(skeleton: CommSkeleton) -> list[Diagnostic]:
+    if skeleton.status is not JobStatus.HUNG:
+        return []
+    blocked = skeleton.blocked_ops()
+    adjacency: dict[int, set[int]] = defaultdict(set)
+    anchor: dict[int, CommEvent] = {}
+    for rank, events in blocked.items():
+        anchor[rank] = min(events, key=lambda e: e.seq)
+        for event in events:
+            if event.peer is not None and 0 <= event.peer < skeleton.nprocs:
+                adjacency[rank].add(event.peer)
+    diags = []
+    for component in _cyclic_components(adjacency):
+        head = anchor[min(component)]
+        waits = "; ".join(
+            f"rank {r} blocked in {anchor[r].call}"
+            f"(peer={_src(anchor[r].peer)}, tag={_tag(anchor[r].tag)})"
+            for r in component
+        )
+        diags.append(
+            _diag(
+                skeleton,
+                "SA101",
+                head,
+                f"wait-for cycle among ranks {component}: {waits}",
+            )
+        )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA102/SA103 - unmatched endpoints
+# ----------------------------------------------------------------------
+def _check_unmatched(skeleton: CommSkeleton, graph: MatchGraph) -> list[Diagnostic]:
+    if skeleton.status not in _PENDING_MEANINGFUL:
+        return []
+    diags = []
+    for recv in graph.unmatched_recvs:
+        diags.append(
+            _diag(
+                skeleton,
+                "SA102",
+                recv,
+                f"{recv.call} from {_src(recv.peer)}, tag {_tag(recv.tag)} "
+                f"({recv.count} x {recv.dtype}) is never matched by any send",
+            )
+        )
+    for send in graph.unmatched_sends:
+        diags.append(
+            _diag(
+                skeleton,
+                "SA103",
+                send,
+                f"{send.call} to {_src(send.peer)}, tag {_tag(send.tag)} "
+                f"({send.nbytes} bytes) is never received",
+            )
+        )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA104/SA105 - matched-edge signature checks
+# ----------------------------------------------------------------------
+def _check_edges(skeleton: CommSkeleton, graph: MatchGraph) -> list[Diagnostic]:
+    diags = []
+    for edge in graph.edges:
+        send, recv = edge.send, edge.recv
+        if edge.signature_mismatch:
+            diags.append(
+                _diag(
+                    skeleton,
+                    "SA104",
+                    recv,
+                    f"receive of {recv.count} x {recv.dtype} is matched by a "
+                    f"send of {send.count} x {send.dtype} from rank "
+                    f"{send.rank} (tag {_tag(send.tag)})",
+                )
+            )
+        if edge.truncated:
+            diags.append(
+                _diag(
+                    skeleton,
+                    "SA105",
+                    recv,
+                    f"{send.nbytes}-byte message from rank {send.rank} "
+                    f"(tag {_tag(send.tag)}) overruns the {recv.nbytes}-byte "
+                    f"receive buffer",
+                )
+            )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA106 - wildcard nondeterminism
+# ----------------------------------------------------------------------
+def _check_wildcards(skeleton: CommSkeleton) -> list[Diagnostic]:
+    sends = skeleton.sends()
+    diags = []
+    seen: set[tuple] = set()
+    for recv in skeleton.recvs():
+        if recv.peer != ANY_SOURCE and recv.tag != ANY_TAG:
+            continue
+        signatures = {
+            (s.tag, s.dtype, s.nbytes)
+            for s in sends
+            if _signature_match(s, recv)
+        }
+        if len(signatures) <= 1:
+            continue
+        site = (recv.rank, recv.peer, recv.tag, recv.count, recv.dtype)
+        if site in seen:  # one finding per receive call site
+            continue
+        seen.add(site)
+        diags.append(
+            _diag(
+                skeleton,
+                "SA106",
+                recv,
+                f"wildcard receive (source={_src(recv.peer)}, "
+                f"tag={_tag(recv.tag)}) can match {len(signatures)} "
+                f"different message signatures",
+            )
+        )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA107 - leaked requests
+# ----------------------------------------------------------------------
+def _check_leaked_requests(skeleton: CommSkeleton) -> list[Diagnostic]:
+    if skeleton.status not in _SETTLED:
+        return []
+    diags = []
+    for event in skeleton.events:
+        if event.request is None or event.waited:
+            continue
+        diags.append(
+            _diag(
+                skeleton,
+                "SA107",
+                event,
+                f"{event.call} request (peer {_src(event.peer)}, tag "
+                f"{_tag(event.tag)}) is never completed by a wait",
+            )
+        )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA108 - divergent collective sequences
+# ----------------------------------------------------------------------
+def _check_collectives(skeleton: CommSkeleton) -> list[Diagnostic]:
+    sequences = {
+        rank: skeleton.collectives(rank) for rank in range(skeleton.nprocs)
+    }
+    reference = sequences.get(0, [])
+    diags = []
+    for rank in range(1, skeleton.nprocs):
+        mine = sequences[rank]
+        for position, (ours, theirs) in enumerate(zip(mine, reference)):
+            if ours.collective_signature != theirs.collective_signature:
+                diags.append(
+                    _diag(
+                        skeleton,
+                        "SA108",
+                        ours,
+                        f"collective #{position} is {ours.call}"
+                        f"(count={ours.count}) but rank 0 executes "
+                        f"{theirs.call}(count={theirs.count})",
+                    )
+                )
+                break
+        else:
+            # Equal prefixes but different lengths only prove divergence
+            # if the job ran to completion (a hang legitimately stops
+            # ranks at different points in their sequences).
+            if len(mine) != len(reference) and skeleton.status in _SETTLED:
+                longer, other_rank = (
+                    (mine, 0) if len(mine) > len(reference) else (reference, rank)
+                )
+                extra = longer[min(len(mine), len(reference))]
+                diags.append(
+                    _diag(
+                        skeleton,
+                        "SA108",
+                        extra,
+                        f"{extra.call}(count={extra.count}) has no "
+                        f"counterpart on rank {other_rank}",
+                    )
+                )
+    return diags
+
+
+def check_skeleton(
+    skeleton: CommSkeleton, graph: MatchGraph | None = None
+) -> list[Diagnostic]:
+    """Run every SA1xx pass and return the canonical, deduped report."""
+    if graph is None:
+        graph = build_match_graph(skeleton)
+    diags: list[Diagnostic] = []
+    diags += _check_deadlock(skeleton)
+    diags += _check_unmatched(skeleton, graph)
+    diags += _check_edges(skeleton, graph)
+    diags += _check_wildcards(skeleton)
+    diags += _check_leaked_requests(skeleton)
+    diags += _check_collectives(skeleton)
+    return sort_diagnostics(diags)

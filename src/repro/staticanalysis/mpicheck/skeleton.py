@@ -1,0 +1,400 @@
+"""Communication-skeleton extraction by symbolic dry run.
+
+The extractor runs the application under the normal cooperative
+scheduler with two substitutions:
+
+* every rank's VM is wrapped in a :class:`DryRunVM` that records kernel
+  invocations and returns without executing them (payload *computation*
+  is elided; payload *sizes* come from the application's own buffer
+  arithmetic, so the message traffic is byte-faithful);
+* every rank's communicator is wrapped in a
+  :class:`~repro.mpi.pmpi.ProfilingComm` whose interceptors record one
+  :class:`CommEvent` per MPI call, stamped with a job-global sequence
+  number, and capture request handles and completion statuses.
+
+The MPI stack itself - matching, eager/rendezvous framing, collective
+algorithms - executes unmodified, and a channel tap records every packet
+each rank receives.  ``ctx.symbolic`` is set so applications skip the
+consistency checks that read kernel-produced memory.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.mpi.adi import ParsedMessage, parse_packet
+from repro.mpi.api import Comm
+from repro.mpi.datatypes import Datatype
+from repro.mpi.pmpi import ProfilingComm
+from repro.mpi.simulator import Job, JobConfig, JobStatus
+from repro.mpi.status import Request, Status
+
+#: Scheduler-round budget for a dry run: generous enough for any shipped
+#: configuration, small enough that a livelocked fixture still halts.
+DRY_RUN_ROUND_LIMIT = 200_000
+
+
+class DryRunVM:
+    """A VM stand-in that elides kernel execution.
+
+    ``call`` records the invocation and returns 0 without running any
+    instruction; every other attribute (``clock``, ``block_limit``, ...)
+    is delegated to the wrapped real VM, so library code that charges
+    simulated time (checksum verification, bound checks) still works.
+    """
+
+    def __init__(self, vm, on_call=None) -> None:
+        self._vm = vm
+        self._on_call = on_call
+
+    def call(self, function, args: Sequence[int] = ()) -> int:
+        if self._on_call is not None:
+            self._on_call(str(function), tuple(args))
+        return 0
+
+    def __getattr__(self, name: str):
+        return getattr(self._vm, name)
+
+
+@dataclass
+class CommEvent:
+    """One recorded MPI call (or one half of a combined call)."""
+
+    seq: int  #: job-global order stamp
+    rank: int
+    call: str  #: API name ("isend", "sendrecv", "allreduce", ...)
+    kind: str  #: "send" | "recv" | "collective" | "probe"
+    peer: int | None = None  #: dest/source; may be ANY_SOURCE
+    tag: int | None = None  #: may be ANY_TAG
+    count: int = 0
+    dtype: str = ""  #: datatype name ("MPI_DOUBLE", ...)
+    nbytes: int = 0  #: send payload / receive capacity in bytes
+    blocking: bool = True
+    root: int | None = None  #: collective root (None if rootless)
+    op: str | None = None  #: reduction operator name
+    request: Request | None = None  #: handle of a nonblocking call
+    completed: bool = False
+    status: Status | None = None  #: completion status of a receive
+    waited: bool = False  #: request was passed to wait/waitall
+
+    @property
+    def collective_signature(self) -> tuple:
+        """What every rank must agree on for this collective."""
+        return (self.call, self.root, self.count, self.dtype, self.op)
+
+    def __str__(self) -> str:
+        where = f"rank {self.rank} @{self.seq}"
+        if self.kind == "collective":
+            return f"{where}: {self.call}(count={self.count})"
+        return (
+            f"{where}: {self.call}(peer={self.peer}, tag={self.tag}, "
+            f"count={self.count} {self.dtype})"
+        )
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One packet delivered to a rank's channel endpoint."""
+
+    index: int  #: delivery order within the destination rank
+    dst: int  #: receiving rank
+    size: int  #: wire bytes including the 48-byte header
+    src: int
+    tag: int
+    mtype: int  #: MSG_EAGER / MSG_RTS / MSG_CTS / MSG_RNDV_DATA
+    payload_len: int
+    seq: int  #: sender-side sequence number (rendezvous handle)
+
+
+@dataclass
+class CommSkeleton:
+    """Everything the static passes need from one dry run."""
+
+    app_name: str
+    nprocs: int
+    status: JobStatus
+    detail: str
+    events: list[CommEvent]
+    packets: list[PacketRecord]
+    kernel_calls: list[tuple[int, str]]
+    message_classes: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.status is JobStatus.COMPLETED
+
+    def sends(self) -> list[CommEvent]:
+        return [e for e in self.events if e.kind == "send"]
+
+    def recvs(self) -> list[CommEvent]:
+        return [e for e in self.events if e.kind == "recv"]
+
+    def collectives(self, rank: int | None = None) -> list[CommEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind == "collective" and (rank is None or e.rank == rank)
+        ]
+
+    def blocked_ops(self) -> dict[int, list[CommEvent]]:
+        """Per rank, the operations it is still inside at job end: started
+        blocking calls that never completed, plus nonblocking requests
+        that were waited on but never finished."""
+        out: dict[int, list[CommEvent]] = {}
+        for e in self.events:
+            if e.completed or e.kind == "probe":
+                continue
+            stuck = e.blocking or (
+                e.waited and e.request is not None and not e.request.done
+            )
+            if stuck:
+                out.setdefault(e.rank, []).append(e)
+        return out
+
+
+def _dtype_name(dtype: Any) -> str:
+    return str(dtype) if isinstance(dtype, Datatype) else repr(dtype)
+
+
+def _dtype_size(dtype: Any) -> int:
+    return dtype.size if isinstance(dtype, Datatype) else 0
+
+
+class SkeletonRecorder:
+    """Wires one job's ranks for recording and assembles the skeleton."""
+
+    def __init__(self, app_name: str, nprocs: int) -> None:
+        self.app_name = app_name
+        self.nprocs = nprocs
+        self.events: list[CommEvent] = []
+        self.packets: list[PacketRecord] = []
+        self.kernel_calls: list[tuple[int, str]] = []
+        self._seq = 0
+        #: live (id(args) -> events) entries for in-flight calls
+        self._pending: dict[int, list[CommEvent]] = {}
+        #: id(Request) -> the event that created it
+        self._req_events: dict[int, CommEvent] = {}
+        self._sigs = {
+            name: inspect.signature(getattr(Comm, name))
+            for name in (
+                "send", "isend", "recv", "irecv", "sendrecv",
+                "bcast", "reduce", "allreduce", "gather", "scatter",
+                "allgather", "alltoall", "probe", "iprobe",
+            )
+        }
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, job: Job) -> None:
+        for rank, ctx in enumerate(job.contexts):
+            ctx.symbolic = True
+            ctx.vm = DryRunVM(
+                ctx.vm,
+                on_call=lambda name, args, r=rank: self.kernel_calls.append((r, name)),
+            )
+            prof = ProfilingComm(ctx.comm)
+            prof.add_interceptor(
+                lambda name, args, kwargs, r=rank: self._on_call(r, name, args, kwargs)
+            )
+            prof.add_return_interceptor(
+                lambda name, args, kwargs, result, r=rank: self._on_return(
+                    r, name, args, kwargs, result
+                )
+            )
+            ctx.comm = prof
+            job.endpoints[rank].tap = (
+                lambda packet, r=rank: self._on_packet(r, packet)
+            )
+
+    # ------------------------------------------------------------------
+    # call interception
+    # ------------------------------------------------------------------
+    def _bind(self, name: str, args: tuple, kwargs: dict) -> dict:
+        bound = self._sigs[name].bind(None, *args, **kwargs)
+        bound.apply_defaults()
+        return dict(bound.arguments)
+
+    def _new_event(self, **fields) -> CommEvent:
+        event = CommEvent(seq=self._seq, **fields)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def _on_call(self, rank: int, name: str, args: tuple, kwargs: dict) -> None:
+        if name in ("send", "isend"):
+            a = self._bind(name, args, kwargs)
+            self._pending[id(args)] = [
+                self._new_event(
+                    rank=rank,
+                    call=name,
+                    kind="send",
+                    peer=a["dest"],
+                    tag=a["tag"],
+                    count=a["count"],
+                    dtype=_dtype_name(a["dtype"]),
+                    nbytes=a["count"] * _dtype_size(a["dtype"]),
+                    blocking=(name == "send"),
+                )
+            ]
+        elif name in ("recv", "irecv"):
+            a = self._bind(name, args, kwargs)
+            self._pending[id(args)] = [
+                self._new_event(
+                    rank=rank,
+                    call=name,
+                    kind="recv",
+                    peer=a["source"],
+                    tag=a["tag"],
+                    count=a["count"],
+                    dtype=_dtype_name(a["dtype"]),
+                    nbytes=a["count"] * _dtype_size(a["dtype"]),
+                    blocking=(name == "recv"),
+                )
+            ]
+        elif name == "sendrecv":
+            a = self._bind(name, args, kwargs)
+            # The recv half posts first (mirroring the implementation),
+            # then the send half; both complete when the call returns.
+            recv = self._new_event(
+                rank=rank,
+                call=name,
+                kind="recv",
+                peer=a["source"],
+                tag=a["recv_tag"],
+                count=a["recv_count"],
+                dtype=_dtype_name(a["recv_dtype"]),
+                nbytes=a["recv_count"] * _dtype_size(a["recv_dtype"]),
+            )
+            send = self._new_event(
+                rank=rank,
+                call=name,
+                kind="send",
+                peer=a["dest"],
+                tag=a["send_tag"],
+                count=a["send_count"],
+                dtype=_dtype_name(a["send_dtype"]),
+                nbytes=a["send_count"] * _dtype_size(a["send_dtype"]),
+            )
+            self._pending[id(args)] = [recv, send]
+        elif name == "barrier":
+            self._pending[id(args)] = [
+                self._new_event(rank=rank, call=name, kind="collective")
+            ]
+        elif name in (
+            "bcast", "reduce", "allreduce", "gather", "scatter",
+            "allgather", "alltoall",
+        ):
+            a = self._bind(name, args, kwargs)
+            self._pending[id(args)] = [
+                self._new_event(
+                    rank=rank,
+                    call=name,
+                    kind="collective",
+                    count=a["count"],
+                    dtype=_dtype_name(a["dtype"]),
+                    nbytes=a["count"] * _dtype_size(a["dtype"]),
+                    root=a.get("root"),
+                    op=getattr(a.get("op"), "name", None),
+                )
+            ]
+        elif name in ("probe", "iprobe"):
+            a = self._bind(name, args, kwargs)
+            self._pending[id(args)] = [
+                self._new_event(
+                    rank=rank,
+                    call=name,
+                    kind="probe",
+                    peer=a["source"],
+                    tag=a["tag"],
+                    blocking=(name == "probe"),
+                )
+            ]
+        elif name == "wait":
+            self._mark_waited(args[0] if args else kwargs.get("req"))
+        elif name == "waitall":
+            reqs = args[0] if args else kwargs.get("reqs", ())
+            for req in list(reqs):
+                self._mark_waited(req)
+
+    def _mark_waited(self, req) -> None:
+        event = self._req_events.get(id(req))
+        if event is not None:
+            event.waited = True
+
+    def _on_return(
+        self, rank: int, name: str, args: tuple, kwargs: dict, result
+    ) -> None:
+        events = self._pending.pop(id(args), [])
+        for event in events:
+            event.completed = True
+        if name in ("isend", "irecv") and isinstance(result, Request):
+            for event in events:
+                event.request = result
+                event.completed = False  # completion judged at job end
+                self._req_events[id(result)] = event
+        elif isinstance(result, Status):
+            for event in events:
+                if event.kind == "recv":
+                    event.status = result
+
+    def _on_packet(self, rank: int, packet: bytes) -> None:
+        try:
+            msg: ParsedMessage = parse_packet(packet)
+        except Exception:  # corrupt frames cannot occur in a dry run
+            return
+        self.packets.append(
+            PacketRecord(
+                index=sum(1 for p in self.packets if p.dst == rank),
+                dst=rank,
+                size=len(packet),
+                src=msg.src,
+                tag=msg.tag,
+                mtype=msg.mtype,
+                payload_len=msg.payload_len,
+                seq=msg.seq,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def finish(self, status: JobStatus, detail: str, message_classes) -> CommSkeleton:
+        for event in self.events:
+            req = event.request
+            if req is not None and req.done:
+                event.completed = True
+                if event.kind == "recv" and event.status is None:
+                    event.status = req.status
+        return CommSkeleton(
+            app_name=self.app_name,
+            nprocs=self.nprocs,
+            status=status,
+            detail=detail,
+            events=list(self.events),
+            packets=list(self.packets),
+            kernel_calls=list(self.kernel_calls),
+            message_classes=dict(message_classes),
+        )
+
+
+def extract_skeleton(
+    app,
+    nprocs: int = 4,
+    *,
+    seed: int = 12345,
+    round_limit: int = DRY_RUN_ROUND_LIMIT,
+) -> CommSkeleton:
+    """Dry-run ``app`` on ``nprocs`` ranks and record its skeleton.
+
+    The job is allowed to hang or crash - a deadlocked fixture *should*
+    hang - and the termination condition is preserved on the skeleton
+    for the passes to interpret.
+    """
+    job = Job(app, JobConfig(nprocs=nprocs, seed=seed, round_limit=round_limit))
+    recorder = SkeletonRecorder(getattr(app, "name", type(app).__name__), nprocs)
+    recorder.attach(job)
+    result = job.run()
+    return recorder.finish(result.status, result.detail, app.message_classes())

@@ -1,0 +1,198 @@
+"""Per-byte message-vulnerability map.
+
+Every byte a rank receives during the dry run is classified, and each
+class carries a *structural weight*: the predicted probability that a
+single-bit flip in such a byte manifests structurally (Crash or Hang,
+the paper's two non-semantic message-fault outcomes).  The weights are
+read off the channel protocol in :mod:`repro.mpi.adi`:
+
+* ``magic`` and ``len`` flips fail frame validation -> Crash (1.0);
+* ``src``/``dst`` flips misroute the packet, which is dropped while the
+  matching receive keeps waiting -> Hang (a low-bit flip can land on
+  another valid rank, where an ``ANY_SOURCE`` receive may still accept
+  it: slightly below 1);
+* ``tag`` flips strand the message in the unexpected queue -> Hang
+  (unless a wildcard-tag receive would take it);
+* ``type`` flips either leave the valid ``MSG_*`` range -> Crash, or
+  turn the packet into the wrong protocol step -> drop/Hang (two of the
+  32 bits toggle between valid types with partially compatible
+  handling);
+* ``seq`` is the rendezvous handle: on RTS/CTS/RNDV_DATA frames a flip
+  orphans the handshake -> Hang; on eager frames it is never read;
+* ``comm_id`` and the padding are never read -> benign;
+* payload bytes never break framing: they become wrong *values*
+  (silent corruption, detected aborts, or incorrect output), so their
+  structural weight is 0 regardless of class.
+
+The payload classes still matter for the rest of the prediction: a
+``checksummed`` byte is predicted Application Detected, a ``control``
+byte steers execution (wrong work descriptor -> Incorrect Output), and
+``data``/``collective`` bytes are predicted silent-or-incorrect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mpi.adi import MSG_EAGER, MSG_RNDV_DATA, MSG_RTS
+from repro.mpi.datatypes import INTERNAL_TAG_BASE
+from repro.staticanalysis.mpicheck.skeleton import CommSkeleton
+
+#: (field name, byte width, structural weight) of the 48-byte header,
+#: in wire order.  ``seq`` is special-cased per message type below.
+HEADER_FIELD_WEIGHTS = (
+    ("magic", 4, 1.0),
+    ("src", 4, 0.9),
+    ("dst", 4, 0.9),
+    ("tag", 4, 0.95),
+    ("type", 4, 0.9),
+    ("len", 4, 1.0),
+    ("seq", 4, 0.0),  # rendezvous frames override this to RNDV_SEQ_WEIGHT
+    ("comm_id", 4, 0.0),
+    ("pad", 16, 0.0),
+)
+
+#: ``seq`` weight on the frames where the rendezvous state machine
+#: actually reads it (RTS/CTS/RNDV_DATA): a flipped handle orphans the
+#: handshake and the transfer never finishes.
+RNDV_SEQ_WEIGHT = 0.9
+
+#: Predicted dominant manifestation per payload class (none structural).
+PAYLOAD_CLASS_PREDICTIONS = {
+    "checksummed": "application detected",
+    "control": "incorrect output",
+    "collective": "incorrect output",
+    "data": "silent or incorrect output",
+}
+
+
+@dataclass
+class RankVulnerability:
+    """Byte classification of one rank's incoming stream."""
+
+    rank: int
+    total_bytes: int = 0
+    structural_weighted: float = 0.0
+    byte_classes: dict[str, int] = field(default_factory=dict)
+
+    def add(self, klass: str, nbytes: int, weight: float = 0.0) -> None:
+        if nbytes <= 0:
+            return
+        self.total_bytes += nbytes
+        self.structural_weighted += weight * nbytes
+        self.byte_classes[klass] = self.byte_classes.get(klass, 0) + nbytes
+
+    @property
+    def structural_score(self) -> float:
+        """Predicted Crash+Hang rate of a uniform single-bit flip in
+        this rank's received stream."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.structural_weighted / self.total_bytes
+
+    @property
+    def detected_score(self) -> float:
+        """Predicted Application Detected rate (checksummed payload)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.byte_classes.get("checksummed", 0) / self.total_bytes
+
+    @property
+    def header_fraction(self) -> float:
+        header = sum(
+            count
+            for klass, count in self.byte_classes.items()
+            if klass.startswith("header_")
+        )
+        return header / self.total_bytes if self.total_bytes else 0.0
+
+
+@dataclass
+class VulnerabilityMap:
+    """The whole job's message-vulnerability prediction."""
+
+    app_name: str
+    nprocs: int
+    ranks: list[RankVulnerability]
+    message_classes: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.ranks)
+
+    @property
+    def structural_score(self) -> float:
+        """Mean of the per-rank scores - the campaign picks the target
+        rank uniformly, so the app-level rate is the unweighted mean,
+        not the byte-weighted one."""
+        if not self.ranks:
+            return 0.0
+        return sum(r.structural_score for r in self.ranks) / len(self.ranks)
+
+    @property
+    def detected_score(self) -> float:
+        if not self.ranks:
+            return 0.0
+        return sum(r.detected_score for r in self.ranks) / len(self.ranks)
+
+    def byte_class_totals(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for rank in self.ranks:
+            for klass, count in rank.byte_classes.items():
+                totals[klass] = totals.get(klass, 0) + count
+        return dict(sorted(totals.items()))
+
+    def report(self) -> str:
+        lines = [
+            f"message-vulnerability map: {self.app_name} "
+            f"({self.nprocs} ranks, {self.total_bytes} received bytes)",
+            f"  predicted structural (crash+hang) rate: "
+            f"{100 * self.structural_score:.1f}%",
+            f"  predicted application-detected rate:    "
+            f"{100 * self.detected_score:.1f}%",
+        ]
+        for klass, count in self.byte_class_totals().items():
+            prediction = PAYLOAD_CLASS_PREDICTIONS.get(klass, "crash or hang")
+            if klass == "header_benign":
+                prediction = "benign (field never read)"
+            lines.append(f"  {klass:16s} {count:10d} bytes -> {prediction}")
+        for rank in self.ranks:
+            lines.append(
+                f"  rank {rank.rank}: {rank.total_bytes:8d} bytes, "
+                f"{100 * rank.header_fraction:5.1f}% header, "
+                f"structural {100 * rank.structural_score:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def build_vulnerability_map(skeleton: CommSkeleton) -> VulnerabilityMap:
+    ranks = [RankVulnerability(rank=r) for r in range(skeleton.nprocs)]
+    #: tag of each rendezvous handshake, keyed by (dst, src, seq): the
+    #: RTS frame carries the application tag, the RNDV_DATA frame that
+    #: follows it does not.
+    rendezvous_tags: dict[tuple[int, int, int], int] = {}
+    for packet in skeleton.packets:
+        entry = ranks[packet.dst]
+        if packet.mtype == MSG_RTS:
+            rendezvous_tags[(packet.dst, packet.src, packet.seq)] = packet.tag
+        for name, width, weight in HEADER_FIELD_WEIGHTS:
+            if name == "seq" and packet.mtype != MSG_EAGER:
+                weight = RNDV_SEQ_WEIGHT
+            klass = "header_critical" if weight > 0 else "header_benign"
+            entry.add(klass, width, weight)
+        if packet.payload_len <= 0:
+            continue
+        tag = packet.tag
+        if packet.mtype == MSG_RNDV_DATA:
+            tag = rendezvous_tags.get((packet.dst, packet.src, packet.seq), tag)
+        if tag >= INTERNAL_TAG_BASE:
+            klass = "collective"
+        else:
+            klass = skeleton.message_classes.get(tag, "data")
+        entry.add(klass, packet.payload_len)
+    return VulnerabilityMap(
+        app_name=skeleton.app_name,
+        nprocs=skeleton.nprocs,
+        ranks=ranks,
+        message_classes=dict(skeleton.message_classes),
+    )

@@ -1,8 +1,10 @@
 """Traffic measurement (Table 1 machinery)."""
 
-from repro.mpi.channel import HEADER_SIZE
+import pytest
+
+from repro.mpi.channel import HEADER_SIZE, ChannelStats
 from repro.mpi.datatypes import MPI_DOUBLE
-from repro.mpi.traffic import job_traffic, rank_traffic, summarize
+from repro.mpi.traffic import RankTraffic, job_traffic, rank_traffic, summarize
 from tests.mpi._util import buf_addr, run_app
 
 
@@ -39,6 +41,83 @@ class TestRankTraffic:
         _, job = run_app(main, nprocs=2)
         t = rank_traffic(job, 0)
         assert t.control_message_percent == 100.0
+
+    def test_percentages_partition_the_volume(self):
+        _, job = run_app(exchange_app(25), nprocs=2)
+        t = rank_traffic(job, 1)
+        assert t.header_percent == pytest.approx(
+            100.0 * HEADER_SIZE / (HEADER_SIZE + 200)
+        )
+        assert t.user_percent == pytest.approx(100.0 * 200 / (HEADER_SIZE + 200))
+
+
+def _empty_traffic(rank: int = 0) -> RankTraffic:
+    return RankTraffic(
+        rank=rank,
+        total_bytes=0,
+        header_bytes=0,
+        payload_bytes=0,
+        packets=0,
+        control_packets=0,
+        data_packets=0,
+        messages_control=0,
+        messages_data=0,
+        dropped_packets=0,
+    )
+
+
+class TestZeroVolumeEdgeCases:
+    """Divide-by-zero guards: silent ranks and empty jobs."""
+
+    def test_zero_byte_rank_percentages_are_zero(self):
+        t = _empty_traffic()
+        assert t.header_percent == 0.0
+        assert t.user_percent == 0.0
+        assert t.control_message_percent == 0.0
+
+    def test_silent_job_summary(self):
+        def main(ctx):
+            yield  # no communication at all
+
+        _, job = run_app(main, nprocs=2)
+        s = summarize(job)
+        assert s.mean_bytes == 0.0
+        assert s.min_bytes == s.max_bytes == 0
+        assert s.mean_header_percent == 0.0
+        assert s.mean_user_percent == 0.0
+        assert s.mean_control_message_percent == 0.0
+
+    def test_header_only_rank_is_all_header(self):
+        def main(ctx):
+            yield from ctx.comm.barrier()
+
+        _, job = run_app(main, nprocs=2)
+        t = rank_traffic(job, 0)
+        assert t.payload_bytes == 0
+        assert t.header_percent == 100.0
+        assert t.user_percent == 0.0
+
+
+class TestChannelStats:
+    def test_empty_stats_header_fraction_is_zero(self):
+        stats = ChannelStats()
+        assert stats.total_bytes == 0
+        assert stats.header_fraction() == 0.0
+
+    def test_header_fraction_tracks_accounting(self):
+        stats = ChannelStats(header_bytes=HEADER_SIZE, payload_bytes=HEADER_SIZE)
+        assert stats.header_fraction() == 0.5
+        assert stats.total_bytes == 2 * HEADER_SIZE
+
+    def test_header_only_stream(self):
+        stats = ChannelStats(header_bytes=3 * HEADER_SIZE)
+        assert stats.header_fraction() == 1.0
+
+    def test_live_endpoint_matches_rank_traffic(self):
+        _, job = run_app(exchange_app(10), nprocs=2)
+        stats = job.endpoints[1].stats
+        t = rank_traffic(job, 1)
+        assert stats.header_fraction() == pytest.approx(t.header_percent / 100.0)
 
 
 class TestSummary:

@@ -43,3 +43,60 @@ class TestAnalyze:
     def test_unknown_target_is_an_error(self, capsys):
         assert main(["analyze", "nonesuch"]) == 2
         assert "unknown analysis target" in capsys.readouterr().err
+
+
+class TestAnalyzeMpi:
+    def test_shipped_apps_lint_clean(self, capsys):
+        for target in ("wavetoy", "moldyn", "climate"):
+            assert main(["analyze", "--mpi", "--lint", target]) == 0
+            out = capsys.readouterr().out
+            assert "0 diagnostic(s)" in out
+            assert "dry run completed" in out
+
+    def test_buggy_fixture_exits_nonzero(self, capsys):
+        assert main(["analyze", "--mpi", "--lint", "buggy"]) == 1
+        out = capsys.readouterr().out
+        for code in ("SA103", "SA104", "SA106", "SA107"):
+            assert code in out
+        assert "0 diagnostic(s)" not in out
+
+    def test_human_output_has_vulnerability_map(self, capsys):
+        assert main(["analyze", "--mpi", "wavetoy"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI events" in out
+        assert "elided kernel calls" in out
+        assert "header" in out  # the per-rank map mentions header bytes
+
+    def test_json_schema(self, capsys):
+        assert main(["analyze", "--mpi", "--json", "climate"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == "climate"
+        assert payload["nprocs"] == 4
+        assert payload["status"] == "completed"
+        assert set(payload["skeleton"]) == {"events", "packets", "kernel_calls"}
+        vuln = payload["vulnerability"]
+        assert 0.0 < vuln["structural_score"] < 1.0
+        assert vuln["total_bytes"] > 0
+        assert len(vuln["ranks"]) == 4
+        assert {r["rank"] for r in vuln["ranks"]} == {0, 1, 2, 3}
+        assert "diagnostics" not in payload  # only present with --lint
+
+    def test_json_lint_diagnostics(self, capsys):
+        assert main(["analyze", "--mpi", "--lint", "--json", "buggy"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert codes == {"SA103", "SA104", "SA106", "SA107"}
+        for d in payload["diagnostics"]:
+            assert set(d) == {"code", "function", "insn_index", "message"}
+
+    def test_nprocs_flag(self, capsys):
+        assert main(["analyze", "--mpi", "--json", "--nprocs", "2", "wavetoy"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nprocs"] == 2
+        assert len(payload["vulnerability"]["ranks"]) == 2
+
+    def test_unknown_mpi_target_is_an_error(self, capsys):
+        assert main(["analyze", "--mpi", "wt_step"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown MPI analysis target" in err
+        assert "buggy" in err  # the fixture is advertised

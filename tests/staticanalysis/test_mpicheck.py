@@ -1,0 +1,227 @@
+"""The static MPI communication analyzer (skeleton, match graph,
+SA1xx passes, vulnerability map)."""
+
+import pytest
+
+from repro.mpi.simulator import Job, JobConfig, JobStatus
+from repro.staticanalysis.mpicheck import (
+    BuggyApp,
+    build_match_graph,
+    build_vulnerability_map,
+    check_skeleton,
+    extract_skeleton,
+)
+from repro.staticanalysis.mpicheck.fixture import BUG_VARIANTS
+from tests.conftest import SMALL_NPROCS, small_climate, small_moldyn, small_wavetoy
+
+SMALL_APPS = {
+    "wavetoy": small_wavetoy,
+    "moldyn": small_moldyn,
+    "climate": small_climate,
+}
+
+
+@pytest.fixture(scope="module")
+def skeletons():
+    """One dry run per small app, shared across this module's tests."""
+    return {
+        name: extract_skeleton(factory(), SMALL_NPROCS)
+        for name, factory in SMALL_APPS.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# skeleton extraction
+# ----------------------------------------------------------------------
+class TestExtraction:
+    def test_dry_run_completes_without_kernels(self, skeletons):
+        for name, sk in skeletons.items():
+            assert sk.status is JobStatus.COMPLETED, name
+            assert sk.kernel_calls, f"{name} recorded no kernel calls"
+            assert sk.events, f"{name} recorded no MPI events"
+            assert sk.packets, f"{name} recorded no packets"
+
+    def test_dry_run_is_byte_faithful(self):
+        """The tap must see exactly the traffic a real run produces."""
+        app = small_wavetoy()
+        sk = extract_skeleton(app, SMALL_NPROCS)
+        job = Job(small_wavetoy(), JobConfig(nprocs=SMALL_NPROCS))
+        assert job.run().completed
+        real = [job.endpoints[r].bytes_received for r in range(SMALL_NPROCS)]
+        tapped = [
+            sum(p.size for p in sk.packets if p.dst == r)
+            for r in range(SMALL_NPROCS)
+        ]
+        assert tapped == real
+
+    def test_events_carry_statuses_and_waits(self, skeletons):
+        sk = skeletons["moldyn"]
+        recvs = [e for e in sk.recvs() if e.call == "recv"]
+        assert recvs and all(e.completed and e.status is not None for e in recvs)
+        isends = [e for e in sk.sends() if e.call == "isend"]
+        assert isends and all(e.waited and e.request is not None for e in isends)
+
+    def test_sendrecv_splits_into_both_halves(self, skeletons):
+        sk = skeletons["wavetoy"]
+        halves = [e for e in sk.events if e.call == "sendrecv"]
+        kinds = {e.kind for e in halves}
+        assert kinds == {"send", "recv"}
+        assert all(e.completed for e in halves)
+
+    def test_seq_is_globally_unique_and_ordered(self, skeletons):
+        for sk in skeletons.values():
+            seqs = [e.seq for e in sk.events]
+            assert seqs == sorted(seqs)
+            assert len(seqs) == len(set(seqs))
+
+    def test_extraction_is_deterministic(self):
+        one = extract_skeleton(small_moldyn(), SMALL_NPROCS)
+        two = extract_skeleton(small_moldyn(), SMALL_NPROCS)
+        key = lambda sk: [
+            (e.seq, e.rank, e.call, e.kind, e.peer, e.tag, e.count) for e in sk.events
+        ]
+        assert key(one) == key(two)
+        assert one.packets == two.packets
+
+
+# ----------------------------------------------------------------------
+# match graph
+# ----------------------------------------------------------------------
+class TestMatchGraph:
+    def test_clean_apps_fully_match(self, skeletons):
+        for name, sk in skeletons.items():
+            graph = build_match_graph(sk)
+            assert graph.unmatched_sends == [], name
+            assert graph.unmatched_recvs == [], name
+            assert len(graph.edges) == len(sk.recvs()), name
+
+    def test_edges_pair_consistent_endpoints(self, skeletons):
+        for sk in skeletons.values():
+            for edge in build_match_graph(sk).edges:
+                assert edge.send.peer == edge.recv.rank
+                assert not edge.truncated
+                assert not edge.signature_mismatch
+
+
+# ----------------------------------------------------------------------
+# SA1xx passes
+# ----------------------------------------------------------------------
+#: Each seeded bug and the diagnostic it must trigger.
+BUG_TO_CODE = {
+    "deadlock": "SA101",
+    "orphan": "SA103",
+    "type-mismatch": "SA104",
+    "truncation": "SA105",
+    "wildcard": "SA106",
+    "leak": "SA107",
+    "collective": "SA108",
+}
+
+
+class TestPasses:
+    def test_shipped_apps_are_clean(self, skeletons):
+        for name, sk in skeletons.items():
+            assert check_skeleton(sk) == [], name
+
+    @pytest.mark.parametrize("bug", sorted(BUG_TO_CODE))
+    def test_every_bug_triggers_its_code(self, bug):
+        sk = extract_skeleton(BuggyApp(bug=bug), SMALL_NPROCS)
+        codes = {d.code for d in check_skeleton(sk)}
+        assert BUG_TO_CODE[bug] in codes
+
+    def test_deadlock_names_the_cycle(self):
+        sk = extract_skeleton(BuggyApp(bug="deadlock"), SMALL_NPROCS)
+        assert sk.status is JobStatus.HUNG
+        (cycle,) = [d for d in check_skeleton(sk) if d.code == "SA101"]
+        assert "ranks [0, 1]" in cycle.message
+        # The head-to-head receives are also unmatched on both sides.
+        unmatched = [d for d in check_skeleton(sk) if d.code == "SA102"]
+        assert {d.function for d in unmatched} == {
+            "buggy:rank0",
+            "buggy:rank1",
+        }
+
+    def test_salad_variant_accumulates_nonfatal_bugs(self):
+        sk = extract_skeleton(BuggyApp(), SMALL_NPROCS)  # default: salad
+        assert sk.status is JobStatus.COMPLETED
+        codes = {d.code for d in check_skeleton(sk)}
+        assert codes == {"SA103", "SA104", "SA106", "SA107"}
+
+    def test_every_sa1xx_code_is_reachable(self):
+        seen = set()
+        for bug in BUG_VARIANTS:
+            sk = extract_skeleton(BuggyApp(bug=bug), SMALL_NPROCS)
+            seen |= {d.code for d in check_skeleton(sk)}
+        from repro.staticanalysis.mpicheck import MPI_LINT_CODES
+
+        assert seen == set(MPI_LINT_CODES)
+
+    def test_bugs_work_at_two_ranks(self):
+        for bug in BUG_VARIANTS:
+            sk = extract_skeleton(BuggyApp(bug=bug), 2)
+            if bug in BUG_TO_CODE:
+                assert BUG_TO_CODE[bug] in {d.code for d in check_skeleton(sk)}
+
+    def test_diagnostics_are_sorted_and_deduped(self):
+        sk = extract_skeleton(BuggyApp(), SMALL_NPROCS)
+        diags = check_skeleton(sk)
+        keys = [(d.function, d.insn_index, d.code, d.message) for d in diags]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+        assert diags == check_skeleton(sk)  # reruns are byte-identical
+
+    def test_crash_suppresses_pending_artifacts(self):
+        """A crashed job's in-flight operations are not SA102/SA103."""
+        sk = extract_skeleton(BuggyApp(bug="truncation"), SMALL_NPROCS)
+        assert sk.status is JobStatus.CRASHED
+        codes = {d.code for d in check_skeleton(sk)}
+        assert codes == {"SA105"}
+
+
+# ----------------------------------------------------------------------
+# vulnerability map
+# ----------------------------------------------------------------------
+class TestVulnerabilityMap:
+    def test_byte_classes_partition_the_stream(self, skeletons):
+        for name, sk in skeletons.items():
+            vmap = build_vulnerability_map(sk)
+            for rank in vmap.ranks:
+                assert sum(rank.byte_classes.values()) == rank.total_bytes
+            assert vmap.total_bytes == sum(p.size for p in sk.packets), name
+
+    def test_message_classes_reach_the_map(self, skeletons):
+        classes = build_vulnerability_map(skeletons["moldyn"]).byte_class_totals()
+        assert classes.get("checksummed", 0) > 0  # coordinate patches
+        assert classes.get("data", 0) > 0  # force messages
+        classes = build_vulnerability_map(skeletons["climate"]).byte_class_totals()
+        assert classes.get("control", 0) > 0  # work descriptors
+
+    def test_unchecksummed_moldyn_reclassifies(self):
+        sk = extract_skeleton(small_moldyn(checksums=False), SMALL_NPROCS)
+        classes = build_vulnerability_map(sk).byte_class_totals()
+        assert "checksummed" not in classes
+
+    def test_structural_ordering_matches_table2(self):
+        """The headline prediction at paper-default parameters:
+        climate > moldyn > wavetoy structural sensitivity."""
+        from repro.apps import APPLICATION_SUITE
+
+        scores = {}
+        for name, cls in APPLICATION_SUITE.items():
+            sk = extract_skeleton(cls(), 4)
+            scores[name] = build_vulnerability_map(sk).structural_score
+        assert scores["climate"] > scores["moldyn"] > scores["wavetoy"]
+
+    def test_scores_are_probabilities(self, skeletons):
+        for sk in skeletons.values():
+            vmap = build_vulnerability_map(sk)
+            for rank in vmap.ranks:
+                assert 0.0 <= rank.structural_score <= 1.0
+                assert 0.0 <= rank.detected_score <= 1.0
+                assert 0.0 <= rank.header_fraction <= 1.0
+
+    def test_report_mentions_every_class(self, skeletons):
+        vmap = build_vulnerability_map(skeletons["climate"])
+        text = vmap.report()
+        for klass in vmap.byte_class_totals():
+            assert klass in text
