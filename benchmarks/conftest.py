@@ -7,7 +7,10 @@ the campaigns' own sampling) and prints the regenerated artifact so the
 run log doubles as the paper-vs-measured record.
 
 Campaign sizes default to a CI-friendly value; set ``REPRO_CAMPAIGN_N``
-(e.g. 500) to reproduce the paper's scale.
+(e.g. 500) to reproduce the paper's scale.  Campaign-backed benches also
+honour ``REPRO_CAMPAIGN_JOBS``: setting it (e.g. to 4) runs their
+injection trials through the engine's process-pool executor, with
+results bit-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -21,6 +24,9 @@ from repro.harness.experiments import EXPERIMENTS
 #: Default injections per region for the campaign benches.
 BENCH_CAMPAIGN_N = int(os.environ.get("REPRO_CAMPAIGN_N", "25"))
 
+#: Parallel workers for campaign-backed benches (1 = serial in-process).
+BENCH_CAMPAIGN_JOBS = int(os.environ.get("REPRO_CAMPAIGN_JOBS", "1"))
+
 
 @pytest.fixture
 def run_experiment(benchmark, capsys):
@@ -29,7 +35,13 @@ def run_experiment(benchmark, capsys):
 
     def runner(exp_id: str, n: int | None = None):
         exp = EXPERIMENTS[exp_id]
-        out = benchmark.pedantic(exp.run, args=(n,), rounds=1, iterations=1)
+        kwargs = {}
+        if exp.supports_jobs and BENCH_CAMPAIGN_JOBS > 1:
+            kwargs["jobs"] = BENCH_CAMPAIGN_JOBS
+            benchmark.extra_info["jobs"] = BENCH_CAMPAIGN_JOBS
+        out = benchmark.pedantic(
+            exp.run, args=(n,), kwargs=kwargs, rounds=1, iterations=1
+        )
         artifact, metrics = out
         benchmark.extra_info["experiment"] = exp_id
         benchmark.extra_info["paper_artifact"] = exp.paper_artifact

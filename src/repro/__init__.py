@@ -45,6 +45,16 @@ from repro.injection import (
     install,
 )
 from repro.apps import APPLICATION_SUITE, ClimateApp, MoldynApp, WavetoyApp
+from repro.engine import (
+    CampaignEngine,
+    ExecutionContext,
+    ParallelExecutor,
+    ProgressEvent,
+    ResultStore,
+    SerialExecutor,
+    TrialResult,
+    TrialSpec,
+)
 from repro.harness import EXPERIMENTS, run_fault_free, run_with_fault
 from repro.sampling import achieved_error, sample_size_oversampled
 from repro.trace import profile_application, trace_memory
@@ -78,6 +88,14 @@ __all__ = [
     "ClimateApp",
     "MoldynApp",
     "WavetoyApp",
+    "CampaignEngine",
+    "ExecutionContext",
+    "ParallelExecutor",
+    "ProgressEvent",
+    "ResultStore",
+    "SerialExecutor",
+    "TrialResult",
+    "TrialSpec",
     "EXPERIMENTS",
     "run_fault_free",
     "run_with_fault",

@@ -9,6 +9,10 @@ Usage::
     python -m repro analyze --lint moldyn   # assembly diagnostics
     python -m repro analyze --mpi climate   # communication skeleton + map
     python -m repro analyze --mpi --lint buggy  # SA1xx gate (exits 1)
+    python -m repro campaign run --app wavetoy --regions message,stack \
+        --jobs 8 --target-d 0.05 --store out.jsonl --resume
+    python -m repro campaign status --store out.jsonl
+    python -m repro campaign merge --out all.jsonl a.jsonl b.jsonl
 """
 
 from __future__ import annotations
@@ -134,6 +138,120 @@ def cmd_analyze_mpi(args) -> int:
     return 1 if diags else 0
 
 
+def _parse_regions(text: str | None):
+    from repro.injection.faults import Region
+
+    if not text or text == "all":
+        return tuple(Region)
+    regions = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            regions.append(Region(token))
+        except ValueError:
+            raise SystemExit(
+                f"unknown region {token!r}; choose from: "
+                f"{', '.join(r.value for r in Region)}"
+            )
+    return tuple(regions)
+
+
+def _parse_params(text: str | None) -> dict:
+    """``k=v,k=v`` application parameters; values int when possible."""
+    params = {}
+    for token in (text or "").split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise SystemExit(f"bad --params entry {token!r}; expected key=value")
+        key, value = token.split("=", 1)
+        try:
+            params[key] = int(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.engine.progress import format_progress
+    from repro.harness.tables import render_campaign_table
+    from repro.injection.campaign import Campaign
+
+    if args.resume and not args.store:
+        print("--resume requires --store", file=sys.stderr)
+        return 2
+    try:
+        campaign = Campaign.from_registry(
+            args.app,
+            nprocs=args.nprocs,
+            app_params=_parse_params(args.params),
+            seed=args.seed,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    regions = _parse_regions(args.regions)
+
+    def progress(event):
+        print(format_progress(event), file=sys.stderr)
+
+    t0 = time.time()
+    result = campaign.run(
+        regions,
+        args.n,
+        jobs=args.jobs,
+        store=args.store,
+        resume=args.resume,
+        target_d=args.target_d,
+        log_interval=args.log_interval,
+        progress=progress if args.log_interval else None,
+    )
+    elapsed = time.time() - t0
+    print(
+        render_campaign_table(
+            result,
+            include_detection_columns=args.app != "wavetoy",
+            title=f"Fault Injection Results ({args.app})",
+        )
+    )
+    resumed = sum(r.resumed for r in result.regions.values())
+    print(
+        f"{result.total_injections()} injections "
+        f"({resumed} resumed from store) in {elapsed:.1f}s "
+        f"with jobs={args.jobs or 1}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.engine.store import ResultStore
+
+    statuses = ResultStore(args.store).status()
+    if not statuses:
+        print(f"{args.store}: no stored trials")
+        return 0
+    print(f"{'app':<10} {'region':<12} {'trials':>6} {'errors':>6} "
+          f"{'error %':>8} {'d %':>6}")
+    for s in statuses:
+        print(
+            f"{s.app:<10} {s.region:<12} {s.trials:>6} {s.errors:>6} "
+            f"{s.error_rate_percent:>8.1f} {s.achieved_d_percent:>6.1f}"
+        )
+    return 0
+
+
+def cmd_campaign_merge(args) -> int:
+    from repro.engine.store import ResultStore
+
+    count = ResultStore.merge(args.stores, args.out)
+    print(f"wrote {count} unique trials to {args.out}")
+    return 0
+
+
 def cmd_analyze(args) -> int:
     if args.mpi:
         return cmd_analyze_mpi(args)
@@ -247,6 +365,53 @@ def main(argv: list[str] | None = None) -> int:
         help="ranks for the --mpi dry run (default 4)",
     )
     ana.set_defaults(fn=cmd_analyze)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run injection campaigns through the parallel engine",
+    )
+    camp_sub = camp.add_subparsers(dest="campaign_command", required=True)
+    crun = camp_sub.add_parser(
+        "run", help="run a (possibly parallel, resumable) campaign"
+    )
+    crun.add_argument("--app", required=True,
+                      help="suite application: wavetoy, moldyn, climate")
+    crun.add_argument("--regions", default="all",
+                      help="comma-separated regions (default: all eight)")
+    crun.add_argument("-n", type=int, default=None,
+                      help="injections per region (default: plan / "
+                      "REPRO_CAMPAIGN_N)")
+    crun.add_argument("--target-d", type=float, default=None, dest="target_d",
+                      help="adaptive mode: dispatch batches until the "
+                      "observed Cochran half-width d drops below this "
+                      "(e.g. 0.05)")
+    crun.add_argument("--jobs", type=int, default=None,
+                      help="parallel worker processes (default: "
+                      "REPRO_CAMPAIGN_JOBS or 1)")
+    crun.add_argument("--store", default=None,
+                      help="append-only JSONL result store")
+    crun.add_argument("--resume", action="store_true",
+                      help="skip trials already present in --store")
+    crun.add_argument("--seed", type=int, default=20040607,
+                      help="campaign seed (default 20040607)")
+    crun.add_argument("--nprocs", type=int, default=8,
+                      help="simulated MPI ranks (default 8)")
+    crun.add_argument("--params", default=None,
+                      help="application build parameters, k=v,k=v")
+    crun.add_argument("--log-interval", type=int, default=10,
+                      dest="log_interval",
+                      help="progress line every N trials (0 disables; "
+                      "default 10)")
+    crun.set_defaults(fn=cmd_campaign_run)
+    cstat = camp_sub.add_parser("status", help="summarize a result store")
+    cstat.add_argument("--store", required=True)
+    cstat.set_defaults(fn=cmd_campaign_status)
+    cmerge = camp_sub.add_parser(
+        "merge", help="merge result stores, deduplicating by trial key"
+    )
+    cmerge.add_argument("stores", nargs="+", help="input JSONL stores")
+    cmerge.add_argument("--out", required=True, help="merged output store")
+    cmerge.set_defaults(fn=cmd_campaign_merge)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -1,0 +1,69 @@
+"""The campaign execution engine.
+
+One authority for single-trial execution (budgets, install, classify),
+pluggable serial/parallel executors, an append-only JSONL result store
+with resume/merge, adaptive Cochran-half-width sampling, and progress
+callbacks.  ``Campaign``, ``run_with_fault``, the experiment registry
+and the ``python -m repro campaign`` CLI all flow through this package.
+"""
+
+from repro.engine.budgets import (
+    HANG_BLOCK_FACTOR,
+    HANG_BLOCK_SLACK,
+    HANG_ROUND_FACTOR,
+    HANG_ROUND_SLACK,
+    block_budget,
+    hang_budgets,
+    round_budget,
+)
+from repro.engine.core import ExecutionContext, execute_trial, run_single
+from repro.engine.driver import CampaignEngine, observed_half_width
+from repro.engine.executors import (
+    JOBS_ENV,
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    make_executor,
+)
+from repro.engine.progress import ProgressEvent, format_progress
+from repro.engine.store import ResultStore, StoreStatus
+from repro.engine.trial import (
+    TrialResult,
+    TrialSpec,
+    canonical_params,
+    region_salt,
+    restore_rng,
+    trial_key,
+    trial_rng,
+)
+
+__all__ = [
+    "HANG_BLOCK_FACTOR",
+    "HANG_BLOCK_SLACK",
+    "HANG_ROUND_FACTOR",
+    "HANG_ROUND_SLACK",
+    "block_budget",
+    "hang_budgets",
+    "round_budget",
+    "ExecutionContext",
+    "execute_trial",
+    "run_single",
+    "CampaignEngine",
+    "observed_half_width",
+    "JOBS_ENV",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "default_jobs",
+    "make_executor",
+    "ProgressEvent",
+    "format_progress",
+    "ResultStore",
+    "StoreStatus",
+    "TrialResult",
+    "TrialSpec",
+    "canonical_params",
+    "region_salt",
+    "restore_rng",
+    "trial_key",
+    "trial_rng",
+]

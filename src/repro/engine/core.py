@@ -1,0 +1,139 @@
+"""The single-trial execution authority.
+
+Everything that runs one faulty job now flows through this module:
+budget derivation (via :mod:`repro.engine.budgets`), injector install,
+execution, and outcome classification.  ``Campaign.run_injection`` and
+``repro.harness.runner.run_with_fault`` are thin wrappers over
+:func:`run_single`; the executors call :func:`execute_trial`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.budgets import hang_budgets
+from repro.engine.trial import TrialResult, TrialSpec, restore_rng
+from repro.injection.faults import FaultSpec, InjectionRecord
+from repro.injection.outcomes import Manifestation, classify, default_compare
+from repro.injection.wrappers import install
+from repro.mpi.simulator import Job, JobConfig, JobResult
+
+
+@dataclass
+class ExecutionContext:
+    """Everything needed to execute and classify one trial.
+
+    Picklable whenever ``factory`` and ``compare`` are (module-level
+    callables, classes, :func:`functools.partial` of either); the
+    parallel executor ships one context per worker.
+    """
+
+    app: str
+    factory: Callable[[], object]
+    config: JobConfig
+    reference: JobResult
+    round_limit: int
+    block_limit: int
+    #: ``None`` means "derive from a fresh application instance"
+    #: (``compare_outputs`` when present, else bitwise equality) - the
+    #: derivation then happens on the worker, so the callable never
+    #: crosses a process boundary.
+    compare: Callable | None = None
+    _resolved_compare: Callable | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_reference(
+        cls,
+        factory: Callable[[], object],
+        config: JobConfig,
+        reference: JobResult,
+        *,
+        app: str | None = None,
+        compare: Callable | None = None,
+    ) -> "ExecutionContext":
+        """Build a context from a completed fault-free run, deriving the
+        hang budgets from the one formula home."""
+        round_limit, block_limit = hang_budgets(
+            reference.rounds, reference.blocks_per_rank
+        )
+        probe = None
+        if app is None:
+            probe = factory()
+            app = getattr(probe, "name", type(probe).__name__)
+        ctx = cls(
+            app=app,
+            factory=factory,
+            config=config,
+            reference=reference,
+            round_limit=round_limit,
+            block_limit=block_limit,
+            compare=compare,
+        )
+        if compare is None and probe is not None:
+            # Reuse the probe instance for comparator derivation rather
+            # than building a second application; stays local to this
+            # process (never pickled - see ``__getstate__``).
+            ctx._resolved_compare = (
+                getattr(probe, "compare_outputs", None) or default_compare
+            )
+        return ctx
+
+    def resolved_compare(self) -> Callable:
+        if self._resolved_compare is None:
+            compare = self.compare
+            if compare is None:
+                app = self.factory()
+                compare = getattr(app, "compare_outputs", None) or default_compare
+            self._resolved_compare = compare
+        return self._resolved_compare
+
+    def job_config(self) -> JobConfig:
+        return JobConfig(
+            nprocs=self.config.nprocs,
+            seed=self.config.seed,
+            track_memory=False,
+            eager_threshold=self.config.eager_threshold,
+            round_limit=self.round_limit,
+            block_limit=self.block_limit,
+            app_params=dict(self.config.app_params),
+        )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Never ship a resolved comparator (it may be a bound method of
+        # an application instance); workers re-derive their own.
+        state["_resolved_compare"] = None
+        return state
+
+
+def run_single(
+    ctx: ExecutionContext,
+    fault: FaultSpec,
+    rng: np.random.Generator,
+) -> tuple[Manifestation, InjectionRecord, JobResult]:
+    """Execute one fresh job with one fault armed and classify it."""
+    job = Job(ctx.factory(), ctx.job_config())
+    record = install(job, fault, rng)
+    result = job.run()
+    manifestation = classify(result, ctx.reference, ctx.resolved_compare())
+    return manifestation, record, result
+
+
+def execute_trial(ctx: ExecutionContext, spec: TrialSpec) -> TrialResult:
+    """Execute one :class:`TrialSpec`, resuming its captured RNG stream."""
+    manifestation, record, _ = run_single(ctx, spec.fault, restore_rng(spec.rng_state))
+    return TrialResult(
+        key=spec.key,
+        app=spec.app,
+        region=spec.region,
+        index=spec.index,
+        manifestation=manifestation,
+        delivered=record.delivered,
+        detail=record.detail,
+        record=record,
+    )

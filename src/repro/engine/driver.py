@@ -1,0 +1,386 @@
+"""The campaign engine: parallel, resumable, adaptive trial dispatch.
+
+:class:`CampaignEngine` owns everything between "a sampled fault plan"
+and "a filled-in :class:`~repro.injection.campaign.RegionResult`":
+
+* trial specs are sampled in the parent (one deterministic RNG stream
+  per ``(campaign seed, region, index)``) and executed through a
+  pluggable executor - serial, or a process pool with ``jobs`` workers -
+  with bit-identical results either way;
+* an optional append-only :class:`~repro.engine.store.ResultStore`
+  records every finished trial, enabling ``resume`` of interrupted or
+  extended campaigns (only missing trials execute);
+* fixed-n mode runs the plan's sample size; adaptive mode keeps
+  dispatching batches until the observed Cochran half-width *d* drops
+  below ``target_d`` (capped by the section-4.3 oversampling bound,
+  which guarantees termination);
+* a ``progress`` callback emits per-region
+  :class:`~repro.engine.progress.ProgressEvent` lines every
+  ``log_interval`` trials.
+
+The layers above delegate here: ``Campaign.run_region``/``run`` build
+an engine per call, the CLI ``campaign`` subcommand drives it directly.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.engine.core import ExecutionContext
+from repro.engine.executors import make_executor
+from repro.engine.progress import ProgressEvent
+from repro.engine.store import ResultStore
+from repro.engine.trial import (
+    TrialResult,
+    TrialSpec,
+    canonical_params,
+    trial_rng,
+)
+from repro.injection.faults import FaultSpec, Region
+from repro.sampling.plans import CampaignPlan, default_plan
+from repro.sampling.theory import sample_size_oversampled, z_alpha
+
+#: Default adaptive batch size multiplier (trials per dispatch wave are
+#: ``max(MIN_ADAPTIVE_BATCH, 2 * jobs)`` unless overridden).
+MIN_ADAPTIVE_BATCH = 8
+
+
+def observed_half_width(errors: int, n: int, alpha: float = 0.05) -> float:
+    """Cochran half-width d for the observed error proportion.
+
+    The proportion is clamped away from the degenerate 0/1 endpoints
+    (where the normal approximation collapses to zero width) so small
+    all-correct batches cannot stop an adaptive campaign prematurely.
+    """
+    if n <= 0:
+        return float("inf")
+    floor = 1.0 / (n + 1)
+    p = min(max(errors / n, floor), 1.0 - floor)
+    return z_alpha(alpha) * math.sqrt(p * (1.0 - p) / n)
+
+
+class _RegionState:
+    """Mutable aggregation state for one region's run."""
+
+    def __init__(self, result) -> None:
+        self.result = result  # RegionResult
+        self.executed = 0
+        #: ``(trial index, (fault, record, manifestation))`` pairs,
+        #: re-sorted by index before landing in ``result.records``.
+        self.pending_records: list[tuple[int, tuple[FaultSpec, Any, Any]]] = []
+        self.since_progress = 0
+
+
+class CampaignEngine:
+    """Executes injection trials for one application campaign.
+
+    Parameters
+    ----------
+    context:
+        The single-trial execution authority (factory, reference run,
+        hang budgets, comparator policy).
+    sampler:
+        ``(region, rng) -> FaultSpec``; usually
+        ``Campaign.sample_spec``.  Runs in the parent process only.
+    seed:
+        Campaign seed: the root of every per-trial RNG stream.
+    app_params:
+        Application build parameters, recorded in trial keys so stores
+        from different configurations never alias.
+    plan:
+        Default per-region sample sizes (fixed-n mode).
+    jobs:
+        Worker processes; ``None`` reads ``REPRO_CAMPAIGN_JOBS``
+        (default 1 = serial in-process).
+    store:
+        ``ResultStore`` or path; every finished trial is appended.
+    progress / log_interval:
+        Observability callback, fired every ``log_interval`` completed
+        trials per region (0 disables periodic events; a final event is
+        always sent when a callback is set).
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        *,
+        sampler: Callable[[Region, np.random.Generator], FaultSpec],
+        seed: int,
+        app_params: dict | None = None,
+        plan: CampaignPlan | None = None,
+        jobs: int | None = 1,
+        store: ResultStore | str | os.PathLike | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
+        log_interval: int = 0,
+    ) -> None:
+        self.context = context
+        self.sampler = sampler
+        self.seed = seed
+        self.app_params = canonical_params(app_params)
+        self.plan = plan or default_plan()
+        self.jobs = jobs
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.progress = progress
+        self.log_interval = log_interval
+        self._executor = None
+        self._stored: dict[str, TrialResult] | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def executor(self):
+        if self._executor is None:
+            self._executor = make_executor(self.context, self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # trial planning
+    # ------------------------------------------------------------------
+    def make_spec(self, region: Region, index: int) -> TrialSpec:
+        """Sample trial ``index`` of ``region``: fault first, then the
+        RNG state is captured so the injector resumes the same stream."""
+        rng = trial_rng(self.seed, region, index)
+        fault = self.sampler(region, rng)
+        return TrialSpec(
+            app=self.context.app,
+            app_params=self.app_params,
+            nprocs=self.context.config.nprocs,
+            config_seed=self.context.config.seed,
+            campaign_seed=self.seed,
+            region=region,
+            index=index,
+            fault=fault,
+            rng_state=rng.bit_generator.state,
+        )
+
+    def _stored_results(self, resume: bool) -> dict[str, TrialResult]:
+        if not resume or self.store is None:
+            return {}
+        if self._stored is None:
+            self._stored = self.store.load()
+        return self._stored
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _emit(self, state: _RegionState, planned, target_d, alpha, final) -> None:
+        if self.progress is None:
+            return
+        row = state.result
+        n = row.executions
+        self.progress(
+            ProgressEvent(
+                app=self.context.app,
+                region=row.region.value,
+                done=n,
+                planned=planned,
+                resumed=row.resumed,
+                errors=row.tally.errors,
+                achieved_d=observed_half_width(row.tally.errors, n, alpha),
+                target_d=target_d,
+                final=final,
+            )
+        )
+
+    def _ingest(
+        self,
+        state: _RegionState,
+        result: TrialResult,
+        spec: TrialSpec | None,
+        keep_records: bool,
+        planned: int | None,
+        target_d: float | None,
+        alpha: float,
+    ) -> None:
+        row = state.result
+        row.tally.add(result.manifestation)
+        row.delivered += int(result.delivered)
+        if result.resumed:
+            row.resumed += 1
+        else:
+            state.executed += 1
+            if self.store is not None:
+                self.store.append(result)
+            if keep_records and spec is not None and result.record is not None:
+                state.pending_records.append(
+                    (spec.index, (spec.fault, result.record, result.manifestation))
+                )
+        state.since_progress += 1
+        if self.log_interval and state.since_progress >= self.log_interval:
+            state.since_progress = 0
+            self._emit(state, planned, target_d, alpha, final=False)
+
+    def _run_range(
+        self,
+        state: _RegionState,
+        region: Region,
+        start: int,
+        stop: int,
+        *,
+        resume: bool,
+        keep_records: bool,
+        planned: int | None,
+        target_d: float | None,
+        alpha: float,
+    ) -> None:
+        """Execute trials ``start..stop-1``, satisfying what it can from
+        the store and dispatching the rest through the executor."""
+        stored = self._stored_results(resume)
+        missing: list[TrialSpec] = []
+        for index in range(start, stop):
+            spec = self.make_spec(region, index)
+            hit = stored.get(spec.key)
+            if hit is not None:
+                self._ingest(
+                    state, hit, None, keep_records, planned, target_d, alpha
+                )
+            else:
+                missing.append(spec)
+        by_key = {spec.key: spec for spec in missing}
+        for result in self.executor().run(missing):
+            self._ingest(
+                state,
+                result,
+                by_key.get(result.key),
+                keep_records,
+                planned,
+                target_d,
+                alpha,
+            )
+
+    def run_region(
+        self,
+        region: Region,
+        n: int | None = None,
+        *,
+        target_d: float | None = None,
+        batch: int | None = None,
+        max_n: int | None = None,
+        resume: bool = False,
+        keep_records: bool | None = None,
+    ):
+        """Run one region; returns a filled
+        :class:`~repro.injection.campaign.RegionResult`.
+
+        Fixed-n mode (``target_d is None``) runs exactly ``n`` trials
+        (default: the plan's sample size).  Adaptive mode dispatches
+        batches until the observed half-width drops below ``target_d``
+        or the oversampling bound ``max_n`` is reached.
+
+        ``keep_records`` defaults to True only for serial fixed-n runs;
+        adaptive and parallel campaigns keep tallies (and the store)
+        instead of retaining every per-trial record tuple.
+        """
+        from repro.injection.campaign import RegionResult
+
+        alpha = self.plan.alpha
+        if keep_records is None:
+            keep_records = target_d is None and self.executor().jobs == 1
+        state = _RegionState(RegionResult(region))
+
+        if target_d is None:
+            if n is None:
+                n = self.plan.n_for(region.value)
+            self._run_range(
+                state,
+                region,
+                0,
+                n,
+                resume=resume,
+                keep_records=keep_records,
+                planned=n,
+                target_d=None,
+                alpha=alpha,
+            )
+        else:
+            if not 0.0 < target_d < 1.0:
+                raise ValueError(f"target_d must be in (0, 1): {target_d}")
+            cap = max_n or sample_size_oversampled(target_d, alpha)
+            step = batch or max(MIN_ADAPTIVE_BATCH, 2 * self.executor().jobs)
+            planned = 0
+            while planned < cap:
+                next_planned = min(planned + step, cap)
+                self._run_range(
+                    state,
+                    region,
+                    planned,
+                    next_planned,
+                    resume=resume,
+                    keep_records=keep_records,
+                    planned=None,
+                    target_d=target_d,
+                    alpha=alpha,
+                )
+                planned = next_planned
+                row = state.result
+                d = observed_half_width(row.tally.errors, row.executions, alpha)
+                if d <= target_d:
+                    break
+            state.result.adaptive_d = observed_half_width(
+                state.result.tally.errors, state.result.executions, alpha
+            )
+
+        # Deterministic record order: records arrive in completion order
+        # under a parallel executor; re-sort by trial index.
+        if keep_records and state.pending_records:
+            state.pending_records.sort(key=lambda item: item[0])
+            state.result.records.extend(rec for _, rec in state.pending_records)
+        self._emit(
+            state,
+            None if target_d is not None else state.result.executions,
+            target_d,
+            alpha,
+            final=True,
+        )
+        return state.result
+
+    def run(
+        self,
+        regions: Iterable[Region] = tuple(Region),
+        n: int | None = None,
+        *,
+        target_d: float | None = None,
+        batch: int | None = None,
+        max_n: int | None = None,
+        resume: bool = False,
+        keep_records: bool | None = None,
+    ):
+        """Run a set of regions; returns a
+        :class:`~repro.injection.campaign.CampaignResult`."""
+        from repro.injection.campaign import CampaignResult
+
+        result = CampaignResult(
+            app_name=self.context.app,
+            nprocs=self.context.config.nprocs,
+            seed=self.seed,
+        )
+        for region in regions:
+            result.regions[region] = self.run_region(
+                region,
+                n,
+                target_d=target_d,
+                batch=batch,
+                max_n=max_n,
+                resume=resume,
+                keep_records=keep_records,
+            )
+        return result

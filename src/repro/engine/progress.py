@@ -1,0 +1,51 @@
+"""Campaign observability: per-region progress events.
+
+The engine fires a :class:`ProgressEvent` through its ``progress``
+callback every ``log_interval`` completed trials (and once at region
+end), so long campaigns are observable from the CLI without a debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot of one region's campaign progress."""
+
+    app: str
+    region: str
+    #: Trials finished so far (executed + resumed from the store).
+    done: int
+    #: Planned trials, or ``None`` in adaptive mode (open-ended).
+    planned: int | None
+    #: Trials satisfied from the result store without execution.
+    resumed: int
+    #: Manifested errors among the finished trials.
+    errors: int
+    #: Achieved Cochran half-width d (fraction, not percent).
+    achieved_d: float
+    #: Adaptive-mode target half-width, or ``None`` for fixed-n runs.
+    target_d: float | None = None
+    #: True for the final event of a region.
+    final: bool = False
+
+    @property
+    def error_rate_percent(self) -> float:
+        return 100.0 * self.errors / self.done if self.done else 0.0
+
+
+def format_progress(event: ProgressEvent) -> str:
+    """One human-readable progress line."""
+    total = f"/{event.planned}" if event.planned is not None else ""
+    line = (
+        f"[{event.app}:{event.region}] {event.done}{total} trials"
+        f" ({event.resumed} resumed), error rate "
+        f"{event.error_rate_percent:.1f}%, d = {100 * event.achieved_d:.1f}%"
+    )
+    if event.target_d is not None:
+        line += f" (target {100 * event.target_d:.1f}%)"
+    if event.final:
+        line += " [done]"
+    return line

@@ -1,0 +1,128 @@
+"""Append-only JSONL result store: resume, merge, status.
+
+One line per completed trial, keyed by the trial content hash (see
+:func:`repro.engine.trial.trial_key`).  Appends are flushed per line so
+an interrupted campaign loses at most the trial in flight; a partially
+written final line is tolerated (and skipped) on load.  Because trial
+execution is deterministic, duplicate keys always carry identical
+results, and every reader deduplicates by key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.engine.trial import TrialResult
+from repro.injection.outcomes import Manifestation
+from repro.sampling.theory import achieved_error
+
+
+@dataclass
+class StoreStatus:
+    """Per-(app, region) summary of stored trials."""
+
+    app: str
+    region: str
+    trials: int
+    errors: int
+
+    @property
+    def error_rate_percent(self) -> float:
+        return 100.0 * self.errors / self.trials if self.trials else 0.0
+
+    @property
+    def achieved_d_percent(self) -> float:
+        return 100.0 * achieved_error(self.trials) if self.trials else float("nan")
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`TrialResult` records."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, result: TrialResult) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(result.to_json(), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, TrialResult]:
+        """All stored results, deduplicated by trial key.
+
+        Unparseable lines (e.g. a write cut short by the interruption
+        that ``--resume`` exists to recover from) are skipped.
+        """
+        results: dict[str, TrialResult] = {}
+        if not self.path.exists():
+            return results
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    result = TrialResult.from_json(obj)
+                except (ValueError, KeyError):
+                    continue
+                results[result.key] = result
+        return results
+
+    def status(self) -> list[StoreStatus]:
+        """Stored-trial summaries grouped by (app, region), sorted."""
+        groups: dict[tuple[str, str], list[TrialResult]] = {}
+        for result in self.load().values():
+            groups.setdefault((result.app, result.region.value), []).append(result)
+        out = []
+        for (app, region), results in sorted(groups.items()):
+            errors = sum(
+                1 for r in results if r.manifestation is not Manifestation.CORRECT
+            )
+            out.append(
+                StoreStatus(app=app, region=region, trials=len(results), errors=errors)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merge(inputs: Iterable[str | os.PathLike], output: str | os.PathLike) -> int:
+        """Merge stores into ``output``, deduplicating by key; returns
+        the number of unique trials written."""
+        merged: dict[str, TrialResult] = {}
+        for path in inputs:
+            merged.update(ResultStore(path).load())
+        ordered = sorted(
+            merged.values(), key=lambda r: (r.app, r.region.value, r.index)
+        )
+        out_path = Path(output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(out_path, "w") as fh:
+            for result in ordered:
+                fh.write(json.dumps(result.to_json(), sort_keys=True) + "\n")
+        return len(ordered)

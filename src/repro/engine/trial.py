@@ -1,0 +1,158 @@
+"""Trial descriptions: the picklable unit of campaign work.
+
+A :class:`TrialSpec` carries everything a worker process needs to
+execute one injection experiment deterministically: the application
+identity, the sampled :class:`~repro.injection.faults.FaultSpec`, the
+seed path that produced it, and the exact RNG state the injector must
+resume from (so results are bit-identical to the serial driver no
+matter which worker runs the trial, or in what order).
+
+Every trial also has a stable *key* - a content hash of
+``(app, params, nprocs, config seed, campaign seed, region, index)`` -
+used by the :class:`~repro.engine.store.ResultStore` to resume
+interrupted or extended campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.injection.faults import FaultSpec, InjectionRecord, Region
+from repro.injection.outcomes import Manifestation
+
+
+def region_salt(region: Region) -> int:
+    """Per-region seed-stream salt.
+
+    crc32, not ``hash()``: str hashing is salted per process and would
+    make campaigns irreproducible across runs (and across workers).
+    """
+    return zlib.crc32(region.value.encode())
+
+
+def trial_rng(campaign_seed: int, region: Region, index: int) -> np.random.Generator:
+    """The deterministic per-trial generator: sampling draws from it
+    first, then the injector continues the same stream."""
+    return np.random.default_rng([campaign_seed, region_salt(region), index])
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a captured ``bit_generator.state``."""
+    rng = np.random.default_rng()
+    rng.bit_generator.state = state
+    return rng
+
+
+def canonical_params(params: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    """Sorted, hash-stable view of the application parameters."""
+    return tuple(sorted((params or {}).items()))
+
+
+def trial_key(
+    app: str,
+    app_params: tuple[tuple[str, Any], ...] | dict[str, Any] | None,
+    nprocs: int,
+    config_seed: int,
+    campaign_seed: int,
+    region: Region,
+    index: int,
+) -> str:
+    """Content hash identifying one trial of one campaign."""
+    if isinstance(app_params, dict) or app_params is None:
+        app_params = canonical_params(app_params)
+    payload = json.dumps(
+        {
+            "app": app,
+            "params": [[k, v] for k, v in app_params],
+            "nprocs": nprocs,
+            "config_seed": config_seed,
+            "campaign_seed": campaign_seed,
+            "region": region.value,
+            "index": index,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One planned injection trial, fully self-describing and picklable."""
+
+    app: str
+    app_params: tuple[tuple[str, Any], ...]
+    nprocs: int
+    config_seed: int
+    campaign_seed: int
+    region: Region
+    index: int
+    fault: FaultSpec
+    #: Captured ``bit_generator.state`` after fault sampling; the
+    #: injector resumes this exact stream (bit-identical to the serial
+    #: path, independent of worker count and completion order).
+    rng_state: dict = field(hash=False)
+
+    @property
+    def key(self) -> str:
+        return trial_key(
+            self.app,
+            self.app_params,
+            self.nprocs,
+            self.config_seed,
+            self.campaign_seed,
+            self.region,
+            self.index,
+        )
+
+
+@dataclass
+class TrialResult:
+    """The classified outcome of one trial.
+
+    ``record`` holds the full :class:`InjectionRecord` for freshly
+    executed trials; results rehydrated from a store carry only the
+    summary fields (enough to rebuild tallies and delivery counts).
+    """
+
+    key: str
+    app: str
+    region: Region
+    index: int
+    manifestation: Manifestation
+    delivered: bool
+    detail: str = ""
+    record: InjectionRecord | None = None
+    #: True when this result was loaded from a store instead of executed.
+    resumed: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.key,
+            "app": self.app,
+            "region": self.region.value,
+            "index": self.index,
+            "manifestation": self.manifestation.value,
+            "delivered": self.delivered,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "TrialResult":
+        return cls(
+            key=obj["key"],
+            app=obj["app"],
+            region=Region(obj["region"]),
+            index=int(obj["index"]),
+            manifestation=Manifestation(obj["manifestation"]),
+            delivered=bool(obj["delivered"]),
+            detail=obj.get("detail", ""),
+            record=None,
+            resumed=True,
+        )

@@ -1,4 +1,9 @@
-"""Single-execution helpers for examples and tests."""
+"""Single-execution helpers for examples and tests.
+
+Thin wrappers over the engine's single-trial authority
+(:func:`repro.engine.core.run_single`): budget derivation, injector
+install, and outcome classification all live in :mod:`repro.engine`.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +11,9 @@ from typing import Callable
 
 import numpy as np
 
-from repro.injection.campaign import BLOCK_BUDGET_FACTOR, ROUND_BUDGET_FACTOR
+from repro.engine.core import ExecutionContext, run_single
 from repro.injection.faults import FaultSpec, InjectionRecord
-from repro.injection.outcomes import Manifestation, classify, default_compare
-from repro.injection.wrappers import install
+from repro.injection.outcomes import Manifestation
 from repro.mpi.simulator import Job, JobConfig, JobResult
 
 
@@ -37,18 +41,7 @@ def run_with_fault(
     """
     if reference is None:
         reference = run_fault_free(app_factory, config)
-    app = app_factory()
-    if compare is None:
-        compare = getattr(app, "compare_outputs", None) or default_compare
-    cfg = JobConfig(
-        nprocs=config.nprocs,
-        seed=config.seed,
-        eager_threshold=config.eager_threshold,
-        round_limit=int(reference.rounds * ROUND_BUDGET_FACTOR) + 300,
-        block_limit=int(max(reference.blocks_per_rank) * BLOCK_BUDGET_FACTOR) + 2000,
-        app_params=dict(config.app_params),
+    ctx = ExecutionContext.from_reference(
+        app_factory, config, reference, compare=compare
     )
-    job = Job(app, cfg)
-    record = install(job, spec, np.random.default_rng(seed))
-    result = job.run()
-    return classify(result, reference, compare), record, result
+    return run_single(ctx, spec, np.random.default_rng(seed))

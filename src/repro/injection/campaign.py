@@ -12,12 +12,17 @@ tables together with the sampling-theory estimation error.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro.engine.budgets import (
+    HANG_BLOCK_FACTOR,
+    HANG_ROUND_FACTOR,
+    block_budget,
+    round_budget,
+)
 from repro.injection.dictionary import FaultDictionary
 from repro.injection.faults import (
     FP_TOTAL_BITS,
@@ -26,16 +31,15 @@ from repro.injection.faults import (
     Region,
     fp_target_from_bitindex,
 )
-from repro.injection.outcomes import Manifestation, OutcomeTally, classify, default_compare
-from repro.injection.wrappers import install
+from repro.injection.outcomes import Manifestation, OutcomeTally, default_compare
 from repro.mpi.simulator import Job, JobConfig, JobResult
 from repro.sampling.plans import CampaignPlan, default_plan
 from repro.sampling.theory import achieved_error
 
-#: Budget multipliers for hang detection, applied to the fault-free run
-#: (the analogue of "one minute beyond the expected completion time").
-BLOCK_BUDGET_FACTOR = 2.5
-ROUND_BUDGET_FACTOR = 3.0
+#: Backwards-compatible aliases for the hang-budget factors, whose one
+#: home is now :mod:`repro.engine.budgets`.
+BLOCK_BUDGET_FACTOR = HANG_BLOCK_FACTOR
+ROUND_BUDGET_FACTOR = HANG_ROUND_FACTOR
 
 
 @dataclass
@@ -50,11 +54,11 @@ class ReferenceProfile:
 
     @property
     def block_limit(self) -> int:
-        return int(max(self.blocks_per_rank) * BLOCK_BUDGET_FACTOR) + 2000
+        return block_budget(max(self.blocks_per_rank))
 
     @property
     def round_limit(self) -> int:
-        return int(self.rounds * ROUND_BUDGET_FACTOR) + 300
+        return round_budget(self.rounds)
 
 
 @dataclass
@@ -64,9 +68,18 @@ class RegionResult:
     region: Region
     tally: OutcomeTally = field(default_factory=OutcomeTally)
     delivered: int = 0
+    #: Full per-trial record tuples.  Retention is opt-in for adaptive
+    #: and parallel runs (``keep_records``): a 10^5-injection region
+    #: must not hold every record alive - the tally and the result
+    #: store carry the data.
     records: list[tuple[FaultSpec, InjectionRecord, Manifestation]] = field(
         default_factory=list
     )
+    #: Trials satisfied from a result store instead of being executed.
+    resumed: int = 0
+    #: Observed Cochran half-width at the end of an adaptive run
+    #: (``None`` for fixed-n campaigns).
+    adaptive_d: float | None = None
 
     @property
     def executions(self) -> int:
@@ -118,6 +131,10 @@ class Campaign:
     compare:
         Output comparator; defaults to the application's
         ``compare_outputs`` when present, else bitwise equality.
+    app_params:
+        Application build parameters, recorded in trial content hashes
+        so result stores from different configurations never alias.
+        (:meth:`from_registry` fills this automatically.)
     """
 
     def __init__(
@@ -127,17 +144,59 @@ class Campaign:
         plan: CampaignPlan | None = None,
         seed: int = 20040607,
         compare=None,
+        app_params: dict | None = None,
     ) -> None:
         self.app_factory = app_factory
         self.config = config
         self.plan = plan or default_plan()
         self.seed = seed
+        self.app_params = dict(app_params or {})
+        self._compare_explicit = compare is not None
         app = app_factory()
         if compare is None:
             compare = getattr(app, "compare_outputs", None) or default_compare
         self.compare = compare
         self.app_name = getattr(app, "name", type(app).__name__)
         self._reference: ReferenceProfile | None = None
+
+    @classmethod
+    def from_registry(
+        cls,
+        app: str,
+        *,
+        nprocs: int = 8,
+        app_params: dict | None = None,
+        config: JobConfig | None = None,
+        plan: CampaignPlan | None = None,
+        seed: int = 20040607,
+        compare=None,
+    ) -> "Campaign":
+        """Build a campaign over a suite application by name.
+
+        The resulting factory (``functools.partial`` of the application
+        class) is picklable, so the campaign can run with ``jobs > 1``.
+        """
+        import functools
+
+        from repro.apps import APPLICATION_SUITE
+
+        try:
+            app_cls = APPLICATION_SUITE[app]
+        except KeyError:
+            raise KeyError(
+                f"unknown application {app!r}; known: "
+                f"{', '.join(sorted(APPLICATION_SUITE))}"
+            ) from None
+        params = dict(app_params or {})
+        factory = functools.partial(app_cls, **params) if params else app_cls
+        return cls(
+            factory,
+            config or JobConfig(nprocs=nprocs),
+            plan=plan,
+            seed=seed,
+            compare=compare,
+            app_params=params,
+        )
 
     # ------------------------------------------------------------------
     # reference run
@@ -206,50 +265,121 @@ class Campaign:
         raise ValueError(f"unknown region {region!r}")
 
     # ------------------------------------------------------------------
+    # engine delegation
+    # ------------------------------------------------------------------
+    def execution_context(self):
+        """The single-trial execution authority for this campaign."""
+        from repro.engine.core import ExecutionContext
+
+        ref = self.reference()
+        return ExecutionContext(
+            app=self.app_name,
+            factory=self.app_factory,
+            config=self.config,
+            reference=ref.result,
+            round_limit=ref.round_limit,
+            block_limit=ref.block_limit,
+            # An auto-derived comparator is re-derived on each worker
+            # instead of being shipped across process boundaries.
+            compare=self.compare if self._compare_explicit else None,
+        )
+
+    def engine(
+        self,
+        *,
+        jobs: int | None = 1,
+        store=None,
+        progress=None,
+        log_interval: int = 0,
+    ):
+        """Build a :class:`~repro.engine.driver.CampaignEngine` bound to
+        this campaign's sampler, reference profile, and plan."""
+        from repro.engine.driver import CampaignEngine
+
+        return CampaignEngine(
+            self.execution_context(),
+            sampler=self.sample_spec,
+            seed=self.seed,
+            app_params=self.app_params,
+            plan=self.plan,
+            jobs=jobs,
+            store=store,
+            progress=progress,
+            log_interval=log_interval,
+        )
+
+    # ------------------------------------------------------------------
     # single injection experiment
     # ------------------------------------------------------------------
     def run_injection(
         self, spec: FaultSpec, rng: np.random.Generator
     ) -> tuple[Manifestation, InjectionRecord, JobResult]:
-        ref = self.reference()
-        cfg = JobConfig(
-            nprocs=self.config.nprocs,
-            seed=self.config.seed,
-            track_memory=False,
-            eager_threshold=self.config.eager_threshold,
-            round_limit=ref.round_limit,
-            block_limit=ref.block_limit,
-            app_params=dict(self.config.app_params),
-        )
-        job = Job(self.app_factory(), cfg)
-        record = install(job, spec, rng)
-        result = job.run()
-        manifestation = classify(result, ref.result, self.compare)
-        return manifestation, record, result
+        from repro.engine.core import run_single
+
+        return run_single(self.execution_context(), spec, rng)
 
     # ------------------------------------------------------------------
     # region and full campaign
     # ------------------------------------------------------------------
-    def run_region(self, region: Region, n: int | None = None) -> RegionResult:
-        if n is None:
-            n = self.plan.n_for(region.value)
-        out = RegionResult(region)
-        region_salt = zlib.crc32(region.value.encode())
-        for i in range(n):
-            # crc32, not hash(): str hashing is salted per process and
-            # would make campaigns irreproducible across runs.
-            rng = np.random.default_rng([self.seed, region_salt, i])
-            spec = self.sample_spec(region, rng)
-            manifestation, record, _ = self.run_injection(spec, rng)
-            out.tally.add(manifestation)
-            out.delivered += record.delivered
-            out.records.append((spec, record, manifestation))
-        return out
+    def run_region(
+        self,
+        region: Region,
+        n: int | None = None,
+        *,
+        jobs: int | None = 1,
+        store=None,
+        resume: bool = False,
+        target_d: float | None = None,
+        batch: int | None = None,
+        max_n: int | None = None,
+        keep_records: bool | None = None,
+        progress=None,
+        log_interval: int = 0,
+    ) -> RegionResult:
+        """Run one region through the campaign engine.
 
-    def run(self, regions: tuple[Region, ...] = tuple(Region)) -> CampaignResult:
-        result = CampaignResult(
-            app_name=self.app_name, nprocs=self.config.nprocs, seed=self.seed
-        )
-        for region in regions:
-            result.regions[region] = self.run_region(region)
-        return result
+        Serial fixed-n calls (the default) behave exactly as the
+        historical for-loop driver, records included; ``jobs``,
+        ``store``/``resume``, and adaptive ``target_d`` switch on the
+        engine's parallel, resumable, and adaptive modes.
+        """
+        with self.engine(
+            jobs=jobs, store=store, progress=progress, log_interval=log_interval
+        ) as eng:
+            return eng.run_region(
+                region,
+                n,
+                target_d=target_d,
+                batch=batch,
+                max_n=max_n,
+                resume=resume,
+                keep_records=keep_records,
+            )
+
+    def run(
+        self,
+        regions: tuple[Region, ...] = tuple(Region),
+        n: int | None = None,
+        *,
+        jobs: int | None = 1,
+        store=None,
+        resume: bool = False,
+        target_d: float | None = None,
+        batch: int | None = None,
+        max_n: int | None = None,
+        keep_records: bool | None = None,
+        progress=None,
+        log_interval: int = 0,
+    ) -> CampaignResult:
+        with self.engine(
+            jobs=jobs, store=store, progress=progress, log_interval=log_interval
+        ) as eng:
+            return eng.run(
+                regions,
+                n,
+                target_d=target_d,
+                batch=batch,
+                max_n=max_n,
+                resume=resume,
+                keep_records=keep_records,
+            )

@@ -1,0 +1,197 @@
+"""Campaign-engine behaviour: determinism across executors, resume,
+adaptive sampling, record retention, and progress callbacks.
+
+The parallel tests use a module-level factory (picklable by reference)
+so trials can cross process boundaries.
+"""
+
+import functools
+
+import pytest
+
+from repro.apps import WavetoyApp
+from repro.engine import ResultStore
+from repro.engine.driver import observed_half_width
+from repro.engine.executors import ParallelExecutor
+from repro.injection.campaign import Campaign
+from repro.injection.faults import Region
+from repro.mpi.simulator import JobConfig
+from repro.sampling.plans import CampaignPlan
+from repro.sampling.theory import sample_size_oversampled
+from tests.conftest import SMALL_NPROCS, SMALL_WAVETOY
+
+#: Regions exercised by the cross-executor tests (kept small for speed;
+#: message/heap/regular cover the channel, memory and register paths).
+REGIONS = (Region.REGULAR_REG, Region.HEAP, Region.MESSAGE)
+N_PER_REGION = 3
+
+small_factory = functools.partial(WavetoyApp, **SMALL_WAVETOY)
+
+
+def small_campaign(seed=3, n=N_PER_REGION):
+    return Campaign(
+        small_factory,
+        JobConfig(nprocs=SMALL_NPROCS),
+        plan=CampaignPlan(per_region={r.value: n for r in Region}),
+        seed=seed,
+        app_params=SMALL_WAVETOY,
+    )
+
+
+def tallies(result):
+    return {
+        region: (row.tally.counts, row.delivered)
+        for region, row in result.regions.items()
+    }
+
+
+class TestDeterminism:
+    def test_jobs1_jobs4_and_serial_identical(self):
+        serial = small_campaign().run(REGIONS)
+        jobs1 = small_campaign().run(REGIONS, jobs=1)
+        jobs4 = small_campaign().run(REGIONS, jobs=4)
+        assert tallies(serial) == tallies(jobs1) == tallies(jobs4)
+
+    def test_parallel_region_matches_serial_records(self):
+        """With ``keep_records=True`` the parallel engine reproduces the
+        serial record list exactly (same order, same outcomes)."""
+        serial = small_campaign().run_region(Region.MESSAGE, 4)
+        parallel = small_campaign().run_region(
+            Region.MESSAGE, 4, jobs=2, keep_records=True
+        )
+        assert [(s, m) for s, _, m in serial.records] == [
+            (s, m) for s, _, m in parallel.records
+        ]
+
+    def test_unpicklable_factory_fails_loudly(self):
+        campaign = Campaign(
+            lambda: WavetoyApp(**SMALL_WAVETOY),
+            JobConfig(nprocs=SMALL_NPROCS),
+            plan=CampaignPlan(per_region={r.value: 2 for r in Region}),
+        )
+        with pytest.raises(TypeError, match="picklable"):
+            campaign.run_region(Region.HEAP, 2, jobs=2)
+
+    def test_parallel_executor_rejects_single_job(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(small_campaign().execution_context(), jobs=1)
+
+
+class TestRecordsRetention:
+    def test_serial_fixed_n_keeps_records_by_default(self):
+        row = small_campaign().run_region(Region.HEAP, 3)
+        assert len(row.records) == 3
+
+    def test_parallel_drops_records_by_default(self):
+        row = small_campaign().run_region(Region.HEAP, 3, jobs=2)
+        assert row.records == []
+        assert row.executions == 3  # tallies survive
+
+    def test_adaptive_drops_records_by_default(self):
+        row = small_campaign().run_region(Region.HEAP, target_d=0.5, batch=2)
+        assert row.records == []
+
+    def test_explicit_opt_out(self):
+        row = small_campaign().run_region(Region.HEAP, 3, keep_records=False)
+        assert row.records == []
+        assert row.executions == 3
+
+
+class TestResume:
+    def test_resume_executes_only_missing_trials(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        small_campaign().run_region(Region.MESSAGE, 2, store=store)
+        assert sum(1 for _ in open(store)) == 2
+
+        resumed = small_campaign().run_region(
+            Region.MESSAGE, 5, store=store, resume=True
+        )
+        assert resumed.resumed == 2
+        assert resumed.executions == 5
+        assert sum(1 for _ in open(store)) == 5
+
+        uninterrupted = small_campaign().run_region(Region.MESSAGE, 5)
+        assert resumed.tally.counts == uninterrupted.tally.counts
+        assert resumed.delivered == uninterrupted.delivered
+
+    def test_full_resume_executes_nothing(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        first = small_campaign().run(REGIONS, store=store)
+        again = small_campaign().run(REGIONS, store=store, resume=True)
+        assert tallies(first) == tallies(again)
+        assert all(row.resumed == row.executions for row in again.regions.values())
+
+    def test_resume_ignores_other_campaigns(self, tmp_path):
+        """Keys embed app/params/seeds: a store from one campaign never
+        satisfies another."""
+        store = tmp_path / "campaign.jsonl"
+        small_campaign(seed=3).run_region(Region.MESSAGE, 3, store=store)
+        other = small_campaign(seed=4).run_region(
+            Region.MESSAGE, 3, store=store, resume=True
+        )
+        assert other.resumed == 0
+
+    def test_without_resume_flag_store_entries_unused(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        small_campaign().run_region(Region.MESSAGE, 2, store=store)
+        row = small_campaign().run_region(Region.MESSAGE, 2, store=store)
+        assert row.resumed == 0
+        # Re-execution appends duplicates; loaders dedup by key.
+        assert sum(1 for _ in open(store)) == 4
+        assert len(ResultStore(store).load()) == 2
+
+
+class TestAdaptive:
+    def test_stops_once_target_reached(self):
+        row = small_campaign().run_region(Region.MESSAGE, target_d=0.5, batch=2)
+        assert row.executions >= 2
+        assert row.adaptive_d is not None
+        assert row.adaptive_d <= 0.5
+
+    def test_capped_by_oversampling_bound(self):
+        cap = 4
+        row = small_campaign().run_region(
+            Region.MESSAGE, target_d=0.01, batch=3, max_n=cap
+        )
+        assert row.executions == cap
+
+    def test_default_cap_is_cochran(self):
+        target = 0.3
+        campaign = small_campaign()
+        row = campaign.run_region(Region.MESSAGE, target_d=target, batch=4)
+        assert row.executions <= sample_size_oversampled(target)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            small_campaign().run_region(Region.MESSAGE, target_d=1.5)
+
+    def test_half_width_properties(self):
+        assert observed_half_width(0, 0) == float("inf")
+        # clamped away from the degenerate p = 0 endpoint
+        assert observed_half_width(0, 10) > 0
+        # more trials, tighter interval
+        assert observed_half_width(5, 100) < observed_half_width(2, 40)
+
+
+class TestProgress:
+    def test_events_fire_each_interval_and_at_end(self):
+        events = []
+        small_campaign().run_region(
+            Region.MESSAGE, 4, progress=events.append, log_interval=2
+        )
+        assert [e.done for e in events] == [2, 4, 4]
+        assert events[-1].final
+        assert all(e.region == "message" and e.app == "wavetoy" for e in events)
+        assert events[-1].planned == 4
+        assert events[-1].achieved_d > 0
+
+    def test_resumed_counts_visible(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        small_campaign().run_region(Region.MESSAGE, 2, store=store)
+        events = []
+        small_campaign().run_region(
+            Region.MESSAGE, 4, store=store, resume=True,
+            progress=events.append, log_interval=1,
+        )
+        assert events[-1].resumed == 2
+        assert events[-1].done == 4

@@ -1,0 +1,152 @@
+"""TrialSpec/TrialResult identity, pickling, and the JSONL ResultStore."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.store import ResultStore
+from repro.engine.trial import (
+    TrialResult,
+    TrialSpec,
+    canonical_params,
+    region_salt,
+    restore_rng,
+    trial_key,
+    trial_rng,
+)
+from repro.injection.faults import FaultSpec, Region
+from repro.injection.outcomes import Manifestation
+
+
+def make_spec(index=0, region=Region.HEAP, seed=7):
+    rng = trial_rng(seed, region, index)
+    fault = FaultSpec(region, rank=int(rng.integers(4)), time_blocks=5, bit=3)
+    return TrialSpec(
+        app="wavetoy",
+        app_params=canonical_params({"nx": 32, "ny": 8}),
+        nprocs=4,
+        config_seed=12345,
+        campaign_seed=seed,
+        region=region,
+        index=index,
+        fault=fault,
+        rng_state=rng.bit_generator.state,
+    )
+
+
+def make_result(index=0, manifestation=Manifestation.CORRECT, app="wavetoy"):
+    spec = make_spec(index)
+    return TrialResult(
+        key=spec.key,
+        app=app,
+        region=spec.region,
+        index=index,
+        manifestation=manifestation,
+        delivered=True,
+        detail="chunk",
+    )
+
+
+class TestTrialSpec:
+    def test_pickle_round_trip(self):
+        spec = make_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.key == spec.key
+
+    def test_rng_state_round_trip(self):
+        rng = trial_rng(11, Region.STACK, 3)
+        expected = rng.integers(1 << 30)
+        restored = restore_rng(trial_rng(11, Region.STACK, 3).bit_generator.state)
+        assert restored.integers(1 << 30) == expected
+
+    def test_key_stable(self):
+        assert make_spec(index=2).key == make_spec(index=2).key
+
+    def test_key_distinguishes_every_identity_field(self):
+        base = make_spec().key
+        assert trial_key("moldyn", {"nx": 32, "ny": 8}, 4, 12345, 7,
+                         Region.HEAP, 0) != base
+        assert trial_key("wavetoy", {"nx": 64, "ny": 8}, 4, 12345, 7,
+                         Region.HEAP, 0) != base
+        assert trial_key("wavetoy", {"nx": 32, "ny": 8}, 8, 12345, 7,
+                         Region.HEAP, 0) != base
+        assert trial_key("wavetoy", {"nx": 32, "ny": 8}, 4, 54321, 7,
+                         Region.HEAP, 0) != base
+        assert trial_key("wavetoy", {"nx": 32, "ny": 8}, 4, 12345, 8,
+                         Region.HEAP, 0) != base
+        assert trial_key("wavetoy", {"nx": 32, "ny": 8}, 4, 12345, 7,
+                         Region.STACK, 0) != base
+        assert trial_key("wavetoy", {"nx": 32, "ny": 8}, 4, 12345, 7,
+                         Region.HEAP, 1) != base
+
+    def test_key_ignores_param_order(self):
+        assert trial_key("w", {"a": 1, "b": 2}, 4, 1, 2, Region.HEAP, 0) == \
+            trial_key("w", {"b": 2, "a": 1}, 4, 1, 2, Region.HEAP, 0)
+
+    def test_region_salt_is_crc_not_hash(self):
+        import zlib
+
+        assert region_salt(Region.MESSAGE) == zlib.crc32(b"message")
+
+
+class TestTrialResultJson:
+    def test_round_trip(self):
+        result = make_result(manifestation=Manifestation.CRASH)
+        clone = TrialResult.from_json(result.to_json())
+        assert clone.key == result.key
+        assert clone.manifestation is Manifestation.CRASH
+        assert clone.delivered is True
+        assert clone.detail == "chunk"
+        assert clone.resumed is True
+        assert clone.record is None
+
+
+class TestResultStore:
+    def test_append_load_dedup(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with ResultStore(path) as store:
+            store.append(make_result(0))
+            store.append(make_result(1, Manifestation.HANG))
+            store.append(make_result(0))  # duplicate key
+        loaded = ResultStore(path).load()
+        assert len(loaded) == 2
+        assert sum(1 for _ in open(path)) == 3
+
+    def test_load_tolerates_truncated_line(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with ResultStore(path) as store:
+            store.append(make_result(0))
+        with open(path, "a") as fh:
+            fh.write('{"key": "cut-short", "app": "wav')  # interrupted write
+        assert len(ResultStore(path).load()) == 1
+
+    def test_load_missing_file(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load() == {}
+
+    def test_status_groups_and_counts(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with ResultStore(path) as store:
+            store.append(make_result(0, Manifestation.CORRECT))
+            store.append(make_result(1, Manifestation.CRASH))
+            store.append(make_result(2, Manifestation.HANG))
+        (status,) = ResultStore(path).status()
+        assert (status.app, status.region) == ("wavetoy", "heap")
+        assert status.trials == 3
+        assert status.errors == 2
+        assert status.error_rate_percent == pytest.approx(200 / 3)
+        assert status.achieved_d_percent > 0
+
+    def test_merge_dedups_and_sorts(self, tmp_path):
+        a, b, out = tmp_path / "a.jsonl", tmp_path / "b.jsonl", tmp_path / "m.jsonl"
+        with ResultStore(a) as store:
+            store.append(make_result(1))
+            store.append(make_result(0))
+        with ResultStore(b) as store:
+            store.append(make_result(1))
+            store.append(make_result(2))
+        assert ResultStore.merge([a, b], out) == 3
+        rows = [json.loads(line) for line in open(out)]
+        assert [r["index"] for r in rows] == [0, 1, 2]

@@ -29,3 +29,76 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+SMALL_PARAMS = "nx=32,ny=8,steps=6,cold_heap_factor=3,output_stride=1"
+
+
+def campaign_run_args(store, extra=()):
+    return [
+        "campaign", "run", "--app", "wavetoy", "--regions", "message",
+        "--params", SMALL_PARAMS, "--nprocs", "4", "--store", str(store),
+        "--log-interval", "0", *extra,
+    ]
+
+
+class TestCampaignCli:
+    def test_run_and_status_and_merge(self, capsys, tmp_path):
+        store = tmp_path / "out.jsonl"
+        assert main(campaign_run_args(store, ["-n", "3"])) == 0
+        out = capsys.readouterr().out
+        assert "Fault Injection Results (wavetoy)" in out
+        assert "Message" in out
+
+        assert main(["campaign", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "wavetoy" in out and "message" in out
+
+        merged = tmp_path / "merged.jsonl"
+        assert main([
+            "campaign", "merge", str(store), str(store), "--out", str(merged)
+        ]) == 0
+        assert "3 unique trials" in capsys.readouterr().out
+
+    def test_resume_round_trip(self, capsys, tmp_path):
+        store = tmp_path / "out.jsonl"
+        assert main(campaign_run_args(store, ["-n", "2"])) == 0
+        capsys.readouterr()
+        assert main(campaign_run_args(store, ["-n", "4", "--resume"])) == 0
+        err = capsys.readouterr().err
+        assert "2 resumed from store" in err
+        assert sum(1 for _ in open(store)) == 4
+
+    def test_progress_lines_on_stderr(self, capsys, tmp_path):
+        store = tmp_path / "out.jsonl"
+        args = campaign_run_args(store, ["-n", "2"])
+        args[args.index("--log-interval") + 1] = "1"
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "[wavetoy:message]" in err
+        assert "[done]" in err
+
+    def test_resume_requires_store(self, capsys):
+        args = [
+            "campaign", "run", "--app", "wavetoy", "--regions", "message",
+            "--params", SMALL_PARAMS, "--nprocs", "4", "-n", "2", "--resume",
+        ]
+        assert main(args) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_unknown_app(self, capsys):
+        assert main(["campaign", "run", "--app", "nosuch", "-n", "1"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_unknown_region(self):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "run", "--app", "wavetoy", "--regions", "bogus",
+                "--params", SMALL_PARAMS, "-n", "1",
+            ])
+
+    def test_empty_status(self, capsys, tmp_path):
+        assert main([
+            "campaign", "status", "--store", str(tmp_path / "none.jsonl")
+        ]) == 0
+        assert "no stored trials" in capsys.readouterr().out
