@@ -11,8 +11,14 @@ Usage::
     python -m repro analyze --mpi --lint buggy  # SA1xx gate (exits 1)
     python -m repro campaign run --app wavetoy --regions message,stack \
         --jobs 8 --target-d 0.05 --store out.jsonl --resume
-    python -m repro campaign status --store out.jsonl
+    python -m repro campaign run --app wavetoy -n 4 \
+        --trace trace.json --metrics metrics.prom
+    python -m repro campaign status --store out.jsonl [--json]
     python -m repro campaign merge --out all.jsonl a.jsonl b.jsonl
+    python -m repro trace run --app wavetoy --region message \
+        --out trace.json --metrics-out metrics.prom
+    python -m repro trace check --trace trace.json \
+        --require vm,channel,injection
 """
 
 from __future__ import annotations
@@ -179,6 +185,8 @@ def cmd_campaign_run(args) -> int:
     from repro.engine.progress import format_progress
     from repro.harness.tables import render_campaign_table
     from repro.injection.campaign import Campaign
+    from repro.observability.export import TraceCollector
+    from repro.observability.metrics import MetricsRegistry, render_prometheus
 
     if args.resume and not args.store:
         print("--resume requires --store", file=sys.stderr)
@@ -194,6 +202,8 @@ def cmd_campaign_run(args) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     regions = _parse_regions(args.regions)
+    metrics = MetricsRegistry() if args.metrics else None
+    collector = TraceCollector() if args.trace else None
 
     def progress(event):
         print(format_progress(event), file=sys.stderr)
@@ -208,8 +218,19 @@ def cmd_campaign_run(args) -> int:
         target_d=args.target_d,
         log_interval=args.log_interval,
         progress=progress if args.log_interval else None,
+        metrics=metrics,
+        trace=collector,
     )
     elapsed = time.time() - t0
+    if collector is not None:
+        collector.write(
+            args.trace, metadata={"app": args.app, "seed": args.seed}
+        )
+        print(f"wrote trace: {args.trace}", file=sys.stderr)
+    if metrics is not None:
+        with open(args.metrics, "w") as fh:
+            fh.write(render_prometheus(metrics))
+        print(f"wrote metrics: {args.metrics}", file=sys.stderr)
     print(
         render_campaign_table(
             result,
@@ -231,6 +252,24 @@ def cmd_campaign_status(args) -> int:
     from repro.engine.store import ResultStore
 
     statuses = ResultStore(args.store).status()
+    if args.json:
+        payload = {
+            "store": str(args.store),
+            "regions": [
+                {
+                    "app": s.app,
+                    "region": s.region,
+                    "trials": s.trials,
+                    "errors": s.errors,
+                    "error_rate_percent": s.error_rate_percent,
+                    "achieved_d_percent": s.achieved_d_percent,
+                    "manifestations": s.manifestations,
+                }
+                for s in statuses
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not statuses:
         print(f"{args.store}: no stored trials")
         return 0
@@ -241,6 +280,99 @@ def cmd_campaign_status(args) -> int:
             f"{s.app:<10} {s.region:<12} {s.trials:>6} {s.errors:>6} "
             f"{s.error_rate_percent:>8.1f} {s.achieved_d_percent:>6.1f}"
         )
+    return 0
+
+
+def cmd_trace_run(args) -> int:
+    """Trace one chosen injection trial end to end: spans from the VM,
+    the MPI stack, and the injector land in one Perfetto-loadable file,
+    with the per-trial metrics registry rendered alongside."""
+    from repro.injection.campaign import Campaign
+    from repro.observability.export import TraceCollector
+    from repro.observability.metrics import MetricsRegistry, render_prometheus
+
+    try:
+        campaign = Campaign.from_registry(
+            args.app,
+            nprocs=args.nprocs,
+            app_params=_parse_params(args.params),
+            seed=args.seed,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    regions = _parse_regions(args.region)
+    metrics = MetricsRegistry()
+    collector = TraceCollector()
+    with campaign.engine(metrics=metrics, trace=collector) as eng:
+        specs = [eng.make_spec(region, args.index) for region in regions]
+        results = eng.run_trials(specs)
+    for result in sorted(results, key=lambda r: r.region.value):
+        latency = (
+            f", latency {result.latency_blocks} blocks"
+            if result.latency_blocks is not None
+            else ""
+        )
+        print(
+            f"{result.region.value}#{result.index}: "
+            f"{result.manifestation.value}"
+            f" ({result.divergence_kind or 'no divergence'}{latency})",
+            file=sys.stderr,
+        )
+    collector.write(
+        args.out,
+        metadata={"app": args.app, "seed": args.seed, "index": args.index},
+    )
+    print(f"wrote trace: {args.out}", file=sys.stderr)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(render_prometheus(metrics))
+        print(f"wrote metrics: {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_check(args) -> int:
+    """Validate a trace file (and optionally a metrics textfile): the
+    Chrome trace schema must hold, every ``--require`` category must be
+    present, and the metrics file must parse.  Exit 1 on any problem."""
+    from repro.observability.export import trace_categories, validate_chrome_trace
+    from repro.observability.metrics import parse_prometheus
+
+    with open(args.trace) as fh:
+        try:
+            obj = json.load(fh)
+        except ValueError as exc:
+            print(f"{args.trace}: not JSON: {exc}", file=sys.stderr)
+            return 1
+    problems = validate_chrome_trace(obj)
+    for problem in problems:
+        print(f"{args.trace}: {problem}", file=sys.stderr)
+    present = trace_categories(obj)
+    required = {
+        token.strip()
+        for token in (args.require or "").split(",")
+        if token.strip()
+    }
+    missing = sorted(required - present)
+    for cat in missing:
+        print(f"{args.trace}: missing required category {cat!r}", file=sys.stderr)
+    n_events = len(obj.get("traceEvents", []))
+    metrics_note = ""
+    samples = None
+    if args.metrics:
+        with open(args.metrics) as fh:
+            try:
+                samples = parse_prometheus(fh.read())
+            except ValueError as exc:
+                print(f"{args.metrics}: {exc}", file=sys.stderr)
+                return 1
+        metrics_note = f", {len(samples)} metric samples"
+    if problems or missing:
+        return 1
+    print(
+        f"ok: {n_events} events, categories "
+        f"{','.join(sorted(present))}{metrics_note}"
+    )
     return 0
 
 
@@ -402,9 +534,18 @@ def main(argv: list[str] | None = None) -> int:
                       dest="log_interval",
                       help="progress line every N trials (0 disables; "
                       "default 10)")
+    crun.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a merged Chrome trace (Perfetto-"
+                      "loadable) of the campaign's trials to FILE")
+    crun.add_argument("--metrics", default=None, metavar="FILE",
+                      help="write the aggregated campaign metrics as a "
+                      "Prometheus textfile to FILE")
     crun.set_defaults(fn=cmd_campaign_run)
     cstat = camp_sub.add_parser("status", help="summarize a result store")
     cstat.add_argument("--store", required=True)
+    cstat.add_argument("--json", action="store_true",
+                       help="machine-readable output (tallies + "
+                       "Cochran half-width)")
     cstat.set_defaults(fn=cmd_campaign_status)
     cmerge = camp_sub.add_parser(
         "merge", help="merge result stores, deduplicating by trial key"
@@ -412,6 +553,43 @@ def main(argv: list[str] | None = None) -> int:
     cmerge.add_argument("stores", nargs="+", help="input JSONL stores")
     cmerge.add_argument("--out", required=True, help="merged output store")
     cmerge.set_defaults(fn=cmd_campaign_merge)
+
+    trc = sub.add_parser(
+        "trace",
+        help="trace single injection trials and validate trace files",
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    trun = trc_sub.add_parser(
+        "run", help="execute chosen trials with full tracing enabled"
+    )
+    trun.add_argument("--app", required=True,
+                      help="suite application: wavetoy, moldyn, climate")
+    trun.add_argument("--region", default="all",
+                      help="comma-separated regions to trace one trial "
+                      "of each (default: all eight)")
+    trun.add_argument("--index", type=int, default=0,
+                      help="trial index within each region (default 0)")
+    trun.add_argument("--nprocs", type=int, default=4,
+                      help="simulated MPI ranks (default 4)")
+    trun.add_argument("--params", default=None,
+                      help="application build parameters, k=v,k=v")
+    trun.add_argument("--seed", type=int, default=20040607,
+                      help="campaign seed (default 20040607)")
+    trun.add_argument("--out", required=True,
+                      help="Chrome trace JSON output file")
+    trun.add_argument("--metrics-out", default=None, dest="metrics_out",
+                      help="Prometheus textfile output")
+    trun.set_defaults(fn=cmd_trace_run)
+    tchk = trc_sub.add_parser(
+        "check", help="schema-validate a trace (and metrics) file"
+    )
+    tchk.add_argument("--trace", required=True, help="trace JSON file")
+    tchk.add_argument("--metrics", default=None,
+                      help="Prometheus textfile to parse-check")
+    tchk.add_argument("--require", default=None,
+                      help="comma-separated trace categories that must "
+                      "be present (e.g. vm,channel,injection)")
+    tchk.set_defaults(fn=cmd_trace_check)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -32,6 +32,7 @@ from repro.errors import (
     SimIllegalInstruction,
     SimSegfault,
 )
+from repro.observability import runtime as _obs
 from repro.cpu.fpu import FPU
 from repro.cpu.isa import INSN_SIZE, Insn, Op, RedOp, UndefinedOpcode, VecOp, decode
 from repro.cpu.registers import EAX, EBP, ESP, RegisterFile
@@ -123,7 +124,27 @@ class VM:
         self.regs.poke(ESP, stack.esp)
         self.regs.poke(EBP, stack.ebp)
         self.regs.eip = entry
-        self._run()
+        tracer = _obs.TRACER
+        if tracer is None:
+            self._run()
+        else:
+            # Kernel span: one "X" event per VM.call, stamped on the
+            # simulated block clock; emitted even when the kernel dies
+            # mid-flight so a crashing trial shows the truncated span.
+            name = function if isinstance(function, str) else f"fn@0x{entry:08x}"
+            t0 = self.clock.blocks
+            i0 = self.instructions_retired
+            try:
+                self._run()
+            finally:
+                tracer.complete(
+                    f"kernel:{name}",
+                    "vm",
+                    t0,
+                    self.clock.blocks - t0,
+                    tid=self.image.rank,
+                    args={"insns": self.instructions_retired - i0},
+                )
         # Caller pops the arguments (cdecl); ESP is just above the
         # (now consumed) return-address slot.
         stack.esp = (self.regs.peek(ESP) + 4 * len(args)) & _U32_MASK

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import runtime as _obs
+
 
 class AbftOutcome(enum.Enum):
     OK = "ok"
@@ -99,9 +101,13 @@ def verify_and_correct(
             # expression that touches it.
             others = float(np.delete(c[i, :p], j).sum())
             c[i, j] = c[i, p] - others
+            _obs.note_detector(
+                "abft", corrected=True, detail=f"element ({i}, {j})"
+            )
             return c[:m, :p], AbftReport(
                 AbftOutcome.CORRECTED, location=(i, j), residual=delta
             )
+        _obs.note_detector("abft", detail="uncorrectable")
         return c[:m, :p], AbftReport(AbftOutcome.DETECTED, residual=delta)
     # A single inconsistent row (or column) alone means a corrupted
     # checksum entry or multi-element damage: flagged, not corrected.
@@ -111,6 +117,7 @@ def verify_and_correct(
             np.abs(col_resid).max() if bad_cols.size else 0.0,
         )
     )
+    _obs.note_detector("abft", detail="checksum entry or multi-element")
     return c[:m, :p], AbftReport(AbftOutcome.DETECTED, residual=residual)
 
 

@@ -11,11 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AppAbort
+from repro.observability import runtime as _obs
 
 
 def sanity_assert(condition: bool, what: str, detail: str = "") -> None:
     """A production assertion: abort the application when violated."""
     if not condition:
+        _obs.note_detector("assertion", detail=what)
         raise AppAbort("assertion", f"{what}{': ' + detail if detail else ''}")
 
 
@@ -35,15 +37,23 @@ def bound_check(
     """
     if vm is not None:
         vm.clock.tick(max(1, values.size >> 3))
+    rank = vm.image.rank if vm is not None else None
+    blocks = vm.clock.blocks if vm is not None else None
     if minimum is not None:
         below = int(np.count_nonzero(values < minimum))
         if below:
+            _obs.note_detector(
+                "bound", rank=rank, blocks=blocks, detail=f"{what}: below minimum"
+            )
             raise AppAbort(
                 "bound check", f"{what}: {below} value(s) below minimum {minimum}"
             )
     if maximum is not None:
         above = int(np.count_nonzero(values > maximum))
         if above:
+            _obs.note_detector(
+                "bound", rank=rank, blocks=blocks, detail=f"{what}: above maximum"
+            )
             raise AppAbort(
                 "bound check", f"{what}: {above} value(s) above maximum {maximum}"
             )

@@ -19,6 +19,7 @@ from repro.cpu.isa import BRANCH_OPS, INSN_SIZE, Insn, Op, UndefinedOpcode, deco
 from repro.cpu.vm import RET_SENTINEL
 from repro.errors import AppAbort
 from repro.memory.process import ProcessImage
+from repro.observability import runtime as _obs
 
 
 class ControlFlowViolation(AppAbort):
@@ -101,6 +102,12 @@ class ControlFlowChecker:
             if dst in self._successors[src]:
                 return
         self.violations += 1
+        _obs.note_detector(
+            "cfcheck",
+            rank=self.image.rank,
+            blocks=self.image.clock.blocks,
+            detail=f"0x{src:08x} -> 0x{dst:08x}",
+        )
         raise ControlFlowViolation(src, dst)
 
 

@@ -21,8 +21,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AppAbort
+from repro.observability import runtime as _obs
 
 _TRAILER = struct.Struct("<II")  # checksum, payload length
+
+
+def _fired(vm, expected: int, actual: int) -> None:
+    _obs.note_detector(
+        "checksum",
+        rank=vm.image.rank if vm is not None else None,
+        blocks=vm.clock.blocks if vm is not None else None,
+        detail=f"expected 0x{expected:08x}, computed 0x{actual:08x}",
+    )
 
 
 class ChecksumMismatch(AppAbort):
@@ -85,15 +95,19 @@ def verify(sealed: bytes, *, vm=None) -> bytes:
     ~3 % runtime overhead.
     """
     if len(sealed) < _TRAILER.size:
+        _fired(vm, 0, 0)
         raise ChecksumMismatch(0, 0)
     expected, length = _TRAILER.unpack_from(sealed)
     payload = sealed[_TRAILER.size :]
     if vm is not None:
         vm.clock.tick(max(1, len(payload) >> 6))
     if length != len(payload):
-        raise ChecksumMismatch(expected, fletcher32(payload))
+        actual = fletcher32(payload)
+        _fired(vm, expected, actual)
+        raise ChecksumMismatch(expected, actual)
     actual = fletcher32(payload)
     if actual != expected:
+        _fired(vm, expected, actual)
         raise ChecksumMismatch(expected, actual)
     return payload
 

@@ -13,11 +13,13 @@ import math
 import numpy as np
 
 from repro.errors import AppAbort
+from repro.observability import runtime as _obs
 
 
 def nan_check_value(value: float, what: str) -> float:
     """Abort if ``value`` is NaN or infinite; returns it otherwise."""
     if math.isnan(value) or math.isinf(value):
+        _obs.note_detector("nan", detail=f"{what} is {value!r}")
         raise AppAbort("NaN check", f"{what} is {value!r}")
     return value
 
@@ -33,4 +35,10 @@ def nan_check_array(values: np.ndarray, what: str, *, vm=None) -> None:
         vm.clock.tick(max(1, values.size >> 3))
     bad = int(np.count_nonzero(~np.isfinite(values)))
     if bad:
+        _obs.note_detector(
+            "nan",
+            rank=vm.image.rank if vm is not None else None,
+            blocks=vm.clock.blocks if vm is not None else None,
+            detail=f"{what}: {bad} non-finite value(s)",
+        )
         raise AppAbort("NaN check", f"{what}: {bad} non-finite value(s)")

@@ -9,6 +9,7 @@ execution, and outcome classification.  ``Campaign.run_injection`` and
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -20,6 +21,10 @@ from repro.injection.faults import FaultSpec, InjectionRecord
 from repro.injection.outcomes import Manifestation, classify, default_compare
 from repro.injection.wrappers import install
 from repro.mpi.simulator import Job, JobConfig, JobResult
+from repro.observability import runtime as _obs_runtime
+from repro.observability.metrics import MetricsRegistry, MetricsSnapshot
+from repro.observability.timeline import PropagationTimeline, TimelineEvent
+from repro.observability.tracer import Tracer
 
 
 @dataclass
@@ -42,6 +47,12 @@ class ExecutionContext:
     #: derivation then happens on the worker, so the callable never
     #: crosses a process boundary.
     compare: Callable | None = None
+    #: Collect per-trial trace events / metrics snapshots.  Plain flags
+    #: (set by the campaign engine from ``--trace`` / ``--metrics``) so
+    #: they ship to workers inside the pickled context; each trial then
+    #: activates exactly the observability scope these request.
+    trace: bool = False
+    collect_metrics: bool = False
     _resolved_compare: Callable | None = field(
         default=None, repr=False, compare=False
     )
@@ -111,22 +122,114 @@ class ExecutionContext:
         return state
 
 
+@dataclass
+class TrialObservation:
+    """Observability artifacts of one executed trial."""
+
+    timeline: PropagationTimeline
+    metrics: MetricsSnapshot | None = None
+    trace_events: list | None = None
+
+
+def _finalize_timeline(
+    timeline: PropagationTimeline,
+    manifestation: Manifestation,
+    result: JobResult,
+) -> None:
+    """Stamp the weakest divergence evidence - an output mismatch found
+    only at classification time - at the end-of-run clock.  Correct runs
+    keep ``divergence = None``."""
+    if manifestation is Manifestation.INCORRECT and timeline.divergence is None:
+        end = max(result.blocks_per_rank) if result.blocks_per_rank else None
+        timeline.note_divergence(
+            TimelineEvent(kind="output_mismatch", rank=None, blocks=end)
+        )
+
+
+def _harvest_job_metrics(
+    registry: MetricsRegistry,
+    job: Job,
+    result: JobResult,
+    ctx: ExecutionContext,
+) -> None:
+    """End-of-job counter sweep (per-trial registry, merged in the
+    driver): VM work, channel traffic, per-worker throughput, and
+    hang-budget consumption."""
+    registry.counter("repro_worker_trials_total", worker=f"pid{os.getpid()}").inc()
+    for vm in job.vms:
+        registry.counter("repro_vm_instructions_total").inc(vm.instructions_retired)
+        registry.counter("repro_vm_blocks_total").inc(vm.clock.blocks)
+    for endpoint in job.endpoints:
+        stats = endpoint.stats
+        registry.counter("repro_channel_packets_total", kind="control").inc(
+            stats.control_packets
+        )
+        registry.counter("repro_channel_packets_total", kind="data").inc(
+            stats.data_packets
+        )
+        registry.counter("repro_channel_bytes_total", kind="header").inc(
+            stats.header_bytes
+        )
+        registry.counter("repro_channel_bytes_total", kind="payload").inc(
+            stats.payload_bytes
+        )
+    if ctx.round_limit:
+        registry.histogram(
+            "repro_hang_budget_consumed_percent",
+            buckets=(5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0),
+        ).observe(100.0 * result.rounds / ctx.round_limit)
+
+
+def run_observed(
+    ctx: ExecutionContext,
+    fault: FaultSpec,
+    rng: np.random.Generator,
+) -> tuple[Manifestation, InjectionRecord, JobResult, TrialObservation]:
+    """Execute one fresh job with one fault armed, under the
+    observability scope the context requests, and classify it.
+
+    The propagation timeline is always collected (it costs a handful of
+    dataclass appends per trial); the tracer and metrics registry exist
+    only when the context's ``trace`` / ``collect_metrics`` flags are
+    set.
+    """
+    tracer = Tracer() if ctx.trace else None
+    registry = MetricsRegistry() if ctx.collect_metrics else None
+    timeline = PropagationTimeline()
+    with _obs_runtime.activate(
+        tracer=tracer, metrics=registry, timeline=timeline
+    ):
+        job = Job(ctx.factory(), ctx.job_config())
+        record = install(job, fault, rng)
+        result = job.run()
+        manifestation = classify(result, ctx.reference, ctx.resolved_compare())
+        _finalize_timeline(timeline, manifestation, result)
+        if registry is not None:
+            _harvest_job_metrics(registry, job, result, ctx)
+    observation = TrialObservation(
+        timeline=timeline,
+        metrics=registry.snapshot() if registry is not None else None,
+        trace_events=tracer.events if tracer is not None else None,
+    )
+    return manifestation, record, result, observation
+
+
 def run_single(
     ctx: ExecutionContext,
     fault: FaultSpec,
     rng: np.random.Generator,
 ) -> tuple[Manifestation, InjectionRecord, JobResult]:
     """Execute one fresh job with one fault armed and classify it."""
-    job = Job(ctx.factory(), ctx.job_config())
-    record = install(job, fault, rng)
-    result = job.run()
-    manifestation = classify(result, ctx.reference, ctx.resolved_compare())
+    manifestation, record, result, _ = run_observed(ctx, fault, rng)
     return manifestation, record, result
 
 
 def execute_trial(ctx: ExecutionContext, spec: TrialSpec) -> TrialResult:
     """Execute one :class:`TrialSpec`, resuming its captured RNG stream."""
-    manifestation, record, _ = run_single(ctx, spec.fault, restore_rng(spec.rng_state))
+    manifestation, record, _, observation = run_observed(
+        ctx, spec.fault, restore_rng(spec.rng_state)
+    )
+    digest = observation.timeline.summary()
     return TrialResult(
         key=spec.key,
         app=spec.app,
@@ -136,4 +239,12 @@ def execute_trial(ctx: ExecutionContext, spec: TrialSpec) -> TrialResult:
         delivered=record.delivered,
         detail=record.detail,
         record=record,
+        injected_at_blocks=digest.get("injected_at_blocks"),
+        injected_at_insns=digest.get("injected_at_insns"),
+        injected_byte=digest.get("injected_byte"),
+        diverged_at_blocks=digest.get("diverged_at_blocks"),
+        divergence_kind=digest.get("divergence_kind"),
+        latency_blocks=digest.get("latency_blocks"),
+        metrics=observation.metrics,
+        trace_events=observation.trace_events,
     )

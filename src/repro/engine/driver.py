@@ -32,8 +32,10 @@ import numpy as np
 
 from repro.engine.core import ExecutionContext
 from repro.engine.executors import make_executor
-from repro.engine.progress import ProgressEvent
+from repro.engine.progress import ProgressEmitter, ProgressEvent
 from repro.engine.store import ResultStore
+from repro.observability.export import TraceCollector
+from repro.observability.metrics import MetricsRegistry
 from repro.engine.trial import (
     TrialResult,
     TrialSpec,
@@ -72,7 +74,6 @@ class _RegionState:
         #: ``(trial index, (fault, record, manifestation))`` pairs,
         #: re-sorted by index before landing in ``result.records``.
         self.pending_records: list[tuple[int, tuple[FaultSpec, Any, Any]]] = []
-        self.since_progress = 0
 
 
 class CampaignEngine:
@@ -99,9 +100,17 @@ class CampaignEngine:
     store:
         ``ResultStore`` or path; every finished trial is appended.
     progress / log_interval:
-        Observability callback, fired every ``log_interval`` completed
-        trials per region (0 disables periodic events; a final event is
-        always sent when a callback is set).
+        Deprecated callback shim, kept for pre-observability callers:
+        both now feed a :class:`~repro.engine.progress.ProgressEmitter`
+        that throttles by completed-trial count per region and also
+        mirrors every event into ``metrics`` when given.
+    metrics:
+        A :class:`~repro.observability.metrics.MetricsRegistry`; workers
+        collect per-trial snapshots which the driver merges here, plus
+        driver-side error-latency histograms and outcome tallies.
+    trace:
+        A :class:`~repro.observability.export.TraceCollector`; each
+        fresh trial's event list is filed under its (region, index).
     """
 
     def __init__(
@@ -116,6 +125,8 @@ class CampaignEngine:
         store: ResultStore | str | os.PathLike | None = None,
         progress: Callable[[ProgressEvent], None] | None = None,
         log_interval: int = 0,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceCollector | None = None,
     ) -> None:
         self.context = context
         self.sampler = sampler
@@ -126,10 +137,28 @@ class CampaignEngine:
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
-        self.progress = progress
-        self.log_interval = log_interval
+        self.metrics = metrics
+        self.trace = trace
+        # The context ships to workers; flags must be set before the
+        # executor pickles it.
+        if metrics is not None:
+            context.collect_metrics = True
+        if trace is not None:
+            context.trace = True
+        self.emitter = ProgressEmitter(
+            callback=progress, log_interval=log_interval, metrics=metrics
+        )
         self._executor = None
         self._stored: dict[str, TrialResult] | None = None
+
+    @property
+    def progress(self) -> Callable[[ProgressEvent], None] | None:
+        """Deprecated: the old callback, now held by the emitter."""
+        return self.emitter.callback
+
+    @property
+    def log_interval(self) -> int:
+        return self.emitter.log_interval
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -183,11 +212,11 @@ class CampaignEngine:
     # execution
     # ------------------------------------------------------------------
     def _emit(self, state: _RegionState, planned, target_d, alpha, final) -> None:
-        if self.progress is None:
+        if not self.emitter.active:
             return
         row = state.result
         n = row.executions
-        self.progress(
+        self.emitter.emit(
             ProgressEvent(
                 app=self.context.app,
                 region=row.region.value,
@@ -224,10 +253,37 @@ class CampaignEngine:
                 state.pending_records.append(
                     (spec.index, (spec.fault, result.record, result.manifestation))
                 )
-        state.since_progress += 1
-        if self.log_interval and state.since_progress >= self.log_interval:
-            state.since_progress = 0
+        self._observe(result)
+        if self.emitter.note_trial(self.context.app, row.region.value):
             self._emit(state, planned, target_d, alpha, final=False)
+
+    def _observe(self, result: TrialResult) -> None:
+        """Fold one trial's observability payload into the driver sinks.
+
+        Counters/histograms are sums over the trial set, so the merged
+        registry is identical regardless of worker count or completion
+        order; latency comes from the serialized timeline digest, so
+        resumed trials contribute exactly like fresh ones.
+        """
+        registry = self.metrics
+        if registry is not None:
+            registry.counter(
+                "repro_trial_outcomes_total",
+                manifestation=result.manifestation.value,
+            ).inc()
+            if result.latency_blocks is not None:
+                registry.histogram(
+                    "repro_error_latency_blocks", region=result.region.value
+                ).observe(result.latency_blocks)
+            if result.metrics is not None:
+                registry.merge(result.metrics)
+        if self.trace is not None and result.trace_events is not None:
+            self.trace.add_trial(
+                result.region.value,
+                result.index,
+                f"{result.app} {result.region.value}#{result.index}",
+                result.trace_events,
+            )
 
     def _run_range(
         self,
@@ -266,6 +322,19 @@ class CampaignEngine:
                 target_d,
                 alpha,
             )
+
+    def run_trials(self, specs: list[TrialSpec]) -> list[TrialResult]:
+        """Execute explicit trial specs through the executor, folding
+        each result into the observability sinks (no tallying, no store
+        resume); returns results in completion order.  The ``trace``
+        CLI uses this to trace a single chosen trial."""
+        out = []
+        for result in self.executor().run(specs):
+            self._observe(result)
+            if self.store is not None and not result.resumed:
+                self.store.append(result)
+            out.append(result)
+        return out
 
     def run_region(
         self,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable
 
@@ -29,6 +29,8 @@ class StoreStatus:
     region: str
     trials: int
     errors: int
+    #: Trial count per manifestation class (``correct``, ``crash``, ...).
+    manifestations: dict[str, int] = field(default_factory=dict)
 
     @property
     def error_rate_percent(self) -> float:
@@ -102,8 +104,18 @@ class ResultStore:
             errors = sum(
                 1 for r in results if r.manifestation is not Manifestation.CORRECT
             )
+            tally: dict[str, int] = {}
+            for r in results:
+                name = r.manifestation.value
+                tally[name] = tally.get(name, 0) + 1
             out.append(
-                StoreStatus(app=app, region=region, trials=len(results), errors=errors)
+                StoreStatus(
+                    app=app,
+                    region=region,
+                    trials=len(results),
+                    errors=errors,
+                    manifestations=dict(sorted(tally.items())),
+                )
             )
         return out
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.injection.faults import FaultSpec, InjectionRecord, Region
 from repro.injection.outcomes import Manifestation
+from repro.observability.metrics import MetricsSnapshot
 
 
 def region_salt(region: Region) -> int:
@@ -131,6 +132,20 @@ class TrialResult:
     record: InjectionRecord | None = None
     #: True when this result was loaded from a store instead of executed.
     resumed: bool = False
+    #: Fault-propagation timeline digest (see
+    #: :mod:`repro.observability.timeline`).  Serialized with the result
+    #: so resumed campaigns rebuild identical error-latency histograms.
+    injected_at_blocks: int | None = None
+    injected_at_insns: int | None = None
+    injected_byte: int | None = None
+    diverged_at_blocks: int | None = None
+    divergence_kind: str | None = None
+    latency_blocks: int | None = None
+    #: Worker-side metrics snapshot (fresh trials under ``--metrics``
+    #: only; merged by the driver, never serialized to the store).
+    metrics: MetricsSnapshot | None = None
+    #: Per-trial trace events (fresh trials under ``--trace`` only).
+    trace_events: list | None = None
 
     def to_json(self) -> dict:
         return {
@@ -141,10 +156,20 @@ class TrialResult:
             "manifestation": self.manifestation.value,
             "delivered": self.delivered,
             "detail": self.detail,
+            "injected_at_blocks": self.injected_at_blocks,
+            "injected_at_insns": self.injected_at_insns,
+            "injected_byte": self.injected_byte,
+            "diverged_at_blocks": self.diverged_at_blocks,
+            "divergence_kind": self.divergence_kind,
+            "latency_blocks": self.latency_blocks,
         }
 
     @classmethod
     def from_json(cls, obj: dict) -> "TrialResult":
+        def _opt_int(name: str) -> int | None:
+            value = obj.get(name)
+            return int(value) if value is not None else None
+
         return cls(
             key=obj["key"],
             app=obj["app"],
@@ -155,4 +180,10 @@ class TrialResult:
             detail=obj.get("detail", ""),
             record=None,
             resumed=True,
+            injected_at_blocks=_opt_int("injected_at_blocks"),
+            injected_at_insns=_opt_int("injected_at_insns"),
+            injected_byte=_opt_int("injected_byte"),
+            diverged_at_blocks=_opt_int("diverged_at_blocks"),
+            divergence_kind=obj.get("divergence_kind"),
+            latency_blocks=_opt_int("latency_blocks"),
         )

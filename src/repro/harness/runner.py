@@ -11,7 +11,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine.core import ExecutionContext, run_single
+from repro.engine.core import ExecutionContext, TrialObservation, run_observed, run_single
 from repro.injection.faults import FaultSpec, InjectionRecord
 from repro.injection.outcomes import Manifestation
 from repro.mpi.simulator import Job, JobConfig, JobResult
@@ -45,3 +45,31 @@ def run_with_fault(
         app_factory, config, reference, compare=compare
     )
     return run_single(ctx, spec, np.random.default_rng(seed))
+
+
+def run_with_fault_observed(
+    app_factory: Callable[[], object],
+    config: JobConfig,
+    spec: FaultSpec,
+    *,
+    reference: JobResult | None = None,
+    seed: int = 0,
+    compare=None,
+    trace: bool = False,
+    metrics: bool = False,
+) -> tuple[Manifestation, InjectionRecord, JobResult, TrialObservation]:
+    """:func:`run_with_fault` plus the trial's observability record.
+
+    The returned observation always carries the fault-propagation
+    timeline (injection instant, first divergence, latency in blocks);
+    ``trace=True``/``metrics=True`` additionally attach the Chrome
+    trace events and the metrics snapshot for this one execution.
+    """
+    if reference is None:
+        reference = run_fault_free(app_factory, config)
+    ctx = ExecutionContext.from_reference(
+        app_factory, config, reference, compare=compare
+    )
+    ctx.trace = trace
+    ctx.collect_metrics = metrics
+    return run_observed(ctx, spec, np.random.default_rng(seed))

@@ -291,6 +291,8 @@ class Campaign:
         store=None,
         progress=None,
         log_interval: int = 0,
+        metrics=None,
+        trace=None,
     ):
         """Build a :class:`~repro.engine.driver.CampaignEngine` bound to
         this campaign's sampler, reference profile, and plan."""
@@ -306,6 +308,8 @@ class Campaign:
             store=store,
             progress=progress,
             log_interval=log_interval,
+            metrics=metrics,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -335,6 +339,8 @@ class Campaign:
         keep_records: bool | None = None,
         progress=None,
         log_interval: int = 0,
+        metrics=None,
+        trace=None,
     ) -> RegionResult:
         """Run one region through the campaign engine.
 
@@ -344,7 +350,12 @@ class Campaign:
         engine's parallel, resumable, and adaptive modes.
         """
         with self.engine(
-            jobs=jobs, store=store, progress=progress, log_interval=log_interval
+            jobs=jobs,
+            store=store,
+            progress=progress,
+            log_interval=log_interval,
+            metrics=metrics,
+            trace=trace,
         ) as eng:
             return eng.run_region(
                 region,
@@ -370,9 +381,16 @@ class Campaign:
         keep_records: bool | None = None,
         progress=None,
         log_interval: int = 0,
+        metrics=None,
+        trace=None,
     ) -> CampaignResult:
         with self.engine(
-            jobs=jobs, store=store, progress=progress, log_interval=log_interval
+            jobs=jobs,
+            store=store,
+            progress=progress,
+            log_interval=log_interval,
+            metrics=metrics,
+            trace=trace,
         ) as eng:
             return eng.run(
                 regions,

@@ -27,6 +27,7 @@ from repro.injection.faults import (
     Region,
 )
 from repro.mpi.simulator import Job
+from repro.observability import runtime as _obs
 
 
 class MemoryFaultInjector:
@@ -80,6 +81,18 @@ class MemoryFaultInjector:
             self._fire_stack(vm)
         else:  # pragma: no cover - guarded in __init__
             raise InvalidFaultSpec(str(region))
+        if self.record.delivered and (
+            _obs.TIMELINE is not None
+            or _obs.TRACER is not None
+            or _obs.METRICS is not None
+        ):
+            _obs.note_injection(
+                rank=self.spec.rank,
+                blocks=vm.clock.blocks,
+                insns=vm.instructions_retired,
+                region=region.value,
+                detail=self.record.detail or "",
+            )
         if (
             self.spec.persistence is not Persistence.TRANSIENT
             and self.record.delivered

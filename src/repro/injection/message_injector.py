@@ -17,6 +17,7 @@ from repro.errors import InvalidFaultSpec
 from repro.injection.faults import FaultSpec, InjectionRecord, Region
 from repro.mpi.channel import HEADER_SIZE
 from repro.mpi.simulator import Job
+from repro.observability import runtime as _obs
 
 
 class MessageFaultInjector:
@@ -56,4 +57,18 @@ class MessageFaultInjector:
         rec.address = offset
         rec.detail = "header" if offset < HEADER_SIZE else "payload"
         rec.delivered = True
+        if (
+            _obs.TIMELINE is not None
+            or _obs.TRACER is not None
+            or _obs.METRICS is not None
+        ):
+            vm = self.job.vms[spec.rank]
+            _obs.note_injection(
+                rank=spec.rank,
+                blocks=vm.clock.blocks,
+                insns=vm.instructions_retired,
+                byte_offset=target,
+                region=spec.region.value,
+                detail=rec.detail,
+            )
         return packet

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.memory.heap import ChunkTag
+from repro.observability import runtime as _obs
 from repro.memory.process import ProcessImage
 from repro.mpi.channel import HEADER_SIZE, ChannelEndpoint
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Datatype
@@ -233,7 +234,23 @@ class AdiEngine:
             msg = parse_packet(packet)
             self._dispatch(msg)
 
+    _MSG_NAMES = {
+        MSG_EAGER: "eager",
+        MSG_RTS: "rts",
+        MSG_CTS: "cts",
+        MSG_RNDV_DATA: "rndv_data",
+    }
+
     def _dispatch(self, msg: ParsedMessage) -> None:
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.instant(
+                f"adi:{self._MSG_NAMES[msg.mtype]}",
+                "adi",
+                self.image.clock.blocks,
+                tid=self.rank,
+                args={"src": msg.src, "tag": msg.tag, "len": msg.payload_len},
+            )
         # Misrouted or nonsensical addressing: a real device drops the
         # packet on the floor; whoever was waiting for it deadlocks.
         if msg.dst != self.rank or not 0 <= msg.src < self.nprocs:

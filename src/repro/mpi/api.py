@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import MPIError
 from repro.memory.heap import ChunkTag
+from repro.observability import runtime as _obs
 from repro.memory.process import ProcessImage
 from repro.mpi.adi import AdiEngine
 from repro.mpi.datatypes import (
@@ -72,6 +73,14 @@ class Comm:
     # ------------------------------------------------------------------
     def _count_call(self, name: str) -> None:
         self.calls[name] = self.calls.get(name, 0) + 1
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.instant(
+                f"mpi:{name}", "mpi", self.image.clock.blocks, tid=self.rank
+            )
+        metrics = _obs.METRICS
+        if metrics is not None:
+            metrics.counter("repro_mpi_calls_total", call=name).inc()
 
     def _error(self, klass: ErrorClass, message: str) -> None:
         """Argument-check failure: dispatch to the error handler (the only

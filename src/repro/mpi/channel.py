@@ -22,6 +22,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.observability import runtime as _obs
+
 #: Hook signature: ``hook(packet, start_byte_offset) -> packet`` where
 #: ``start_byte_offset`` is the rank's cumulative received-byte count at
 #: the start of this packet.  Returns the (possibly corrupted) packet.
@@ -67,6 +69,9 @@ class ChannelEndpoint:
         self.stats = ChannelStats()
         self.inject_hook: InjectHook | None = None
         self.tap: TapHook | None = None
+        #: Simulated clock of the owning rank; attached by the Job so
+        #: channel events carry block-accurate timestamps.
+        self.clock = None
 
     # ------------------------------------------------------------------
     # sender side
@@ -94,6 +99,18 @@ class ChannelEndpoint:
         if self.inject_hook is not None:
             packet = self.inject_hook(packet, start)
         self._account(packet)
+        if _obs.TRACER is not None and self.clock is not None:
+            payload = len(packet) - min(HEADER_SIZE, len(packet))
+            _obs.TRACER.instant(
+                "channel:recv",
+                "channel",
+                self.clock.blocks,
+                tid=self.rank,
+                args={
+                    "bytes": len(packet),
+                    "kind": "data" if payload else "control",
+                },
+            )
         if self.tap is not None:
             self.tap(bytes(packet))
         return packet

@@ -47,6 +47,7 @@ from repro.mpi.adi import AdiConfig, AdiEngine, ChannelProtocolError
 from repro.mpi.api import Comm
 from repro.mpi.channel import ChannelEndpoint
 from repro.cpu.vm import VM
+from repro.observability import runtime as _obs
 
 
 class JobStatus(enum.Enum):
@@ -149,6 +150,7 @@ class Job:
             if config.block_limit is not None:
                 vm.block_limit = config.block_limit
             endpoint = ChannelEndpoint(rank)
+            endpoint.clock = image.clock
             adi = AdiEngine(rank, n, image, endpoint, adi_cfg)
             adi.attach_router(self._route)
             comm = Comm(rank, n, adi, image)
@@ -238,6 +240,13 @@ class Job:
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
             raise exc
         status, detail = self._classify(exc, rank)
+        if _obs.TIMELINE is not None or _obs.TRACER is not None:
+            _obs.note_termination(
+                self._termination_kind(exc),
+                rank=rank,
+                blocks=self.images[rank].clock.blocks,
+                detail=detail,
+            )
         return JobResult(
             status=status,
             detail=detail,
@@ -249,6 +258,21 @@ class Job:
             error=exc,
             faulting_rank=rank,
         )
+
+    @staticmethod
+    def _termination_kind(exc: BaseException) -> str:
+        """Short timeline tag for an abnormal termination."""
+        if isinstance(exc, SimSignal):
+            return f"signal:{exc.signame}"
+        if isinstance(exc, (ChannelProtocolError, HeapCorruption, StackOverflow)):
+            return "protocol"
+        if isinstance(exc, AppAbort):
+            return "app_abort"
+        if isinstance(exc, MPIAbort):
+            return "mpi_abort"
+        if isinstance(exc, HangDetected):
+            return "hang"
+        return "unhandled"
 
     def _classify(self, exc: BaseException, rank: int) -> tuple[JobStatus, str]:
         if isinstance(exc, SimSignal):

@@ -1,0 +1,68 @@
+"""Unified observability: tracing, metrics, and propagation timelines.
+
+The paper explains its Crash/Hang/Incorrect/Detected rates through
+*where* a fault lands and *how long* it stays latent before a detector
+or crash surfaces it.  This package gives the reproduction the
+instrumentation that analysis needs, threaded through every execution
+layer:
+
+* :mod:`repro.observability.tracer` - a span/event tracer with named
+  scopes (trial -> kernel -> basic block; MPI call -> ADI -> channel
+  packet; injection install -> flip -> first detector firing), a strict
+  no-op when disabled;
+* :mod:`repro.observability.metrics` - a registry of counters, gauges
+  and histograms with picklable snapshots, merged across
+  ``ParallelExecutor`` workers in the driver, exported as a
+  Prometheus-style textfile;
+* :mod:`repro.observability.timeline` - the per-trial
+  fault-propagation timeline: injection instant (basic block,
+  instruction index, byte offset) and first-divergence instant (first
+  detector firing, signal, protocol abort, hang declaration or output
+  mismatch), yielding error-latency histograms per region in the
+  spirit of section 5 of the paper;
+* :mod:`repro.observability.export` - Chrome ``trace_event`` JSON
+  (viewable in Perfetto) and validation helpers;
+* :mod:`repro.observability.runtime` - the per-process activation
+  scope the instrumented layers consult.
+
+All timestamps are *simulated* clocks (executed basic blocks,
+instructions retired, received bytes), so every artifact is
+bit-identical across worker counts and completion orders.
+"""
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.observability.tracer import Tracer
+from repro.observability.timeline import PropagationTimeline, TimelineEvent
+from repro.observability.export import (
+    TraceCollector,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observability.runtime import (
+    activate,
+    disable,
+    enable,
+    enabled,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "parse_prometheus",
+    "render_prometheus",
+    "Tracer",
+    "PropagationTimeline",
+    "TimelineEvent",
+    "TraceCollector",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "activate",
+    "enable",
+    "disable",
+    "enabled",
+]

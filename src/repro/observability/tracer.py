@@ -1,0 +1,123 @@
+"""The span/event tracer.
+
+Events follow the Chrome ``trace_event`` vocabulary (complete spans
+``ph="X"``, instants ``ph="i"``, counters ``ph="C"``) so the export to
+Perfetto is a direct serialization.  Timestamps are *simulated* basic
+blocks (1 block = 1 microsecond in the viewer), ``pid`` identifies the
+trial (remapped by the driver when traces from many trials are merged)
+and ``tid`` the MPI rank, which lines every rank of a trial up as one
+named thread track.
+
+The tracer is only consulted through
+:mod:`repro.observability.runtime`; when no tracer is active the entire
+instrumentation reduces to one ``is None`` check per event site.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Hard cap on buffered events; beyond it events are counted, not kept
+#: (a runaway trace must not exhaust driver memory).
+MAX_EVENTS = 200_000
+
+#: Event categories emitted by the instrumented layers, one per
+#: execution layer (the acceptance check asserts all three core layers
+#: appear in a traced trial).
+CAT_VM = "vm"
+CAT_MPI = "mpi"
+CAT_ADI = "adi"
+CAT_CHANNEL = "channel"
+CAT_INJECTION = "injection"
+CAT_DETECTOR = "detector"
+CAT_TRIAL = "trial"
+
+
+class Tracer:
+    """Collects trace events for one scope (usually one trial)."""
+
+    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _emit(self, event: dict[str, Any]) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        dur: int,
+        *,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> None:
+        """One completed span: ``[ts, ts + dur]`` in simulated blocks."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": int(ts),
+            "dur": max(int(dur), 1),
+            "pid": 0,
+            "tid": int(tid),
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        *,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> None:
+        """A point event (thread-scoped)."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": int(ts),
+            "pid": 0,
+            "tid": int(tid),
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(
+        self, name: str, ts: int, values: dict[str, float], *, tid: int = 0
+    ) -> None:
+        """A counter track sample (renders as a filled area chart)."""
+        self._emit(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": int(ts),
+                "pid": 0,
+                "tid": int(tid),
+                "args": {k: float(v) for k, v in values.items()},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def categories(self) -> set[str]:
+        return {e["cat"] for e in self.events}
+
+    def __len__(self) -> int:
+        return len(self.events)

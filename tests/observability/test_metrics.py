@@ -1,0 +1,146 @@
+"""Metrics registry: counters, histograms, snapshots, text round trip."""
+
+import math
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", kind="a")
+        c.inc()
+        c.inc(2.5)
+        assert reg.counter_value("hits", kind="a") == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_identity_is_name_plus_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="a").inc()
+        reg.counter("hits", kind="b").inc(5)
+        assert reg.counter_value("hits", kind="a") == 1
+        assert reg.counter_value("hits", kind="b") == 5
+        assert reg.counter_value("hits", kind="c") == 0
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.inc(-2)
+        snap = reg.snapshot()
+        assert snap.gauges[("depth", ())] == pytest.approx(5.0)
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 3.0, 100.0):
+            h.observe(v)
+        # le=1 gets 0.5 and 1.0; le=2 none; le=4 gets 3.0; +Inf gets 100
+        assert h.counts == [2, 0, 1, 1]
+        assert h.cumulative() == [2, 2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(104.5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_default_buckets_are_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert all(b == 2 * a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))
+
+
+class TestSnapshots:
+    def _registry(self, values):
+        reg = MetricsRegistry()
+        for v in values:
+            reg.counter("n", app="x").inc(v)
+            reg.histogram("lat", region="stack").observe(v)
+        return reg
+
+    def test_merge_is_order_independent(self):
+        a = self._registry([1, 2, 3]).snapshot()
+        b = self._registry([10, 20]).snapshot()
+        ab = MetricsSnapshot().merge(a).merge(b)
+        ba = MetricsSnapshot().merge(b).merge(a)
+        assert ab.counters == ba.counters
+        assert ab.histograms == ba.histograms
+
+    def test_registry_merges_snapshot(self):
+        reg = self._registry([4])
+        reg.merge(self._registry([8, 16]).snapshot())
+        assert reg.counter_value("n", app="x") == 28
+        _, _, total, count = reg.histogram_state("lat", region="stack")
+        assert (total, count) == (28.0, 3)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0, 3.0)).observe(1)
+        with pytest.raises(ValueError, match="bound mismatch"):
+            a.snapshot().merge(b.snapshot())
+
+    def test_gauges_overwrite_on_merge(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(1)
+        b = MetricsRegistry()
+        b.gauge("g").set(9)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.gauges[("g", ())] == 9.0
+
+
+class TestTextFormat:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_flips_total", region="stack").inc(3)
+        reg.gauge("repro_done", app="wavetoy").set(12)
+        h = reg.histogram("repro_latency", buckets=(1.0, 8.0), region="heap")
+        h.observe(0.5)
+        h.observe(100.0)
+        return reg
+
+    def test_round_trip(self):
+        text = render_prometheus(self._populated())
+        samples = parse_prometheus(text)
+        assert samples[("repro_flips_total", (("region", "stack"),))] == 3.0
+        assert samples[("repro_done", (("app", "wavetoy"),))] == 12.0
+        assert (
+            samples[("repro_latency_bucket", (("region", "heap"), ("le", "+Inf")))]
+            == 2.0
+        )
+        assert samples[("repro_latency_count", (("region", "heap"),))] == 2.0
+
+    def test_render_is_deterministic(self):
+        assert render_prometheus(self._populated()) == render_prometheus(
+            self._populated()
+        )
+
+    def test_type_lines_present(self):
+        text = render_prometheus(self._populated())
+        assert "# TYPE repro_flips_total counter" in text
+        assert "# TYPE repro_latency histogram" in text
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus("this is { not a metric\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        assert parse_prometheus("# HELP x y\n\n# TYPE x counter\nx 1\n") == {
+            ("x", ()): 1.0
+        }
+
+    def test_parse_special_values(self):
+        samples = parse_prometheus("a +Inf\nb -Inf\nc NaN\n")
+        assert samples[("a", ())] == math.inf
+        assert samples[("b", ())] == -math.inf
+        assert math.isnan(samples[("c", ())])

@@ -1,0 +1,89 @@
+"""ProgressEmitter: trial-count throttling and registry fan-out."""
+
+from repro.engine.progress import ProgressEmitter, ProgressEvent, format_progress
+from repro.observability.metrics import MetricsRegistry
+
+
+def make_event(done=10, final=False, target_d=None):
+    return ProgressEvent(
+        app="wavetoy",
+        region="stack",
+        done=done,
+        planned=20,
+        resumed=1,
+        errors=2,
+        achieved_d=0.12,
+        target_d=target_d,
+        final=final,
+    )
+
+
+class TestThrottle:
+    def test_every_nth_trial_per_region(self):
+        em = ProgressEmitter(callback=lambda e: None, log_interval=3)
+        due = [em.note_trial("app", "stack") for _ in range(7)]
+        assert due == [False, False, True, False, False, True, False]
+
+    def test_regions_counted_independently(self):
+        em = ProgressEmitter(callback=lambda e: None, log_interval=2)
+        assert not em.note_trial("app", "stack")
+        assert not em.note_trial("app", "heap")
+        assert em.note_trial("app", "stack")
+        assert em.note_trial("app", "heap")
+
+    def test_zero_interval_never_due(self):
+        em = ProgressEmitter(callback=lambda e: None, log_interval=0)
+        assert not any(em.note_trial("app", "stack") for _ in range(10))
+
+    def test_inactive_emitter_never_due(self):
+        em = ProgressEmitter(log_interval=2)  # no callback, no metrics
+        assert not em.active
+        assert not any(em.note_trial("app", "stack") for _ in range(4))
+
+
+class TestFanOut:
+    def test_metrics_only_emission(self):
+        reg = MetricsRegistry()
+        em = ProgressEmitter(log_interval=1, metrics=reg)
+        assert em.active
+        em.emit(make_event(done=10))
+        em.emit(make_event(done=15))
+        snap = reg.snapshot()
+        labels = (("app", "wavetoy"), ("region", "stack"))
+        assert snap.gauges[("repro_campaign_trials_done", labels)] == 15.0
+        assert snap.gauges[("repro_campaign_errors", labels)] == 2.0
+        assert (
+            reg.counter_value(
+                "repro_campaign_progress_events_total", app="wavetoy", region="stack"
+            )
+            == 2
+        )
+
+    def test_deprecated_callback_shim_still_fires(self):
+        seen = []
+        em = ProgressEmitter(callback=seen.append, log_interval=1)
+        event = make_event()
+        em.emit(event)
+        assert seen == [event]
+
+    def test_both_sinks_fed(self):
+        seen = []
+        reg = MetricsRegistry()
+        em = ProgressEmitter(callback=seen.append, log_interval=1, metrics=reg)
+        em.emit(make_event())
+        assert len(seen) == 1
+        assert (
+            reg.counter_value(
+                "repro_campaign_progress_events_total", app="wavetoy", region="stack"
+            )
+            == 1
+        )
+
+
+class TestFormat:
+    def test_line_contents(self):
+        line = format_progress(make_event(final=True, target_d=0.05))
+        assert "[wavetoy:stack]" in line
+        assert "10/20 trials" in line
+        assert "(target 5.0%)" in line
+        assert line.endswith("[done]")

@@ -1,0 +1,73 @@
+"""Fault-propagation timeline semantics."""
+
+from repro.observability.timeline import PropagationTimeline, TimelineEvent
+
+
+def ev(kind, blocks=None, **kw):
+    return TimelineEvent(kind=kind, blocks=blocks, **kw)
+
+
+class TestFirstWins:
+    def test_first_injection_wins(self):
+        tl = PropagationTimeline()
+        tl.note_injection(ev("injection", blocks=10))
+        tl.note_injection(ev("injection", blocks=99))  # stuck-at reassert
+        assert tl.injection.blocks == 10
+        assert [e.blocks for e in tl.events] == [10, 99]
+
+    def test_first_divergence_wins(self):
+        tl = PropagationTimeline()
+        tl.note_divergence(ev("detector:checksum", blocks=20))
+        tl.note_divergence(ev("app_abort", blocks=30))
+        assert tl.divergence.kind == "detector:checksum"
+
+
+class TestLatency:
+    def test_latency_is_block_difference(self):
+        tl = PropagationTimeline()
+        tl.note_injection(ev("injection", blocks=100))
+        tl.note_divergence(ev("signal:SIGSEGV", blocks=350))
+        assert tl.latency_blocks == 250
+
+    def test_latency_clamped_nonnegative(self):
+        # Cross-rank skew: the detecting rank's clock may trail the
+        # injected rank's by a scheduling round.
+        tl = PropagationTimeline()
+        tl.note_injection(ev("injection", blocks=100, rank=0))
+        tl.note_divergence(ev("detector:nan", blocks=95, rank=1))
+        assert tl.latency_blocks == 0
+
+    def test_latency_none_without_both_instants(self):
+        tl = PropagationTimeline()
+        assert tl.latency_blocks is None
+        tl.note_injection(ev("injection", blocks=5))
+        assert tl.latency_blocks is None
+        tl.note_divergence(ev("hang", blocks=None))
+        assert tl.latency_blocks is None
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        assert PropagationTimeline().summary() == {}
+
+    def test_full_summary(self):
+        tl = PropagationTimeline()
+        tl.note_injection(
+            ev("injection", blocks=10, insns=40, byte_offset=1234, rank=1)
+        )
+        tl.note_divergence(ev("detector:checksum", blocks=60))
+        assert tl.summary() == {
+            "injected_at_blocks": 10,
+            "injected_at_insns": 40,
+            "injected_byte": 1234,
+            "diverged_at_blocks": 60,
+            "divergence_kind": "detector:checksum",
+            "latency_blocks": 50,
+        }
+
+    def test_event_list_is_bounded(self):
+        tl = PropagationTimeline(max_events=4)
+        for i in range(10):
+            tl.note_divergence(ev("detector:nan", blocks=i))
+        assert len(tl.events) == 4
+        assert tl.divergence.blocks == 0

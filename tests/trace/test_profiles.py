@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mpi.simulator import JobConfig
-from repro.trace.profiles import profile_application
+from repro.trace.profiles import ApplicationProfile, profile_application
 from repro.trace.working_set import trace_memory
 from tests.conftest import SMALL_NPROCS, small_wavetoy
 
@@ -46,6 +46,55 @@ class TestProfile:
 
 def p_user(profile):
     return profile.user_percent
+
+
+def make_profile(**over):
+    fields = dict(
+        app_name="toy",
+        nprocs=4,
+        text_size=2 << 20,
+        data_size=1 << 20,
+        bss_size=512 << 10,
+        heap_size_min=4 << 20,
+        heap_size_max=4 << 20,
+        stack_size_min=8 << 10,
+        stack_size_max=16 << 10,
+        message_bytes_min=1 << 20,
+        message_bytes_max=3 << 20,
+        header_percent=7.0,
+        user_percent=93.0,
+        control_message_percent=12.0,
+    )
+    fields.update(over)
+    return ApplicationProfile(**fields)
+
+
+class TestAsRowsBranches:
+    def test_identical_extents_render_single_value(self):
+        rows = dict(make_profile().as_rows())
+        assert rows["Heap Size (MB)"] == "4"
+
+    def test_near_identical_extents_collapse(self):
+        # spread under 1 KiB: noise, not a real per-rank range
+        rows = dict(
+            make_profile(heap_size_min=(4 << 20) - 512).as_rows()
+        )
+        assert "-" not in rows["Heap Size (MB)"]
+
+    def test_wide_extents_render_range(self):
+        rows = dict(make_profile().as_rows())
+        assert rows["Message (MB)"] == "1-3"
+
+    def test_stack_reported_in_kb(self):
+        rows = dict(make_profile().as_rows())
+        assert rows["Stack Size (KB)"] == "16"
+
+    def test_percent_rows_rounded(self):
+        rows = dict(
+            make_profile(header_percent=6.6, user_percent=93.4).as_rows()
+        )
+        assert rows["Header %"] == "7"
+        assert rows["User %"] == "93"
 
 
 class TestTraceMemory:

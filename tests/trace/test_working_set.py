@@ -5,6 +5,7 @@ import pytest
 
 from repro.memory.layout import GRANULE
 from repro.trace.working_set import (
+    WorkingSetCurve,
     combined_curve,
     section_curve,
     working_set_sizes,
@@ -91,3 +92,55 @@ class TestSectionCurves:
             image.text, kind="exec", total_blocks=image.clock.blocks
         )
         assert curve.at(0) == pytest.approx(float(curve.percent[0]))
+
+
+class TestEdgeCases:
+    def test_empty_trace_is_all_zero(self):
+        # tracked but never accessed: every granule keeps last = -1
+        last = np.full(16, -1, dtype=np.int64)
+        times = np.array([0, 5, 10])
+        np.testing.assert_array_equal(working_set_sizes(last, times), [0, 0, 0])
+
+    def test_no_granules_at_all(self):
+        sizes = working_set_sizes(np.empty(0, dtype=np.int64), np.array([0, 1]))
+        np.testing.assert_array_equal(sizes, [0, 0])
+
+    def test_combined_curve_over_no_segments(self):
+        curve = combined_curve([], kind="load", total_blocks=10)
+        assert curve.section_bytes == 0
+        assert np.all(curve.sizes_bytes == 0)
+        np.testing.assert_array_equal(curve.percent, 0.0)
+        assert curve.is_nonincreasing()
+
+    def test_single_basic_block_run(self):
+        # a ret-only program retires exactly one basic block; the time
+        # axis must still span a non-degenerate [0, 1] window
+        image, vm = build_image({"main": "ret"}, track=True)
+        vm.call("main")
+        assert image.clock.blocks <= 1
+        curve = section_curve(
+            image.text, kind="exec", total_blocks=image.clock.blocks
+        )
+        assert curve.times[0] == 0
+        assert curve.times[-1] == 1
+        assert curve.percent[0] > 0
+        assert curve.is_nonincreasing()
+
+    def test_overlapping_and_unsorted_query_windows(self):
+        # duplicate and out-of-order query times: WSS(t) is a pure
+        # function of t, so repeats must agree and order must not matter
+        last = np.array([3, 7, 7, 12], dtype=np.int64)
+        times = np.array([7, 0, 7, 13, 4])
+        np.testing.assert_array_equal(
+            working_set_sizes(last, times), [3, 4, 3, 0, 3]
+        )
+
+    def test_zero_sized_section_percent(self):
+        curve = WorkingSetCurve(
+            name="empty",
+            times=np.array([0, 1], dtype=np.int64),
+            sizes_bytes=np.array([0, 0], dtype=np.int64),
+            section_bytes=0,
+        )
+        np.testing.assert_array_equal(curve.percent, [0.0, 0.0])
+        assert curve.at(0) == 0.0
