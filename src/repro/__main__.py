@@ -208,6 +208,7 @@ def cmd_campaign_run(args) -> int:
     def progress(event):
         print(format_progress(event), file=sys.stderr)
 
+    stride = None if args.no_checkpoint else args.checkpoint_stride
     t0 = time.time()
     result = campaign.run(
         regions,
@@ -220,6 +221,7 @@ def cmd_campaign_run(args) -> int:
         progress=progress if args.log_interval else None,
         metrics=metrics,
         trace=collector,
+        checkpoint_stride=stride,
     )
     elapsed = time.time() - t0
     if collector is not None:
@@ -540,6 +542,15 @@ def main(argv: list[str] | None = None) -> int:
     crun.add_argument("--metrics", default=None, metavar="FILE",
                       help="write the aggregated campaign metrics as a "
                       "Prometheus textfile to FILE")
+    crun.add_argument("--checkpoint-stride", type=int, default=16,
+                      dest="checkpoint_stride", metavar="BLOCKS",
+                      help="replay the recorded golden prefix up to the "
+                      "last checkpoint (every BLOCKS blocks) before each "
+                      "injection instant (default 16)")
+    crun.add_argument("--no-checkpoint", action="store_true",
+                      dest="no_checkpoint",
+                      help="disable golden-prefix replay; every trial "
+                      "executes from block 0")
     crun.set_defaults(fn=cmd_campaign_run)
     cstat = camp_sub.add_parser("status", help="summarize a result store")
     cstat.add_argument("--store", required=True)

@@ -26,5 +26,16 @@ class Clock:
     def reset(self) -> None:
         self.blocks = 0
 
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def capture(self) -> int:
+        """Checkpointable state: just the block count."""
+        return self.blocks
+
+    def restore(self, blocks: int) -> None:
+        """Rewind/advance to a captured block count."""
+        self.blocks = blocks
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clock(blocks={self.blocks})"

@@ -168,6 +168,41 @@ class FPU:
         return value
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple:
+        """Full picklable FPU state.  The physical registers travel as
+        raw bytes so the 80-bit extended encoding round-trips exactly
+        (``float()`` conversion would discard mantissa bits)."""
+        return (
+            self._phys.tobytes(),
+            self.top,
+            self.twd,
+            self.cwd,
+            self.swd,
+            self.fip,
+            self.fcs,
+            self.foo,
+            self.fos,
+            self.depth,
+            self.max_depth,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        phys, top, twd, cwd, swd, fip, fcs, foo, fos, depth, max_depth = state
+        self._phys = np.frombuffer(phys, dtype=np.longdouble).copy()
+        self.top = top
+        self.twd = twd
+        self.cwd = cwd
+        self.swd = swd
+        self.fip = fip
+        self.fcs = fcs
+        self.foo = foo
+        self.fos = fos
+        self.depth = depth
+        self.max_depth = max_depth
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     def registers_in_use(self) -> int:

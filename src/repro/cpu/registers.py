@@ -98,6 +98,30 @@ class RegisterFile:
     def snapshot(self) -> dict[str, int]:
         return {name: self.r[i] for i, name in enumerate(REG_NAMES)}
 
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple:
+        """Full picklable state, including the liveness counters (they
+        feed section-6.1.1 statistics and must survive restore)."""
+        return (
+            tuple(self.r),
+            self.eip,
+            self.zf,
+            self.sf,
+            tuple(self.read_count),
+            tuple(self.write_count),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        r, eip, zf, sf, reads, writes = state
+        self.r[:] = r
+        self.eip = eip
+        self.zf = zf
+        self.sf = sf
+        self.read_count[:] = reads
+        self.write_count[:] = writes
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         regs = " ".join(f"{n}={v:08x}" for n, v in self.snapshot().items())
         return f"RegisterFile({regs} eip={self.eip:08x} zf={self.zf} sf={self.sf})"

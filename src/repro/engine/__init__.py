@@ -16,6 +16,14 @@ from repro.engine.budgets import (
     hang_budgets,
     round_budget,
 )
+from repro.engine.checkpoint import (
+    CheckpointStore,
+    GoldenRecording,
+    MachineSnapshot,
+    ReplayPlan,
+    plan_replay,
+    record_golden,
+)
 from repro.engine.core import ExecutionContext, execute_trial, run_single
 from repro.engine.driver import CampaignEngine, observed_half_width
 from repro.engine.executors import (
@@ -45,6 +53,12 @@ __all__ = [
     "block_budget",
     "hang_budgets",
     "round_budget",
+    "CheckpointStore",
+    "GoldenRecording",
+    "MachineSnapshot",
+    "ReplayPlan",
+    "plan_replay",
+    "record_golden",
     "ExecutionContext",
     "execute_trial",
     "run_single",

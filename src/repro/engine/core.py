@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.engine import checkpoint as _checkpoint
 from repro.engine.budgets import hang_budgets
 from repro.engine.trial import TrialResult, TrialSpec, restore_rng
 from repro.injection.faults import FaultSpec, InjectionRecord
@@ -53,6 +54,14 @@ class ExecutionContext:
     #: activates exactly the observability scope these request.
     trace: bool = False
     collect_metrics: bool = False
+    #: Golden-prefix replay stride in blocks (``None`` = checkpointing
+    #: off, the default - existing callers are untouched).
+    checkpoint_stride: int | None = None
+    #: The shared :class:`~repro.engine.checkpoint.GoldenRecording`.
+    #: Deliberately *kept* by ``__getstate__``: the driver attaches it
+    #: before the executor pickles the context, so every fork worker
+    #: receives the one recording exactly once.
+    checkpoint: object | None = field(default=None, repr=False, compare=False)
     _resolved_compare: Callable | None = field(
         default=None, repr=False, compare=False
     )
@@ -193,6 +202,12 @@ def run_observed(
     only when the context's ``trace`` / ``collect_metrics`` flags are
     set.
     """
+    # Plan the golden-prefix replay *outside* the trial's observability
+    # scope: a cold cache records the golden run here, and that
+    # recording's events must not leak into this trial's tracer.
+    plan = None
+    if ctx.checkpoint_stride is not None:
+        plan = _checkpoint.prepare_replay(ctx, fault)
     tracer = Tracer() if ctx.trace else None
     registry = MetricsRegistry() if ctx.collect_metrics else None
     timeline = PropagationTimeline()
@@ -200,6 +215,13 @@ def run_observed(
         tracer=tracer, metrics=registry, timeline=timeline
     ):
         job = Job(ctx.factory(), ctx.job_config())
+        if plan is not None:
+            _checkpoint.install_replay(job, plan)
+            _obs_runtime.note_checkpoint_restore(
+                switch_round=plan.switch_round,
+                blocks_skipped=plan.blocks_skipped,
+                calls_skipped=plan.calls_skipped,
+            )
         record = install(job, fault, rng)
         result = job.run()
         manifestation = classify(result, ctx.reference, ctx.resolved_compare())

@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro.engine import checkpoint
 from repro.engine.core import ExecutionContext
 from repro.engine.executors import make_executor
 from repro.engine.progress import ProgressEmitter, ProgressEvent
@@ -111,6 +112,11 @@ class CampaignEngine:
     trace:
         A :class:`~repro.observability.export.TraceCollector`; each
         fresh trial's event list is filed under its (region, index).
+    checkpoint_stride:
+        Golden-prefix replay stride in blocks (see
+        :mod:`repro.engine.checkpoint`); ``None`` disables
+        checkpointing.  The golden recording is made once, lazily, and
+        shipped inside the pickled context so fork workers share it.
     """
 
     def __init__(
@@ -127,6 +133,7 @@ class CampaignEngine:
         log_interval: int = 0,
         metrics: MetricsRegistry | None = None,
         trace: TraceCollector | None = None,
+        checkpoint_stride: int | None = None,
     ) -> None:
         self.context = context
         self.sampler = sampler
@@ -145,6 +152,7 @@ class CampaignEngine:
             context.collect_metrics = True
         if trace is not None:
             context.trace = True
+        context.checkpoint_stride = checkpoint_stride
         self.emitter = ProgressEmitter(
             callback=progress, log_interval=log_interval, metrics=metrics
         )
@@ -165,7 +173,13 @@ class CampaignEngine:
     # ------------------------------------------------------------------
     def executor(self):
         if self._executor is None:
-            self._executor = make_executor(self.context, self.jobs)
+            context = self.context
+            if context.checkpoint_stride is not None and context.checkpoint is None:
+                # Record the golden run once, *before* the executor
+                # pickles the context: serial trials and every fork
+                # worker then share the same recording.
+                context.checkpoint = checkpoint.default_store().get(context)
+            self._executor = make_executor(context, self.jobs)
         return self._executor
 
     def close(self) -> None:
@@ -254,7 +268,12 @@ class CampaignEngine:
                     (spec.index, (spec.fault, result.record, result.manifestation))
                 )
         self._observe(result)
-        if self.emitter.note_trial(self.context.app, row.region.value):
+        due = self.emitter.note_trial(self.context.app, row.region.value)
+        # When log_interval divides the planned count, the last trial's
+        # periodic event would duplicate the region-final event emitted
+        # by run_region (same done count) - a legacy callback would see
+        # the region-complete state twice.  Suppress the periodic one.
+        if due and not (planned is not None and row.executions >= planned):
             self._emit(state, planned, target_d, alpha, final=False)
 
     def _observe(self, result: TrialResult) -> None:

@@ -63,6 +63,10 @@ class ProgressEmitter:
     log_interval: int = 0
     metrics: MetricsRegistry | None = None
     _since: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Regions whose final event has already been published; a second
+    #: region-complete emission for the same ``(app, region)`` is
+    #: swallowed so the deprecated callback shim can never double-fire.
+    _final_sent: set[tuple[str, str]] = field(default_factory=set)
 
     @property
     def active(self) -> bool:
@@ -82,6 +86,11 @@ class ProgressEmitter:
         return False
 
     def emit(self, event: ProgressEvent) -> None:
+        if event.final:
+            key = (event.app, event.region)
+            if key in self._final_sent:
+                return
+            self._final_sent.add(key)
         metrics = self.metrics
         if metrics is not None:
             labels = {"app": event.app, "region": event.region}

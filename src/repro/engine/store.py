@@ -54,7 +54,18 @@ class ResultStore:
     def append(self, result: TrialResult) -> None:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A crash mid-write leaves a partial line with no trailing
+            # newline; appending straight after it would glue the new
+            # record onto the fragment and corrupt both.  Terminate the
+            # fragment first so only the interrupted trial is lost.
+            needs_newline = False
+            if self.path.exists() and self.path.stat().st_size > 0:
+                with open(self.path, "rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
             self._fh = open(self.path, "a")
+            if needs_newline:
+                self._fh.write("\n")
         self._fh.write(json.dumps(result.to_json(), sort_keys=True) + "\n")
         self._fh.flush()
 
@@ -89,7 +100,12 @@ class ResultStore:
                 try:
                     obj = json.loads(line)
                     result = TrialResult.from_json(obj)
-                except (ValueError, KeyError):
+                except (ValueError, KeyError, TypeError, AttributeError):
+                    # ValueError covers truncated JSON and bad enum
+                    # values; TypeError/AttributeError cover lines that
+                    # parse as valid JSON of the wrong shape (a bare
+                    # number, a list) - both mean "corrupt record":
+                    # skip it and let --resume re-run that trial.
                     continue
                 results[result.key] = result
         return results

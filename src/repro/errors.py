@@ -111,3 +111,13 @@ class HangDetected(SimulationError):
 
 class InvalidFaultSpec(SimulationError):
     """A fault specification referenced a nonexistent target."""
+
+
+class CheckpointDesync(Exception):
+    """Replay of a recorded golden prefix diverged from live execution.
+
+    Deliberately *not* a :class:`SimulationError`: a desync means the
+    checkpoint machinery itself is broken (the recording no longer
+    matches the pre-injection execution), so it must escape the job's
+    outcome classification rather than masquerade as a Crash.
+    """

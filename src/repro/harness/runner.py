@@ -57,6 +57,7 @@ def run_with_fault_observed(
     compare=None,
     trace: bool = False,
     metrics: bool = False,
+    checkpoint_stride: int | None = None,
 ) -> tuple[Manifestation, InjectionRecord, JobResult, TrialObservation]:
     """:func:`run_with_fault` plus the trial's observability record.
 
@@ -64,6 +65,9 @@ def run_with_fault_observed(
     timeline (injection instant, first divergence, latency in blocks);
     ``trace=True``/``metrics=True`` additionally attach the Chrome
     trace events and the metrics snapshot for this one execution.
+    ``checkpoint_stride`` enables golden-prefix replay (see
+    :mod:`repro.engine.checkpoint`) for this single trial, sharing the
+    process-wide recording cache.
     """
     if reference is None:
         reference = run_fault_free(app_factory, config)
@@ -72,4 +76,5 @@ def run_with_fault_observed(
     )
     ctx.trace = trace
     ctx.collect_metrics = metrics
+    ctx.checkpoint_stride = checkpoint_stride
     return run_observed(ctx, spec, np.random.default_rng(seed))

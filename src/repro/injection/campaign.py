@@ -293,6 +293,7 @@ class Campaign:
         log_interval: int = 0,
         metrics=None,
         trace=None,
+        checkpoint_stride: int | None = None,
     ):
         """Build a :class:`~repro.engine.driver.CampaignEngine` bound to
         this campaign's sampler, reference profile, and plan."""
@@ -310,6 +311,7 @@ class Campaign:
             log_interval=log_interval,
             metrics=metrics,
             trace=trace,
+            checkpoint_stride=checkpoint_stride,
         )
 
     # ------------------------------------------------------------------
@@ -341,6 +343,7 @@ class Campaign:
         log_interval: int = 0,
         metrics=None,
         trace=None,
+        checkpoint_stride: int | None = None,
     ) -> RegionResult:
         """Run one region through the campaign engine.
 
@@ -356,6 +359,7 @@ class Campaign:
             log_interval=log_interval,
             metrics=metrics,
             trace=trace,
+            checkpoint_stride=checkpoint_stride,
         ) as eng:
             return eng.run_region(
                 region,
@@ -383,6 +387,7 @@ class Campaign:
         log_interval: int = 0,
         metrics=None,
         trace=None,
+        checkpoint_stride: int | None = None,
     ) -> CampaignResult:
         with self.engine(
             jobs=jobs,
@@ -391,6 +396,7 @@ class Campaign:
             log_interval=log_interval,
             metrics=metrics,
             trace=trace,
+            checkpoint_stride=checkpoint_stride,
         ) as eng:
             return eng.run(
                 regions,

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import (
     AppAbort,
+    CheckpointDesync,
     HangDetected,
     MPIAbort,
     SimSignal,
@@ -164,6 +165,13 @@ class Job:
         #: Hooks run once, immediately before the first scheduler round
         #: (the injector uses this to arm per-rank faults after MPI_Init).
         self.pre_run_hooks: list[Callable[["Job"], None]] = []
+        #: Scheduler state, live once :meth:`begin` has run.  Exposed as
+        #: instance state (rather than locals of ``run``) so checkpoint
+        #: recording and the snapshot machinery can pause between rounds.
+        self.rounds: int = 0
+        self._gens: list[Generator | None] = []
+        self._waiting: list[Any] = []
+        self._done: list[bool] = []
 
     def _route(self, dst: int) -> ChannelEndpoint:
         # Out-of-range destinations can only be produced by corrupted
@@ -176,68 +184,94 @@ class Job:
     # ------------------------------------------------------------------
     # scheduler
     # ------------------------------------------------------------------
-    def run(self) -> JobResult:
-        """Execute the job to termination and classify how it ended."""
+    def begin(self) -> JobResult | None:
+        """Run the pre-run hooks and construct every rank's generator.
+
+        Returns a :class:`JobResult` when startup itself crashes (a
+        construction failure), ``None`` when the job is ready to step.
+        """
         n = self.config.nprocs
         for hook in self.pre_run_hooks:
             hook(self)
-        gens: list[Generator | None] = []
+        self._gens = []
+        self.rounds = 0
         try:
             for ctx in self.contexts:
-                gens.append(self.app.main(ctx))
+                self._gens.append(self.app.main(ctx))
         except Exception as exc:  # construction failure = startup crash
             return self._result_for_exception(exc, rounds=0)
+        self._waiting = [None] * n  # pending Request per rank
+        self._done = [False] * n
+        return None
 
-        waiting: list[Any] = [None] * n  # pending Request per rank
-        done = [False] * n
-        rounds = 0
+    def step_round(self) -> JobResult | None:
+        """Execute one scheduler round.
+
+        Returns ``None`` while the job is still running, or the final
+        :class:`JobResult` when it terminated (normally or not) during
+        this round.  Exception and classification semantics are exactly
+        those of the former monolithic loop: any raise inside the round
+        - including the hang budget and deadlock sweep - is classified
+        here with the current round count.
+        """
+        n = self.config.nprocs
         try:
-            while True:
-                progressed = False
-                for rank in range(n):
-                    if done[rank]:
-                        continue
-                    self._current_rank = rank
-                    if self.adis[rank].progress():
-                        progressed = True
-                    req = waiting[rank]
-                    if req is not None and not req.ready():
-                        continue
-                    waiting[rank] = None
-                    try:
-                        item = next(gens[rank])
-                    except StopIteration:
-                        done[rank] = True
-                        progressed = True
-                        continue
-                    waiting[rank] = item  # None = voluntary yield
+            progressed = False
+            for rank in range(n):
+                if self._done[rank]:
+                    continue
+                self._current_rank = rank
+                if self.adis[rank].progress():
                     progressed = True
-                rounds += 1
-                if all(done):
-                    return JobResult(
-                        status=JobStatus.COMPLETED,
-                        detail="all ranks exited",
-                        stdout=self.stdout,
-                        stderr=self.stderr,
-                        outputs=self.outputs,
-                        rounds=rounds,
-                        blocks_per_rank=[im.clock.blocks for im in self.images],
-                    )
-                if self.config.round_limit is not None and rounds > self.config.round_limit:
-                    raise HangDetected("scheduler round budget exceeded", rounds)
-                if not progressed:
-                    # One last progress sweep before declaring deadlock.
-                    if not any(adi.progress() for adi in self.adis):
-                        raise HangDetected("deadlock: all ranks blocked")
+                req = self._waiting[rank]
+                if req is not None and not req.ready():
+                    continue
+                self._waiting[rank] = None
+                try:
+                    item = next(self._gens[rank])
+                except StopIteration:
+                    self._done[rank] = True
+                    progressed = True
+                    continue
+                self._waiting[rank] = item  # None = voluntary yield
+                progressed = True
+            self.rounds += 1
+            if all(self._done):
+                return JobResult(
+                    status=JobStatus.COMPLETED,
+                    detail="all ranks exited",
+                    stdout=self.stdout,
+                    stderr=self.stderr,
+                    outputs=self.outputs,
+                    rounds=self.rounds,
+                    blocks_per_rank=[im.clock.blocks for im in self.images],
+                )
+            if self.config.round_limit is not None and self.rounds > self.config.round_limit:
+                raise HangDetected("scheduler round budget exceeded", self.rounds)
+            if not progressed:
+                # One last progress sweep before declaring deadlock.
+                if not any(adi.progress() for adi in self.adis):
+                    raise HangDetected("deadlock: all ranks blocked")
+            return None
         except BaseException as exc:
-            return self._result_for_exception(exc, rounds)
+            return self._result_for_exception(exc, self.rounds)
+
+    def run(self) -> JobResult:
+        """Execute the job to termination and classify how it ended."""
+        result = self.begin()
+        if result is not None:
+            return result
+        while True:
+            result = self.step_round()
+            if result is not None:
+                return result
 
     # ------------------------------------------------------------------
     # failure classification (raw job level)
     # ------------------------------------------------------------------
     def _result_for_exception(self, exc: BaseException, rounds: int) -> JobResult:
         rank = self._current_rank
-        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+        if isinstance(exc, (KeyboardInterrupt, SystemExit, CheckpointDesync)):
             raise exc
         status, detail = self._classify(exc, rank)
         if _obs.TIMELINE is not None or _obs.TRACER is not None:

@@ -161,6 +161,32 @@ def note_injection(
         tracer.instant("inject:flip", "injection", blocks, tid=rank, args=args)
 
 
+def note_checkpoint_restore(
+    *, switch_round: int, blocks_skipped: int, calls_skipped: int = 0
+) -> None:
+    """A trial resumed from the golden recording: count the restore and
+    the interpreter work it avoided, and stamp a tracer instant at the
+    start of the trial (the replayed prefix begins at block 0)."""
+    metrics = METRICS
+    if metrics is not None:
+        metrics.counter("repro_checkpoint_restore_total").inc()
+        metrics.counter("repro_checkpoint_blocks_skipped_total").inc(
+            blocks_skipped
+        )
+    tracer = TRACER
+    if tracer is not None:
+        tracer.instant(
+            "checkpoint:restore",
+            "checkpoint",
+            0,
+            args={
+                "switch_round": switch_round,
+                "blocks_skipped": blocks_skipped,
+                "calls_skipped": calls_skipped,
+            },
+        )
+
+
 def note_termination(kind: str, *, rank: int | None, blocks: int | None, detail: str = "") -> None:
     """The job ended abnormally: record it as a divergence instant (the
     weakest evidence; detector firings recorded earlier take precedence

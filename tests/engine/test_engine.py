@@ -131,6 +131,28 @@ class TestResume:
         )
         assert other.resumed == 0
 
+    def test_resume_reruns_trial_lost_to_truncated_line(self, tmp_path):
+        """A write cut short mid-line (the crash --resume exists for)
+        costs exactly that one trial: the loader skips the partial
+        record and resume re-executes it, with no crash and no
+        double-count."""
+        store = tmp_path / "campaign.jsonl"
+        small_campaign().run_region(Region.MESSAGE, 3, store=store)
+        lines = store.read_text().splitlines()
+        assert len(lines) == 3
+        store.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+
+        resumed = small_campaign().run_region(
+            Region.MESSAGE, 3, store=store, resume=True
+        )
+        assert resumed.resumed == 2
+        assert resumed.executions == 3
+        assert len(ResultStore(store).load()) == 3
+
+        uninterrupted = small_campaign().run_region(Region.MESSAGE, 3)
+        assert resumed.tally.counts == uninterrupted.tally.counts
+        assert resumed.delivered == uninterrupted.delivered
+
     def test_without_resume_flag_store_entries_unused(self, tmp_path):
         store = tmp_path / "campaign.jsonl"
         small_campaign().run_region(Region.MESSAGE, 2, store=store)
@@ -179,11 +201,65 @@ class TestProgress:
         small_campaign().run_region(
             Region.MESSAGE, 4, progress=events.append, log_interval=2
         )
-        assert [e.done for e in events] == [2, 4, 4]
-        assert events[-1].final
+        # One periodic event at done=2, one final at done=4.  (The last
+        # trial's periodic emission is suppressed: it would duplicate
+        # the region-complete event when log_interval divides n.)
+        assert [e.done for e in events] == [2, 4]
+        assert [e.final for e in events] == [False, True]
         assert all(e.region == "message" and e.app == "wavetoy" for e in events)
         assert events[-1].planned == 4
         assert events[-1].achieved_d > 0
+
+    def test_legacy_callback_and_metrics_never_double_fire_final(self):
+        """Regression: with the deprecated callback shim AND a metrics
+        registry attached, a region whose trial count is a multiple of
+        log_interval used to get two done=n events (periodic + final).
+        Both sinks must now see exactly one."""
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        events = []
+        small_campaign().run_region(
+            Region.MESSAGE, 4, progress=events.append, log_interval=2,
+            metrics=registry,
+        )
+        finals = [e for e in events if e.final]
+        assert len(finals) == 1
+        assert finals[0].done == 4
+        assert [e.done for e in events] == [2, 4]
+        emitted = registry.counter_value(
+            "repro_campaign_progress_events_total",
+            app="wavetoy", region="message",
+        )
+        assert emitted == len(events) == 2
+
+    def test_interval_one_fires_once_per_trial_single_final(self):
+        events = []
+        small_campaign().run_region(
+            Region.MESSAGE, 4, progress=events.append, log_interval=1
+        )
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert [e.final for e in events] == [False, False, False, True]
+
+    def test_emitter_swallows_duplicate_final(self):
+        from repro.engine.progress import ProgressEmitter, ProgressEvent
+
+        events = []
+        emitter = ProgressEmitter(callback=events.append, log_interval=1)
+        final = ProgressEvent(
+            app="a", region="r", done=4, planned=4, resumed=0,
+            errors=1, achieved_d=0.5, final=True,
+        )
+        emitter.emit(final)
+        emitter.emit(final)
+        assert [e.final for e in events] == [True]
+        periodic = ProgressEvent(
+            app="a", region="r", done=2, planned=4, resumed=0,
+            errors=0, achieved_d=0.7,
+        )
+        emitter.emit(periodic)
+        emitter.emit(periodic)  # periodic events are never deduplicated
+        assert len(events) == 3
 
     def test_resumed_counts_visible(self, tmp_path):
         store = tmp_path / "campaign.jsonl"

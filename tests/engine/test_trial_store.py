@@ -126,6 +126,20 @@ class TestResultStore:
     def test_load_missing_file(self, tmp_path):
         assert ResultStore(tmp_path / "absent.jsonl").load() == {}
 
+    def test_load_skips_valid_json_of_wrong_shape(self, tmp_path):
+        """Lines that parse as JSON but are not trial records (a bare
+        number, a list, a string, an empty object) are corrupt records:
+        skip them, never crash, never double-count."""
+        path = tmp_path / "s.jsonl"
+        with ResultStore(path) as store:
+            store.append(make_result(0))
+        with open(path, "a") as fh:
+            for junk in ("123", "[1, 2]", '"x"', "{}", "null"):
+                fh.write(junk + "\n")
+        loaded = ResultStore(path).load()
+        assert len(loaded) == 1
+        assert next(iter(loaded.values())).index == 0
+
     def test_status_groups_and_counts(self, tmp_path):
         path = tmp_path / "s.jsonl"
         with ResultStore(path) as store:
