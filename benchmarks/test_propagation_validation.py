@@ -1,0 +1,52 @@
+"""Static-propagation validation benchmark (experiment E17).
+
+Acceptance for the propagation analyzer: its predictions must agree
+with dynamic campaign outcomes.  Two bars, both from the issue that
+introduced the analyzer:
+
+* **masked precision** - of the trials the masking oracle calls
+  provably masked, at least 95% must actually come back CORRECT when
+  executed, on every shipped application;
+* **rank correlation** - across (app, region) cells, the statically
+  predicted exposure fraction must rank-order the observed error rates
+  with Spearman rho >= 0.6.
+
+The oracle is designed to be *sound* (precision 1.0); the 0.95 floor
+leaves room for timing-dependent manifestations without letting the
+oracle drift into guessing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.staticanalysis.propagation.validation import (
+    MASKED_PRECISION_FLOOR,
+    RANK_CORRELATION_FLOOR,
+    validate_suite,
+)
+
+APPS = ("wavetoy", "moldyn", "climate")
+N_PER_CELL = int(os.environ.get("REPRO_CAMPAIGN_N", "40"))
+
+
+@pytest.mark.slow
+def test_static_predictions_match_dynamic_outcomes(benchmark, capsys):
+    report = benchmark.pedantic(
+        validate_suite, args=(APPS,), kwargs={"n": N_PER_CELL},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+
+    benchmark.extra_info["n_per_cell"] = N_PER_CELL
+    benchmark.extra_info["rank_correlation"] = report.rank_correlation
+    for app in APPS:
+        precision = report.app_precision(app)
+        benchmark.extra_info[f"masked_precision_{app}"] = precision
+        assert precision >= MASKED_PRECISION_FLOOR, app
+    assert report.rank_correlation >= RANK_CORRELATION_FLOOR
+    assert report.passed

@@ -9,8 +9,11 @@ Usage::
     python -m repro analyze --lint moldyn   # assembly diagnostics
     python -m repro analyze --mpi climate   # communication skeleton + map
     python -m repro analyze --mpi --lint buggy  # SA1xx gate (exits 1)
+    python -m repro analyze --propagation moldyn  # taint cones + SA2xx audit
     python -m repro campaign run --app wavetoy --regions message,stack \
         --jobs 8 --target-d 0.05 --store out.jsonl --resume
+    python -m repro campaign run --app wavetoy --regions text,data \
+        --prune-masked --store out.jsonl       # skip provably-masked sites
     python -m repro campaign run --app wavetoy -n 4 \
         --trace trace.json --metrics metrics.prom
     python -m repro campaign status --store out.jsonl [--json]
@@ -144,6 +147,82 @@ def cmd_analyze_mpi(args) -> int:
     return 1 if diags else 0
 
 
+def cmd_analyze_propagation(args) -> int:
+    """Per-site taint classification plus the SA2xx coverage audit for
+    one suite application.  Exit 1 iff the audit has open findings."""
+    from repro.apps import APPLICATION_SUITE
+    from repro.staticanalysis.lint import sort_diagnostics
+    from repro.staticanalysis.propagation import (
+        TaintAnalysis,
+        audit_app,
+        class_counts,
+        coverage_for,
+        kernel_sites,
+    )
+
+    factory = APPLICATION_SUITE.get(args.target)
+    if factory is None:
+        print(
+            f"unknown propagation target {args.target!r}; choose one of: "
+            f"{', '.join(sorted(APPLICATION_SUITE))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    coverage = coverage_for(args.target)
+    program = factory().program()
+    kernels = []
+    for name in sorted(program.functions):
+        sites = kernel_sites(
+            TaintAnalysis.from_function(program.functions[name]), coverage
+        )
+        kernels.append((name, sites, class_counts(sites)))
+    open_findings, suppressed = audit_app(coverage)
+
+    if args.json:
+        payload = {
+            "target": args.target,
+            "kernels": [
+                {"function": name, "sites": len(sites), "classes": counts}
+                for name, sites, counts in kernels
+            ],
+            "audit": {
+                "open": [
+                    {
+                        "code": d.code,
+                        "function": d.function,
+                        "insn_index": d.insn_index,
+                        "message": d.message,
+                    }
+                    for d in sort_diagnostics(open_findings)
+                ],
+                "suppressed": [
+                    {
+                        "code": d.code,
+                        "function": d.function,
+                        "insn_index": d.insn_index,
+                        "message": d.message,
+                    }
+                    for d in sort_diagnostics(suppressed)
+                ],
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, sites, counts in kernels:
+            classes = ", ".join(f"{v} {k}" for k, v in counts.items())
+            print(f"{name}: {len(sites)} register sites ({classes})")
+        for d in sort_diagnostics(open_findings):
+            print(d)
+        for d in sort_diagnostics(suppressed):
+            print(f"{d}  [accepted]")
+        print(
+            f"audit: {len(open_findings)} open, "
+            f"{len(suppressed)} accepted finding(s)"
+        )
+    return 1 if open_findings else 0
+
+
 def _parse_regions(text: str | None):
     from repro.injection.faults import Region
 
@@ -222,6 +301,7 @@ def cmd_campaign_run(args) -> int:
         metrics=metrics,
         trace=collector,
         checkpoint_stride=stride,
+        prune_masked=args.prune_masked,
     )
     elapsed = time.time() - t0
     if collector is not None:
@@ -241,10 +321,11 @@ def cmd_campaign_run(args) -> int:
         )
     )
     resumed = sum(r.resumed for r in result.regions.values())
+    pruned = sum(r.pruned for r in result.regions.values())
     print(
         f"{result.total_injections()} injections "
-        f"({resumed} resumed from store) in {elapsed:.1f}s "
-        f"with jobs={args.jobs or 1}",
+        f"({resumed} resumed from store, {pruned} statically pruned) "
+        f"in {elapsed:.1f}s with jobs={args.jobs or 1}",
         file=sys.stderr,
     )
     return 0
@@ -266,6 +347,7 @@ def cmd_campaign_status(args) -> int:
                     "error_rate_percent": s.error_rate_percent,
                     "achieved_d_percent": s.achieved_d_percent,
                     "manifestations": s.manifestations,
+                    "pruned": s.pruned,
                 }
                 for s in statuses
             ],
@@ -276,11 +358,12 @@ def cmd_campaign_status(args) -> int:
         print(f"{args.store}: no stored trials")
         return 0
     print(f"{'app':<10} {'region':<12} {'trials':>6} {'errors':>6} "
-          f"{'error %':>8} {'d %':>6}")
+          f"{'pruned':>6} {'error %':>8} {'d %':>6}")
     for s in statuses:
         print(
             f"{s.app:<10} {s.region:<12} {s.trials:>6} {s.errors:>6} "
-            f"{s.error_rate_percent:>8.1f} {s.achieved_d_percent:>6.1f}"
+            f"{s.pruned:>6} {s.error_rate_percent:>8.1f} "
+            f"{s.achieved_d_percent:>6.1f}"
         )
     return 0
 
@@ -389,6 +472,8 @@ def cmd_campaign_merge(args) -> int:
 def cmd_analyze(args) -> int:
     if args.mpi:
         return cmd_analyze_mpi(args)
+    if args.propagation:
+        return cmd_analyze_propagation(args)
     from repro.staticanalysis.avf import analyze_function
     from repro.staticanalysis.lint import lint_function
     from repro.staticanalysis.lint import iter_shipped_kernels
@@ -498,6 +583,11 @@ def main(argv: list[str] | None = None) -> int:
         "--nprocs", type=int, default=4,
         help="ranks for the --mpi dry run (default 4)",
     )
+    ana.add_argument(
+        "--propagation", action="store_true",
+        help="per-site taint classification and the SA2xx detector-"
+        "coverage audit for one application (exit 1 on open findings)",
+    )
     ana.set_defaults(fn=cmd_analyze)
 
     camp = sub.add_parser(
@@ -551,6 +641,11 @@ def main(argv: list[str] | None = None) -> int:
                       dest="no_checkpoint",
                       help="disable golden-prefix replay; every trial "
                       "executes from block 0")
+    crun.add_argument("--prune-masked", action="store_true",
+                      dest="prune_masked",
+                      help="consult the static masking oracle before "
+                      "dispatch: provably outcome-free faults are "
+                      "tallied as correct without execution")
     crun.set_defaults(fn=cmd_campaign_run)
     cstat = camp_sub.add_parser("status", help="summarize a result store")
     cstat.add_argument("--store", required=True)

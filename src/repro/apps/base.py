@@ -145,6 +145,18 @@ class MPIApplication:
         """Silent-data-corruption test; default is bitwise equality."""
         return reference == observed
 
+    def propagation_model(self):
+        """Declared fault-propagation model for the static analyzer
+        (:mod:`repro.staticanalysis.propagation`): which tokens feed the
+        output files, which ride message corridors, and which detectors
+        tap what.  Suite applications must declare one; the SA2xx audit
+        cross-checks it against the linked image and the communication
+        skeleton, so it cannot silently drift.
+        """
+        raise NotImplementedError(
+            f"{self.name} declares no propagation model"
+        )
+
     def message_classes(self) -> dict[int, str]:
         """Static payload classification per application message tag, for
         the message-vulnerability map: ``"control"`` (work descriptors and

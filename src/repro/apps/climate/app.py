@@ -73,6 +73,54 @@ class ClimateApp(MPIApplication):
         # the ready pings and the work descriptors are control traffic.
         return {_TAG_READY: "control", _TAG_WORK: "control"}
 
+    def propagation_model(self):
+        from repro.staticanalysis.propagation.model import (
+            AcceptedRisk,
+            Corridor,
+            DetectorSite,
+            PropagationModel,
+            sym,
+        )
+
+        return PropagationModel(
+            app=self.name,
+            output_sources=frozenset({sym("cam_T"), sym("cam_Q"), "heap"}),
+            # The field bands and diagnostics live in BSS and are passed
+            # to the kernels by address, so relocations alone do not make
+            # them hot; declare the per-step reads explicitly.
+            app_read_symbols=frozenset({
+                "cam_negc", "cam_dt", "cam_negalpha", "cam_solar",
+                "cam_evap", "cam_negprecip", "cam_S",
+                "cam_T", "cam_Q", "cam_scratch", "cam_diag_out",
+            }),
+            corridors=(
+                Corridor("p2p", _TAG_READY, frozenset({"heap"})),
+                Corridor("p2p", _TAG_WORK, frozenset({"heap"})),
+                Corridor(
+                    "collective", None,
+                    frozenset({sym("cam_T"), sym("cam_Q")}),
+                ),
+            ),
+            detectors=(
+                DetectorSite(
+                    "nan_check", "temp-checksum-nan",
+                    frozenset({sym("cam_T"), sym("cam_diag_out")}),
+                ),
+                DetectorSite(
+                    "assertion", "moisture-bound",
+                    frozenset({sym("cam_Q"), sym("cam_diag_out")}),
+                ),
+            ),
+            accepted=(
+                AcceptedRisk(
+                    "SA201", "heap",
+                    "heap staging reaches the history output without a "
+                    "check; CAM's detectors watch the field bands, not "
+                    "the I/O path",
+                ),
+            ),
+        )
+
     # ------------------------------------------------------------------
     def kernel_sources(self) -> dict[str, str]:
         return {

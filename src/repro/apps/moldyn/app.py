@@ -72,6 +72,43 @@ class MoldynApp(MPIApplication):
         coord = "checksummed" if self.params["checksums"] else "data"
         return {_TAG_COORD: coord, _TAG_FORCE: "data"}
 
+    def propagation_model(self):
+        from repro.staticanalysis.propagation.model import (
+            Corridor,
+            DetectorSite,
+            PropagationModel,
+        )
+
+        detectors = [
+            DetectorSite("nan_check", "energy-nan", frozenset({"heap"})),
+            DetectorSite(
+                "assertion", "energy-bound", frozenset({"heap"})
+            ),
+        ]
+        if self.params["checksums"]:
+            detectors.insert(
+                0,
+                DetectorSite(
+                    "checksum", "coord-seal",
+                    frozenset({f"tag:{_TAG_COORD}"}),
+                ),
+            )
+        return PropagationModel(
+            app=self.name,
+            output_sources=frozenset({"heap"}),
+            app_read_symbols=frozenset({
+                "md_k", "md_dt", "md_halfk", "md_minv", "md_thermo",
+            }),
+            corridors=(
+                Corridor("p2p", _TAG_COORD, frozenset({"heap"})),
+                Corridor("p2p", _TAG_FORCE, frozenset({"heap"})),
+                # The global energy reduction: sums computed from the
+                # heap-resident atom arrays.
+                Corridor("collective", None, frozenset({"heap"})),
+            ),
+            detectors=tuple(detectors),
+        )
+
     def build_process(self, rank, nprocs, config):
         if self.params["atoms_per_rank"] < 2 * self.params["boundary"]:
             raise ValueError(

@@ -75,6 +75,53 @@ class WavetoyApp(MPIApplication):
         # (Table 1's ~94 % user split).
         return {_TAG_UP: "data", _TAG_DOWN: "data"}
 
+    def propagation_model(self):
+        from repro.staticanalysis.propagation.model import (
+            AcceptedRisk,
+            Corridor,
+            PropagationModel,
+        )
+
+        # Cactus WaveToy ships no detectors at all (the paper's point of
+        # comparison): every gap below is real and owned on purpose.
+        return PropagationModel(
+            app=self.name,
+            output_sources=frozenset({"heap"}),
+            app_read_symbols=frozenset({
+                "wt_r2c", "wt_neginvw2", "wt_amp", "wt_eps", "wt_damp",
+                "wt_srcamp", "wt_sponge", "wt_source",
+            }),
+            corridors=(
+                Corridor("p2p", _TAG_UP, frozenset({"heap"})),
+                Corridor("p2p", _TAG_DOWN, frozenset({"heap"})),
+                # The end-of-run gather of the field arrays to rank 0.
+                Corridor("collective", None, frozenset({"heap"})),
+            ),
+            accepted=(
+                AcceptedRisk(
+                    "SA201", "heap",
+                    "WaveToy writes the field arrays straight to output "
+                    "with no consistency check; pure SDC exposure by "
+                    "design",
+                ),
+                AcceptedRisk(
+                    "SA203", f"tag:{_TAG_UP}",
+                    "halo rows travel unsealed; most bytes are never "
+                    "consumed by the peer (wide-halo masking)",
+                ),
+                AcceptedRisk(
+                    "SA203", f"tag:{_TAG_DOWN}",
+                    "halo rows travel unsealed; most bytes are never "
+                    "consumed by the peer (wide-halo masking)",
+                ),
+                AcceptedRisk(
+                    "SA203", "collective",
+                    "the output gather carries the raw field arrays "
+                    "with no seal or sanity check",
+                ),
+            ),
+        )
+
     # ------------------------------------------------------------------
     # build
     # ------------------------------------------------------------------

@@ -176,6 +176,86 @@ def effects(insn: Insn, include_implicit: bool = True) -> InsnEffects:
     )
 
 
+@dataclass(frozen=True)
+class MemAccess:
+    """One memory access an instruction performs, statically described.
+
+    ``base`` is the GPR index whose value (plus the instruction's
+    immediate, for the scalar offset ops) addresses the access.
+    ``value`` says where the moved data lives on the register side:
+
+    * ``"gpr:<i>"`` - a general-purpose register (LOAD/STORE/PUSH/POP);
+    * ``"x87"``     - the FPU stack (FLD/FST/FSTP/VFILL);
+    * ``"mem"``     - no register carries the data: the op streams
+      memory to memory (the vector ops read and write whole runs).
+    """
+
+    mode: str  # "r" (read) or "w" (write)
+    base: int
+    value: str
+
+
+def memory_accesses(insn: Insn) -> tuple[MemAccess, ...]:
+    """The memory traffic of one instruction, mirroring the interpreter
+    case-for-case (:mod:`repro.cpu.vm`): which register addresses each
+    access and where the moved value comes from or lands.  CALL/CALLR/
+    RET's return-address push/pop is omitted - it never carries
+    application data, and :func:`effects` already reports the ESP
+    movement."""
+    op = insn.op
+    r1, r2 = insn.r1 & 7, insn.r2 & 7
+    if op is Op.LOAD:
+        return (MemAccess("r", r2, f"gpr:{r1}"),)
+    if op is Op.STORE:
+        return (MemAccess("w", r1, f"gpr:{r2}"),)
+    if op is Op.PUSH:
+        return (MemAccess("w", ESP, f"gpr:{r1}"),)
+    if op is Op.POP:
+        return (MemAccess("r", ESP, f"gpr:{r1}"),)
+    if op is Op.FLD:
+        return (MemAccess("r", r1, "x87"),)
+    if op in (Op.FST, Op.FSTP):
+        return (MemAccess("w", r1, "x87"),)
+    if op is Op.VMOV:
+        return (MemAccess("r", r2, "mem"), MemAccess("w", r1, "mem"))
+    if op is Op.VFILL:
+        return (MemAccess("w", r1, "x87"),)
+    if op in (Op.VBIN, Op.VAXPY):
+        r3 = insn.r3 & 7
+        return (
+            MemAccess("r", r2, "mem"),
+            MemAccess("r", r3, "mem"),
+            MemAccess("w", r1, "mem"),
+        )
+    if op is Op.VBINS:
+        return (MemAccess("r", r2, "mem"), MemAccess("w", r1, "mem"))
+    if op is Op.VRED:
+        reads = [MemAccess("r", r1, "x87")]
+        if insn.subop == RedOp.DOT:
+            reads.append(MemAccess("r", insn.r3 & 7, "x87"))
+        return tuple(reads)
+    return ()
+
+
+#: Opcodes that consume the x87 stack top (beyond the mem traffic above).
+X87_READERS = frozenset(
+    {
+        Op.FST, Op.FSTP, Op.FADDP, Op.FSUBP, Op.FMULP, Op.FDIVP,
+        Op.FCHS, Op.FABS, Op.FSQRT, Op.FXCH, Op.FCOMIP, Op.FDUP,
+        Op.FPOP, Op.VFILL, Op.VBINS, Op.VAXPY,
+    }
+)
+
+#: Opcodes that push or rewrite x87 stack state.
+X87_WRITERS = frozenset(
+    {
+        Op.FLD, Op.FLDZ, Op.FLD1, Op.FLDIMM, Op.FADDP, Op.FSUBP,
+        Op.FMULP, Op.FDIVP, Op.FCHS, Op.FABS, Op.FSQRT, Op.FXCH,
+        Op.FDUP, Op.FPOP, Op.VRED,
+    }
+)
+
+
 def is_branch(insn: Insn) -> bool:
     """True for relative control transfers (the CFG edge formers)."""
     return insn.op in BRANCH_OPS

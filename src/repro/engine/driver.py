@@ -117,6 +117,16 @@ class CampaignEngine:
         :mod:`repro.engine.checkpoint`); ``None`` disables
         checkpointing.  The golden recording is made once, lazily, and
         shipped inside the pickled context so fork workers share it.
+    prune:
+        ``FaultSpec -> PruneVerdict`` masking oracle (see
+        :mod:`repro.staticanalysis.propagation.pruning`).  Specs with a
+        masked verdict are not executed: a synthetic CORRECT result
+        (``detail="pruned:<reason>"``) is tallied and stored in their
+        place.  Because the pruned stratum is statically proven
+        outcome-free, crediting its samples as correct keeps every
+        region rate unbiased - this is the stratified estimator with a
+        known-zero stratum, which is what an importance-weighted tally
+        correction reduces to under uniform sampling.
     """
 
     def __init__(
@@ -134,6 +144,7 @@ class CampaignEngine:
         metrics: MetricsRegistry | None = None,
         trace: TraceCollector | None = None,
         checkpoint_stride: int | None = None,
+        prune: Callable[[FaultSpec], Any] | None = None,
     ) -> None:
         self.context = context
         self.sampler = sampler
@@ -146,6 +157,7 @@ class CampaignEngine:
         self.store = store
         self.metrics = metrics
         self.trace = trace
+        self.prune = prune
         # The context ships to workers; flags must be set before the
         # executor pickles it.
         if metrics is not None:
@@ -257,6 +269,11 @@ class CampaignEngine:
         row = state.result
         row.tally.add(result.manifestation)
         row.delivered += int(result.delivered)
+        if result.detail.startswith("pruned:") and not result.resumed:
+            # Counted off the detail string (the marker survives the
+            # store round-trip); a rehydrated pruned trial counts as
+            # resumed, like any other stored result.
+            row.pruned += 1
         if result.resumed:
             row.resumed += 1
         else:
@@ -290,6 +307,12 @@ class CampaignEngine:
                 "repro_trial_outcomes_total",
                 manifestation=result.manifestation.value,
             ).inc()
+            if result.detail.startswith("pruned:"):
+                registry.counter(
+                    "repro_trials_pruned_total",
+                    region=result.region.value,
+                    reason=result.detail.split(":", 1)[1],
+                ).inc()
             if result.latency_blocks is not None:
                 registry.histogram(
                     "repro_error_latency_blocks", region=result.region.value
@@ -303,6 +326,23 @@ class CampaignEngine:
                 f"{result.app} {result.region.value}#{result.index}",
                 result.trace_events,
             )
+
+    def _pruned_result(self, spec: TrialSpec, reason: str) -> TrialResult:
+        """The synthetic outcome of a statically-proven-masked trial.
+        Delivered is True - the flip would have landed (static regions
+        resolve their address up front); the proof is that landing
+        changes nothing."""
+        from repro.injection.outcomes import Manifestation
+
+        return TrialResult(
+            key=spec.key,
+            app=spec.app,
+            region=spec.region,
+            index=spec.index,
+            manifestation=Manifestation.CORRECT,
+            delivered=True,
+            detail=f"pruned:{reason}",
+        )
 
     def _run_range(
         self,
@@ -328,8 +368,21 @@ class CampaignEngine:
                 self._ingest(
                     state, hit, None, keep_records, planned, target_d, alpha
                 )
-            else:
-                missing.append(spec)
+                continue
+            if self.prune is not None:
+                verdict = self.prune(spec.fault)
+                if verdict.masked:
+                    self._ingest(
+                        state,
+                        self._pruned_result(spec, verdict.reason),
+                        spec,
+                        keep_records,
+                        planned,
+                        target_d,
+                        alpha,
+                    )
+                    continue
+            missing.append(spec)
         by_key = {spec.key: spec for spec in missing}
         for result in self.executor().run(missing):
             self._ingest(

@@ -31,6 +31,9 @@ class StoreStatus:
     errors: int
     #: Trial count per manifestation class (``correct``, ``crash``, ...).
     manifestations: dict[str, int] = field(default_factory=dict)
+    #: Trials satisfied by the static masking oracle (``--prune-masked``),
+    #: recognisable by their ``pruned:<reason>`` detail marker.
+    pruned: int = 0
 
     @property
     def error_rate_percent(self) -> float:
@@ -131,6 +134,9 @@ class ResultStore:
                     trials=len(results),
                     errors=errors,
                     manifestations=dict(sorted(tally.items())),
+                    pruned=sum(
+                        1 for r in results if r.detail.startswith("pruned:")
+                    ),
                 )
             )
         return out

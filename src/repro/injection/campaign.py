@@ -51,6 +51,10 @@ class ReferenceProfile:
     received_bytes_per_rank: list[int]
     rounds: int
     dictionary: FaultDictionary
+    #: Rank-0 symbol table of the linked image the dictionary was built
+    #: from (all ranks link identically); lets static analyses resolve a
+    #: sampled fault address back to its symbol.
+    symtab: object = None
 
     @property
     def block_limit(self) -> int:
@@ -80,10 +84,18 @@ class RegionResult:
     #: Observed Cochran half-width at the end of an adaptive run
     #: (``None`` for fixed-n campaigns).
     adaptive_d: float | None = None
+    #: Trials satisfied by the static masking oracle instead of being
+    #: executed (``--prune-masked``); they are tallied as CORRECT.
+    pruned: int = 0
 
     @property
     def executions(self) -> int:
         return self.tally.executions
+
+    @property
+    def executed(self) -> int:
+        """Trials that actually ran a job (neither pruned nor resumed)."""
+        return self.executions - self.pruned - self.resumed
 
     @property
     def error_rate_percent(self) -> float:
@@ -219,6 +231,7 @@ class Campaign:
             ],
             rounds=result.rounds,
             dictionary=FaultDictionary(job.images[0], dict_rng),
+            symtab=job.images[0].symtab,
         )
         return self._reference
 
@@ -284,6 +297,13 @@ class Campaign:
             compare=self.compare if self._compare_explicit else None,
         )
 
+    def masking_oracle(self):
+        """The static masking oracle for this campaign's application
+        (see :mod:`repro.staticanalysis.propagation.pruning`)."""
+        from repro.staticanalysis.propagation.pruning import MaskingOracle
+
+        return MaskingOracle.from_campaign(self)
+
     def engine(
         self,
         *,
@@ -294,6 +314,7 @@ class Campaign:
         metrics=None,
         trace=None,
         checkpoint_stride: int | None = None,
+        prune_masked: bool = False,
     ):
         """Build a :class:`~repro.engine.driver.CampaignEngine` bound to
         this campaign's sampler, reference profile, and plan."""
@@ -312,6 +333,7 @@ class Campaign:
             metrics=metrics,
             trace=trace,
             checkpoint_stride=checkpoint_stride,
+            prune=self.masking_oracle().verdict if prune_masked else None,
         )
 
     # ------------------------------------------------------------------
@@ -344,6 +366,7 @@ class Campaign:
         metrics=None,
         trace=None,
         checkpoint_stride: int | None = None,
+        prune_masked: bool = False,
     ) -> RegionResult:
         """Run one region through the campaign engine.
 
@@ -360,6 +383,7 @@ class Campaign:
             metrics=metrics,
             trace=trace,
             checkpoint_stride=checkpoint_stride,
+            prune_masked=prune_masked,
         ) as eng:
             return eng.run_region(
                 region,
@@ -388,6 +412,7 @@ class Campaign:
         metrics=None,
         trace=None,
         checkpoint_stride: int | None = None,
+        prune_masked: bool = False,
     ) -> CampaignResult:
         with self.engine(
             jobs=jobs,
@@ -397,6 +422,7 @@ class Campaign:
             metrics=metrics,
             trace=trace,
             checkpoint_stride=checkpoint_stride,
+            prune_masked=prune_masked,
         ) as eng:
             return eng.run(
                 regions,

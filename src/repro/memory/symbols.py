@@ -144,6 +144,19 @@ class Linker:
         self._objects.append(obj)
         return obj
 
+    def objects(
+        self, section: Section | None = None, library: Library | None = None
+    ) -> list[ObjectDef]:
+        """The objects registered so far, optionally filtered - the
+        pre-link view the static analyses use when they only need names
+        and sections, not addresses."""
+        out = self._objects
+        if section is not None:
+            out = [o for o in out if o.section == section]
+        if library is not None:
+            out = [o for o in out if o.library == library]
+        return list(out)
+
     def add_text(self, name: str, code: bytes, library: Library = "user") -> ObjectDef:
         return self.add(ObjectDef(name, "text", len(code), library, code))
 

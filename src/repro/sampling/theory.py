@@ -75,6 +75,39 @@ def proportion_ci(
     return p, max(0.0, p - half), min(1.0, p + half)
 
 
+def stratified_error_rate(
+    errors: int, executed: int, pruned: int, pruned_rate: float = 0.0
+) -> float:
+    """Importance-weighted region error rate when a campaign executes
+    only part of its sample (``campaign run --prune-masked``).
+
+    The sampled faults split into two strata: ``executed`` trials that
+    ran, and ``pruned`` trials the masking oracle proved masked.  The
+    stratified estimator weights each stratum's rate by its share of
+    the sample:
+
+        p = (executed/n) * (errors/executed) + (pruned/n) * pruned_rate
+
+    The oracle's soundness contract makes ``pruned_rate`` *known* to be
+    0.0 - a pruned stratum with any other rate would be a proof-rule
+    bug, not a sampling artifact - so the estimator reduces to
+    ``errors / n``: exactly what falls out of tallying each pruned
+    trial as a synthetic CORRECT.  This function is that equivalence,
+    written down so the pruning layer's differential tests can assert
+    it rather than assume it."""
+    if executed < 0 or pruned < 0 or executed + pruned <= 0:
+        raise ValueError(
+            f"need a nonempty sample: executed={executed} pruned={pruned}"
+        )
+    if not 0 <= errors <= executed:
+        raise ValueError(f"errors {errors} outside [0, {executed}]")
+    if not 0 <= pruned_rate <= 1:
+        raise ValueError(f"pruned_rate must be in [0, 1]: {pruned_rate}")
+    n = executed + pruned
+    executed_term = (executed / n) * (errors / executed) if executed else 0.0
+    return executed_term + (pruned / n) * pruned_rate
+
+
 def injection_space_size(bits: int, processes: int, time_points: int) -> int:
     """Size of the b x m x t injection space (section 4.3 computes at
     least 512 x 64 x 120 ~ 3.9e6 for the register region)."""

@@ -2,7 +2,22 @@
 
 Each pass emits :class:`~repro.staticanalysis.lint.Diagnostic` entries in
 the ``SA1xx`` family (the ``SA0xx`` codes belong to the per-kernel
-assembly lints).  ``function`` carries the ``app:rankN`` label and
+assembly lints, the ``SA2xx`` codes to the propagation audit):
+
+======  ==============================================================
+code    meaning
+======  ==============================================================
+SA101   communication deadlock: a wait-for cycle among blocked ranks
+SA102   posted receive never matched by any send
+SA103   sent message never received (orphan)
+SA104   datatype signature mismatch between matched endpoints
+SA105   message longer than the matched receive buffer (truncation)
+SA106   nondeterministic wildcard receive (ANY_SOURCE race)
+SA107   request never completed by a wait (leak)
+SA108   collective sequence diverges across ranks
+======  ==============================================================
+
+``function`` carries the ``app:rankN`` label and
 ``insn_index`` the job-global event sequence number, so the shared
 ``(function, position, code, message)`` report order applies unchanged.
 

@@ -1,0 +1,110 @@
+"""Deliberately broken propagation models, one per SA2xx code.
+
+Mirrors :mod:`repro.staticanalysis.mpicheck.fixture`: the audit passes
+are only trustworthy if each can be made to fire on demand.  Every
+builder starts from the real WaveToy coverage join and swaps in a model
+with one specific defect; the triggered code is the builder's name, and
+:data:`FIXTURES` maps code -> builder for the drift test that insists
+every documented code has a triggering fixture.
+
+The fixtures strip the shipped accepted risks (``accepted=()``) so the
+target finding is *open* rather than suppressed; collateral findings
+from the stripped exemptions are expected and harmless - the tests
+assert presence of the target code, not exclusivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.staticanalysis.propagation.coverage import AppCoverage, coverage_for
+from repro.staticanalysis.propagation.model import (
+    AcceptedRisk,
+    Corridor,
+    DetectorSite,
+    sym,
+)
+
+
+def _base() -> AppCoverage:
+    return coverage_for("wavetoy")
+
+
+def _with_model(**changes) -> AppCoverage:
+    cov = _base()
+    return replace(cov, model=replace(cov.model, accepted=(), **changes))
+
+
+def coverage_gap() -> AppCoverage:
+    """SA201: hot heap state reaches output with no detector (the
+    shipped WaveToy gap, with its exemption stripped)."""
+    return _with_model()
+
+
+def wasted_detector() -> AppCoverage:
+    """SA202: a nan check watching a subset of what a same-family peer
+    already watches."""
+    return _with_model(
+        detectors=(
+            DetectorSite(
+                "nan_check", "field-nan",
+                frozenset({"heap", sym("wt_source")}),
+            ),
+            DetectorSite("nan_check", "halo-nan", frozenset({"heap"})),
+        )
+    )
+
+
+def unprotected_corridor() -> AppCoverage:
+    """SA203: data-class payloads crossing ranks with no detector on
+    the stream or its sources."""
+    return _with_model()
+
+
+def model_drift() -> AppCoverage:
+    """SA204 both ways: a symbol the linker never saw, and an accepted
+    risk matching no finding."""
+    cov = _base()
+    model = replace(
+        cov.model,
+        app_read_symbols=cov.model.app_read_symbols | {"wt_missing"},
+        accepted=(
+            AcceptedRisk("SA205", "no-such-detector", "stale exemption"),
+        ),
+    )
+    return replace(cov, model=model)
+
+
+def cold_detector() -> AppCoverage:
+    """SA205: a detector tapping only state no kernel addresses."""
+    return _with_model(
+        detectors=(
+            DetectorSite(
+                "nan_check", "table-nan", frozenset({sym("wt_coeff_table")})
+            ),
+        )
+    )
+
+
+def corridor_drift() -> AppCoverage:
+    """SA206: a declared corridor whose tag the dry run never sends
+    (and which message_classes() does not know)."""
+    cov = _base()
+    model = replace(
+        cov.model,
+        accepted=(),
+        corridors=cov.model.corridors
+        + (Corridor("p2p", 999, frozenset({"heap"})),),
+    )
+    return replace(cov, model=model)
+
+
+#: code -> builder whose audit must report that code as open.
+FIXTURES = {
+    "SA201": coverage_gap,
+    "SA202": wasted_detector,
+    "SA203": unprotected_corridor,
+    "SA204": model_drift,
+    "SA205": cold_detector,
+    "SA206": corridor_drift,
+}

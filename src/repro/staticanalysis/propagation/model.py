@@ -1,0 +1,113 @@
+"""Declarative propagation models: what an app's data can reach.
+
+The taint analysis (:mod:`.taint`) answers *"which locations can a
+corrupted value touch"* purely from the assembly; whether a touched
+location matters - whether it feeds the app's output files, crosses a
+rank boundary in an MPI payload, or passes under a detector on the way -
+is application knowledge the assembly does not carry.  Each shipped app
+declares that knowledge here as a small :class:`PropagationModel`, the
+same way it already declares ``message_classes()`` for the vulnerability
+map.
+
+Locations are named by **tokens**, a tiny grammar shared across the
+package:
+
+``sym:<name>``
+    a linked data/bss symbol (``sym:cam_T``);
+``heap``
+    any heap allocation (field arrays, gather staging, MPI scratch);
+``stack``
+    the hardware stack frame;
+``tag:<n>``
+    the payload of the point-to-point message class with tag ``n`` - a
+    *corridor* token, used to hang detectors on a message stream rather
+    than on the memory it was staged from.
+
+Keeping the model declarative keeps the audit honest: the SA2xx passes
+(:mod:`.passes`) cross-check every token against the linked image and
+the extracted communication skeleton, so a model that names a symbol
+the linker never saw or a tag no rank ever sends is itself a finding
+(SA204/SA206), not silently trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DetectorSite:
+    """One deployed detector and the state it actually observes.
+
+    ``family`` names the :mod:`repro.detectors` mechanism (``checksum``,
+    ``nan_check``, ``assertion``, ``abft``, ``cfc``); ``taps`` is the
+    set of tokens whose corruption the detector can notice.  A NaN check
+    over ``cam_diag_out`` taps ``sym:cam_diag_out``; a Fletcher seal on
+    the tag-201 coordinate exchange taps ``tag:201``.
+    """
+
+    family: str
+    name: str
+    taps: frozenset[str]
+
+
+@dataclass(frozen=True)
+class Corridor:
+    """One cross-rank flow: a message class and the state feeding it.
+
+    ``sources`` are the tokens whose bytes are staged into the payload;
+    taint in any source can ride the corridor to the peer rank.  ``tag``
+    is ``None`` for collectives (reductions/gathers have no p2p tag).
+    """
+
+    kind: str  # "p2p" or "collective"
+    tag: int | None
+    sources: frozenset[str]
+
+    @property
+    def token(self) -> str:
+        return f"tag:{self.tag}" if self.tag is not None else "collective"
+
+
+@dataclass(frozen=True)
+class AcceptedRisk:
+    """An audit finding the app owns on purpose.
+
+    Mirrors the SA001 POP exemption style: the gap is real, documented,
+    and deliberately shipped (the paper's WaveToy has no detectors at
+    all).  ``code`` and ``token`` must match an actual finding - a
+    stale exemption is itself reported (SA204) so accepted risks cannot
+    silently outlive the gaps they excuse.
+    """
+
+    code: str
+    token: str
+    why: str
+
+
+@dataclass(frozen=True)
+class PropagationModel:
+    """Everything the audit needs to know about one app's data flow."""
+
+    app: str
+    #: Tokens whose contents reach the app's output files.
+    output_sources: frozenset[str]
+    #: Hot symbols the kernels read every iteration (constants, fields).
+    app_read_symbols: frozenset[str]
+    corridors: tuple[Corridor, ...] = ()
+    detectors: tuple[DetectorSite, ...] = ()
+    accepted: tuple[AcceptedRisk, ...] = ()
+    #: Extra declared-cold symbols (beyond the unreferenced ones the
+    #: coverage join discovers on its own).
+    cold_symbols: frozenset[str] = field(default_factory=frozenset)
+
+    def detectors_tapping(self, token: str) -> tuple[DetectorSite, ...]:
+        return tuple(d for d in self.detectors if token in d.taps)
+
+    def accepts(self, code: str, token: str) -> bool:
+        return any(a.code == code and a.token == token for a in self.accepted)
+
+
+def sym(name: str) -> str:
+    """Token for a linked data/bss symbol."""
+    return f"sym:{name}"

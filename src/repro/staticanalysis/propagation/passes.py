@@ -1,0 +1,294 @@
+"""SA2xx audit passes: detector coverage over the propagation join.
+
+Each pass emits :class:`~repro.staticanalysis.lint.Diagnostic` entries
+in the ``SA2xx`` family (``SA0xx`` are the per-kernel assembly lints,
+``SA1xx`` the MPI communication checks):
+
+======  ==============================================================
+code    meaning
+======  ==============================================================
+SA201   detector-coverage gap: a hot token reaches the app's output
+        along at least one path crossing no detector
+SA202   wasted detector: another detector of the same family already
+        observes everything this one taps
+SA203   unprotected corridor: a data-class message payload crosses
+        ranks with no detector on the stream or its sources
+SA204   model drift: the model names a symbol the linker never saw,
+        or carries an accepted risk matching no actual finding
+SA205   cold detector: a detector taps only state no kernel ever
+        addresses (it can never fire on a propagating fault)
+SA206   corridor drift: a declared corridor's traffic was never
+        observed, or observed traffic has no declared corridor
+======  ==============================================================
+
+``function`` carries an ``app:token`` label and ``insn_index`` is 0,
+so the shared ``(function, position, code, message)`` report order
+applies unchanged.
+
+**Accepted risks** (:class:`~.model.AcceptedRisk`) suppress matching
+findings the way the SA001 POP exemption suppresses dead-write noise:
+the gap stays real and documented in the model, but the audit gate
+stays green.  A suppression that matches nothing is itself reported
+(SA204): exemptions cannot outlive the findings they excuse.
+"""
+
+from __future__ import annotations
+
+from repro.staticanalysis.lint import Diagnostic, sort_diagnostics
+from repro.staticanalysis.propagation.coverage import AppCoverage
+from repro.staticanalysis.propagation.model import PropagationModel
+
+#: Stable diagnostic codes of the propagation audit passes.
+PROPAGATION_LINT_CODES = {
+    "SA201": "detector-coverage gap on an output-reaching path",
+    "SA202": "detector wasted: dominated by a same-family detector",
+    "SA203": "unprotected cross-rank data payload corridor",
+    "SA204": "propagation model drift (unknown symbol or stale exemption)",
+    "SA205": "detector observes only cold state",
+    "SA206": "corridor drift between model and observed traffic",
+}
+
+
+def _diag(app: str, code: str, token: str, message: str) -> Diagnostic:
+    return Diagnostic(code, f"{app}:{token}", 0, message)
+
+
+def _hot_tokens(coverage: AppCoverage) -> list[str]:
+    """Tokens worth auditing for output exposure: the always-live
+    dynamic regions plus every hot symbol."""
+    return ["heap", "stack"] + sorted(
+        f"sym:{s}" for s in coverage.hot_symbols
+        if s not in coverage.kernel_names  # text bytes are AVF's domain
+    )
+
+
+# ----------------------------------------------------------------------
+# SA201 - detector-coverage gaps
+# ----------------------------------------------------------------------
+def _check_coverage_gaps(coverage: AppCoverage) -> list[Diagnostic]:
+    diags = []
+    for token in _hot_tokens(coverage):
+        for path in coverage.paths_from_token(token):
+            if not path.covered:
+                diags.append(
+                    _diag(
+                        coverage.app,
+                        "SA201",
+                        token,
+                        f"live state reaches output with no detector "
+                        f"({path.describe()})",
+                    )
+                )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA202 - wasted detectors
+# ----------------------------------------------------------------------
+def _check_wasted_detectors(model: PropagationModel) -> list[Diagnostic]:
+    diags = []
+    for d in model.detectors:
+        for other in model.detectors:
+            if other is d or other.family != d.family:
+                continue
+            dominated = d.taps < other.taps or (
+                d.taps == other.taps and other.name < d.name
+            )
+            if dominated:
+                diags.append(
+                    _diag(
+                        model.app,
+                        "SA202",
+                        d.name,
+                        f"{d.family} detector {d.name!r} observes a subset "
+                        f"of what {other.name!r} already observes",
+                    )
+                )
+                break
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA203 - unprotected corridors
+# ----------------------------------------------------------------------
+def _check_corridors(coverage: AppCoverage) -> list[Diagnostic]:
+    diags = []
+    for corridor in coverage.model.corridors:
+        if corridor.tag is not None:
+            payload_class = coverage.message_classes.get(corridor.tag, "data")
+            if payload_class != "data":
+                continue  # control/checksummed traffic is not SDC surface
+        if not corridor.sources:
+            continue
+        if not coverage.corridor_detectors(corridor):
+            diags.append(
+                _diag(
+                    coverage.app,
+                    "SA203",
+                    corridor.token,
+                    f"{corridor.kind} payload from "
+                    f"{', '.join(sorted(corridor.sources))} crosses ranks "
+                    f"unprotected",
+                )
+            )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA204 - model drift (unknown symbols; stale exemptions are appended
+# after suppression in audit_app)
+# ----------------------------------------------------------------------
+def _model_sym_tokens(model: PropagationModel):
+    out = set(model.output_sources)
+    for s in model.app_read_symbols:
+        out.add(f"sym:{s}")
+    for c in model.corridors:
+        out |= set(c.sources)
+    for d in model.detectors:
+        out |= set(d.taps)
+    return out
+
+
+def _check_model_symbols(coverage: AppCoverage) -> list[Diagnostic]:
+    known = frozenset().union(*coverage.symbols_by_section.values())
+    diags = []
+    for token in sorted(_model_sym_tokens(coverage.model)):
+        if token.startswith("sym:") and token.split(":", 1)[1] not in known:
+            diags.append(
+                _diag(
+                    coverage.app,
+                    "SA204",
+                    token,
+                    f"model references {token.split(':', 1)[1]!r} but the "
+                    f"linker defines no such user symbol",
+                )
+            )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA205 - detectors watching only cold state
+# ----------------------------------------------------------------------
+def _check_cold_detectors(coverage: AppCoverage) -> list[Diagnostic]:
+    diags = []
+    for d in coverage.model.detectors:
+        if not d.taps:
+            continue
+        if not any(coverage.is_hot(t) for t in sorted(d.taps)):
+            diags.append(
+                _diag(
+                    coverage.app,
+                    "SA205",
+                    d.name,
+                    f"{d.family} detector {d.name!r} taps only state no "
+                    f"kernel addresses ({', '.join(sorted(d.taps))})",
+                )
+            )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# SA206 - corridor drift
+# ----------------------------------------------------------------------
+def _check_corridor_drift(coverage: AppCoverage) -> list[Diagnostic]:
+    diags = []
+    declared_tags = {
+        c.tag for c in coverage.model.corridors if c.tag is not None
+    }
+    declares_collective = any(
+        c.tag is None for c in coverage.model.corridors
+    )
+    for tag in sorted(declared_tags - coverage.observed_tags):
+        diags.append(
+            _diag(
+                coverage.app,
+                "SA206",
+                f"tag:{tag}",
+                f"model declares corridor tag {tag} but the dry run never "
+                f"sends it",
+            )
+        )
+    for tag in sorted(coverage.observed_tags - declared_tags):
+        diags.append(
+            _diag(
+                coverage.app,
+                "SA206",
+                f"tag:{tag}",
+                f"ranks exchange tag {tag} but the model declares no "
+                f"corridor for it",
+            )
+        )
+    for tag in sorted(declared_tags - set(coverage.message_classes)):
+        diags.append(
+            _diag(
+                coverage.app,
+                "SA206",
+                f"tag:{tag}",
+                f"corridor tag {tag} has no message_classes() entry",
+            )
+        )
+    if declares_collective and not coverage.observed_collectives:
+        diags.append(
+            _diag(
+                coverage.app,
+                "SA206",
+                "collective",
+                "model declares a collective corridor but the dry run "
+                "executes no collective",
+            )
+        )
+    if coverage.observed_collectives and not declares_collective:
+        diags.append(
+            _diag(
+                coverage.app,
+                "SA206",
+                "collective",
+                "ranks execute collectives but the model declares no "
+                "collective corridor",
+            )
+        )
+    return diags
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def audit_app(coverage: AppCoverage) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Run every SA2xx pass; returns ``(open_findings, suppressed)``.
+
+    ``open_findings`` is what the CI gate fails on; ``suppressed`` are
+    the findings covered by the model's accepted risks, kept visible so
+    reports can show what is being lived with.  A stale accepted risk
+    becomes an SA204 in ``open_findings``.
+    """
+    model = coverage.model
+    raw: list[Diagnostic] = []
+    raw += _check_coverage_gaps(coverage)
+    raw += _check_wasted_detectors(model)
+    raw += _check_corridors(coverage)
+    raw += _check_model_symbols(coverage)
+    raw += _check_cold_detectors(coverage)
+    raw += _check_corridor_drift(coverage)
+
+    open_findings: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
+    matched: set[tuple[str, str]] = set()
+    for diag in raw:
+        token = diag.function.split(":", 1)[1]
+        if model.accepts(diag.code, token):
+            matched.add((diag.code, token))
+            suppressed.append(diag)
+        else:
+            open_findings.append(diag)
+    for risk in model.accepted:
+        if (risk.code, risk.token) not in matched:
+            open_findings.append(
+                _diag(
+                    model.app,
+                    "SA204",
+                    risk.token,
+                    f"accepted risk {risk.code} on {risk.token!r} matches "
+                    f"no finding: the exemption is stale",
+                )
+            )
+    return sort_diagnostics(open_findings), sort_diagnostics(suppressed)

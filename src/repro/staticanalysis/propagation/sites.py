@@ -1,0 +1,108 @@
+"""Per-injection-site classification from cone + coverage.
+
+Every (instruction, written GPR) pair in a kernel is one register
+injection site; its taint cone (:mod:`.taint`) plus the app's coverage
+join (:mod:`.coverage`) yields one of four classes:
+
+``provably-masked``
+    the cone never escapes the function, or escapes only into state
+    with no route to the app's output - no trial at this site can
+    change the observable result;
+``control-flow-risk``
+    a conditional branch tests tainted flags (or a corrupted pointer is
+    stored through): past that point the static cone is only a lower
+    bound, so the site can crash or silently detour - the paper's
+    dominant text-segment failure mode;
+``detector-covered``
+    every route from the escaped state to the output crosses at least
+    one deployed detector;
+``sdc-risk``
+    some escape route reaches the output with no detector on it - the
+    silent-data-corruption exposure the audit passes report as SA201.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.cpu.registers import REG_NAMES
+from repro.staticanalysis.propagation.coverage import AppCoverage
+from repro.staticanalysis.propagation.taint import (
+    PropagationCone,
+    TaintAnalysis,
+)
+
+
+class SiteClass(str, Enum):
+    PROVABLY_MASKED = "provably-masked"
+    DETECTOR_COVERED = "detector-covered"
+    SDC_RISK = "sdc-risk"
+    CONTROL_FLOW_RISK = "control-flow-risk"
+
+
+@dataclass(frozen=True)
+class RegisterSite:
+    """One classified register injection site."""
+
+    function: str
+    insn_index: int
+    reg: int
+    cone: PropagationCone
+    site_class: SiteClass
+
+    @property
+    def reg_name(self) -> str:
+        return REG_NAMES[self.reg]
+
+
+def classify_cone(cone: PropagationCone, coverage: AppCoverage) -> SiteClass:
+    """Map one cone to its site class under one app's coverage."""
+    if cone.masked:
+        return SiteClass.PROVABLY_MASKED
+    if cone.branch_tainted or cone.wild_store:
+        # A corrupt path or a corrupt pointer: outcome is no longer a
+        # dataflow question.
+        return SiteClass.CONTROL_FLOW_RISK
+    caller_visible = bool(
+        cone.escapes & frozenset({"ret", "x87", "flags"})
+    )
+    paths = coverage.paths_from_tokens(cone.memory_tokens)
+    if not paths and not caller_visible:
+        # Escapes, but only into state nothing downstream reads.
+        return SiteClass.PROVABLY_MASKED
+    if caller_visible:
+        # The caller takes the corrupt value somewhere the kernel-level
+        # cone cannot see; without a detector on the return path this
+        # is an SDC exposure.
+        return SiteClass.SDC_RISK
+    if all(p.covered for p in paths):
+        return SiteClass.DETECTOR_COVERED
+    return SiteClass.SDC_RISK
+
+
+def kernel_sites(
+    analysis: TaintAnalysis, coverage: AppCoverage
+) -> list[RegisterSite]:
+    """Classify every register site of one kernel, in site order."""
+    out: list[RegisterSite] = []
+    for i in range(len(analysis.cfg.insns)):
+        for reg in analysis.written_gprs(i):
+            cone = analysis.cone_after(i, reg)
+            out.append(
+                RegisterSite(
+                    function=analysis.cfg.name,
+                    insn_index=i,
+                    reg=reg,
+                    cone=cone,
+                    site_class=classify_cone(cone, coverage),
+                )
+            )
+    return out
+
+
+def class_counts(sites: list[RegisterSite]) -> dict[str, int]:
+    """Site-class histogram, all four classes always present."""
+    counts = Counter(s.site_class.value for s in sites)
+    return {cls.value: counts.get(cls.value, 0) for cls in SiteClass}

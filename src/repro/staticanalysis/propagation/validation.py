@@ -1,0 +1,199 @@
+"""Validate static propagation predictions against dynamic outcomes.
+
+Two claims make the analyzer trustworthy, and both are checked against
+real campaign runs rather than asserted:
+
+* **masked precision** - of the faults the masking oracle calls
+  provably masked, the fraction whose dynamic outcome is CORRECT.  The
+  oracle's whole contract is soundness, so the bar is high
+  (:data:`MASKED_PRECISION_FLOOR`, 0.95 per app; in practice the
+  observed precision is 1.0 - a single counterexample means a proof
+  rule is wrong, not that a heuristic misfired);
+* **risk ordering** - across (app, region) cells, the statically
+  predicted exposure (the unprunable fraction of sampled faults) should
+  rank the observed error rates: Spearman rho >=
+  :data:`RANK_CORRELATION_FLOOR` (0.6).  The analyzer does not predict
+  absolute rates - dynamic masking on top of static liveness sees to
+  that - but a predictor that cannot even order the cells is not
+  measuring exposure.
+
+The module reuses :func:`repro.staticanalysis.validation.spearman`, the
+same tie-averaged rank correlation the AVF layer is validated with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.injection.faults import Region
+from repro.staticanalysis.validation import spearman
+
+#: Minimum per-app P(CORRECT | predicted masked).
+MASKED_PRECISION_FLOOR = 0.95
+#: Minimum Spearman rho between predicted exposure and observed error
+#: rate over the (app, region) cells.
+RANK_CORRELATION_FLOOR = 0.6
+
+#: The cells the rank correlation is scored over.  The static regions
+#: (text/data/bss/fp) are where the oracle has proof rules; the two
+#: dynamic regions (registers, messages) anchor the top of the exposure
+#: ranking - the oracle declares them fully exposed (see :mod:`.pruning`)
+#: and their observed error rates are the suite's highest, so a
+#: predictor that cannot place the static regions *below* them fails
+#: the ordering test.
+VALIDATION_REGIONS = (
+    Region.TEXT,
+    Region.DATA,
+    Region.BSS,
+    Region.FP_REG,
+    Region.REGULAR_REG,
+    Region.MESSAGE,
+)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One (app, region) validation cell."""
+
+    app: str
+    region: Region
+    trials: int
+    errors: int
+    #: Trials the oracle declared provably masked.
+    predicted_masked: int
+    #: ... of which the dynamic run confirmed CORRECT.
+    masked_correct: int
+
+    @property
+    def predicted_exposure(self) -> float:
+        """Statically unprunable fraction: the analyzer's risk score."""
+        return 1.0 - self.predicted_masked / self.trials if self.trials else 0.0
+
+    @property
+    def observed_error_rate(self) -> float:
+        return self.errors / self.trials if self.trials else 0.0
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    cells: tuple[CellOutcome, ...]
+
+    def app_precision(self, app: str) -> float:
+        """P(CORRECT | predicted masked) over one app's cells; 1.0 when
+        nothing was predicted masked (vacuous truth, and the pruning
+        benefit is then zero anyway)."""
+        masked = sum(c.predicted_masked for c in self.cells if c.app == app)
+        correct = sum(c.masked_correct for c in self.cells if c.app == app)
+        return correct / masked if masked else 1.0
+
+    @property
+    def apps(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for c in self.cells:
+            if c.app not in seen:
+                seen.append(c.app)
+        return tuple(seen)
+
+    @property
+    def rank_correlation(self) -> float:
+        """Spearman rho of predicted exposure vs observed error rate
+        over every cell."""
+        return spearman(
+            [c.predicted_exposure for c in self.cells],
+            [c.observed_error_rate for c in self.cells],
+        )
+
+    @property
+    def passed(self) -> bool:
+        return (
+            all(
+                self.app_precision(a) >= MASKED_PRECISION_FLOOR
+                for a in self.apps
+            )
+            and self.rank_correlation >= RANK_CORRELATION_FLOOR
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"{'app':<10} {'region':<8} {'trials':>6} {'errors':>6} "
+            f"{'masked':>6} {'exposure':>8} {'err rate':>8}"
+        ]
+        for c in self.cells:
+            lines.append(
+                f"{c.app:<10} {c.region.value:<8} {c.trials:>6} "
+                f"{c.errors:>6} {c.predicted_masked:>6} "
+                f"{c.predicted_exposure:>8.2f} {c.observed_error_rate:>8.2f}"
+            )
+        for app in self.apps:
+            lines.append(
+                f"masked precision [{app}]: {self.app_precision(app):.3f} "
+                f"(floor {MASKED_PRECISION_FLOOR})"
+            )
+        lines.append(
+            f"rank correlation: {self.rank_correlation:.3f} "
+            f"(floor {RANK_CORRELATION_FLOOR})"
+        )
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def validate_app(
+    app_name: str,
+    n: int = 40,
+    *,
+    nprocs: int = 2,
+    seed: int = 20040607,
+    regions=VALIDATION_REGIONS,
+) -> tuple[CellOutcome, ...]:
+    """Run one app's validation cells: sample ``n`` faults per region,
+    execute every one (no pruning), and score the oracle's verdicts
+    against the observed manifestations."""
+    from repro.engine.trial import Manifestation
+    from repro.injection.campaign import Campaign
+
+    campaign = Campaign.from_registry(app_name, nprocs=nprocs, seed=seed)
+    oracle = campaign.masking_oracle()
+    cells = []
+    with campaign.engine() as eng:
+        for region in regions:
+            specs = [eng.make_spec(region, i) for i in range(n)]
+            verdicts = [oracle.verdict(s.fault) for s in specs]
+            results = {r.index: r for r in eng.run_trials(specs)}
+            errors = sum(
+                1
+                for r in results.values()
+                if r.manifestation is not Manifestation.CORRECT
+            )
+            masked_idx = [
+                s.index for s, v in zip(specs, verdicts) if v.masked
+            ]
+            masked_correct = sum(
+                1
+                for i in masked_idx
+                if results[i].manifestation is Manifestation.CORRECT
+            )
+            cells.append(
+                CellOutcome(
+                    app=app_name,
+                    region=region,
+                    trials=len(specs),
+                    errors=errors,
+                    predicted_masked=len(masked_idx),
+                    masked_correct=masked_correct,
+                )
+            )
+    return tuple(cells)
+
+
+def validate_suite(
+    apps=("wavetoy", "moldyn", "climate"),
+    n: int = 40,
+    *,
+    nprocs: int = 2,
+    seed: int = 20040607,
+) -> ValidationReport:
+    """The full static-vs-dynamic validation over the paper's suite."""
+    cells: list[CellOutcome] = []
+    for app in apps:
+        cells.extend(validate_app(app, n, nprocs=nprocs, seed=seed))
+    return ValidationReport(cells=tuple(cells))

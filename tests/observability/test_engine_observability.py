@@ -151,6 +151,31 @@ class TestDeterminism:
             )
 
 
+class TestPrunedCounter:
+    def test_pruned_trials_are_counted_with_reasons(self, campaign):
+        reg = MetricsRegistry()
+        result = campaign.run_region(
+            Region.TEXT, 6, metrics=reg, prune_masked=True
+        )
+        assert result.pruned > 0
+        snap = reg.snapshot()
+        pruned_counts = {
+            dict(k[1])["reason"]: v
+            for k, v in snap.counters.items()
+            if k[0] == "repro_trials_pruned_total"
+        }
+        assert sum(pruned_counts.values()) == result.pruned
+        assert all(
+            dict(k[1])["region"] == "text"
+            for k in snap.counters
+            if k[0] == "repro_trials_pruned_total"
+        )
+        # reasons are the oracle's proof-rule names, not free text
+        assert set(pruned_counts) <= {
+            "benign-text-bit", "cold-text", "cold-symbol", "fp-bookkeeping"
+        }
+
+
 class TestForkSafety:
     def test_ambient_runtime_survives_parallel_campaign(self, campaign):
         """Satellite check: enabling the ambient tracer in the parent

@@ -10,6 +10,7 @@ from repro.sampling.theory import (
     proportion_ci,
     sample_size,
     sample_size_oversampled,
+    stratified_error_rate,
     z_alpha,
 )
 
@@ -81,3 +82,30 @@ class TestInjectionSpace:
     def test_validation(self):
         with pytest.raises(ValueError):
             injection_space_size(0, 1, 1)
+
+
+class TestStratifiedErrorRate:
+    def test_known_zero_stratum_reduces_to_errors_over_n(self):
+        # the --prune-masked identity: tallying pruned trials as CORRECT
+        # is the stratified estimator with a known-zero pruned stratum
+        assert stratified_error_rate(3, 10, 40) == pytest.approx(3 / 50)
+
+    def test_nothing_pruned_is_the_plain_rate(self):
+        assert stratified_error_rate(2, 8, 0) == pytest.approx(0.25)
+
+    def test_everything_pruned(self):
+        assert stratified_error_rate(0, 0, 25) == 0.0
+
+    def test_nonzero_pruned_stratum_weighting(self):
+        # 10 executed at 50%, 10 pruned at a (hypothetical) known 10%
+        assert stratified_error_rate(5, 10, 10, pruned_rate=0.1) == (
+            pytest.approx(0.3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stratified_error_rate(0, 0, 0)
+        with pytest.raises(ValueError):
+            stratified_error_rate(5, 4, 1)
+        with pytest.raises(ValueError):
+            stratified_error_rate(1, 4, 1, pruned_rate=1.5)

@@ -172,3 +172,54 @@ class TestReachingDefs:
         reach = reaching_definitions(cfg_of(src))
         # around the back edge, both the init and the increment reach
         assert reach.defs_of(1, ESI) == frozenset({0, 1})
+
+
+class TestEdgeCases:
+    """Shapes the straight-line and diamond tests above never exercise."""
+
+    def test_unreachable_block_reads_stay_local(self):
+        from repro.cpu.registers import EDI
+
+        # edi is read only in code after an unconditional ret: the dead
+        # block's uses must not leak into the live-in of real code
+        src = "movi eax, 1\nret\nmov ecx, edi\nret"
+        cfg = cfg_of(src)
+        lv = liveness(cfg)
+        assert EDI not in lv.block_in[0]
+        assert EDI not in lv.before[0]
+        # the dead block itself still gets locally consistent sets, so
+        # diagnostics over it (SA003 suppression) have data to work with
+        dead = cfg.block_of[2]
+        assert dead not in cfg.reachable()
+        assert EDI in lv.before[2]
+
+    def test_self_loop_block_converges(self):
+        # a single block that is its own successor: the fixpoint must
+        # carry facts around the tight back edge without oscillating
+        src = """
+        loop:
+            addi esi, 1
+            cmpi esi, 4
+            jl loop
+            ret
+        """
+        cfg = cfg_of(src)
+        loop_block = cfg.block_of[0]
+        assert loop_block in cfg.blocks[loop_block].succs  # really a self-loop
+        lv = liveness(cfg)
+        assert ESI in lv.block_in[loop_block]
+        assert ESI in lv.block_out[loop_block]
+        reach = reaching_definitions(cfg)
+        # the increment's own definition reaches it around the back edge
+        assert reach.defs_of(0, ESI) == frozenset({0})
+
+    def test_register_live_across_call(self):
+        # a value defined before a CALL and read after it: the call's
+        # implicit effects (ESP traffic) must not kill it
+        src = "movi esi, 7\ncall @helper\nmov eax, esi\nret"
+        lv = liveness(cfg_of(src))
+        assert ESI in lv.before[1]
+        assert ESI in lv.after[1]
+        # while the stack pointer stays live through the call's implicit
+        # read/write pair
+        assert ESP in lv.before[1]

@@ -1,0 +1,169 @@
+"""Taint-cone unit tests: hand-checked propagation over tiny kernels."""
+
+import pytest
+
+from repro.cpu.registers import EAX, EBX, ECX, REG_NAMES
+from repro.staticanalysis.propagation.taint import TaintAnalysis
+
+
+def analysis(source: str) -> TaintAnalysis:
+    return TaintAnalysis.from_source("f", source)
+
+
+class TestMaskedSites:
+    def test_overwritten_register_is_provably_masked(self):
+        # eax is rewritten from a clean constant before anything reads it
+        a = analysis("movi eax, 1\nmovi eax, 2\nret")
+        cone = a.cone_after(0, EAX)
+        assert cone.masked
+        assert cone.escapes == frozenset()
+
+    def test_unreachable_site_has_empty_cone(self):
+        a = analysis("movi eax, 1\njmp end\nmovi ecx, 2\nend: ret")
+        cone = a.cone_after(2, ECX)
+        assert cone.masked
+        assert cone.tainted == frozenset()
+
+    def test_value_dying_in_scratch_register(self):
+        # ecx receives the corrupt value but is then reloaded clean
+        a = analysis(
+            "movi eax, 1\nmov ecx, eax\nmovi ecx, 9\nmovi eax, 0\nret"
+        )
+        assert a.cone_after(0, EAX).masked
+
+
+class TestEscapes:
+    def test_return_register_escapes(self):
+        cone = analysis("movi eax, 7\nret").cone_after(0, EAX)
+        assert not cone.masked
+        assert "ret" in cone.escapes
+
+    def test_copy_chain_reaches_return(self):
+        cone = analysis(
+            "movi ecx, 3\nmov ebx, ecx\nmov eax, ebx\nret"
+        ).cone_after(0, ECX)
+        assert "ret" in cone.escapes
+        assert set(cone.registers) >= {"ecx", "ebx", "eax"}
+
+    def test_flags_at_exit_escape(self):
+        cone = analysis("movi ecx, 1\ncmpi ecx, 0\nret").cone_after(0, ECX)
+        assert "flags" in cone.escapes
+
+    def test_branch_on_tainted_flags_is_control_flow(self):
+        src = """
+            movi ecx, 1
+            cmpi ecx, 0
+            jz skip
+            movi ebx, 2
+        skip:
+            ret
+        """
+        cone = analysis(src).cone_after(0, ECX)
+        assert cone.branch_tainted
+        assert "branch" in cone.escapes
+
+    def test_x87_load_through_tainted_pointer(self):
+        cone = analysis("movi eax, 64\nfld [eax]\nfstp [eax]\nret").cone_after(
+            0, EAX
+        )
+        assert "x87" in cone.tainted
+
+
+class TestPointsToPrecision:
+    def test_store_through_relocated_symbol_is_precise(self):
+        src = "movi ecx, $tbl\nmovi eax, 5\nstore [ecx], eax\nret"
+        cone = analysis(src).cone_after(1, EAX)
+        assert cone.memory_tokens == frozenset({"sym:tbl"})
+        assert not cone.wild_store
+        assert cone.symbols == ("tbl",)
+
+    def test_store_through_loaded_pointer_is_wild(self):
+        # the pointer came from memory: its region is unknown, so the
+        # write could land anywhere
+        src = (
+            "push ebp\nmov ebp, esp\nload ecx, [ebp]\nmovi eax, 5\n"
+            "store [ecx], eax\nmov esp, ebp\npop ebp\nret"
+        )
+        cone = analysis(src).cone_after(3, EAX)
+        assert "anymem" in cone.tainted
+        assert cone.memory_tokens == frozenset({"heap", "stack"})
+
+    def test_push_spills_to_stack(self):
+        cone = analysis("movi ecx, 2\npush ecx\npop ebx\nret").cone_after(
+            0, ECX
+        )
+        assert "stack" in cone.escapes
+
+    def test_call_taints_wholesale(self):
+        cone = analysis("movi ecx, 1\ncallr ebx\nret").cone_after(0, ECX)
+        assert "anymem" in cone.tainted
+        assert "x87" in cone.tainted
+        assert f"reg:{EAX}" in cone.tainted
+
+
+class TestEntrySeeding:
+    SRC = "movi ecx, $tbl\nload eax, [ecx]\nret"
+
+    def test_seeded_symbol_taints_its_readers(self):
+        cone = analysis(self.SRC).cone_from_tokens(frozenset({"sym:tbl"}))
+        assert "ret" in cone.escapes
+
+    def test_unrelated_seed_does_not_taint(self):
+        # corrupt heap; the kernel only reads a named symbol
+        cone = analysis(self.SRC).cone_from_tokens(frozenset({"heap"}))
+        assert "ret" not in cone.escapes
+        assert cone.escapes == frozenset({"heap"})
+
+    def test_stack_seed_uses_model_grammar(self):
+        src = "push ebp\nmov ebp, esp\nload eax, [ebp]\npop ebp\nret"
+        cone = analysis(src).cone_from_tokens(frozenset({"stack"}))
+        assert "ret" in cone.escapes
+
+    def test_non_memory_seed_rejected(self):
+        with pytest.raises(ValueError):
+            analysis(self.SRC).cone_from_tokens(frozenset({"reg:0"}))
+
+
+class TestSiteEnumeration:
+    def test_written_gprs_exclude_stack_management(self):
+        a = analysis("push ebp\nmov ebp, esp\nmovi eax, 1\npop ebp\nret")
+        assert a.written_gprs(0) == ()  # push only moves ESP
+        assert a.written_gprs(1) == ()  # frame pointer setup
+        assert a.written_gprs(2) == (EAX,)
+
+    def test_bounds_checked(self):
+        a = analysis("movi eax, 1\nret")
+        with pytest.raises(IndexError):
+            a.cone_after(99, EAX)
+        with pytest.raises(IndexError):
+            a.cone_after(0, 12)
+
+    def test_deterministic(self):
+        a = analysis("movi eax, 1\nmov ecx, eax\nret")
+        assert a.cone_after(0, EAX) == a.cone_after(0, EAX)
+        b = TaintAnalysis.from_source("f", "movi eax, 1\nmov ecx, eax\nret")
+        assert a.cone_after(0, EAX) == b.cone_after(0, EAX)
+
+
+class TestLoops:
+    def test_self_loop_converges(self):
+        src = """
+            movi ecx, 4
+            movi eax, 0
+        loop:
+            add eax, ecx
+            addi ecx, -1
+            cmpi ecx, 0
+            jnz loop
+            ret
+        """
+        cone = analysis(src).cone_after(0, ECX)
+        assert not cone.masked
+        assert "branch" in cone.escapes
+        assert "ret" in cone.escapes
+
+    def test_register_names_render(self):
+        cone = analysis("movi ebx, 1\nmov ecx, ebx\nret").cone_after(0, EBX)
+        assert cone.registers == tuple(
+            REG_NAMES[r] for r in sorted({EBX, ECX})
+        )

@@ -1,0 +1,132 @@
+"""SA2xx audit behaviour: fixtures fire, shipped apps stay clean, and
+exemptions suppress without hiding."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.staticanalysis.propagation import (
+    PROPAGATION_LINT_CODES,
+    PropagationCone,
+    SiteClass,
+    TaintAnalysis,
+    audit_app,
+    class_counts,
+    classify_cone,
+    coverage_for,
+    kernel_sites,
+)
+from repro.staticanalysis.propagation.fixtures import FIXTURES
+
+APPS = ("wavetoy", "moldyn", "climate")
+
+
+class TestFixturesTrigger:
+    @pytest.mark.parametrize("code", sorted(PROPAGATION_LINT_CODES))
+    def test_fixture_fires_its_code(self, code):
+        open_findings, _ = audit_app(FIXTURES[code]())
+        assert code in {d.code for d in open_findings}
+
+    def test_every_code_has_a_fixture(self):
+        assert set(FIXTURES) == set(PROPAGATION_LINT_CODES)
+
+
+class TestShippedAppsClean:
+    @pytest.mark.parametrize("app", APPS)
+    def test_no_open_findings(self, app):
+        open_findings, _ = audit_app(coverage_for(app))
+        assert open_findings == []
+
+    def test_wavetoy_owns_its_gaps_visibly(self):
+        # no detectors at all: the gaps are suppressed, not absent
+        _, suppressed = audit_app(coverage_for("wavetoy"))
+        codes = {d.code for d in suppressed}
+        assert "SA201" in codes and "SA203" in codes
+
+    def test_stripping_exemptions_resurfaces_findings(self):
+        cov = coverage_for("wavetoy")
+        stripped = replace(cov, model=replace(cov.model, accepted=()))
+        open_findings, suppressed = audit_app(stripped)
+        assert suppressed == []
+        assert {d.code for d in open_findings} >= {"SA201", "SA203"}
+
+    def test_stale_exemption_is_reported(self):
+        from repro.staticanalysis.propagation.model import AcceptedRisk
+
+        cov = coverage_for("moldyn")  # audits clean with no exemptions
+        stale = replace(
+            cov,
+            model=replace(
+                cov.model,
+                accepted=(AcceptedRisk("SA201", "heap", "not real"),),
+            ),
+        )
+        open_findings, _ = audit_app(stale)
+        assert [d.code for d in open_findings] == ["SA204"]
+        assert "stale" in open_findings[0].message
+
+    def test_deterministic_order(self):
+        cov = FIXTURES["SA203"]()
+        assert audit_app(cov) == audit_app(cov)
+
+
+class TestSiteClassification:
+    def test_class_counts_always_lists_all_classes(self):
+        assert set(class_counts([])) == {c.value for c in SiteClass}
+
+    @pytest.mark.parametrize("app,kernel", [("wavetoy", "wt_step")])
+    def test_kernel_sites_cover_every_written_gpr(self, app, kernel):
+        cov = coverage_for(app)
+        from repro.apps import APPLICATION_SUITE
+
+        fn = APPLICATION_SUITE[app]().program().functions[kernel]
+        analysis = TaintAnalysis.from_function(fn)
+        sites = kernel_sites(analysis, cov)
+        expected = sum(
+            len(analysis.written_gprs(i))
+            for i in range(len(analysis.cfg.insns))
+        )
+        assert len(sites) == expected
+        assert sites == sorted(
+            sites, key=lambda s: (s.insn_index, s.reg)
+        )
+
+    def test_masked_cone_classifies_masked(self):
+        cone = PropagationCone("f", "s", frozenset(), frozenset())
+        cov = coverage_for("moldyn")
+        assert classify_cone(cone, cov) is SiteClass.PROVABLY_MASKED
+
+    def test_branch_taint_beats_coverage(self):
+        cone = PropagationCone(
+            "f", "s", frozenset({"branch"}), frozenset({"branch", "heap"})
+        )
+        cov = coverage_for("moldyn")
+        assert classify_cone(cone, cov) is SiteClass.CONTROL_FLOW_RISK
+
+    def test_heap_escape_under_moldyn_detectors_is_covered(self):
+        cone = PropagationCone(
+            "f", "s", frozenset({"heap"}), frozenset({"heap"})
+        )
+        assert (
+            classify_cone(cone, coverage_for("moldyn"))
+            is SiteClass.DETECTOR_COVERED
+        )
+
+    def test_heap_escape_without_detectors_is_sdc(self):
+        cone = PropagationCone(
+            "f", "s", frozenset({"heap"}), frozenset({"heap"})
+        )
+        assert (
+            classify_cone(cone, coverage_for("wavetoy"))
+            is SiteClass.SDC_RISK
+        )
+
+    def test_escape_to_unread_state_is_masked(self):
+        # stack escapes with no route to output: nothing downstream reads
+        cone = PropagationCone(
+            "f", "s", frozenset({"stackmem"}), frozenset({"stack"})
+        )
+        assert (
+            classify_cone(cone, coverage_for("wavetoy"))
+            is SiteClass.PROVABLY_MASKED
+        )
