@@ -10,8 +10,12 @@ Usage::
     python -m repro analyze --mpi climate   # communication skeleton + map
     python -m repro analyze --mpi --lint buggy  # SA1xx gate (exits 1)
     python -m repro analyze --propagation moldyn  # taint cones + SA2xx audit
+    python -m repro analyze --outcomes wavetoy  # strata + SA3xx audit
     python -m repro campaign run --app wavetoy --regions message,stack \
         --jobs 8 --target-d 0.05 --store out.jsonl --resume
+    python -m repro campaign run --app wavetoy --regions text,data \
+        --stratify --target-d 0.05     # Neyman-allocate over predicted
+                                       # outcome strata, reweight rates
     python -m repro campaign run --app wavetoy --regions text,data \
         --prune-masked --store out.jsonl       # skip provably-masked sites
     python -m repro campaign run --app wavetoy -n 4 \
@@ -33,6 +37,26 @@ import time
 
 from repro.harness.experiments import EXPERIMENTS, get_experiment
 from repro.harness.report import Report
+
+#: Version of every ``analyze ... --json`` payload.  All four emitters
+#: (``--lint``/plain, ``--mpi``, ``--propagation``, ``--outcomes``)
+#: stamp this shared number so downstream consumers can gate on one
+#: field; bump it when any payload shape changes.
+ANALYZE_SCHEMA_VERSION = 1
+
+
+def _diag_payload(diags):
+    from repro.staticanalysis.lint import sort_diagnostics
+
+    return [
+        {
+            "code": d.code,
+            "function": d.function,
+            "insn_index": d.insn_index,
+            "message": d.message,
+        }
+        for d in sort_diagnostics(diags)
+    ]
 
 
 def cmd_list(_args) -> int:
@@ -97,6 +121,7 @@ def cmd_analyze_mpi(args) -> int:
 
     if args.json:
         payload = {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
             "target": args.target,
             "nprocs": args.nprocs,
             "status": skeleton.status.value,
@@ -122,15 +147,7 @@ def cmd_analyze_mpi(args) -> int:
             },
         }
         if args.lint:
-            payload["diagnostics"] = [
-                {
-                    "code": d.code,
-                    "function": d.function,
-                    "insn_index": d.insn_index,
-                    "message": d.message,
-                }
-                for d in diags
-            ]
+            payload["diagnostics"] = _diag_payload(diags)
         print(json.dumps(payload, indent=2))
     else:
         print(
@@ -181,30 +198,15 @@ def cmd_analyze_propagation(args) -> int:
 
     if args.json:
         payload = {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
             "target": args.target,
             "kernels": [
                 {"function": name, "sites": len(sites), "classes": counts}
                 for name, sites, counts in kernels
             ],
             "audit": {
-                "open": [
-                    {
-                        "code": d.code,
-                        "function": d.function,
-                        "insn_index": d.insn_index,
-                        "message": d.message,
-                    }
-                    for d in sort_diagnostics(open_findings)
-                ],
-                "suppressed": [
-                    {
-                        "code": d.code,
-                        "function": d.function,
-                        "insn_index": d.insn_index,
-                        "message": d.message,
-                    }
-                    for d in sort_diagnostics(suppressed)
-                ],
+                "open": _diag_payload(open_findings),
+                "suppressed": _diag_payload(suppressed),
             },
         }
         print(json.dumps(payload, indent=2))
@@ -221,6 +223,72 @@ def cmd_analyze_propagation(args) -> int:
             f"{len(suppressed)} accepted finding(s)"
         )
     return 1 if open_findings else 0
+
+
+def cmd_analyze_outcomes(args) -> int:
+    """Predicted-outcome strata plus the SA3xx audit for one suite
+    application.  Exit 1 iff the audit has findings."""
+    from repro.injection.campaign import Campaign
+    from repro.staticanalysis.outcomes import audit_outcomes, build_probe
+
+    try:
+        campaign = Campaign.from_registry(args.target, nprocs=args.nprocs)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    probe = build_probe(campaign.outcome_predictor())
+    diags = audit_outcomes(probe)
+
+    if args.json:
+        payload = {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
+            "target": args.target,
+            "nprocs": args.nprocs,
+            "block_limit": probe.block_limit,
+            "hang_bit_floor": probe.hang_floor,
+            "windows": {
+                "static": list(probe.windows[0]),
+                "stack": list(probe.windows[1]),
+            },
+            "kernels": [
+                {
+                    "function": k.name,
+                    "memory_sites": k.memory_sites,
+                    "blind_sites": k.blind_sites,
+                    "loops": k.loops,
+                    "counterless_loops": k.counterless_loops,
+                }
+                for k in probe.kernels
+            ],
+            "regions": [
+                {
+                    "region": r.region,
+                    "strata": dict(r.strata),
+                    "masked_oracle_proven": r.masked_oracle_proven,
+                }
+                for r in probe.regions
+            ],
+            "diagnostics": _diag_payload(diags),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{args.target}: block limit {probe.block_limit}, hang-bit "
+            f"floor {probe.hang_floor}"
+        )
+        for k in probe.kernels:
+            print(
+                f"{k.name}: {k.memory_sites} access sites "
+                f"({k.blind_sites} blind), {k.loops} loop(s) "
+                f"({k.counterless_loops} counterless)"
+            )
+        for r in probe.regions:
+            strata = ", ".join(f"{n} {name}" for name, n in r.strata)
+            print(f"{r.region}: {strata}")
+        for d in diags:
+            print(d)
+        print(f"audit: {len(diags)} finding(s)")
+    return 1 if diags else 0
 
 
 def _parse_regions(text: str | None):
@@ -302,6 +370,7 @@ def cmd_campaign_run(args) -> int:
         trace=collector,
         checkpoint_stride=stride,
         prune_masked=args.prune_masked,
+        stratify=args.stratify,
     )
     elapsed = time.time() - t0
     if collector is not None:
@@ -320,6 +389,26 @@ def cmd_campaign_run(args) -> int:
             title=f"Fault Injection Results ({args.app})",
         )
     )
+    if args.stratify:
+        # The table above shows raw allocation counts; these are the
+        # importance-weighted (unbiased) estimates per region.
+        print("\nStratified estimates (importance-weighted):")
+        for region, row in result.regions.items():
+            est = row.stratified
+            if est is None:
+                continue
+            strata = ", ".join(
+                f"{c.name} W={est.weight(c):.2f} n={c.executed}"
+                + (" (proven)" if c.known_zero else "")
+                for c in est.cells
+            )
+            print(
+                f"  {region.value}: error rate "
+                f"{100 * est.error_rate:.1f}% +- "
+                f"{100 * est.half_width:.1f}%, {est.executed} executed "
+                f"(uniform Cochran would need {est.uniform_equivalent_n}); "
+                f"{strata}"
+            )
     resumed = sum(r.resumed for r in result.regions.values())
     pruned = sum(r.pruned for r in result.regions.values())
     print(
@@ -474,6 +563,8 @@ def cmd_analyze(args) -> int:
         return cmd_analyze_mpi(args)
     if args.propagation:
         return cmd_analyze_propagation(args)
+    if args.outcomes:
+        return cmd_analyze_outcomes(args)
     from repro.staticanalysis.avf import analyze_function
     from repro.staticanalysis.lint import lint_function
     from repro.staticanalysis.lint import iter_shipped_kernels
@@ -503,19 +594,12 @@ def cmd_analyze(args) -> int:
 
     if args.json:
         payload = {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
             "target": args.target,
             "functions": [rep.to_dict() for _, rep in reports],
         }
         if args.lint:
-            payload["diagnostics"] = [
-                {
-                    "code": d.code,
-                    "function": d.function,
-                    "insn_index": d.insn_index,
-                    "message": d.message,
-                }
-                for d in diags
-            ]
+            payload["diagnostics"] = _diag_payload(diags)
         print(json.dumps(payload, indent=2))
     else:
         for fn, rep in reports:
@@ -588,6 +672,12 @@ def main(argv: list[str] | None = None) -> int:
         help="per-site taint classification and the SA2xx detector-"
         "coverage audit for one application (exit 1 on open findings)",
     )
+    ana.add_argument(
+        "--outcomes", action="store_true",
+        help="predicted-outcome strata (crash/hang/detectable/sdc/"
+        "masked) and the SA3xx audit for one application (exit 1 on "
+        "findings); --nprocs sets the reference-run ranks",
+    )
     ana.set_defaults(fn=cmd_analyze)
 
     camp = sub.add_parser(
@@ -646,6 +736,12 @@ def main(argv: list[str] | None = None) -> int:
                       help="consult the static masking oracle before "
                       "dispatch: provably outcome-free faults are "
                       "tallied as correct without execution")
+    crun.add_argument("--stratify", action="store_true",
+                      help="stratified sampling over predicted-outcome "
+                      "strata: classify a pool statically, Neyman-"
+                      "allocate trials by observed per-stratum "
+                      "variance, importance-weight the rates back to "
+                      "unbiased region estimates")
     crun.set_defaults(fn=cmd_campaign_run)
     cstat = camp_sub.add_parser("status", help="summarize a result store")
     cstat.add_argument("--store", required=True)

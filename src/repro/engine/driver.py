@@ -51,6 +51,22 @@ from repro.sampling.theory import sample_size_oversampled, z_alpha
 #: ``max(MIN_ADAPTIVE_BATCH, 2 * jobs)`` unless overridden).
 MIN_ADAPTIVE_BATCH = 8
 
+#: Stratified mode: pilot trials per stratum (enough for a first
+#: variance estimate), trials per Neyman wave, and the classification
+#: pool floor.  The wave size is deliberately *not* scaled by ``jobs``:
+#: allocation decisions depend only on complete-wave tallies, so the
+#: executed trial set - and therefore every tally - is bit-identical
+#: for any worker count.
+STRATIFIED_PILOT = 8
+STRATIFIED_BATCH = 32
+STRATIFIED_MIN_POOL = 512
+
+#: Strata whose error rate is statically proven zero and which are
+#: therefore never executed.  The outcome predictor only labels a site
+#: ``masked`` on a masking-oracle proof, the same contract that lets
+#: ``--prune-masked`` tally synthetic CORRECTs.
+KNOWN_ZERO_STRATA = frozenset({"masked"})
+
 
 def observed_half_width(errors: int, n: int, alpha: float = 0.05) -> float:
     """Cochran half-width d for the observed error proportion.
@@ -127,6 +143,14 @@ class CampaignEngine:
         region rate unbiased - this is the stratified estimator with a
         known-zero stratum, which is what an importance-weighted tally
         correction reduces to under uniform sampling.
+    stratifier:
+        ``FaultSpec -> stratum name`` (usually the outcome predictor's
+        ``stratum(...).value``).  When given, ``run_region`` switches to
+        stratified mode: a classification pool is labeled up front,
+        trials are Neyman-allocated across strata per wave, and the
+        region estimate is the importance-weighted
+        :class:`~repro.sampling.theory.StratifiedEstimate`.  Runs in the
+        parent process only, like ``sampler``.
     """
 
     def __init__(
@@ -145,6 +169,7 @@ class CampaignEngine:
         trace: TraceCollector | None = None,
         checkpoint_stride: int | None = None,
         prune: Callable[[FaultSpec], Any] | None = None,
+        stratifier: Callable[[FaultSpec], str] | None = None,
     ) -> None:
         self.context = context
         self.sampler = sampler
@@ -158,6 +183,7 @@ class CampaignEngine:
         self.metrics = metrics
         self.trace = trace
         self.prune = prune
+        self.stratifier = stratifier
         # The context ships to workers; flags must be set before the
         # executor pickles it.
         if metrics is not None:
@@ -359,10 +385,34 @@ class CampaignEngine:
     ) -> None:
         """Execute trials ``start..stop-1``, satisfying what it can from
         the store and dispatching the rest through the executor."""
+        self._run_specs(
+            state,
+            [self.make_spec(region, index) for index in range(start, stop)],
+            resume=resume,
+            keep_records=keep_records,
+            planned=planned,
+            target_d=target_d,
+            alpha=alpha,
+        )
+
+    def _run_specs(
+        self,
+        state: _RegionState,
+        specs: list[TrialSpec],
+        *,
+        resume: bool,
+        keep_records: bool,
+        planned: int | None,
+        target_d: float | None,
+        alpha: float,
+    ) -> None:
+        """Execute an explicit spec list into ``state``, satisfying what
+        it can from the store (and the masking oracle) and dispatching
+        the rest through the executor.  Tally ingestion commutes, so the
+        aggregated counts are identical for any worker count."""
         stored = self._stored_results(resume)
         missing: list[TrialSpec] = []
-        for index in range(start, stop):
-            spec = self.make_spec(region, index)
+        for spec in specs:
             hit = stored.get(spec.key)
             if hit is not None:
                 self._ingest(
@@ -433,6 +483,15 @@ class CampaignEngine:
         """
         from repro.injection.campaign import RegionResult
 
+        if self.stratifier is not None:
+            return self.run_region_stratified(
+                region,
+                n,
+                target_d=target_d,
+                batch=batch,
+                max_n=max_n,
+                resume=resume,
+            )
         alpha = self.plan.alpha
         if keep_records is None:
             keep_records = target_d is None and self.executor().jobs == 1
@@ -485,6 +544,139 @@ class CampaignEngine:
         if keep_records and state.pending_records:
             state.pending_records.sort(key=lambda item: item[0])
             state.result.records.extend(rec for _, rec in state.pending_records)
+        self._emit(
+            state,
+            None if target_d is not None else state.result.executions,
+            target_d,
+            alpha,
+            final=True,
+        )
+        return state.result
+
+    def run_region_stratified(
+        self,
+        region: Region,
+        n: int | None = None,
+        *,
+        target_d: float | None = None,
+        batch: int | None = None,
+        max_n: int | None = None,
+        resume: bool = False,
+        pool: int | None = None,
+    ):
+        """Run one region with predicted-outcome stratified sampling.
+
+        1. **Classify** a uniform pool of sampled trial specs (free:
+           the stratifier is static analysis, no execution) giving the
+           stratum weights ``W_h`` and, per stratum, a deterministic
+           ordered stream of concrete specs.
+        2. **Pilot** :data:`STRATIFIED_PILOT` trials in every stratum
+           whose rate is not statically known, for first variance
+           estimates.  The oracle-proven masked stratum
+           (:data:`KNOWN_ZERO_STRATA`) keeps its weight but executes
+           nothing.
+        3. **Waves** of :data:`STRATIFIED_BATCH` trials, Neyman-
+           allocated by observed per-stratum variance, until the
+           importance-weighted half-width drops below ``target_d``
+           (adaptive) or the budget ``n`` is spent (fixed-n).
+
+        The returned :class:`~repro.injection.campaign.RegionResult`
+        carries the raw (allocation-biased) tally plus the unbiased
+        :class:`~repro.sampling.theory.StratifiedEstimate` in its
+        ``stratified`` field.  Every allocation decision is a pure
+        function of complete-wave tallies, which are order-independent
+        sums, so the executed trial set and all counts are bit-identical
+        for any ``jobs``; the store/resume path applies to each wave's
+        specs exactly as in uniform mode.
+        """
+        from repro.injection.campaign import RegionResult
+        from repro.sampling.theory import (
+            StratifiedEstimate,
+            StratumCell,
+            neyman_allocation,
+        )
+
+        alpha = self.plan.alpha
+        if target_d is None:
+            budget = n if n is not None else self.plan.n_for(region.value)
+        else:
+            if not 0.0 < target_d < 1.0:
+                raise ValueError(f"target_d must be in (0, 1): {target_d}")
+            budget = max_n or sample_size_oversampled(target_d, alpha)
+        pool_n = pool or max(STRATIFIED_MIN_POOL, 4 * budget)
+
+        specs_by: dict[str, list[TrialSpec]] = {}
+        for index in range(pool_n):
+            spec = self.make_spec(region, index)
+            specs_by.setdefault(self.stratifier(spec.fault), []).append(spec)
+        names = sorted(specs_by)
+        done = {nm: 0 for nm in names}
+        errs = {nm: 0 for nm in names}
+        state = _RegionState(RegionResult(region))
+
+        def cells() -> tuple[StratumCell, ...]:
+            return tuple(
+                StratumCell(
+                    name=nm,
+                    population=len(specs_by[nm]),
+                    executed=done[nm],
+                    errors=errs[nm],
+                    known_zero=nm in KNOWN_ZERO_STRATA,
+                )
+                for nm in names
+            )
+
+        def run_wave(alloc: dict[str, int]) -> None:
+            for nm in names:
+                k = alloc.get(nm, 0)
+                if k <= 0 or nm in KNOWN_ZERO_STRATA:
+                    continue
+                lo = done[nm]
+                hi = min(lo + k, len(specs_by[nm]))
+                if hi <= lo:
+                    continue
+                before = state.result.tally.errors
+                self._run_specs(
+                    state,
+                    specs_by[nm][lo:hi],
+                    resume=resume,
+                    keep_records=False,
+                    planned=None,
+                    target_d=target_d,
+                    alpha=alpha,
+                )
+                done[nm] = hi
+                errs[nm] += state.result.tally.errors - before
+
+        pilot: dict[str, int] = {}
+        remaining = budget
+        for nm in names:
+            if nm in KNOWN_ZERO_STRATA:
+                continue
+            k = min(STRATIFIED_PILOT, len(specs_by[nm]), remaining)
+            pilot[nm] = k
+            remaining -= k
+        run_wave(pilot)
+
+        step = batch or STRATIFIED_BATCH
+        while True:
+            spent = sum(done.values())
+            if spent >= budget:
+                break
+            estimate = StratifiedEstimate(pool_n, cells(), alpha)
+            if target_d is not None and estimate.half_width <= target_d:
+                break
+            alloc = neyman_allocation(
+                estimate.cells, pool_n, min(step, budget - spent)
+            )
+            if not any(alloc.values()):
+                break  # every live stratum exhausted its pool
+            run_wave(alloc)
+
+        estimate = StratifiedEstimate(pool_n, cells(), alpha)
+        state.result.stratified = estimate
+        if target_d is not None:
+            state.result.adaptive_d = estimate.half_width
         self._emit(
             state,
             None if target_d is not None else state.result.executions,

@@ -34,7 +34,7 @@ from repro.injection.faults import (
 from repro.injection.outcomes import Manifestation, OutcomeTally, default_compare
 from repro.mpi.simulator import Job, JobConfig, JobResult
 from repro.sampling.plans import CampaignPlan, default_plan
-from repro.sampling.theory import achieved_error
+from repro.sampling.theory import StratifiedEstimate, achieved_error
 
 #: Backwards-compatible aliases for the hang-budget factors, whose one
 #: home is now :mod:`repro.engine.budgets`.
@@ -87,6 +87,11 @@ class RegionResult:
     #: Trials satisfied by the static masking oracle instead of being
     #: executed (``--prune-masked``); they are tallied as CORRECT.
     pruned: int = 0
+    #: Importance-weighted estimate from a stratified run
+    #: (``campaign run --stratify``).  When present, the raw ``tally``
+    #: reflects the Neyman *allocation* (rare strata oversampled) and
+    #: this estimate is the unbiased region rate.
+    stratified: "StratifiedEstimate | None" = None
 
     @property
     def executions(self) -> int:
@@ -304,6 +309,16 @@ class Campaign:
 
         return MaskingOracle.from_campaign(self)
 
+    def outcome_predictor(self):
+        """The static outcome predictor for this campaign's application
+        (see :mod:`repro.staticanalysis.outcomes`), built once and
+        cached: the stratifier classifies thousands of pool specs."""
+        if getattr(self, "_predictor", None) is None:
+            from repro.staticanalysis.outcomes.predictor import OutcomePredictor
+
+            self._predictor = OutcomePredictor.from_campaign(self)
+        return self._predictor
+
     def engine(
         self,
         *,
@@ -315,11 +330,16 @@ class Campaign:
         trace=None,
         checkpoint_stride: int | None = None,
         prune_masked: bool = False,
+        stratify: bool = False,
     ):
         """Build a :class:`~repro.engine.driver.CampaignEngine` bound to
         this campaign's sampler, reference profile, and plan."""
         from repro.engine.driver import CampaignEngine
 
+        stratifier = None
+        if stratify:
+            predictor = self.outcome_predictor()
+            stratifier = lambda fault: predictor.stratum(fault).value  # noqa: E731
         return CampaignEngine(
             self.execution_context(),
             sampler=self.sample_spec,
@@ -334,6 +354,7 @@ class Campaign:
             trace=trace,
             checkpoint_stride=checkpoint_stride,
             prune=self.masking_oracle().verdict if prune_masked else None,
+            stratifier=stratifier,
         )
 
     # ------------------------------------------------------------------
@@ -367,6 +388,7 @@ class Campaign:
         trace=None,
         checkpoint_stride: int | None = None,
         prune_masked: bool = False,
+        stratify: bool = False,
     ) -> RegionResult:
         """Run one region through the campaign engine.
 
@@ -384,6 +406,7 @@ class Campaign:
             trace=trace,
             checkpoint_stride=checkpoint_stride,
             prune_masked=prune_masked,
+            stratify=stratify,
         ) as eng:
             return eng.run_region(
                 region,
@@ -413,6 +436,7 @@ class Campaign:
         trace=None,
         checkpoint_stride: int | None = None,
         prune_masked: bool = False,
+        stratify: bool = False,
     ) -> CampaignResult:
         with self.engine(
             jobs=jobs,
@@ -423,6 +447,7 @@ class Campaign:
             trace=trace,
             checkpoint_stride=checkpoint_stride,
             prune_masked=prune_masked,
+            stratify=stratify,
         ) as eng:
             return eng.run(
                 regions,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import InvalidFaultSpec
+from repro.memory.layout import STATIC_IMAGE_WINDOW
 from repro.memory.process import ProcessImage
 from repro.memory.symbols import Symbol
 
@@ -57,9 +58,15 @@ class FaultDictionary:
             candidates = self._draw(image, symbols, rng, entries_per_section)
             # The paper's filter: drop anything whose symbol is also in
             # the MPI library's list.
-            self.entries[section] = [
-                e for e in candidates if e.symbol not in mpi_names
-            ]
+            kept = [e for e in candidates if e.symbol not in mpi_names]
+            lo, hi = STATIC_IMAGE_WINDOW
+            for entry in kept:
+                if not lo <= entry.address < hi:
+                    raise InvalidFaultSpec(
+                        f"dictionary address {entry.address:#x} ({entry.symbol})"
+                        f" outside the static image window [{lo:#x}, {hi:#x})"
+                    )
+            self.entries[section] = kept
 
     @staticmethod
     def _draw(

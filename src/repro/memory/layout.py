@@ -31,6 +31,32 @@ KERNEL_BASE = 0xC000_0000
 #: report working-set *percentages*, which are insensitive to granule size.
 GRANULE = 32
 
+#: Segment sizes the :class:`repro.memory.symbols.Linker` maps when the
+#: caller does not override them: a 1 MiB heap and a 64 KiB stack.  The
+#: heap is the largest segment any image in the suite maps, which makes
+#: it the authority for :func:`segment_escape_bit`.
+DEFAULT_HEAP_SIZE = 1 << 20
+DEFAULT_STACK_SIZE = 64 << 10
+
+#: Half-open virtual-address window ``[lo, hi)`` holding the static
+#: executable image of Figure 1 - text, data, BSS and the heap above
+#: them - i.e. everything the linker places below the shared-library
+#: mapping.  The fault dictionary and the interval domain both reason
+#: about this window rather than re-deriving it from segment lists.
+STATIC_IMAGE_WINDOW = (TEXT_BASE, SHARED_LIBS_BASE)
+
+
+def segment_escape_bit(max_segment_size: int = DEFAULT_HEAP_SIZE) -> int:
+    """Lowest bit position ``k`` such that adding or subtracting ``2**k``
+    to any address inside a segment of at most ``max_segment_size`` bytes
+    must land outside that segment.  With the default (the 1 MiB heap,
+    the largest segment the suite links) this is 21: flipping immediate
+    bit >= 21 of an in-segment offset is predicted to escape every
+    mapped segment."""
+    if max_segment_size <= 0:
+        raise ValueError(f"segment size must be positive: {max_segment_size}")
+    return max_segment_size.bit_length()
+
 
 def align_up(value: int, alignment: int = PAGE) -> int:
     """Round ``value`` up to a multiple of ``alignment``."""

@@ -17,7 +17,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Literal
 
 from repro.clock import Clock
-from repro.memory.layout import TEXT_BASE, align_up
+from repro.memory.layout import (
+    DEFAULT_HEAP_SIZE,
+    DEFAULT_STACK_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    align_up,
+)
 from repro.memory.segments import Perm, Segment
 from repro.memory.address_space import AddressSpace
 
@@ -171,8 +177,8 @@ class Linker:
     def link(
         self,
         *,
-        heap_size: int = 1 << 20,
-        stack_size: int = 64 << 10,
+        heap_size: int = DEFAULT_HEAP_SIZE,
+        stack_size: int = DEFAULT_STACK_SIZE,
         clock: Clock | None = None,
         track: bool = False,
     ) -> LinkedImage:
@@ -195,8 +201,6 @@ class Linker:
         data_base = align_up(text_base + text_size)
         bss_base = align_up(data_base + data_size)
         heap_base = align_up(bss_base + bss_size)
-        from repro.memory.layout import STACK_TOP
-
         stack_base = STACK_TOP - align_up(stack_size)
 
         text = space.map("text", text_base, align_up(text_size), Perm.RX, track)

@@ -24,6 +24,7 @@ estimation error d is 4.4-4.9 percent."
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from scipy.stats import norm
 
@@ -106,6 +107,160 @@ def stratified_error_rate(
     n = executed + pruned
     executed_term = (executed / n) * (errors / executed) if executed else 0.0
     return executed_term + (pruned / n) * pruned_rate
+
+
+@dataclass(frozen=True)
+class StratumCell:
+    """One stratum of a stratified region estimate.
+
+    ``population`` counts the classification pool's members landing in
+    this stratum (the weight numerator); ``executed``/``errors`` are the
+    dynamic trials actually run there.  ``known_zero`` marks strata
+    whose error rate is statically *proven* 0 - the predictor's masked
+    stratum, backed by the oracle soundness contract - so they need no
+    trials and contribute neither rate nor variance.
+    """
+
+    name: str
+    population: int
+    executed: int = 0
+    errors: int = 0
+    known_zero: bool = False
+
+    @property
+    def rate(self) -> float:
+        if self.known_zero:
+            return 0.0
+        return self.errors / self.executed if self.executed else 0.0
+
+    def variance_term(self, floor: bool = True) -> float:
+        """``p_h (1 - p_h)`` with the same endpoint clamp the uniform
+        adaptive driver applies, so an all-correct pilot cannot report
+        zero width and stop a campaign after eight trials."""
+        if self.known_zero:
+            return 0.0
+        if not self.executed:
+            return 0.25  # unsampled: worst case
+        p = self.rate
+        if floor:
+            eps = 1.0 / (self.executed + 1)
+            p = min(max(p, eps), 1.0 - eps)
+        return p * (1.0 - p)
+
+
+@dataclass(frozen=True)
+class StratifiedEstimate:
+    """Importance-weighted region estimate over predicted-outcome strata.
+
+    The classification pool is a uniform sample of the region's
+    injection space, so stratum weights ``W_h = population_h / pool``
+    are unbiased; executing trials *within* strata at any allocation
+    and re-weighting by ``W_h`` recovers the unbiased region rate
+
+        p = sum_h W_h p_h
+
+    with half-width
+
+        d = z * sqrt(sum_h W_h^2 p_h (1 - p_h) / n_h)
+
+    which Neyman allocation (:func:`neyman_allocation`) minimizes for a
+    given trial budget.  Known-zero strata (the oracle-proven masked
+    stratum) carry weight but no variance: their savings are exactly
+    the ``--prune-masked`` savings, folded into the estimator.
+    """
+
+    pool: int
+    cells: tuple[StratumCell, ...]
+    alpha: float = 0.05
+
+    def weight(self, cell: StratumCell) -> float:
+        return cell.population / self.pool if self.pool else 0.0
+
+    @property
+    def executed(self) -> int:
+        return sum(c.executed for c in self.cells)
+
+    @property
+    def error_rate(self) -> float:
+        return sum(self.weight(c) * c.rate for c in self.cells)
+
+    @property
+    def half_width(self) -> float:
+        var = 0.0
+        for c in self.cells:
+            if c.known_zero:
+                continue
+            if not c.executed:
+                if not c.population:
+                    continue
+                return float("inf")  # weighted stratum with no data
+            var += self.weight(c) ** 2 * c.variance_term() / c.executed
+        return z_alpha(self.alpha) * math.sqrt(var)
+
+    @property
+    def uniform_equivalent_n(self) -> int:
+        """Trials a uniform oversampled Cochran campaign would need to
+        guarantee this estimate's half-width - the savings baseline."""
+        d = self.half_width
+        if not 0.0 < d < 1.0:
+            return 0
+        return sample_size_oversampled(d, self.alpha)
+
+
+def neyman_allocation(
+    cells: tuple[StratumCell, ...],
+    pool: int,
+    total: int,
+) -> dict[str, int]:
+    """Allocate ``total`` further trials across strata minimizing the
+    stratified variance: ``n_h`` proportional to ``W_h * s_h`` (Neyman),
+    with deterministic largest-remainder rounding and per-stratum caps
+    at the remaining unexecuted population (each pool member is one
+    concrete, addressable trial spec).  Known-zero and exhausted strata
+    get nothing."""
+    if total < 0:
+        raise ValueError(f"allocation total must be >= 0: {total}")
+    live = [
+        c for c in cells
+        if not c.known_zero and c.population > c.executed
+    ]
+    scores = {
+        c.name: (c.population / pool) * math.sqrt(c.variance_term())
+        for c in live
+    }
+    mass = sum(scores.values())
+    out = {c.name: 0 for c in cells}
+    if not live or mass <= 0.0 or total == 0:
+        return out
+    remaining = {c.name: c.population - c.executed for c in live}
+    # Iterate until the budget is spent or every stratum is capped;
+    # largest-remainder keeps the split deterministic and exact.
+    budget = total
+    while budget > 0:
+        open_cells = [c for c in live if out[c.name] < remaining[c.name]]
+        open_mass = sum(scores[c.name] for c in open_cells)
+        if not open_cells or open_mass <= 0.0:
+            break
+        shares = []
+        for c in sorted(open_cells, key=lambda c: c.name):
+            exact = budget * scores[c.name] / open_mass
+            shares.append((c.name, int(exact), exact - int(exact)))
+        given = 0
+        for name, base, _ in shares:
+            take = min(base, remaining[name] - out[name])
+            out[name] += take
+            given += take
+        leftovers = sorted(shares, key=lambda s: (-s[2], s[0]))
+        for name, _, _ in leftovers:
+            if given >= budget:
+                break
+            if out[name] < remaining[name]:
+                out[name] += 1
+                given += 1
+        if given == 0:
+            break
+        budget -= given
+    return out
 
 
 def injection_space_size(bits: int, processes: int, time_points: int) -> int:

@@ -28,6 +28,7 @@ from repro.cpu import semantics
 from repro.cpu.assembler import AssembledFunction, Program
 from repro.cpu.isa import INSN_SIZE, BRANCH_OPS, Insn, Op, RedOp, VecOp
 from repro.cpu.registers import REG_NAMES
+from repro.memory.layout import segment_escape_bit
 from repro.staticanalysis.cfg import ControlFlowGraph
 from repro.staticanalysis.dataflow import Liveness, liveness
 
@@ -37,9 +38,10 @@ from repro.staticanalysis.dataflow import Liveness, liveness
 LOOP_WEIGHT = 10
 
 #: Memory-offset immediate bits at or above this position are predicted
-#: to escape every mapped segment when flipped (the largest segment the
-#: suite links is the 1 MiB heap), turning the access into a segfault.
-MEM_ESCAPE_BIT = 21
+#: to escape every mapped segment when flipped, turning the access into
+#: a segfault.  Derived from the segment-layout authority in
+#: :mod:`repro.memory.layout` (the largest segment is the default heap).
+MEM_ESCAPE_BIT = segment_escape_bit()
 
 _VALID_OPCODES = frozenset(int(op) for op in Op)
 _VALID_VECOPS = frozenset(int(v) for v in VecOp)

@@ -15,10 +15,12 @@ SA005   branch to nowhere (target outside the function or off-grid)
 
 The ``SA0xx`` codes above are this module's; the ``SA1xx`` family
 (MPI communication checks) lives in
-:mod:`repro.staticanalysis.mpicheck.passes` and the ``SA2xx`` family
+:mod:`repro.staticanalysis.mpicheck.passes`, the ``SA2xx`` family
 (propagation/detector-coverage audit) in
-:mod:`repro.staticanalysis.propagation.passes`, each with its own code
-table.  Codes are unique across all three families and every family
+:mod:`repro.staticanalysis.propagation.passes`, and the ``SA3xx``
+family (outcome-prediction audit) in
+:mod:`repro.staticanalysis.outcomes.passes`, each with its own code
+table.  Codes are unique across all four families and every family
 shares this module's :class:`Diagnostic` type and report order.
 
 Two deliberate exemptions keep the checks useful on compiler-shaped

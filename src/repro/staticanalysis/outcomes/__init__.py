@@ -1,0 +1,62 @@
+"""Static outcome prediction: abstract interpretation over the CFG and
+dataflow layers that classifies every injectable fault site into a
+predicted-outcome stratum (crash-prone, hang-prone, detectable,
+sdc-risk, masked, uncertain).
+
+Layer map:
+
+* :mod:`.intervals` - value-range domain over the register file proving
+  address-bit flips escape every mapped segment;
+* :mod:`.hangs` - natural-loop/counter analysis finding the sites whose
+  corruption stalls a kernel past the engine budgets;
+* :mod:`.predictor` - the per-spec join (plus message-stream strata);
+* :mod:`.passes` - the SA3xx audit family over predictor probes;
+* :mod:`.validation` - confusion matrix of predictions vs dynamic
+  campaign ground truth.
+"""
+
+from repro.staticanalysis.outcomes.hangs import (
+    HangAnalysis,
+    Loop,
+    hang_bit_floor,
+)
+from repro.staticanalysis.outcomes.intervals import (
+    Interval,
+    IntervalAnalysis,
+    flip_escapes,
+    stack_window,
+)
+from repro.staticanalysis.outcomes.passes import (
+    OUTCOME_LINT_CODES,
+    PredictorProbe,
+    audit_outcomes,
+    build_probe,
+)
+from repro.staticanalysis.outcomes.predictor import (
+    OutcomePredictor,
+    Stratum,
+)
+from repro.staticanalysis.outcomes.validation import (
+    OutcomeValidation,
+    validate_app,
+    validate_suite,
+)
+
+__all__ = [
+    "HangAnalysis",
+    "Interval",
+    "IntervalAnalysis",
+    "Loop",
+    "OUTCOME_LINT_CODES",
+    "OutcomePredictor",
+    "OutcomeValidation",
+    "PredictorProbe",
+    "Stratum",
+    "audit_outcomes",
+    "build_probe",
+    "flip_escapes",
+    "hang_bit_floor",
+    "stack_window",
+    "validate_app",
+    "validate_suite",
+]

@@ -1,0 +1,305 @@
+"""Interval (value-range) abstract domain over the register file.
+
+The outcome predictor's crash stratum rests on one static claim: a
+flipped bit turns an address the program is about to dereference (or
+fetch) into one outside every mapped segment.  Proving that needs a
+*range* for the address, not a taint bit - this module supplies it.
+
+The domain is the classic non-wrapping unsigned-32 interval lattice:
+``[lo, hi]`` with ``0 <= lo <= hi <= 2^32 - 1``, ``TOP`` the full
+range.  Any operation whose concrete result could wrap (or that the
+transfer does not model) goes straight to TOP, so the analysis only
+ever **over**-approximates: the one claim consumers may build on is
+``v in I`` for every concrete register value ``v`` - the same negative
+contract as the taint layer's provably-masked verdict, checked by the
+hypothesis differential suite against real VM execution.
+
+Address provenance comes from two authorities, never re-derived:
+
+* relocated ``MOVI`` immediates are link-time symbol addresses, so
+  without an exact symbol table the value still provably lies in the
+  Figure-1 static image window (:data:`repro.memory.layout.STATIC_IMAGE_WINDOW`);
+* ``ESP``/``EBP`` enter the function inside the stack segment, whose
+  window also comes from :mod:`repro.memory.layout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.isa import Insn, Op
+from repro.cpu.registers import EBP, ESP
+from repro.memory.layout import (
+    DEFAULT_STACK_SIZE,
+    STACK_TOP,
+    STATIC_IMAGE_WINDOW,
+)
+from repro.staticanalysis.cfg import ControlFlowGraph
+
+U32_MAX = 0xFFFF_FFFF
+
+#: GPR count (register file masks indices with & 7).
+_NREGS = 8
+
+#: Ops whose GPR result the transfer does not model: straight to TOP.
+_OPAQUE_OPS = frozenset(
+    {Op.IMUL, Op.IDIV, Op.IREM, Op.AND, Op.OR, Op.XOR,
+     Op.SHL, Op.SHR, Op.NEG, Op.LOAD}
+)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-wrapping unsigned-32 range ``[lo, hi]`` (both inclusive)."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi <= U32_MAX:
+            raise ValueError(f"bad interval [{self.lo:#x}, {self.hi:#x}]")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def const(cls, value: int) -> "Interval":
+        v = value & U32_MAX
+        return cls(v, v)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return TOP
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == 0 and self.hi == U32_MAX
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= (value & U32_MAX) <= self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    # ------------------------------------------------------------------
+    # arithmetic (wrap -> TOP keeps the non-wrapping lattice sound)
+    # ------------------------------------------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        lo, hi = self.lo + other.lo, self.hi + other.hi
+        return Interval(lo, hi) if hi <= U32_MAX else TOP
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo, hi = self.lo - other.hi, self.hi - other.lo
+        return Interval(lo, hi) if lo >= 0 else TOP
+
+    def add_const(self, value: int) -> "Interval":
+        lo, hi = self.lo + value, self.hi + value
+        if 0 <= lo and hi <= U32_MAX:
+            return Interval(lo, hi)
+        return TOP
+
+    def intersects(self, lo: int, hi: int) -> bool:
+        """Does the interval meet the half-open window ``[lo, hi)``?"""
+        return self.lo < hi and self.hi >= lo
+
+
+TOP = Interval(0, U32_MAX)
+
+#: The stack segment window ``[base, top)`` every linked image places
+#: its stack in (the linker maps ``align_up(stack_size)`` bytes ending
+#: at ``STACK_TOP``; sizes beyond the default widen the window).
+def stack_window(stack_size: int = DEFAULT_STACK_SIZE) -> tuple[int, int]:
+    if stack_size <= 0:
+        raise ValueError(f"stack size must be positive: {stack_size}")
+    return (STACK_TOP - stack_size, STACK_TOP)
+
+
+def flip_escapes(
+    interval: Interval,
+    bit: int,
+    windows: tuple[tuple[int, int], ...],
+) -> bool:
+    """Can flipping ``bit`` of any value in ``interval`` be *proven* to
+    land outside every mapped window?
+
+    Flipping bit ``k`` of a value adds ``2^k`` when the bit is 0 and
+    subtracts it when the bit is 1.  When every value in the interval
+    agrees on bit ``k`` (``lo >> k == hi >> k``: the interval sits
+    inside one aligned ``2^k`` granule's half), only that one direction
+    is possible; otherwise both shifted ranges must be considered.  The
+    proof succeeds only when every possible shifted range stays inside
+    u32 (no wraparound) and intersects no window - TOP intervals
+    therefore never prove anything.
+    """
+    if not 0 <= bit < 32:
+        raise ValueError(f"bit must be in [0,32): {bit}")
+    if interval.is_top:
+        return False
+    step = 1 << bit
+    if (interval.lo >> bit) == (interval.hi >> bit):
+        directions = (step,) if not (interval.lo >> bit) & 1 else (-step,)
+    else:
+        directions = (step, -step)
+    for delta in directions:
+        lo, hi = interval.lo + delta, interval.hi + delta
+        if lo < 0 or hi > U32_MAX:
+            return False  # wraps: could land anywhere
+        shifted = Interval(lo, hi)
+        if any(shifted.intersects(wlo, whi) for wlo, whi in windows):
+            return False
+    return True
+
+
+class IntervalAnalysis:
+    """Forward interval analysis of one kernel's register file.
+
+    ``reloc_addrs`` maps relocated instruction indices to the exact
+    linked address when a symbol table is available; relocated ``MOVI``
+    instructions without an entry still get the static image window.
+    """
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        reloc_addrs: dict[int, int] | None = None,
+        stack_size: int = DEFAULT_STACK_SIZE,
+    ) -> None:
+        self.cfg = cfg
+        self.reloc_addrs = dict(reloc_addrs or {})
+        lo, hi = stack_window(stack_size)
+        self._stack_entry = Interval(lo, hi - 1)
+        self._static_window = Interval(
+            STATIC_IMAGE_WINDOW[0], STATIC_IMAGE_WINDOW[1] - 1
+        )
+        self._reachable = cfg.reachable()
+        #: Per-instruction register intervals *before* the instruction.
+        self.before: list[tuple[Interval, ...]] = self._solve()
+
+    # ------------------------------------------------------------------
+    def _entry_state(self) -> tuple[Interval, ...]:
+        state = [TOP] * _NREGS
+        state[ESP] = self._stack_entry
+        state[EBP] = self._stack_entry
+        return tuple(state)
+
+    def _step(self, state: tuple[Interval, ...], i: int) -> tuple[Interval, ...]:
+        insn: Insn = self.cfg.insns[i]
+        op = insn.op
+        r1, r2 = insn.r1 & 7, insn.r2 & 7
+
+        def put(reg: int, iv: Interval) -> tuple[Interval, ...]:
+            out = list(state)
+            out[reg] = iv
+            return tuple(out)
+
+        if op is Op.MOVI:
+            if i in self.cfg.relocated:
+                addr = self.reloc_addrs.get(i)
+                iv = (
+                    Interval.const(addr)
+                    if addr is not None
+                    else self._static_window
+                )
+            else:
+                iv = Interval.const(insn.imm)
+            return put(r1, iv)
+        if op is Op.MOV:
+            return put(r1, state[r2])
+        if op is Op.LEA:
+            return put(r1, state[r2].add_const(insn.imm))
+        if op is Op.ADDI:
+            return put(r1, state[r1].add_const(insn.imm))
+        if op is Op.ADD:
+            return put(r1, state[r1].add(state[r2]))
+        if op is Op.SUB:
+            return put(r1, state[r1].sub(state[r2]))
+        if op in _OPAQUE_OPS:
+            return put(r1, TOP)
+        if op is Op.PUSH:
+            return put(ESP, state[ESP].add_const(-4))
+        if op is Op.POP:
+            state = put(ESP, state[ESP].add_const(4))
+            out = list(state)
+            out[r1] = TOP  # popped value: whatever memory held
+            return tuple(out)
+        if op in (Op.CALL, Op.CALLR):
+            # The callee executes inline on the same register file and
+            # may clobber anything, stack pointers included.
+            return tuple(TOP for _ in range(_NREGS))
+        # Every other op writes no GPR (STORE, CMP/CMPI, branches, the
+        # x87 and vector ops, NOP/RET/HLT).
+        return state
+
+    def _solve(self) -> list[tuple[Interval, ...]]:
+        cfg = self.cfg
+        entry = self._entry_state()
+
+        def join(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return tuple(x.join(y) for x, y in zip(a, b))
+
+        def transfer(b: int, state):
+            if state is None:
+                state = entry if b == 0 else tuple([TOP] * _NREGS)
+            for i in cfg.blocks[b].insn_indices():
+                state = self._step(state, i)
+            return state
+
+        # dataflow.solve joins with ``|`` over frozensets; intervals
+        # need their own join, so run the worklist directly here (the
+        # graphs are a handful of blocks).
+        block_in: list = [None] * len(cfg.blocks)
+        block_in[0] = entry
+        work = [b for b in range(len(cfg.blocks))]
+        iterations = 0
+        limit = 64 * max(1, len(cfg.blocks)) * _NREGS
+        while work:
+            b = work.pop(0)
+            state = block_in[b]
+            if b == 0:
+                state = join(state, entry)
+            out = transfer(b, state)
+            for s in cfg.blocks[b].succs:
+                merged = join(block_in[s], out)
+                if merged != block_in[s]:
+                    # Widen aggressively once the budget is spent: the
+                    # lattice has unbounded ascending chains via joins
+                    # of growing constants, TOP ends them.
+                    iterations += 1
+                    if iterations > limit:
+                        merged = tuple(TOP for _ in range(_NREGS))
+                    block_in[s] = merged
+                    if s not in work:
+                        work.append(s)
+
+        before: list[tuple[Interval, ...]] = [
+            tuple([TOP] * _NREGS)
+        ] * len(cfg.insns)
+        for block in cfg.blocks:
+            state = block_in[block.index]
+            if state is None:
+                state = tuple([TOP] * _NREGS)  # unreachable: vacuous
+            if block.index == 0:
+                state = join(state, entry)
+            for i in block.insn_indices():
+                before[i] = state
+                state = self._step(state, i)
+        return before
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def base_interval(self, insn_index: int, reg: int) -> Interval:
+        """Interval of ``reg`` just before ``insn_index`` executes."""
+        return self.before[insn_index][reg]
+
+
+__all__ = [
+    "Interval",
+    "IntervalAnalysis",
+    "TOP",
+    "U32_MAX",
+    "flip_escapes",
+    "stack_window",
+]

@@ -1,0 +1,344 @@
+"""SA3xx audit passes: is the outcome predictor delivering signal?
+
+Each pass emits :class:`~repro.staticanalysis.lint.Diagnostic` entries
+in the ``SA3xx`` family (``SA0xx`` are the per-kernel assembly lints,
+``SA1xx`` the MPI communication checks, ``SA2xx`` the propagation
+coverage audits):
+
+======  ==============================================================
+code    meaning
+======  ==============================================================
+SA301   interval-domain blindness: a kernel performs memory accesses
+        but every base register's interval is TOP - no crash stratum
+        can ever be proven for it
+SA302   hang-analysis blindness: a kernel has natural loops but none
+        with a recognized counter - loop-corruption sites cannot be
+        steered into the hang stratum
+SA303   masked-stratum leak: a probed region claims masked sites the
+        masking oracle did not prove - the precision-1.0 contract of
+        the masked stratum is broken
+SA304   stratum starvation: a steerable region's probe sites are all
+        uncertain - the predictor contributes nothing to stratified
+        sampling there
+SA305   hang-budget drift: the predictor's recorded hang-bit floor
+        disagrees with recomputing it from the engine block budget
+SA306   segment-layout drift: the predictor's address windows disagree
+        with the layout authority in :mod:`repro.memory.layout`
+======  ==============================================================
+
+The passes run over a :class:`PredictorProbe` - a pure-data snapshot of
+one predictor - so fixtures can ``dataclasses.replace`` a single defect
+into the real probe without rebuilding analyses.  ``function`` carries
+an ``app:token`` label and ``insn_index`` is 0, so the shared
+``(function, position, code, message)`` report order applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.injection.faults import FaultSpec, Region
+from repro.memory.layout import STATIC_IMAGE_WINDOW
+from repro.staticanalysis.lint import Diagnostic, sort_diagnostics
+from repro.staticanalysis.outcomes.intervals import stack_window
+from repro.staticanalysis.outcomes.predictor import OutcomePredictor, Stratum
+
+#: Stable diagnostic codes of the outcome-prediction audit passes.
+OUTCOME_LINT_CODES = {
+    "SA301": "interval-domain blindness: every access base is TOP",
+    "SA302": "hang-analysis blindness: loops but no recognized counter",
+    "SA303": "masked-stratum leak: masked claim without an oracle proof",
+    "SA304": "stratum starvation: a steerable region is all uncertain",
+    "SA305": "hang-bit floor drifted from the engine block budget",
+    "SA306": "predictor windows drifted from the segment-layout authority",
+}
+
+#: Regions whose sampler the stratified campaign can steer; the probe
+#: covers exactly these.
+STEERABLE_REGIONS = ("regular_reg", "text", "data", "bss", "message")
+
+#: Per-rank probe depth into the received byte stream (whole first
+#: packet plus an early payload window covers every header field).
+_MESSAGE_PROBE_BYTES = 96
+
+
+@dataclass(frozen=True)
+class KernelProbe:
+    """Pure-data snapshot of one kernel's analysis yield."""
+
+    name: str
+    memory_sites: int
+    blind_sites: int
+    loops: int
+    counterless_loops: int
+
+
+@dataclass(frozen=True)
+class RegionProbe:
+    """Stratum histogram over one region's deterministic probe sites."""
+
+    region: str
+    #: (stratum value, count), sorted by stratum value.
+    strata: tuple[tuple[str, int], ...]
+    #: Of the masked count, how many the oracle itself proved.
+    masked_oracle_proven: int
+
+    def count(self, stratum: Stratum) -> int:
+        return dict(self.strata).get(stratum.value, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(n for _, n in self.strata)
+
+
+@dataclass(frozen=True)
+class PredictorProbe:
+    """Everything the SA3xx passes need from one predictor."""
+
+    app: str
+    kernels: tuple[KernelProbe, ...]
+    regions: tuple[RegionProbe, ...]
+    hang_floor: int
+    block_limit: int
+    #: ((static lo, static hi), (stack lo, stack hi)).
+    windows: tuple[tuple[int, int], tuple[int, int]]
+
+
+# ----------------------------------------------------------------------
+# probe construction
+# ----------------------------------------------------------------------
+def _probe_kernels(predictor: OutcomePredictor) -> tuple[KernelProbe, ...]:
+    from repro.cpu import semantics
+
+    out = []
+    for name, kernel in sorted(predictor.kernels.items()):
+        memory_sites = blind_sites = 0
+        for i, insn in enumerate(kernel.cfg.insns):
+            for acc in semantics.memory_accesses(insn):
+                memory_sites += 1
+                if kernel.intervals.base_interval(i, acc.base & 7).is_top:
+                    blind_sites += 1
+        counterless = sum(1 for lp in kernel.hangs.loops if not lp.counters)
+        out.append(
+            KernelProbe(
+                name=name,
+                memory_sites=memory_sites,
+                blind_sites=blind_sites,
+                loops=len(kernel.hangs.loops),
+                counterless_loops=counterless,
+            )
+        )
+    return tuple(out)
+
+
+def _probe_specs(predictor: OutcomePredictor, region: str) -> list[FaultSpec]:
+    """The deterministic probe sites of one steerable region."""
+    specs: list[FaultSpec] = []
+    if region == "regular_reg":
+        for reg in range(8):
+            for bit in range(32):
+                specs.append(
+                    FaultSpec(
+                        Region.REGULAR_REG, 0, time_blocks=1,
+                        bit=bit, reg_index=reg,
+                    )
+                )
+    elif region == "text":
+        for name in sorted(predictor.kernels):
+            try:
+                sym = predictor.symtab.lookup(name)
+            except KeyError:
+                continue
+            n_insns = len(predictor.kernels[name].cfg.insns)
+            for byte_off in range(n_insns * 8):
+                for bit in range(8):
+                    specs.append(
+                        FaultSpec(
+                            Region.TEXT, 0, time_blocks=1,
+                            bit=bit, address=sym.addr + byte_off,
+                        )
+                    )
+    elif region in ("data", "bss"):
+        for sym in predictor.symtab.symbols(region, "user"):
+            for bit in range(8):
+                specs.append(
+                    FaultSpec(
+                        getattr(Region, region.upper()), 0, time_blocks=1,
+                        bit=bit, address=sym.addr,
+                    )
+                )
+    elif region == "message":
+        for rank, (starts, plist) in sorted(predictor._streams.items()):
+            total = starts[-1] + plist[-1].size if plist else 0
+            for byte in range(min(total, _MESSAGE_PROBE_BYTES)):
+                for bit in (0, 7):
+                    specs.append(
+                        FaultSpec(
+                            Region.MESSAGE, rank, bit=bit, target_byte=byte
+                        )
+                    )
+    return specs
+
+
+def _probe_regions(predictor: OutcomePredictor) -> tuple[RegionProbe, ...]:
+    out = []
+    for region in STEERABLE_REGIONS:
+        counts = {s.value: 0 for s in Stratum}
+        oracle_proven = 0
+        for spec in _probe_specs(predictor, region):
+            stratum = predictor.stratum(spec)
+            counts[stratum.value] += 1
+            if stratum is Stratum.MASKED and predictor.oracle.verdict(spec).masked:
+                oracle_proven += 1
+        out.append(
+            RegionProbe(
+                region=region,
+                strata=tuple(sorted((k, v) for k, v in counts.items() if v)),
+                masked_oracle_proven=oracle_proven,
+            )
+        )
+    return tuple(out)
+
+
+def build_probe(predictor: OutcomePredictor) -> PredictorProbe:
+    """Snapshot one predictor for the SA3xx passes."""
+    return PredictorProbe(
+        app=predictor.app_name,
+        kernels=_probe_kernels(predictor),
+        regions=_probe_regions(predictor),
+        hang_floor=predictor.hang_floor,
+        block_limit=predictor.block_limit,
+        windows=(
+            (STATIC_IMAGE_WINDOW[0], STATIC_IMAGE_WINDOW[1]),
+            predictor.stack_window,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# passes
+# ----------------------------------------------------------------------
+def _diag(app: str, code: str, token: str, message: str) -> Diagnostic:
+    return Diagnostic(code, f"{app}:{token}", 0, message)
+
+
+def _check_interval_blindness(probe: PredictorProbe) -> list[Diagnostic]:
+    diags = []
+    for k in probe.kernels:
+        if k.memory_sites and k.blind_sites == k.memory_sites:
+            diags.append(
+                _diag(
+                    probe.app,
+                    "SA301",
+                    k.name,
+                    f"all {k.memory_sites} access bases of {k.name!r} are "
+                    f"TOP: no crash stratum is provable for this kernel",
+                )
+            )
+    return diags
+
+
+def _check_hang_blindness(probe: PredictorProbe) -> list[Diagnostic]:
+    diags = []
+    for k in probe.kernels:
+        if k.loops and k.counterless_loops == k.loops:
+            diags.append(
+                _diag(
+                    probe.app,
+                    "SA302",
+                    k.name,
+                    f"{k.name!r} has {k.loops} loop(s) but no recognized "
+                    f"counter: loop corruption cannot be steered into the "
+                    f"hang stratum",
+                )
+            )
+    return diags
+
+
+def _check_masked_leak(probe: PredictorProbe) -> list[Diagnostic]:
+    diags = []
+    for r in probe.regions:
+        masked = r.count(Stratum.MASKED)
+        if masked > r.masked_oracle_proven:
+            diags.append(
+                _diag(
+                    probe.app,
+                    "SA303",
+                    r.region,
+                    f"{r.region} claims {masked} masked probe sites but the "
+                    f"oracle proved only {r.masked_oracle_proven}: masked "
+                    f"precision is no longer guaranteed",
+                )
+            )
+    return diags
+
+
+def _check_starvation(probe: PredictorProbe) -> list[Diagnostic]:
+    diags = []
+    for r in probe.regions:
+        if r.total and r.count(Stratum.UNCERTAIN) == r.total:
+            diags.append(
+                _diag(
+                    probe.app,
+                    "SA304",
+                    r.region,
+                    f"all {r.total} probe sites of {r.region} are uncertain: "
+                    f"the predictor adds no stratification power there",
+                )
+            )
+    return diags
+
+
+def _check_budget_drift(probe: PredictorProbe) -> list[Diagnostic]:
+    from repro.staticanalysis.outcomes.hangs import hang_bit_floor
+
+    expected = hang_bit_floor(probe.block_limit)
+    if probe.hang_floor != expected:
+        return [
+            _diag(
+                probe.app,
+                "SA305",
+                "hang-floor",
+                f"recorded hang-bit floor {probe.hang_floor} != {expected} "
+                f"recomputed from block budget {probe.block_limit}",
+            )
+        ]
+    return []
+
+
+def _check_layout_drift(probe: PredictorProbe) -> list[Diagnostic]:
+    diags = []
+    static_w, stack_w = probe.windows
+    if tuple(static_w) != STATIC_IMAGE_WINDOW:
+        diags.append(
+            _diag(
+                probe.app,
+                "SA306",
+                "static-window",
+                f"predictor static window {tuple(static_w)} != layout "
+                f"authority {STATIC_IMAGE_WINDOW}",
+            )
+        )
+    if tuple(stack_w) != stack_window():
+        diags.append(
+            _diag(
+                probe.app,
+                "SA306",
+                "stack-window",
+                f"predictor stack window {tuple(stack_w)} != layout "
+                f"authority {stack_window()}",
+            )
+        )
+    return diags
+
+
+def audit_outcomes(probe: PredictorProbe) -> list[Diagnostic]:
+    """Run every SA3xx pass over one probe; deterministic order."""
+    raw: list[Diagnostic] = []
+    raw += _check_interval_blindness(probe)
+    raw += _check_hang_blindness(probe)
+    raw += _check_masked_leak(probe)
+    raw += _check_starvation(probe)
+    raw += _check_budget_drift(probe)
+    raw += _check_layout_drift(probe)
+    return sort_diagnostics(raw)

@@ -1,0 +1,77 @@
+"""The segment-layout authority: one source of truth for every consumer.
+
+PR 7 made :mod:`repro.memory.layout` the single authority for default
+segment sizes, the static-image window, and the escape bit.  Three
+independent consumers - the AVF heuristic, the injection dictionary,
+and the interval domain - used to hard-code compatible copies; these
+tests pin the shared values so the next drift is a test failure, not a
+silently wrong crash stratum.
+"""
+
+from repro.memory.layout import (
+    DEFAULT_HEAP_SIZE,
+    DEFAULT_STACK_SIZE,
+    SHARED_LIBS_BASE,
+    STACK_TOP,
+    STATIC_IMAGE_WINDOW,
+    TEXT_BASE,
+    segment_escape_bit,
+)
+from repro.memory.symbols import Linker
+
+
+class TestAuthorityValues:
+    def test_static_image_window_is_figure_1(self):
+        assert STATIC_IMAGE_WINDOW == (TEXT_BASE, SHARED_LIBS_BASE)
+
+    def test_escape_bit_clears_the_largest_default_segment(self):
+        # Flipping bit k moves an address by 2^k; the bit is an escape
+        # proof only if that step exceeds every default segment.
+        bit = segment_escape_bit()
+        assert bit == 21
+        assert (1 << bit) > DEFAULT_HEAP_SIZE >= DEFAULT_STACK_SIZE
+
+    def test_avf_heuristic_uses_the_authority(self):
+        from repro.staticanalysis.avf import MEM_ESCAPE_BIT
+
+        assert MEM_ESCAPE_BIT == segment_escape_bit()
+
+    def test_interval_domain_uses_the_authority(self):
+        from repro.staticanalysis.outcomes.intervals import stack_window
+
+        assert stack_window() == (STACK_TOP - DEFAULT_STACK_SIZE, STACK_TOP)
+
+
+class TestLinkerDefaults:
+    def test_default_link_stays_inside_the_static_window(self):
+        linker = Linker()
+        linker.add_text("f", b"\x01" * 64)
+        linker.add_data("d", 32)
+        linker.add_bss("b", 64)
+        image = linker.link()
+        lo, hi = STATIC_IMAGE_WINDOW
+        for seg in (image.text, image.data, image.bss, image.heap):
+            assert lo <= seg.base and seg.base + seg.size <= hi
+
+    def test_default_stack_matches_the_stack_window(self):
+        from repro.staticanalysis.outcomes.intervals import stack_window
+
+        linker = Linker()
+        linker.add_text("f", b"\x01" * 64)
+        image = linker.link()
+        w_lo, w_hi = stack_window()
+        assert image.stack.base == w_lo
+        assert image.stack.base + image.stack.size == w_hi
+
+    def test_suite_apps_link_with_the_default_stack(self):
+        # The interval domain seeds ESP/EBP from stack_window(); that is
+        # only sound if the apps actually link with the default size.
+        from repro.apps import APPLICATION_SUITE
+        from repro.mpi.simulator import Job, JobConfig
+        from repro.staticanalysis.outcomes.intervals import stack_window
+
+        app = APPLICATION_SUITE["wavetoy"]()
+        job = Job(app, JobConfig(nprocs=2))
+        job.run()
+        segment = job.images[0].stack.segment
+        assert (segment.base, segment.end) == stack_window()

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.__main__ import main
+from repro.__main__ import ANALYZE_SCHEMA_VERSION, main
 
 
 class TestAnalyze:
@@ -100,3 +100,48 @@ class TestAnalyzeMpi:
         err = capsys.readouterr().err
         assert "unknown MPI analysis target" in err
         assert "buggy" in err  # the fixture is advertised
+
+
+class TestAnalyzeOutcomes:
+    def test_wavetoy_audit_is_clean(self, capsys):
+        assert main(["analyze", "--outcomes", "--nprocs", "2", "wavetoy"]) == 0
+        out = capsys.readouterr().out
+        assert "audit: 0 finding(s)" in out
+        assert "hang-bit floor" in out
+        assert "regular_reg" in out and "message" in out
+
+    def test_json_payload(self, capsys):
+        assert (
+            main(["analyze", "--outcomes", "--json", "--nprocs", "2", "wavetoy"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == ANALYZE_SCHEMA_VERSION
+        assert payload["target"] == "wavetoy"
+        assert payload["nprocs"] == 2
+        assert payload["diagnostics"] == []
+        regions = {r["region"] for r in payload["regions"]}
+        assert regions == {"regular_reg", "text", "data", "bss", "message"}
+        for r in payload["regions"]:
+            # the masked stratum is oracle-proof-only, in the CLI too
+            assert r["strata"].get("masked", 0) == r["masked_oracle_proven"]
+        assert payload["windows"]["static"][0] < payload["windows"]["static"][1]
+
+    def test_unknown_target_is_an_error(self, capsys):
+        assert main(["analyze", "--outcomes", "nonesuch"]) == 2
+        assert capsys.readouterr().err
+
+
+class TestSchemaVersion:
+    def test_every_json_emitter_stamps_the_shared_version(self, capsys):
+        emitters = (
+            ["analyze", "--json", "wavetoy"],
+            ["analyze", "--lint", "--json", "ablation"],
+            ["analyze", "--mpi", "--json", "--nprocs", "2", "wavetoy"],
+            ["analyze", "--propagation", "--json", "wavetoy"],
+            ["analyze", "--outcomes", "--json", "--nprocs", "2", "wavetoy"],
+        )
+        for argv in emitters:
+            assert main(argv) == 0, argv
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["schema_version"] == ANALYZE_SCHEMA_VERSION, argv

@@ -1,4 +1,4 @@
-"""Drift test over every diagnostic family: SA0xx, SA1xx, SA2xx.
+"""Drift test over every diagnostic family: SA0xx, SA1xx, SA2xx, SA3xx.
 
 Three invariants keep the lint surface documented and honest:
 
@@ -21,6 +21,9 @@ from repro.staticanalysis.mpicheck import check_skeleton, extract_skeleton
 from repro.staticanalysis.mpicheck import passes as mpi_passes
 from repro.staticanalysis.mpicheck.fixture import BuggyApp
 from repro.staticanalysis.mpicheck.passes import MPI_LINT_CODES
+from repro.staticanalysis.outcomes import OUTCOME_LINT_CODES, audit_outcomes
+from repro.staticanalysis.outcomes import passes as outcome_passes
+from repro.staticanalysis.outcomes.fixtures import FIXTURES as OUTCOME_FIXTURES
 from repro.staticanalysis.propagation import PROPAGATION_LINT_CODES, audit_app
 from repro.staticanalysis.propagation import passes as prop_passes
 from repro.staticanalysis.propagation.fixtures import FIXTURES
@@ -29,9 +32,15 @@ FAMILIES = [
     (LINT_CODES, lint_module),
     (MPI_LINT_CODES, mpi_passes),
     (PROPAGATION_LINT_CODES, prop_passes),
+    (OUTCOME_LINT_CODES, outcome_passes),
 ]
 
-ALL_CODES = {**LINT_CODES, **MPI_LINT_CODES, **PROPAGATION_LINT_CODES}
+ALL_CODES = {
+    **LINT_CODES,
+    **MPI_LINT_CODES,
+    **PROPAGATION_LINT_CODES,
+    **OUTCOME_LINT_CODES,
+}
 
 
 def lint_source(source: str):
@@ -81,7 +90,7 @@ class TestTablesComplete:
     @pytest.mark.parametrize(
         "table,module",
         FAMILIES,
-        ids=["SA0xx", "SA1xx", "SA2xx"],
+        ids=["SA0xx", "SA1xx", "SA2xx", "SA3xx"],
     )
     def test_docstring_documents_every_code(self, table, module):
         doc = module.__doc__ or ""
@@ -90,9 +99,9 @@ class TestTablesComplete:
 
     def test_families_cross_reference_each_other(self):
         # the SA0xx table is the entry point: it must point readers at
-        # the other two families' homes
+        # the other three families' homes
         doc = lint_module.__doc__
-        assert "SA1xx" in doc and "SA2xx" in doc
+        assert "SA1xx" in doc and "SA2xx" in doc and "SA3xx" in doc
 
 
 class TestEveryCodeTriggers:
@@ -111,7 +120,13 @@ class TestEveryCodeTriggers:
         open_findings, _ = audit_app(FIXTURES[code]())
         assert code in {d.code for d in open_findings}
 
+    @pytest.mark.parametrize("code", sorted(OUTCOME_LINT_CODES))
+    def test_outcome_codes(self, code):
+        diags = audit_outcomes(OUTCOME_FIXTURES[code]())
+        assert code in {d.code for d in diags}
+
     def test_trigger_maps_cover_their_families(self):
         assert set(ASM_TRIGGERS) == set(LINT_CODES)
         assert set(MPI_TRIGGERS) == set(MPI_LINT_CODES)
         assert set(FIXTURES) == set(PROPAGATION_LINT_CODES)
+        assert set(OUTCOME_FIXTURES) == set(OUTCOME_LINT_CODES)

@@ -1,0 +1,145 @@
+"""Unit tests for the loop-bound (hang-prone) analysis."""
+
+import pytest
+
+from repro.cpu.assembler import assemble_function
+from repro.cpu.registers import EAX, ECX
+from repro.staticanalysis.cfg import ControlFlowGraph
+from repro.staticanalysis.outcomes.hangs import HangAnalysis, hang_bit_floor
+
+#: canonical up-counting loop: ecx counts 0..99, eax accumulates.
+COUNTED_LOOP = (
+    "movi ecx, 0\n"
+    "movi eax, 0\n"
+    "loop: addi eax, 3\n"
+    "addi ecx, 1\n"
+    "cmpi ecx, 100\n"
+    "jl loop\n"
+    "ret"
+)
+
+#: same loop shape, but ecx also indexes memory inside the body.
+INDEXED_LOOP = (
+    "movi ecx, 64\n"
+    "movi eax, 0\n"
+    "loop: load edx, [ecx]\n"
+    "add eax, edx\n"
+    "addi ecx, 4\n"
+    "cmpi ecx, 256\n"
+    "jl loop\n"
+    "ret"
+)
+
+#: exact-match exit: iteration continues while ecx != 0 (JNZ).
+EXACT_LOOP = (
+    "movi ecx, 16\n"
+    "loop: addi ecx, -1\n"
+    "cmpi ecx, 0\n"
+    "jnz loop\n"
+    "ret"
+)
+
+
+def analyze(source: str) -> HangAnalysis:
+    cfg = ControlFlowGraph.from_function(assemble_function("f", source))
+    return HangAnalysis(cfg)
+
+
+class TestLoopDiscovery:
+    def test_counted_loop_is_found(self):
+        ha = analyze(COUNTED_LOOP)
+        assert len(ha.loops) == 1
+
+    def test_straight_line_code_has_no_loops(self):
+        ha = analyze("movi eax, 1\naddi eax, 2\nret")
+        assert ha.loops == []
+
+    def test_counter_bound_increment_and_branch_sites(self):
+        ha = analyze(COUNTED_LOOP)
+        (loop,) = ha.loops
+        # insn indices: 2 addi eax / 3 addi ecx / 4 cmpi / 5 jl
+        assert loop.pure_counters == frozenset({ECX})
+        assert loop.increment_insns == frozenset({3})
+        assert loop.bound_cmp_insns == frozenset({4})
+        assert loop.control_branch_insns == frozenset({5})
+        assert not loop.exact_exit
+
+    def test_accumulator_is_not_a_counter(self):
+        # eax is stepped every iteration but never tested by the
+        # loop-controlling comparison: corrupting it is an SDC, not a
+        # hang.
+        ha = analyze(COUNTED_LOOP)
+        (loop,) = ha.loops
+        assert EAX not in loop.counters
+
+    def test_memory_indexed_counter_is_excluded(self):
+        # ecx feeds the LOAD address: corrupting it faults on the next
+        # dereference instead of stalling, so it must not enter the
+        # hang-prone register stratum.
+        ha = analyze(INDEXED_LOOP)
+        (loop,) = ha.loops
+        assert loop.memory_indexed_counters == frozenset({ECX})
+        assert ha.pure_counter_regs() == frozenset()
+
+    def test_exact_exit_detection(self):
+        assert analyze(EXACT_LOOP).loops[0].exact_exit
+        assert not analyze(COUNTED_LOOP).loops[0].exact_exit
+
+
+class TestHangBitFloor:
+    @pytest.mark.parametrize(
+        "limit,floor",
+        [(1, 0), (2, 1), (3, 2), (100, 7), (128, 7), (129, 8), (10_000, 14)],
+    )
+    def test_floor_values(self, limit, floor):
+        assert hang_bit_floor(limit) == floor
+
+    def test_floor_is_sufficient(self):
+        # adding 2^floor iterations must exceed the block budget
+        for limit in (1, 2, 3, 100, 129, 10_000):
+            assert (1 << hang_bit_floor(limit)) >= limit
+
+    def test_floor_rejects_nonpositive_budgets(self):
+        with pytest.raises(ValueError):
+            hang_bit_floor(0)
+
+
+class TestHangProneTextBits:
+    def test_branch_opcode_flips_into_other_branches(self):
+        ha = analyze(COUNTED_LOOP)
+        bits = ha.hang_prone_text_bits(block_limit=100)
+        # JL=0x33 ^ 1 = 0x32 = JNZ: still a branch, iteration decision
+        # inverted while control stays in the function.
+        assert (5, 0) in bits
+
+    def test_bound_bits_respect_the_floor(self):
+        ha = analyze(COUNTED_LOOP)
+        bits = ha.hang_prone_text_bits(block_limit=100)
+        floor = hang_bit_floor(100)
+        cmp_bits = {b - 32 for (i, b) in bits if i == 4 and b >= 32}
+        # bit 7 is the floor and clear in 100 (0b1100100): flagged.
+        assert floor == 7 and 7 in cmp_bits
+        # bits 0 and 1 are clear in 100 but below the floor: a flip adds
+        # at most 2 iterations, nowhere near the budget.
+        assert 0 not in cmp_bits and 1 not in cmp_bits
+        # set bits never enter the stratum (clearing a bound bit only
+        # shortens the loop); 100 has bit 2 set.
+        assert 2 not in cmp_bits
+        # the sign bit always qualifies.
+        assert 31 in cmp_bits
+
+    def test_increment_zeroing_bit_is_flagged(self):
+        # the increment imm==1 is exactly 2^0: clearing bit 0 zeroes the
+        # step and the counter never advances.
+        ha = analyze(COUNTED_LOOP)
+        bits = ha.hang_prone_text_bits(block_limit=100)
+        assert (3, 32 + 0) in bits
+        assert (3, 32 + 31) in bits  # sign flip
+
+    def test_larger_budget_prunes_low_bound_bits(self):
+        ha = analyze(COUNTED_LOOP)
+        small = ha.hang_prone_text_bits(block_limit=100)
+        large = ha.hang_prone_text_bits(block_limit=100_000)
+        assert large <= small
+        # bit 7 adds only 128 iterations: not a hang under a 100k budget
+        assert (4, 32 + 7) in small and (4, 32 + 7) not in large

@@ -1,0 +1,125 @@
+"""Unit tests for the interval domain and the escape proof."""
+
+import pytest
+
+from repro.cpu.assembler import assemble_function
+from repro.memory.layout import STATIC_IMAGE_WINDOW, TEXT_BASE
+from repro.staticanalysis.cfg import ControlFlowGraph
+from repro.staticanalysis.outcomes.intervals import (
+    TOP,
+    Interval,
+    IntervalAnalysis,
+    U32_MAX,
+    flip_escapes,
+    stack_window,
+)
+from repro.cpu.registers import EAX, EBP, ECX, ESP
+
+WINDOWS = (STATIC_IMAGE_WINDOW, stack_window())
+
+
+def cfg_of(source: str) -> ControlFlowGraph:
+    return ControlFlowGraph.from_function(assemble_function("f", source))
+
+
+class TestIntervalLattice:
+    def test_const_contains_only_itself(self):
+        iv = Interval.const(42)
+        assert iv.contains(42)
+        assert not iv.contains(41)
+
+    def test_join_is_the_hull(self):
+        iv = Interval.const(10).join(Interval.const(20))
+        assert (iv.lo, iv.hi) == (10, 20)
+        assert iv.contains(15)
+
+    def test_add_wraps_to_top(self):
+        iv = Interval(U32_MAX - 1, U32_MAX).add_const(4)
+        assert iv.is_top
+
+    def test_arith_tracks_bounds(self):
+        a = Interval(10, 20)
+        b = Interval(1, 2)
+        assert (a.add(b).lo, a.add(b).hi) == (11, 22)
+        assert (a.sub(b).lo, a.sub(b).hi) == (8, 19)
+
+    def test_sub_below_zero_is_top(self):
+        assert Interval(0, 4).sub(Interval(8, 8)).is_top
+
+
+class TestFlipEscapes:
+    def test_top_never_proves_an_escape(self):
+        assert not flip_escapes(TOP, 31, WINDOWS)
+
+    def test_low_bit_of_a_text_pointer_stays_mapped(self):
+        iv = Interval.const(TEXT_BASE + 0x1000)
+        assert not flip_escapes(iv, 4, WINDOWS)
+
+    def test_high_bit_of_a_text_pointer_escapes(self):
+        # 0x08049000 with bit 31 set lands at 0x88049000: above the
+        # static image, below the stack window.
+        iv = Interval.const(TEXT_BASE + 0x1000)
+        assert flip_escapes(iv, 31, WINDOWS)
+
+    def test_direction_refinement_uses_the_bit_value(self):
+        # Bit 30 of 0x08049000 is clear, so the flip can only add 2^30,
+        # landing at 0x48049000 - outside both windows.  Without the
+        # single-direction refinement the (impossible) downward flip
+        # would block the proof.
+        iv = Interval.const(TEXT_BASE + 0x1000)
+        assert flip_escapes(iv, 30, WINDOWS)
+
+    def test_stack_pointer_flip_into_stack_window_not_proven(self):
+        lo, hi = stack_window()
+        iv = Interval(lo, hi - 1)
+        assert not flip_escapes(iv, 2, WINDOWS)
+
+    def test_stack_pointer_high_bit_escapes(self):
+        # The half-open window [lo, hi) keeps the whole interval below
+        # the 2^30 boundary, so bit 30 refines to the upward direction
+        # and the flip provably lands above every window.  (The closed
+        # interval including 0xC0000000 would straddle the boundary and
+        # block the proof.)
+        lo, hi = stack_window()
+        iv = Interval(lo, hi - 1)
+        assert flip_escapes(iv, 30, WINDOWS)
+
+
+class TestIntervalAnalysis:
+    def test_movi_then_addi_is_constant(self):
+        cfg = cfg_of("movi eax, 100\naddi eax, 5\nret")
+        iv = IntervalAnalysis(cfg)
+        # before the RET (index 2), eax is exactly 105
+        assert iv.base_interval(2, EAX) == Interval.const(105)
+
+    def test_entry_esp_is_the_stack_window(self):
+        cfg = cfg_of("ret")
+        iv = IntervalAnalysis(cfg)
+        lo, hi = stack_window()
+        for reg in (ESP, EBP):
+            got = iv.base_interval(0, reg)
+            assert (got.lo, got.hi) == (lo, hi - 1)
+
+    def test_load_destroys_precision(self):
+        cfg = cfg_of("movi ecx, 8\nload eax, [ecx]\nmov edx, eax\nret")
+        iv = IntervalAnalysis(cfg)
+        assert iv.base_interval(2, EAX).is_top
+
+    def test_join_over_branches_is_the_hull(self):
+        cfg = cfg_of(
+            "cmpi ecx, 0\n"
+            "jz other\n"
+            "movi eax, 10\n"
+            "jmp done\n"
+            "other: movi eax, 20\n"
+            "done: mov edx, eax\n"
+            "ret"
+        )
+        iv = IntervalAnalysis(cfg)
+        merged = iv.base_interval(5, EAX)
+        assert (merged.lo, merged.hi) == (10, 20)
+
+    def test_unknown_register_is_top(self):
+        cfg = cfg_of("ret")
+        iv = IntervalAnalysis(cfg)
+        assert iv.base_interval(0, ECX).is_top

@@ -1,0 +1,130 @@
+"""The outcome predictor on a real linked application (wavetoy)."""
+
+import pytest
+
+from repro.cpu.registers import EBP, ESP
+from repro.injection.campaign import Campaign
+from repro.injection.faults import FaultSpec, Region
+from repro.memory.layout import STATIC_IMAGE_WINDOW
+from repro.staticanalysis.outcomes import (
+    Stratum,
+    audit_outcomes,
+    build_probe,
+    hang_bit_floor,
+    stack_window,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign.from_registry("wavetoy", nprocs=2)
+
+
+@pytest.fixture(scope="module")
+def predictor(campaign):
+    return campaign.outcome_predictor()
+
+
+@pytest.fixture(scope="module")
+def probe(predictor):
+    return build_probe(predictor)
+
+
+class TestPredictorStructure:
+    def test_windows_come_from_the_layout_authority(self, predictor):
+        assert predictor.windows == (STATIC_IMAGE_WINDOW, stack_window())
+
+    def test_hang_floor_matches_the_block_budget(self, predictor):
+        assert predictor.hang_floor == hang_bit_floor(predictor.block_limit)
+
+    def test_every_kernel_is_analyzed(self, campaign, predictor):
+        program = campaign.app_factory().program()
+        assert set(predictor.kernels) == set(program.functions)
+
+
+class TestStratumContracts:
+    def test_stack_pointer_high_bits_are_crash_prone(self, predictor):
+        # the window proof from the interval domain: a high flip of
+        # ESP/EBP provably leaves every mapped segment
+        for reg in (ESP, EBP):
+            assert predictor.register_table[reg][30] is Stratum.CRASH_PRONE
+
+    def test_stack_pointer_low_bits_are_not_claimed(self, predictor):
+        # a low flip stays inside the stack window: no proof, no claim
+        for reg in (ESP, EBP):
+            assert predictor.register_table[reg][2] is Stratum.UNCERTAIN
+
+    def test_heap_and_stack_stay_uncertain(self, predictor):
+        # these regions resolve their targets at fire time: statically
+        # out of reach, and claiming otherwise would dilute the strata
+        heap = FaultSpec(Region.HEAP, 0, time_blocks=1, bit=3, address=0)
+        stack = FaultSpec(Region.STACK, 0, time_blocks=1, bit=3, address=0)
+        assert predictor.stratum(heap) is Stratum.UNCERTAIN
+        assert predictor.stratum(stack) is Stratum.UNCERTAIN
+
+    def test_masked_claims_are_oracle_proofs(self, predictor):
+        # precision 1.0 by construction: every MASKED verdict must be
+        # backed by the masking oracle on the very same spec
+        for reg in range(8):
+            for bit in range(32):
+                spec = FaultSpec(
+                    Region.REGULAR_REG, 0, time_blocks=1,
+                    bit=bit, reg_index=reg,
+                )
+                if predictor.stratum(spec) is Stratum.MASKED:
+                    assert predictor.oracle.verdict(spec).masked
+
+
+class TestProbeAndAudit:
+    def test_wavetoy_audit_is_clean(self, probe):
+        assert audit_outcomes(probe) == []
+
+    def test_probe_masked_counts_are_oracle_proven(self, probe):
+        for region in probe.regions:
+            assert region.count(Stratum.MASKED) == region.masked_oracle_proven
+
+    def test_probe_covers_the_steerable_regions(self, probe):
+        names = [r.region for r in probe.regions]
+        assert names == ["regular_reg", "text", "data", "bss", "message"]
+        for region in probe.regions:
+            assert region.total > 0
+
+    def test_register_probe_counts_the_whole_file(self, probe):
+        (regs,) = [r for r in probe.regions if r.region == "regular_reg"]
+        assert regs.total == 8 * 32
+
+    def test_probe_is_deterministic(self, predictor, probe):
+        assert build_probe(predictor) == probe
+
+    def test_text_probe_finds_crash_and_hang_strata(self, probe):
+        # the acceptance surface: the text image must contribute both
+        # strata, or stratified sampling has nothing to oversample
+        (text,) = [r for r in probe.regions if r.region == "text"]
+        assert text.count(Stratum.CRASH_PRONE) > 0
+        assert text.count(Stratum.HANG_PRONE) > 0
+
+    def test_audit_diagnostics_are_sorted_and_deduped(self, probe):
+        import dataclasses
+
+        from repro.staticanalysis.lint import sort_diagnostics
+        from repro.staticanalysis.outcomes.passes import RegionProbe
+
+        # break two invariants at once and check the canonical order
+        regions = []
+        for r in probe.regions:
+            if r.region == "regular_reg":
+                regions.append(
+                    dataclasses.replace(
+                        r,
+                        strata=(("masked", 5), ("uncertain", r.total - 5)),
+                        masked_oracle_proven=0,
+                    )
+                )
+            else:
+                regions.append(r)
+        broken = dataclasses.replace(probe, regions=tuple(regions), hang_floor=99)
+        diags = audit_outcomes(broken)
+        # canonical order sorts by the app:token label first, so the
+        # hang-floor drift precedes the regular_reg masked leak
+        assert [d.code for d in diags] == ["SA305", "SA303"]
+        assert diags == sort_diagnostics(diags)

@@ -1,0 +1,44 @@
+"""Dynamic validation of the predicted strata (the E18 benchmark).
+
+A reduced wavetoy run keeps tier-1 runtime bounded; the full suite
+(three apps, larger quotas) is the ``validate_suite`` benchmark in
+EXPERIMENTS.md E18.
+"""
+
+import pytest
+
+from repro.staticanalysis.outcomes import Stratum, validate_app
+from repro.staticanalysis.outcomes.validation import (
+    ENRICHMENT_FLOOR,
+    MASKED_PRECISION_FLOOR,
+)
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return validate_app("wavetoy", per_stratum=8, base_per_region=10)
+
+
+class TestWavetoyValidation:
+    def test_masked_precision_is_perfect(self, validation):
+        row = validation.row(Stratum.MASKED)
+        assert row is not None and row.trials > 0
+        assert validation.masked_precision >= MASKED_PRECISION_FLOOR == 1.0
+
+    def test_crash_stratum_is_enriched(self, validation):
+        row = validation.row(Stratum.CRASH_PRONE)
+        assert row is not None and row.trials > 0
+        assert validation.crash_enrichment >= ENRICHMENT_FLOOR
+
+    def test_hang_stratum_is_enriched(self, validation):
+        row = validation.row(Stratum.HANG_PRONE)
+        assert row is not None and row.trials > 0
+        # inf when the uniform base sample shows no hangs at all - the
+        # strongest possible separation
+        assert validation.hang_enrichment >= ENRICHMENT_FLOOR
+
+    def test_render_reports_a_pass(self, validation):
+        assert validation.passed
+        text = validation.render()
+        assert text.startswith("[wavetoy]")
+        assert text.endswith("PASS")
