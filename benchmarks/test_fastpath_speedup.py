@@ -1,0 +1,201 @@
+"""Translated fast-path speedup benchmarks (PR 8 tentpole acceptance).
+
+Two bars, both paired with bit-identity checks against the interpreter:
+
+* a fault-free golden run of a scalar-dominant kernel must be at least
+  10x faster under block translation.  Scalar ALU loops are where the
+  interpreter's per-instruction decode/dispatch overhead dominates, so
+  this is the regime the translator was built for.
+* an end-to-end stratified wavetoy campaign must beat the interpreter
+  by at least 2x while producing identical per-trial records.  The
+  whole-campaign ratio is bounded well below the scalar figure because
+  most of wavetoy's cycle budget is vectorized numpy work, FPU traffic
+  and the MPI layer - costs both modes share (EXPERIMENTS.md E19 breaks
+  this down; measured medians are recorded in ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cpu.assembler import Program
+from repro.cpu.vm import VM
+from repro.injection.campaign import Campaign
+from repro.injection.faults import Region
+from repro.memory.process import ProcessImage
+from repro.memory.symbols import Linker
+
+from .conftest import BENCH_CAMPAIGN_N
+
+MIN_GOLDEN_SPEEDUP = 10.0
+MIN_CAMPAIGN_SPEEDUP = 2.0
+
+# ----------------------------------------------------------------------
+# golden run: scalar-dominant kernel
+# ----------------------------------------------------------------------
+
+SCALAR_KERNEL = """
+    movi eax, 0
+    movi ebx, 0x1234
+    movi ecx, 0
+    movi edx, 7
+    movi esi, 0x7FFF
+    movi edi, 1
+loop:
+    add eax, ecx
+    xor eax, ebx
+    imul eax, edx
+    sub eax, ebx
+    and eax, esi
+    or eax, edi
+    shr eax, 1
+    addi ecx, 1
+    cmpi ecx, 20000
+    jl loop
+    ret
+"""
+
+
+def build_scalar_vm() -> tuple[ProcessImage, VM]:
+    prog = Program()
+    prog.add("k", SCALAR_KERNEL)
+    linker = Linker()
+    prog.add_to_linker(linker)
+    linker.add_bss("scratchpad", 4096)
+    image = ProcessImage.from_linker(
+        linker, rank=0, heap_size=1 << 16, stack_size=1 << 14
+    )
+    prog.relocate(image)
+    return image, VM(image)
+
+
+def run_scalar(fastpath: bool, repeats: int = 5) -> tuple[float, tuple]:
+    """Best-of-N fresh-image runs; translation cache warmed separately."""
+    best = float("inf")
+    state = None
+    for _ in range(repeats):
+        _, vm = build_scalar_vm()
+        vm.fastpath = fastpath
+        if fastpath:
+            vm.call("k")  # warm the per-digest translation cache
+            _, vm = build_scalar_vm()
+            vm.fastpath = True
+        t0 = time.perf_counter()
+        vm.call("k")
+        best = min(best, time.perf_counter() - t0)
+        state = (
+            vm.regs.capture_state(),
+            vm.fpu.capture_state(),
+            vm.clock.blocks,
+            vm.instructions_retired,
+        )
+    return best, state
+
+
+@pytest.mark.slow
+def test_golden_run_speedup(benchmark):
+    interp_s, interp_state = run_scalar(fastpath=False)
+    timings = {}
+
+    def fast_run():
+        t, state = run_scalar(fastpath=True)
+        timings["fast"] = t
+        return state
+
+    fast_state = benchmark.pedantic(fast_run, rounds=1, iterations=1)
+    fast_s = timings["fast"]
+
+    assert fast_state == interp_state  # registers, FPU, clock, retirement
+
+    speedup = interp_s / fast_s if fast_s else float("inf")
+    benchmark.extra_info["interp_seconds"] = interp_s
+    benchmark.extra_info["fast_seconds"] = fast_s
+    benchmark.extra_info["speedup"] = speedup
+    print(
+        f"\ngolden run (scalar kernel): interp {interp_s * 1000:.1f}ms, "
+        f"translated {fast_s * 1000:.1f}ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_GOLDEN_SPEEDUP
+
+
+# ----------------------------------------------------------------------
+# end-to-end stratified campaign
+# ----------------------------------------------------------------------
+
+CAMPAIGN_REGIONS = (Region.TEXT, Region.DATA, Region.REGULAR_REG)
+CAMPAIGN_N = max(4, min(BENCH_CAMPAIGN_N, 16))
+
+
+def run_campaign(fastpath: bool) -> tuple[float, object]:
+    campaign = Campaign.from_registry("wavetoy", nprocs=2, seed=7)
+    t0 = time.perf_counter()
+    result = campaign.run(
+        CAMPAIGN_REGIONS,
+        CAMPAIGN_N,
+        jobs=1,
+        fastpath=fastpath,
+        stratify=True,
+    )
+    return time.perf_counter() - t0, result
+
+
+def fingerprint(result) -> list:
+    rows = []
+    for region in sorted(result.regions, key=lambda r: r.value):
+        rr = result.regions[region]
+        rows.append(
+            (
+                region.value,
+                {m.value: c for m, c in rr.tally.counts.items()},
+                [
+                    (
+                        spec.fault,
+                        rec.delivered,
+                        rec.address,
+                        rec.symbol,
+                        rec.detail,
+                        rec.old_value,
+                        rec.new_value,
+                        m,
+                    )
+                    for spec, rec, m in rr.records
+                ],
+            )
+        )
+    return rows
+
+
+@pytest.mark.slow
+def test_stratified_campaign_speedup(benchmark):
+    # Warm both modes once: predictor cache, reference profiles and the
+    # translation cache are campaign-independent and should not skew
+    # either timed section.
+    run_campaign(fastpath=True)
+    run_campaign(fastpath=False)
+
+    timings = {}
+
+    def fast_run():
+        t, result = run_campaign(fastpath=True)
+        timings["fast"] = t
+        return result
+
+    fast_result = benchmark.pedantic(fast_run, rounds=1, iterations=1)
+    interp_s, interp_result = run_campaign(fastpath=False)
+    fast_s = timings["fast"]
+
+    assert fingerprint(fast_result) == fingerprint(interp_result)
+
+    speedup = interp_s / fast_s if fast_s else float("inf")
+    benchmark.extra_info["regions"] = ",".join(r.value for r in CAMPAIGN_REGIONS)
+    benchmark.extra_info["n_per_region"] = CAMPAIGN_N
+    benchmark.extra_info["interp_seconds"] = interp_s
+    benchmark.extra_info["fast_seconds"] = fast_s
+    benchmark.extra_info["speedup"] = speedup
+    print(
+        f"\nstratified wavetoy campaign: interp {interp_s:.2f}s, "
+        f"fastpath {fast_s:.2f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_CAMPAIGN_SPEEDUP

@@ -369,6 +369,7 @@ def cmd_campaign_run(args) -> int:
         metrics=metrics,
         trace=collector,
         checkpoint_stride=stride,
+        fastpath=args.fastpath,
         prune_masked=args.prune_masked,
         stratify=args.stratify,
     )
@@ -558,6 +559,64 @@ def cmd_campaign_merge(args) -> int:
     return 0
 
 
+def cmd_analyze_translate(args) -> int:
+    """Translatability audit: which instructions of each shipped kernel
+    the fast path runs translated, and why the rest fall back to the
+    interpreter.  Report-only (always exit 0): an untranslatable block
+    costs throughput, not correctness."""
+    from repro.cpu.translate import audit_function
+    from repro.staticanalysis.lint import iter_shipped_kernels
+
+    kernels = list(iter_shipped_kernels())
+    owners = {owner for owner, _ in kernels}
+    selected = [
+        (owner, fn)
+        for owner, fn in kernels
+        if args.target in (owner, fn.name)
+    ]
+    if not selected:
+        names = sorted(owners | {fn.name for _, fn in kernels})
+        print(
+            f"unknown analysis target {args.target!r}; choose an "
+            f"application or kernel: {', '.join(names)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports = [(owner, audit_function(fn)) for owner, fn in selected]
+    if args.json:
+        payload = {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
+            "target": args.target,
+            "kernels": [
+                dict(report, owner=owner) for owner, report in reports
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for _, rep in reports:
+            if rep["reason"]:
+                print(f"{rep['name']}: untranslatable ({rep['reason']})")
+                continue
+            pct = (
+                100.0 * rep["translated_insns"] / rep["insns"]
+                if rep["insns"]
+                else 0.0
+            )
+            print(
+                f"{rep['name']}: {rep['translated_insns']}/{rep['insns']} "
+                f"insns translated ({pct:.0f}%), {rep['units']} unit(s) "
+                f"over {rep['blocks']} block(s), {rep['call_splits']} call "
+                f"split(s), {rep['cost_splits']} cost split(s)"
+            )
+            for skip in rep["untranslatable"]:
+                print(
+                    f"  insn {skip['index']}: interpreted "
+                    f"({skip['reason']})"
+                )
+    return 0
+
+
 def cmd_analyze(args) -> int:
     if args.mpi:
         return cmd_analyze_mpi(args)
@@ -565,6 +624,8 @@ def cmd_analyze(args) -> int:
         return cmd_analyze_propagation(args)
     if args.outcomes:
         return cmd_analyze_outcomes(args)
+    if args.translate:
+        return cmd_analyze_translate(args)
     from repro.staticanalysis.avf import analyze_function
     from repro.staticanalysis.lint import lint_function
     from repro.staticanalysis.lint import iter_shipped_kernels
@@ -678,6 +739,12 @@ def main(argv: list[str] | None = None) -> int:
         "masked) and the SA3xx audit for one application (exit 1 on "
         "findings); --nprocs sets the reference-run ranks",
     )
+    ana.add_argument(
+        "--translate", action="store_true",
+        help="translatability audit: per-kernel fast-path coverage and "
+        "the instructions the dual-mode engine must interpret (report "
+        "only, always exit 0)",
+    )
     ana.set_defaults(fn=cmd_analyze)
 
     camp = sub.add_parser(
@@ -742,6 +809,11 @@ def main(argv: list[str] | None = None) -> int:
                       "allocate trials by observed per-stratum "
                       "variance, importance-weight the rates back to "
                       "unbiased region estimates")
+    crun.add_argument("--fastpath", default=False,
+                      action=argparse.BooleanOptionalAction,
+                      help="execute trials through the translated "
+                      "dual-mode block engine; outcomes are "
+                      "bit-identical to the interpreter (default off)")
     crun.set_defaults(fn=cmd_campaign_run)
     cstat = camp_sub.add_parser("status", help="summarize a result store")
     cstat.add_argument("--store", required=True)

@@ -110,10 +110,17 @@ class AssembledFunction:
     name: str
     insns: list[Insn]
     relocations: list[Relocation] = field(default_factory=list)
+    _code: bytes | None = field(default=None, repr=False, compare=False)
 
     @property
     def code(self) -> bytes:
-        return b"".join(encode(i) for i in self.insns)
+        # Insns are immutable after assembly ($symbol/@function fixups
+        # are patched into the *linked* text segment, never back into
+        # the Insn list), so the encoding is computed once per function
+        # instead of once per process-image build.
+        if self._code is None:
+            self._code = b"".join(encode(i) for i in self.insns)
+        return self._code
 
     @property
     def size(self) -> int:

@@ -1,0 +1,75 @@
+"""Single decode authority, shared by every consumer of text bytes.
+
+Three subsystems decode instruction words: the interpreter's fetch
+path (:meth:`repro.cpu.vm.VM._fetch`), the CFG builder
+(:func:`repro.staticanalysis.cfg.decode_function`) and the block
+translator (:mod:`repro.cpu.translate`).  They all route through
+:func:`decode_stream` here, so one code blob is decoded exactly once
+per process and every consumer sees the *same* instruction stream —
+``tests/cpu/test_decode_authority.py`` pins the fetch path and the CFG
+path against each other for every shipped kernel.
+
+Streams are cached by content digest.  Identical kernels across ranks,
+trials and campaigns (the common case: every rank links the same
+program) therefore share a single decode, which also makes the
+interpreter's per-address cache priming nearly free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cpu.isa import INSN_SIZE, Insn, UndefinedOpcode, decode
+
+#: digest -> tuple of decoded instructions (None = stream contains an
+#: undefined opcode and cannot be decoded as a whole).
+_CACHE: dict[bytes, tuple[Insn, ...] | None] = {}
+
+
+def code_digest(code: bytes) -> bytes:
+    """Stable content key for a text object."""
+    return hashlib.sha256(bytes(code)).digest()
+
+
+def decode_stream(code: bytes, digest: bytes | None = None) -> tuple[Insn, ...]:
+    """Decode a whole text object into its instruction stream.
+
+    ``code`` must be a multiple of :data:`INSN_SIZE` bytes (callers
+    validate and report in their own vocabulary).  Raises
+    :class:`UndefinedOpcode` if any word has no defined opcode.
+    """
+    if len(code) % INSN_SIZE:
+        raise ValueError(
+            f"code length {len(code)} is not a multiple of {INSN_SIZE}"
+        )
+    key = code_digest(code) if digest is None else digest
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    if key in _CACHE:  # cached decode failure
+        _decode_raw(code)  # re-raise the same UndefinedOpcode
+        raise AssertionError("cached failure decoded cleanly")  # pragma: no cover
+    try:
+        insns = _decode_raw(code)
+    except UndefinedOpcode:
+        _CACHE[key] = None
+        raise
+    _CACHE[key] = insns
+    return insns
+
+
+def try_decode_stream(code: bytes) -> tuple[Insn, ...] | None:
+    """Like :func:`decode_stream` but returns None for undecodable
+    streams (convenient for cache priming over opaque text objects)."""
+    try:
+        return decode_stream(code)
+    except UndefinedOpcode:
+        return None
+
+
+def _decode_raw(code: bytes) -> tuple[Insn, ...]:
+    mv = memoryview(code)
+    return tuple(
+        decode(bytes(mv[off : off + INSN_SIZE]))
+        for off in range(0, len(code), INSN_SIZE)
+    )

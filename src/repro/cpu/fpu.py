@@ -57,6 +57,17 @@ class FPU:
         # of np.longdouble on x86 is the genuine 80-bit format (padded to
         # 16 bytes), so bit flips target the real encoding.
         self._phys = np.zeros(8, dtype=np.longdouble)
+        #: Python-float shadow of ``_phys``.  The stack-machine hot path
+        #: (push/pop/read_st/write_st) works entirely on the shadow; the
+        #: 80-bit physical array is synchronized lazily (``_sync``)
+        #: before anything consumes its raw bits - fault injection,
+        #: checkpoint capture, SPECIAL-tag reads.  A double's extended
+        #: encoding is exact, so eager and lazy stores produce the same
+        #: physical bytes; the shadow only removes the per-operation
+        #: NumPy longdouble scalar conversion cost.
+        self._vals = [0.0] * 8
+        #: Bitmask of shadow slots newer than ``_phys``.
+        self._stale = 0
         self._sig_bytes = min(10, self._phys.itemsize)
         self.top = 0
         self.twd = 0xFFFF  # all empty
@@ -81,33 +92,63 @@ class FPU:
     def _phys_index(self, sti: int) -> int:
         return (self.top + sti) & 7
 
+    def _sync(self) -> None:
+        """Flush shadow slots into the 80-bit physical registers."""
+        stale = self._stale
+        if stale:
+            for phys in range(8):
+                if stale & (1 << phys):
+                    self._phys[phys] = self._vals[phys]
+            self._stale = 0
+
     # ------------------------------------------------------------------
     # stack operations
     # ------------------------------------------------------------------
     def push(self, value: float) -> None:
-        self.top = (self.top - 1) & 7
-        self._phys[self.top] = value
-        self._set_tag(self.top, _classify(value))
-        self.depth = min(self.depth + 1, 8)
-        self.max_depth = max(self.max_depth, self.depth)
+        value = float(value)
+        top = self.top = (self.top - 1) & 7
+        self._vals[top] = value
+        self._stale |= 1 << top
+        # _classify / _set_tag inlined: PUSH is the FPU's hottest entry
+        # point and the call overhead dominates the work.
+        if value == 0.0:
+            tag = TagValue.ZERO
+        elif value != value or math.isinf(value):
+            tag = TagValue.SPECIAL
+        else:
+            tag = TagValue.VALID
+        self.twd = (self.twd & ~(0b11 << (2 * top))) | (tag << (2 * top))
+        depth = self.depth + 1
+        if depth > 8:
+            depth = 8
+        self.depth = depth
+        if depth > self.max_depth:
+            self.max_depth = depth
 
     def pop(self) -> float:
-        value = self.read_st(0)
-        self._set_tag(self.top, TagValue.EMPTY)
-        self.top = (self.top + 1) & 7
-        self.depth = max(self.depth - 1, 0)
+        top = self.top
+        if (self.twd >> (2 * top)) & 0b11 == TagValue.VALID:
+            value = self._vals[top]
+        else:
+            value = self.read_st(0)
+        # EMPTY is 0b11, so tagging the slot empty is a plain OR.
+        self.twd |= 0b11 << (2 * top)
+        self.top = (top + 1) & 7
+        depth = self.depth - 1
+        self.depth = depth if depth > 0 else 0
         return value
 
     def read_st(self, sti: int) -> float:
         """Read ST(i) *through the tag word*, which is how a tag-bit flip
         turns a valid number into zero or NaN (paper section 6.1.1)."""
-        phys = self._phys_index(sti)
-        tag = self.tag_of(phys)
+        phys = (self.top + sti) & 7
+        tag = (self.twd >> (2 * phys)) & 0b11
         if tag == TagValue.VALID:
-            return float(self._phys[phys])
+            return self._vals[phys]
         if tag == TagValue.ZERO:
             return 0.0
         if tag == TagValue.SPECIAL:
+            self._sync()
             raw = float(self._phys[phys])
             # A register re-tagged "special" is interpreted as a NaN/Inf
             # encoding even if the payload was a plain number.
@@ -117,8 +158,10 @@ class FPU:
         return math.nan
 
     def write_st(self, sti: int, value: float) -> None:
-        phys = self._phys_index(sti)
-        self._phys[phys] = value
+        value = float(value)
+        phys = (self.top + sti) & 7
+        self._vals[phys] = value
+        self._stale |= 1 << phys
         self._set_tag(phys, _classify(value))
 
     def exchange(self, sti: int) -> None:
@@ -143,6 +186,7 @@ class FPU:
         """Flip one of the 80 bits of data register ST(i)."""
         if not 0 <= bit < EXTENDED_BITS:
             raise ValueError(f"bit index out of range for 80-bit register: {bit}")
+        self._sync()
         phys = self._phys_index(sti)
         raw = bytearray(self._phys[phys : phys + 1].tobytes())
         byte, mask = divmod(bit, 8)
@@ -152,7 +196,8 @@ class FPU:
         self._phys[phys : phys + 1] = np.frombuffer(
             bytes(raw), dtype=np.longdouble, count=1
         )
-        return float(self._phys[phys])
+        self._vals[phys] = float(self._phys[phys])
+        return self._vals[phys]
 
     def flip_special_bit(self, name: str, bit: int) -> int:
         """Flip a bit of one of the seven special registers."""
@@ -174,6 +219,7 @@ class FPU:
         """Full picklable FPU state.  The physical registers travel as
         raw bytes so the 80-bit extended encoding round-trips exactly
         (``float()`` conversion would discard mantissa bits)."""
+        self._sync()
         return (
             self._phys.tobytes(),
             self.top,
@@ -191,6 +237,8 @@ class FPU:
     def restore_state(self, state: tuple) -> None:
         phys, top, twd, cwd, swd, fip, fcs, foo, fos, depth, max_depth = state
         self._phys = np.frombuffer(phys, dtype=np.longdouble).copy()
+        self._vals = [float(v) for v in self._phys]
+        self._stale = 0
         self.top = top
         self.twd = twd
         self.cwd = cwd

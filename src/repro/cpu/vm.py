@@ -21,20 +21,16 @@ Every design choice serves the fault-injection experiment:
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import (
-    HangDetected,
-    SimFPE,
-    SimIllegalInstruction,
-    SimSegfault,
-)
+from repro.errors import HangDetected, SimIllegalInstruction
 from repro.observability import runtime as _obs
+from repro.cpu import ops as _ops
+from repro.cpu.decoder import code_digest, try_decode_stream
 from repro.cpu.fpu import FPU
-from repro.cpu.isa import INSN_SIZE, Insn, Op, RedOp, UndefinedOpcode, VecOp, decode
+from repro.cpu.isa import INSN_SIZE, Insn, UndefinedOpcode, decode
 from repro.cpu.registers import EAX, EBP, ESP, RegisterFile
 from repro.memory.process import ProcessImage
 
@@ -45,9 +41,15 @@ RET_SENTINEL = 0xFFFF_FFF0
 
 _U32_MASK = 0xFFFF_FFFF
 
+#: Budget handed to translated units when no hook or hang limit is
+#: armed - far beyond any reachable block count.
+_NO_HORIZON = 1 << 62
 
-def _signed(v: int) -> int:
-    return v - 0x1_0000_0000 if v & 0x8000_0000 else v
+_signed = _ops.signed
+
+#: Primed per-address decode caches, shared across VMs of identical
+#: text images: (text digest, version) -> {addr: (version, insn)}.
+_PRIMED_TEXT: dict[tuple[bytes, int], dict] = {}
 
 
 class VM:
@@ -71,6 +73,26 @@ class VM:
         #: (:mod:`repro.detectors.cfcheck`); called per retired
         #: instruction with (addr, insn, next_eip).
         self.cf_checker = None
+        #: Opt-in translated fast path (set by the engine from
+        #: ``--fastpath``); observers can still force interpretation.
+        self.fastpath = False
+        #: Fastpath accounting, harvested into campaign metrics.
+        self.fastpath_stats = {
+            "translated_units": 0,
+            "translated_insns": 0,
+            "interpreted_insns": 0,
+            "horizon_insns": 0,
+            "retranslations": 0,
+            "observer_runs": 0,
+        }
+        self._fast_table: dict | None = None
+        self._fast_version = -1
+        #: Working-set tracking needs per-access events, which only the
+        #: interpreter emits.
+        self._tracked = any(
+            seg.tracking for seg in self.space.segments()
+        )
+        self._prime_decode_cache()
 
     # ------------------------------------------------------------------
     # injection scheduling (the ptrace analogue)
@@ -176,14 +198,129 @@ class VM:
     def _run(self) -> None:
         self._running = True
         try:
-            while self._running:
-                self.step()
+            if self.fastpath and self.cf_checker is None and not self._tracked:
+                self._run_fast()
+            else:
+                if self.fastpath:
+                    self.fastpath_stats["observer_runs"] += 1
+                while self._running:
+                    self.step()
         finally:
             self._running = False
+
+    def _run_fast(self) -> None:
+        """Dual-mode dispatch: run translated units wherever no observer
+        can see intermediate state, interpret everywhere else.
+
+        A unit refuses to run (and we interpret one instruction) when
+        its block cost would reach the next ``schedule_hook`` horizon or
+        cross the hang budget, so hooks fire and :class:`HangDetected`
+        raises at exactly the interpreter's instruction boundary.  A
+        text-segment fault (version bump) re-translates against the
+        *current* bytes: unchanged functions hit the per-digest cache,
+        so only the corrupted function recompiles (~5 ms), and the rest
+        of the trial keeps its fast path.  Functions whose corrupted
+        bytes no longer decode translate to nothing and fall back to
+        the interpreter naturally.
+        """
+        text = self.image.text
+        if self._fast_table is None or self._fast_version != text.version:
+            self._build_fast_table()
+        table = self._fast_table
+        regs = self.regs
+        rr = regs.r
+        rc = regs.read_count
+        wc = regs.write_count
+        space, fpu, clock = self.space, self.fpu, self.clock
+        version = self._fast_version
+        units = fast = slow = horizon = retrans = 0
+        # One errstate scope for the whole run: translated units elide
+        # the interpreter's per-op ``errstate(all="ignore")`` blocks.
+        try:
+            with np.errstate(all="ignore"):
+                while self._running:
+                    if text.version != version:
+                        retrans += 1
+                        self._build_fast_table()
+                        table = self._fast_table
+                        version = self._fast_version
+                        continue
+                    entry = table.get(regs.eip)
+                    if entry is None:
+                        if regs.eip == RET_SENTINEL:
+                            self._running = False
+                            break
+                        slow += 1
+                        self.step()
+                        continue
+                    nh = self._next_hook
+                    bl = self.block_limit
+                    if nh is None and bl is None:
+                        budget = _NO_HORIZON
+                    else:
+                        at = (
+                            nh - 1
+                            if bl is None
+                            else (bl if nh is None else min(nh - 1, bl))
+                        )
+                        budget = at - clock.blocks
+                    fn, n = entry
+                    if fn(self, regs, rr, rc, wc, space, fpu, clock, budget):
+                        horizon += 1
+                        self.step()
+                        continue
+                    units += 1
+                    fast += n
+        finally:
+            stats = self.fastpath_stats
+            stats["translated_units"] += units
+            stats["translated_insns"] += fast
+            stats["interpreted_insns"] += slow
+            stats["horizon_insns"] += horizon
+            stats["retranslations"] += retrans
+
+    def _build_fast_table(self) -> None:
+        # Imported lazily: translate pulls in staticanalysis.cfg, which
+        # imports this module.
+        from repro.cpu import translate
+
+        self._fast_table = translate.build_vm_table(self.image)
+        self._fast_version = self.image.text.version
 
     # ------------------------------------------------------------------
     # fetch/decode
     # ------------------------------------------------------------------
+    def _prime_decode_cache(self) -> None:
+        """Fill the per-address decode cache from the shared stream
+        decoder (:mod:`repro.cpu.decoder`), one stream per text symbol.
+        The fetch path and the static CFG therefore consume the *same*
+        decode of every shipped kernel.  Identical text images (every
+        rank and every trial of a campaign) share one primed prototype.
+        """
+        symtab = getattr(self.image, "symtab", None)
+        if symtab is None:
+            return
+        text = self.image.text
+        version = text.version
+        key = (code_digest(text.read_bytes(text.base, text.size)), version)
+        proto = _PRIMED_TEXT.get(key)
+        if proto is None:
+            proto = {}
+            for sym in symtab.symbols("text"):
+                if sym.size == 0 or sym.size % INSN_SIZE:
+                    continue
+                insns = try_decode_stream(text.read_bytes(sym.addr, sym.size))
+                if insns is None:
+                    continue
+                addr = sym.addr
+                for insn in insns:
+                    proto[addr] = (version, insn)
+                    addr += INSN_SIZE
+            if len(_PRIMED_TEXT) >= 64:
+                _PRIMED_TEXT.clear()
+            _PRIMED_TEXT[key] = proto
+        self._decode_cache = dict(proto)
+
     def _fetch(self, eip: int) -> Insn:
         text = self.image.text
         if text.contains(eip, INSN_SIZE):
@@ -228,11 +365,8 @@ class VM:
             raise HangDetected("block budget exceeded", blocks)
 
     def _cost(self, insn: Insn) -> int:
-        if insn.op in _VECTOR_OPS:
-            n_field = _VECTOR_LEN_FIELD[insn.op]
-            if insn.op == Op.VRED and insn.subop == RedOp.DOT:
-                n_field = "r3"
-            n = self.regs.peek(getattr(insn, n_field))
+        if insn.op in _ops.VECTOR_OPS:
+            n = self.regs.peek(_ops.vector_len_reg(insn))
             return max(1, n >> 3)
         return 1
 
@@ -240,266 +374,9 @@ class VM:
     # execute
     # ------------------------------------------------------------------
     def _execute(self, i: Insn) -> None:
-        op = i.op
-        regs = self.regs
-        fpu = self.fpu
-        space = self.space
-
-        if op is Op.NOP:
-            return
-        if op is Op.HLT:
-            # HLT is privileged; in user mode the kernel delivers SIGSEGV.
-            raise SimSegfault(f"privileged instruction at 0x{regs.eip - INSN_SIZE:08x}")
-
-        # -------------------------------------------------- data movement
-        if op is Op.MOVI:
-            regs.put(i.r1, i.imm & _U32_MASK)
-        elif op is Op.MOV:
-            regs.put(i.r1, regs.get(i.r2))
-        elif op is Op.LOAD:
-            regs.put(i.r1, space.load_u32((regs.get(i.r2) + i.imm) & _U32_MASK))
-        elif op is Op.STORE:
-            space.store_u32((regs.get(i.r1) + i.imm) & _U32_MASK, regs.get(i.r2))
-        elif op is Op.LEA:
-            regs.put(i.r1, (regs.get(i.r2) + i.imm) & _U32_MASK)
-        elif op is Op.PUSH:
-            self._push_u32(regs.get(i.r1))
-        elif op is Op.POP:
-            regs.put(i.r1, self._pop_u32())
-
-        # -------------------------------------------------- integer ALU
-        elif op is Op.ADD:
-            r = _signed(regs.get(i.r1)) + _signed(regs.get(i.r2))
-            regs.put(i.r1, r & _U32_MASK)
-            regs.set_flags(_signed(r & _U32_MASK))
-        elif op is Op.SUB:
-            r = _signed(regs.get(i.r1)) - _signed(regs.get(i.r2))
-            regs.put(i.r1, r & _U32_MASK)
-            regs.set_flags(_signed(r & _U32_MASK))
-        elif op is Op.IMUL:
-            r = _signed(regs.get(i.r1)) * _signed(regs.get(i.r2))
-            regs.put(i.r1, r & _U32_MASK)
-            regs.set_flags(_signed(r & _U32_MASK))
-        elif op is Op.IDIV:
-            b = _signed(regs.get(i.r2))
-            if b == 0:
-                raise SimFPE("integer division by zero")
-            a = _signed(regs.get(i.r1))
-            q = int(math.trunc(a / b))  # C truncation semantics
-            regs.put(i.r1, q & _U32_MASK)
-            regs.set_flags(q)
-        elif op is Op.IREM:
-            b = _signed(regs.get(i.r2))
-            if b == 0:
-                raise SimFPE("integer division by zero")
-            a = _signed(regs.get(i.r1))
-            r = a - int(math.trunc(a / b)) * b
-            regs.put(i.r1, r & _U32_MASK)
-            regs.set_flags(r)
-        elif op is Op.AND:
-            r = regs.get(i.r1) & regs.get(i.r2)
-            regs.put(i.r1, r)
-            regs.set_flags(_signed(r))
-        elif op is Op.OR:
-            r = regs.get(i.r1) | regs.get(i.r2)
-            regs.put(i.r1, r)
-            regs.set_flags(_signed(r))
-        elif op is Op.XOR:
-            r = regs.get(i.r1) ^ regs.get(i.r2)
-            regs.put(i.r1, r)
-            regs.set_flags(_signed(r))
-        elif op is Op.SHL:
-            r = (regs.get(i.r1) << (i.imm & 31)) & _U32_MASK
-            regs.put(i.r1, r)
-            regs.set_flags(_signed(r))
-        elif op is Op.SHR:
-            r = regs.get(i.r1) >> (i.imm & 31)
-            regs.put(i.r1, r)
-            regs.set_flags(_signed(r))
-        elif op is Op.ADDI:
-            r = (_signed(regs.get(i.r1)) + i.imm) & _U32_MASK
-            regs.put(i.r1, r)
-            regs.set_flags(_signed(r))
-        elif op is Op.CMP:
-            regs.set_flags(_signed(regs.get(i.r1)) - _signed(regs.get(i.r2)))
-        elif op is Op.CMPI:
-            regs.set_flags(_signed(regs.get(i.r1)) - i.imm)
-        elif op is Op.NEG:
-            r = (-_signed(regs.get(i.r1))) & _U32_MASK
-            regs.put(i.r1, r)
-            regs.set_flags(_signed(r))
-
-        # -------------------------------------------------- control flow
-        elif op is Op.JMP:
-            regs.eip = (regs.eip + i.imm) & _U32_MASK
-        elif op is Op.JZ:
-            if regs.zf:
-                regs.eip = (regs.eip + i.imm) & _U32_MASK
-        elif op is Op.JNZ:
-            if not regs.zf:
-                regs.eip = (regs.eip + i.imm) & _U32_MASK
-        elif op is Op.JL:
-            if regs.sf:
-                regs.eip = (regs.eip + i.imm) & _U32_MASK
-        elif op is Op.JGE:
-            if not regs.sf:
-                regs.eip = (regs.eip + i.imm) & _U32_MASK
-        elif op is Op.JG:
-            if not regs.sf and not regs.zf:
-                regs.eip = (regs.eip + i.imm) & _U32_MASK
-        elif op is Op.JLE:
-            if regs.sf or regs.zf:
-                regs.eip = (regs.eip + i.imm) & _U32_MASK
-        elif op is Op.CALL:
-            self._push_u32(regs.eip)
-            regs.eip = i.imm & _U32_MASK
-        elif op is Op.CALLR:
-            self._push_u32(regs.eip)
-            regs.eip = regs.get(i.r1)
-        elif op is Op.RET:
-            # The sentinel ends the run at the next step's fetch check.
-            regs.eip = self._pop_u32()
-
-        # -------------------------------------------------- x87 FPU
-        elif op is Op.FLD:
-            fpu.push(space.load_f64((regs.get(i.r1) + i.imm) & _U32_MASK))
-        elif op is Op.FST:
-            space.store_f64(
-                (regs.get(i.r1) + i.imm) & _U32_MASK, fpu.to_double(fpu.read_st(0))
-            )
-        elif op is Op.FSTP:
-            space.store_f64(
-                (regs.get(i.r1) + i.imm) & _U32_MASK, fpu.to_double(fpu.read_st(0))
-            )
-            fpu.pop()
-        elif op is Op.FLDZ:
-            fpu.push(0.0)
-        elif op is Op.FLD1:
-            fpu.push(1.0)
-        elif op is Op.FLDIMM:
-            fpu.push(float(i.imm))
-        elif op is Op.FADDP:
-            b, a = fpu.pop(), fpu.pop()
-            fpu.push(a + b)
-        elif op is Op.FSUBP:
-            b, a = fpu.pop(), fpu.pop()
-            fpu.push(a - b)
-        elif op is Op.FMULP:
-            b, a = fpu.pop(), fpu.pop()
-            fpu.push(a * b)
-        elif op is Op.FDIVP:
-            b, a = fpu.pop(), fpu.pop()
-            # x87 exceptions are masked: /0 yields signed Inf, 0/0 NaN.
-            if b == 0.0:
-                fpu.push(math.nan if a == 0.0 or math.isnan(a) else math.copysign(math.inf, a) * math.copysign(1.0, b))
-            else:
-                fpu.push(a / b)
-        elif op is Op.FCHS:
-            fpu.write_st(0, -fpu.read_st(0))
-        elif op is Op.FABS:
-            fpu.write_st(0, abs(fpu.read_st(0)))
-        elif op is Op.FSQRT:
-            v = fpu.read_st(0)
-            fpu.write_st(0, math.sqrt(v) if v >= 0.0 else math.nan)
-        elif op is Op.FXCH:
-            fpu.exchange(i.r1)
-        elif op is Op.FCOMIP:
-            a, b = fpu.read_st(0), fpu.read_st(1)
-            if math.isnan(a) or math.isnan(b):
-                regs.zf, regs.sf = True, False  # unordered
-            else:
-                regs.zf, regs.sf = (a == b), (a < b)
-            fpu.pop()
-        elif op is Op.FDUP:
-            fpu.push(fpu.read_st(0))
-        elif op is Op.FPOP:
-            fpu.pop()
-
-        # -------------------------------------------------- vector unit
-        elif op is Op.VMOV:
-            n = regs.get(i.r3)
-            src = space.vector_f64(regs.get(i.r2), n)
-            dst = space.vector_f64(regs.get(i.r1), n, write=True)
-            np.copyto(dst, src)
-        elif op is Op.VFILL:
-            n = regs.get(i.r2)
-            dst = space.vector_f64(regs.get(i.r1), n, write=True)
-            dst.fill(fpu.to_double(fpu.read_st(0)))
-        elif op is Op.VBIN:
-            n = regs.get(i.r4)
-            a = space.vector_f64(regs.get(i.r2), n)
-            b = space.vector_f64(regs.get(i.r3), n)
-            dst = space.vector_f64(regs.get(i.r1), n, write=True)
-            with np.errstate(all="ignore"):
-                _VBIN_UFUNC[i.subop](a, b, out=dst)
-        elif op is Op.VBINS:
-            n = regs.get(i.r3)
-            a = space.vector_f64(regs.get(i.r2), n)
-            dst = space.vector_f64(regs.get(i.r1), n, write=True)
-            s = fpu.to_double(fpu.read_st(0))
-            with np.errstate(all="ignore"):
-                _VBIN_UFUNC[i.subop](a, s, out=dst)
-        elif op is Op.VAXPY:
-            n = regs.get(i.r4)
-            a = space.vector_f64(regs.get(i.r2), n)
-            b = space.vector_f64(regs.get(i.r3), n)
-            dst = space.vector_f64(regs.get(i.r1), n, write=True)
-            s = fpu.to_double(fpu.read_st(0))
-            with np.errstate(all="ignore"):
-                np.add(a, s * b, out=dst)
-        elif op is Op.VRED:
-            self._vred(i)
-        else:  # pragma: no cover - the decoder guarantees coverage
-            raise SimIllegalInstruction(f"unimplemented opcode {op!r}")
-
-    def _vred(self, i: Insn) -> None:
-        regs, fpu, space = self.regs, self.fpu, self.space
-        sub = i.subop
-        if sub == RedOp.DOT:
-            n = regs.get(i.r3)
-            a = space.vector_f64(regs.get(i.r1), n)
-            b = space.vector_f64(regs.get(i.r2), n)
-            fpu.push(float(np.dot(a, b)))
-            return
-        n = regs.get(i.r2)
-        a = space.vector_f64(regs.get(i.r1), n)
-        with np.errstate(all="ignore"):
-            return self._vred_apply(sub, a, n)
-
-    def _vred_apply(self, sub: int, a, n: int) -> None:
-        fpu = self.fpu
-        if sub == RedOp.SUM:
-            fpu.push(float(np.sum(a)))
-        elif sub == RedOp.MIN:
-            fpu.push(float(np.min(a)) if n else math.nan)
-        elif sub == RedOp.MAX:
-            fpu.push(float(np.max(a)) if n else math.nan)
-        elif sub == RedOp.NANCOUNT:
-            fpu.push(float(np.count_nonzero(~np.isfinite(a))))
-        elif sub == RedOp.SUMSQ:
-            fpu.push(float(np.dot(a, a)))
-        else:
-            raise SimIllegalInstruction(f"undefined VRED subop {sub}")
+        # One function per opcode: repro.cpu.ops is the single execution
+        # authority, shared with the block translator.
+        _EXEC[i.op](self, i)
 
 
-_VBIN_UFUNC = {
-    int(VecOp.ADD): np.add,
-    int(VecOp.SUB): np.subtract,
-    int(VecOp.MUL): np.multiply,
-    int(VecOp.DIV): np.divide,
-    int(VecOp.MIN): np.minimum,
-    int(VecOp.MAX): np.maximum,
-}
-
-_VECTOR_OPS = frozenset(
-    {Op.VMOV, Op.VFILL, Op.VBIN, Op.VBINS, Op.VAXPY, Op.VRED}
-)
-
-_VECTOR_LEN_FIELD = {
-    Op.VMOV: "r3",
-    Op.VFILL: "r2",
-    Op.VBIN: "r4",
-    Op.VBINS: "r3",
-    Op.VAXPY: "r4",
-    Op.VRED: "r2",
-}
+_EXEC = _ops.EXEC

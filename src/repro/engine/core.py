@@ -57,6 +57,10 @@ class ExecutionContext:
     #: Golden-prefix replay stride in blocks (``None`` = checkpointing
     #: off, the default - existing callers are untouched).
     checkpoint_stride: int | None = None
+    #: Execute via translated basic blocks wherever no observer needs
+    #: per-instruction state (``--fastpath``).  Off by default; trial
+    #: outcomes are bit-identical either way.
+    fastpath: bool = False
     #: The shared :class:`~repro.engine.checkpoint.GoldenRecording`.
     #: Deliberately *kept* by ``__getstate__``: the driver attaches it
     #: before the executor pickles the context, so every fork worker
@@ -120,6 +124,7 @@ class ExecutionContext:
             eager_threshold=self.config.eager_threshold,
             round_limit=self.round_limit,
             block_limit=self.block_limit,
+            fastpath=self.fastpath,
             app_params=dict(self.config.app_params),
         )
 
@@ -168,6 +173,13 @@ def _harvest_job_metrics(
     for vm in job.vms:
         registry.counter("repro_vm_instructions_total").inc(vm.instructions_retired)
         registry.counter("repro_vm_blocks_total").inc(vm.clock.blocks)
+        if vm.fastpath:
+            # Emitted only in fastpath mode so that default-mode metric
+            # snapshots stay byte-identical to earlier releases.
+            for key, value in vm.fastpath_stats.items():
+                registry.counter(
+                    "repro_vm_fastpath_total", kind=key
+                ).inc(value)
     for endpoint in job.endpoints:
         stats = endpoint.stats
         registry.counter("repro_channel_packets_total", kind="control").inc(

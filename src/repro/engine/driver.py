@@ -133,6 +133,11 @@ class CampaignEngine:
         :mod:`repro.engine.checkpoint`); ``None`` disables
         checkpointing.  The golden recording is made once, lazily, and
         shipped inside the pickled context so fork workers share it.
+    fastpath:
+        Execute trials through the translated block engine
+        (:mod:`repro.cpu.translate`).  Outcomes, tallies and metrics
+        are bit-identical to the interpreter; the flag only changes
+        throughput (plus fastpath-mode counters in ``metrics``).
     prune:
         ``FaultSpec -> PruneVerdict`` masking oracle (see
         :mod:`repro.staticanalysis.propagation.pruning`).  Specs with a
@@ -168,6 +173,7 @@ class CampaignEngine:
         metrics: MetricsRegistry | None = None,
         trace: TraceCollector | None = None,
         checkpoint_stride: int | None = None,
+        fastpath: bool = False,
         prune: Callable[[FaultSpec], Any] | None = None,
         stratifier: Callable[[FaultSpec], str] | None = None,
     ) -> None:
@@ -191,6 +197,7 @@ class CampaignEngine:
         if trace is not None:
             context.trace = True
         context.checkpoint_stride = checkpoint_stride
+        context.fastpath = fastpath
         self.emitter = ProgressEmitter(
             callback=progress, log_interval=log_interval, metrics=metrics
         )
@@ -448,7 +455,7 @@ class CampaignEngine:
     def run_trials(self, specs: list[TrialSpec]) -> list[TrialResult]:
         """Execute explicit trial specs through the executor, folding
         each result into the observability sinks (no tallying, no store
-        resume); returns results in completion order.  The ``trace``
+        resume); returns results in trial order.  The ``trace``
         CLI uses this to trace a single chosen trial."""
         out = []
         for result in self.executor().run(specs):
@@ -539,8 +546,8 @@ class CampaignEngine:
                 state.result.tally.errors, state.result.executions, alpha
             )
 
-        # Deterministic record order: records arrive in completion order
-        # under a parallel executor; re-sort by trial index.
+        # Deterministic record order: stored/pruned results are ingested
+        # before executed ones, so re-sort by trial index.
         if keep_records and state.pending_records:
             state.pending_records.sort(key=lambda item: item[0])
             state.result.records.extend(rec for _, rec in state.pending_records)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator
 
 from repro.engine.core import ExecutionContext, execute_trial
@@ -72,8 +72,7 @@ class ParallelExecutor:
     The execution context (application factory, reference profile, hang
     budgets) is shipped once per worker via the pool initializer; each
     task then costs one pickled :class:`TrialSpec`.  Results stream back
-    in completion order - callers must aggregate by trial index, which
-    the campaign engine does.
+    in submission (trial index) order, matching the serial executor.
     """
 
     def __init__(self, context: ExecutionContext, jobs: int) -> None:
@@ -101,14 +100,18 @@ class ParallelExecutor:
         )
 
     def run(self, specs: Iterable[TrialSpec]) -> Iterator[TrialResult]:
-        pending = {self._pool.submit(_worker_execute, spec) for spec in specs}
+        # Yield in submission order, not completion order: workers still
+        # execute concurrently, but the driver ingests results in the
+        # same sequence as the serial executor.  Float histogram sums
+        # are not associative, so completion-order merging would let
+        # scheduling jitter (or an engine-speed change) move the merged
+        # metric series by an ulp.
+        futures = [self._pool.submit(_worker_execute, spec) for spec in specs]
         try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield future.result()
+            for future in futures:
+                yield future.result()
         finally:
-            for future in pending:
+            for future in futures:
                 future.cancel()
 
     def close(self) -> None:

@@ -12,7 +12,7 @@ tables together with the sampling-theory estimation error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -218,10 +218,14 @@ class Campaign:
     # ------------------------------------------------------------------
     # reference run
     # ------------------------------------------------------------------
-    def reference(self) -> ReferenceProfile:
+    def reference(self, *, fastpath: bool = False) -> ReferenceProfile:
         if self._reference is not None:
             return self._reference
-        job = Job(self.app_factory(), self.config)
+        # The fault-free golden run is observationally mode-independent
+        # (pinned by the fastpath differential gate), so it may use the
+        # translated engine whenever the campaign will.
+        config = replace(self.config, fastpath=True) if fastpath else self.config
+        job = Job(self.app_factory(), config)
         result = job.run()
         if not result.completed:
             raise RuntimeError(
@@ -285,11 +289,11 @@ class Campaign:
     # ------------------------------------------------------------------
     # engine delegation
     # ------------------------------------------------------------------
-    def execution_context(self):
+    def execution_context(self, *, fastpath: bool = False):
         """The single-trial execution authority for this campaign."""
         from repro.engine.core import ExecutionContext
 
-        ref = self.reference()
+        ref = self.reference(fastpath=fastpath)
         return ExecutionContext(
             app=self.app_name,
             factory=self.app_factory,
@@ -309,6 +313,13 @@ class Campaign:
 
         return MaskingOracle.from_campaign(self)
 
+    #: Cross-campaign predictor cache.  The predictor is a pure function
+    #: of the linked program and reference profile, so campaigns over
+    #: the same (app, params, nprocs, seed) - successive regions, CLI
+    #: reruns, benchmark repetitions - share one build (~1.5 s of taint
+    #: dataflow for wavetoy).
+    _predictor_cache: dict = {}
+
     def outcome_predictor(self):
         """The static outcome predictor for this campaign's application
         (see :mod:`repro.staticanalysis.outcomes`), built once and
@@ -316,7 +327,21 @@ class Campaign:
         if getattr(self, "_predictor", None) is None:
             from repro.staticanalysis.outcomes.predictor import OutcomePredictor
 
-            self._predictor = OutcomePredictor.from_campaign(self)
+            try:
+                key = (
+                    self.app_name,
+                    tuple(sorted(self.app_params.items())),
+                    self.config.nprocs,
+                    self.seed,
+                )
+            except TypeError:  # unhashable app param: build uncached
+                key = None
+            if key is not None and key in Campaign._predictor_cache:
+                self._predictor = Campaign._predictor_cache[key]
+            else:
+                self._predictor = OutcomePredictor.from_campaign(self)
+                if key is not None:
+                    Campaign._predictor_cache[key] = self._predictor
         return self._predictor
 
     def engine(
@@ -329,6 +354,7 @@ class Campaign:
         metrics=None,
         trace=None,
         checkpoint_stride: int | None = None,
+        fastpath: bool = False,
         prune_masked: bool = False,
         stratify: bool = False,
     ):
@@ -341,7 +367,7 @@ class Campaign:
             predictor = self.outcome_predictor()
             stratifier = lambda fault: predictor.stratum(fault).value  # noqa: E731
         return CampaignEngine(
-            self.execution_context(),
+            self.execution_context(fastpath=fastpath),
             sampler=self.sample_spec,
             seed=self.seed,
             app_params=self.app_params,
@@ -353,6 +379,7 @@ class Campaign:
             metrics=metrics,
             trace=trace,
             checkpoint_stride=checkpoint_stride,
+            fastpath=fastpath,
             prune=self.masking_oracle().verdict if prune_masked else None,
             stratifier=stratifier,
         )
@@ -387,6 +414,7 @@ class Campaign:
         metrics=None,
         trace=None,
         checkpoint_stride: int | None = None,
+        fastpath: bool = False,
         prune_masked: bool = False,
         stratify: bool = False,
     ) -> RegionResult:
@@ -405,6 +433,7 @@ class Campaign:
             metrics=metrics,
             trace=trace,
             checkpoint_stride=checkpoint_stride,
+            fastpath=fastpath,
             prune_masked=prune_masked,
             stratify=stratify,
         ) as eng:
@@ -435,6 +464,7 @@ class Campaign:
         metrics=None,
         trace=None,
         checkpoint_stride: int | None = None,
+        fastpath: bool = False,
         prune_masked: bool = False,
         stratify: bool = False,
     ) -> CampaignResult:
@@ -446,6 +476,7 @@ class Campaign:
             metrics=metrics,
             trace=trace,
             checkpoint_stride=checkpoint_stride,
+            fastpath=fastpath,
             prune_masked=prune_masked,
             stratify=stratify,
         ) as eng:

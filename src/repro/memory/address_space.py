@@ -8,6 +8,7 @@ permissions).
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -16,6 +17,17 @@ from repro.clock import Clock
 from repro.errors import SimSegfault
 from repro.memory.segments import Perm, Segment
 
+# Plain-int permission bits for the hot access path: `int & IntFlag`
+# round-trips through enum.__rand__ and allocates a new flag instance
+# per access, which profiles as one of the interpreter's biggest costs.
+_R, _W, _X = int(Perm.R), int(Perm.W), int(Perm.X)
+_PERM_NAME = {_R: "R", _W: "W", _X: "X"}
+
+# Word codecs for the inlined scalar accessors (same formats as
+# :mod:`repro.memory.segments`).
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
 
 class AddressSpace:
     """An ordered collection of non-overlapping :class:`Segment` objects."""
@@ -23,9 +35,20 @@ class AddressSpace:
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock = clock if clock is not None else Clock()
         self._segments: list[Segment] = []
-        #: Most-recently-hit segment (spatial locality makes this a very
-        #: effective one-entry cache on the VM's load/store path).
+        #: Two-entry MRU segment cache on the VM's load/store path.
+        #: One entry alone misses ~half the time in real kernels because
+        #: accesses alternate between the stack (CALL/RET/PUSH spills)
+        #: and the data segment; keeping both hot segments resident makes
+        #: the full :meth:`find` scan rare.
         self._last: Segment | None = None
+        self._last2: Segment | None = None
+        #: (addr, count, write) -> (segment, float64 view).  Segment
+        #: buffers are never rebound (checkpoint restore writes in
+        #: place), so a constructed view aliases the live bytes forever;
+        #: caching it removes the per-instruction find/check/view cost
+        #: of vector kernels re-touching the same operands every
+        #: iteration.
+        self._vec_cache: dict[tuple[int, int, bool], tuple[Segment, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -39,6 +62,7 @@ class AddressSpace:
         segment.clock = self.clock
         self._segments.append(segment)
         self._segments.sort(key=lambda s: s.base)
+        self._vec_cache.clear()
         return segment
 
     def map(
@@ -63,8 +87,14 @@ class AddressSpace:
         last = self._last
         if last is not None and last.base <= addr and addr + size <= last.end:
             return last
+        last2 = self._last2
+        if last2 is not None and last2.base <= addr and addr + size <= last2.end:
+            self._last2 = last
+            self._last = last2
+            return last2
         for seg in self._segments:
             if seg.contains(addr, size):
+                self._last2 = last
                 self._last = seg
                 return seg
         raise SimSegfault(f"unmapped address 0x{addr:08x}+{size}")
@@ -75,74 +105,132 @@ class AddressSpace:
     # ------------------------------------------------------------------
     # checked access path (used by the VM)
     # ------------------------------------------------------------------
-    def _checked(self, addr: int, size: int, want: Perm) -> Segment:
+    def _checked(self, addr: int, size: int, want: int) -> Segment:
         seg = self.find(addr, size)
         if not seg.perm_mask & want:
-            raise SimSegfault(
-                f"{want.name or want} access to 0x{addr:08x} denied in "
-                f"segment {seg.name} ({seg.perm!r})"
-            )
+            self._deny(addr, seg, want)
         return seg
 
+    def _deny(self, addr: int, seg: Segment, want: int) -> None:
+        raise SimSegfault(
+            f"{_PERM_NAME.get(want, want)} access to 0x{addr:08x} denied in "
+            f"segment {seg.name} ({seg.perm!r})"
+        )
+
+    # The word-sized accessors below are the VM's hottest memory path
+    # (every scalar LOAD/STORE/PUSH/POP/FLD/FST lands here).  They
+    # inline the one-entry segment cache, the permission test, the
+    # tracking gate and the struct unpack: the layered
+    # ``_checked``/``note_load``/``read_u32`` chain costs several
+    # function calls per access, which profiles as a top-three cost in
+    # whole-campaign runs.  Semantics are identical - cache misses,
+    # permission failures and tracked segments fall back to the same
+    # helpers.
+
     def load_u32(self, addr: int) -> int:
-        seg = self._checked(addr, 4, Perm.R)
-        seg.note_load(addr, 4)
-        return seg.read_u32(addr)
+        seg = self._last
+        if seg is None or not (
+            seg.base <= addr and addr + 4 <= seg.base + seg.size
+        ):
+            seg = self.find(addr, 4)
+        if not seg.perm_mask & _R:
+            self._deny(addr, seg, _R)
+        if seg.tracking:
+            seg.note_load(addr, 4)
+        return _U32.unpack_from(seg.buf.data, addr - seg.base)[0]
 
     def store_u32(self, addr: int, value: int) -> None:
-        seg = self._checked(addr, 4, Perm.W)
-        seg.note_store(addr, 4)
-        seg.write_u32(addr, value)
+        seg = self._last
+        if seg is None or not (
+            seg.base <= addr and addr + 4 <= seg.base + seg.size
+        ):
+            seg = self.find(addr, 4)
+        if not seg.perm_mask & _W:
+            self._deny(addr, seg, _W)
+        if seg.tracking:
+            seg.note_store(addr, 4)
+        _U32.pack_into(seg.buf.data, addr - seg.base, value & 0xFFFF_FFFF)
+        seg.version += 1
 
     def load_i32(self, addr: int) -> int:
-        seg = self._checked(addr, 4, Perm.R)
+        seg = self._checked(addr, 4, _R)
         seg.note_load(addr, 4)
         return seg.read_i32(addr)
 
     def store_i32(self, addr: int, value: int) -> None:
-        seg = self._checked(addr, 4, Perm.W)
+        seg = self._checked(addr, 4, _W)
         seg.note_store(addr, 4)
         seg.write_i32(addr, value)
 
     def load_f64(self, addr: int) -> float:
-        seg = self._checked(addr, 8, Perm.R)
-        seg.note_load(addr, 8)
-        return seg.read_f64(addr)
+        seg = self._last
+        if seg is None or not (
+            seg.base <= addr and addr + 8 <= seg.base + seg.size
+        ):
+            seg = self.find(addr, 8)
+        if not seg.perm_mask & _R:
+            self._deny(addr, seg, _R)
+        if seg.tracking:
+            seg.note_load(addr, 8)
+        return _F64.unpack_from(seg.buf.data, addr - seg.base)[0]
 
     def store_f64(self, addr: int, value: float) -> None:
-        seg = self._checked(addr, 8, Perm.W)
-        seg.note_store(addr, 8)
-        seg.write_f64(addr, value)
+        seg = self._last
+        if seg is None or not (
+            seg.base <= addr and addr + 8 <= seg.base + seg.size
+        ):
+            seg = self.find(addr, 8)
+        if not seg.perm_mask & _W:
+            self._deny(addr, seg, _W)
+        if seg.tracking:
+            seg.note_store(addr, 8)
+        _F64.pack_into(seg.buf.data, addr - seg.base, float(value))
+        seg.version += 1
 
     def load_bytes(self, addr: int, size: int) -> bytes:
-        seg = self._checked(addr, size, Perm.R)
+        seg = self._checked(addr, size, _R)
         seg.note_load(addr, size)
         return seg.read_bytes(addr, size)
 
     def store_bytes(self, addr: int, data: bytes | bytearray | memoryview) -> None:
-        seg = self._checked(addr, len(data), Perm.W)
+        seg = self._checked(addr, len(data), _W)
         seg.note_store(addr, len(data))
         seg.write_bytes(addr, data)
 
-    def vector_f64(self, addr: int, count: int, *, write: bool = False) -> np.ndarray:
+    def vector_f64(self, addr: int, count: int, write: bool = False) -> np.ndarray:
         """Float64 view for a VM vector instruction.
 
         Records the whole range as loaded (and stored, for destination
         operands) so vector kernels participate in working-set tracking.
+        Successful views are cached per (addr, count, write): the view
+        aliases the segment's backing store, which is never rebound, so
+        the same object stays valid across fault injection and
+        checkpoint restore.
         """
-        if count < 0:
-            raise SimSegfault(f"negative vector length {count} at 0x{addr:08x}")
-        seg = self._checked(addr, count * 8, Perm.W if write else Perm.R)
-        if write:
-            seg.note_store(addr, count * 8)
-        else:
-            seg.note_load(addr, count * 8)
-        return seg.view_f64(addr, count)
+        key = (addr, count, write)
+        hit = self._vec_cache.get(key)
+        if hit is None:
+            if count < 0:
+                raise SimSegfault(
+                    f"negative vector length {count} at 0x{addr:08x}"
+                )
+            seg = self._checked(addr, count * 8, _W if write else _R)
+            view = seg.view_f64(addr, count)
+            if len(self._vec_cache) >= 4096:
+                self._vec_cache.clear()
+            self._vec_cache[key] = hit = (seg, view)
+        seg, view = hit
+        if seg.tracking:
+            if write:
+                seg.note_store(addr, count * 8)
+            else:
+                seg.note_load(addr, count * 8)
+        return view
 
     def fetch_code(self, addr: int, size: int) -> bytes:
         """Instruction fetch: requires execute permission, records text
         working set."""
-        seg = self._checked(addr, size, Perm.X)
+        seg = self._checked(addr, size, _X)
         seg.note_exec(addr, size)
         return seg.read_bytes(addr, size)
 

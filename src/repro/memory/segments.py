@@ -103,7 +103,9 @@ class Segment:
         return self.base + self.size
 
     def contains(self, addr: int, size: int = 1) -> bool:
-        return self.base <= addr and addr + size <= self.end
+        # Inline `end`: this predicate sits on the VM's hottest path and
+        # a property access costs more than the comparison itself.
+        return self.base <= addr and addr + size <= self.base + self.size
 
     def _offset(self, addr: int, size: int) -> int:
         if not self.contains(addr, size):

@@ -74,6 +74,9 @@ class JobConfig:
     round_limit: int | None = None
     #: Per-rank basic-block budget applied to every VM.
     block_limit: int | None = None
+    #: Run kernels through the translated fast path where no observer
+    #: needs per-instruction events (see :mod:`repro.cpu.translate`).
+    fastpath: bool = False
     #: Extra keyword parameters forwarded to the application build.
     app_params: dict[str, Any] = field(default_factory=dict)
 
@@ -150,6 +153,7 @@ class Job:
             image, vm = app.build_process(rank, n, config)
             if config.block_limit is not None:
                 vm.block_limit = config.block_limit
+            vm.fastpath = config.fastpath
             endpoint = ChannelEndpoint(rank)
             endpoint.clock = image.clock
             adi = AdiEngine(rank, n, image, endpoint, adi_cfg)

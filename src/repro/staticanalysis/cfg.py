@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 
 from repro.cpu import semantics
 from repro.cpu.assembler import AssembledFunction, assemble_function
-from repro.cpu.isa import INSN_SIZE, Insn, decode
+from repro.cpu.decoder import decode_stream
+from repro.cpu.isa import INSN_SIZE, Insn
 from repro.errors import SimulationError
 
 
@@ -27,16 +28,18 @@ class CFGError(SimulationError):
 
 
 def decode_function(code: bytes) -> list[Insn]:
-    """Decode a function's text bytes into its instruction words."""
+    """Decode a function's text bytes into its instruction words.
+
+    Routed through :mod:`repro.cpu.decoder`, the same cached decode
+    authority the VM fetch path and the block translator use, so the
+    CFG describes exactly the words the interpreter executes.
+    """
     if len(code) % INSN_SIZE:
         raise CFGError(
             f"function body of {len(code)} bytes is not a whole number "
             f"of {INSN_SIZE}-byte words"
         )
-    return [
-        decode(code[off : off + INSN_SIZE])
-        for off in range(0, len(code), INSN_SIZE)
-    ]
+    return list(decode_stream(code))
 
 
 @dataclass

@@ -1,0 +1,69 @@
+"""Single decode authority (PR 8 satellite).
+
+The VM fetch path, the static CFG builder and the block translator must
+all consume the *same* decode of every shipped kernel.  Before this PR,
+``VM._fetch`` and ``staticanalysis.cfg.decode_function`` decoded code
+bytes independently; both now route through :mod:`repro.cpu.decoder`,
+pinned here by comparing the Insn streams instruction by instruction.
+"""
+
+import pytest
+
+from repro.cpu import decoder
+from repro.cpu.isa import INSN_SIZE, UndefinedOpcode
+from repro.staticanalysis.cfg import decode_function
+from repro.staticanalysis.lint import iter_shipped_kernels
+
+KERNELS = list(iter_shipped_kernels())
+IDS = [f"{owner}:{fn.name}" for owner, fn in KERNELS]
+
+
+@pytest.mark.parametrize("owner,fn", KERNELS, ids=IDS)
+def test_cfg_stream_matches_decoder_stream(owner, fn):
+    assert decode_function(fn.code) == list(decoder.decode_stream(fn.code))
+
+
+@pytest.mark.parametrize("owner,fn", KERNELS, ids=IDS)
+def test_vm_fetch_stream_matches_cfg_stream(owner, fn):
+    """Build the owning application's rank-0 image and fetch the linked
+    kernel word by word through the VM: the stream must equal the CFG's
+    decode of the same linked bytes (relocations applied)."""
+    from repro.apps import APPLICATION_SUITE
+    from repro.mpi.simulator import JobConfig
+
+    factory = APPLICATION_SUITE.get(owner)
+    if factory is None:
+        pytest.skip(f"{owner} is not a suite application")
+    app = factory()
+    config = JobConfig(nprocs=2)
+    image, vm = app.build_process(0, config.nprocs, config)
+    sym = next(
+        s for s in image.symtab.symbols("text") if s.name == fn.name
+    )
+    linked = image.text.read_bytes(sym.addr, sym.size)
+    expected = decode_function(linked)
+    fetched = [
+        vm._fetch(sym.addr + INSN_SIZE * i) for i in range(len(expected))
+    ]
+    assert fetched == expected
+
+
+def test_stream_decode_is_cached_by_digest():
+    code = KERNELS[0][1].code
+    first = decoder.decode_stream(code)
+    again = decoder.decode_stream(bytes(code))
+    assert first is again  # same tuple object: digest-keyed cache hit
+
+
+def test_decode_failure_is_cached_and_reraised():
+    bad = bytes([0xFF] * INSN_SIZE)
+    with pytest.raises(UndefinedOpcode):
+        decoder.decode_stream(bad)
+    with pytest.raises(UndefinedOpcode):
+        decoder.decode_stream(bad)
+    assert decoder.try_decode_stream(bad) is None
+
+
+def test_misaligned_stream_rejected():
+    with pytest.raises(ValueError):
+        decoder.decode_stream(b"\x00" * (INSN_SIZE + 1))

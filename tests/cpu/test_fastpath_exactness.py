@@ -1,0 +1,134 @@
+"""Hooks and hang budgets fire at identical instants in both modes
+(PR 8 satellite).
+
+The injection scheduler (the paper's ptrace analogue) arms
+``schedule_hook`` horizons, and the engine arms ``block_limit`` hang
+budgets.  Both must trigger at the exact same ``clock.blocks`` and
+``instructions_retired`` whether the VM interprets or runs translated
+units - including horizons that land in the middle of a superblock
+whose vector instructions each cost many blocks."""
+
+import pytest
+
+from repro.errors import HangDetected
+from tests.conftest import build_image
+
+# The loop body is one translation unit containing a cost-8 vector
+# instruction (64 elements >> 3), so most absolute block counts land
+# strictly inside a unit's cost span.
+SUPERBLOCK = """
+    movi eax, 0
+    movi ecx, 64
+    movi esi, $buf
+loop:
+    addi eax, 3
+    xor eax, ecx
+    vbin.add esi, esi, esi, ecx
+    sub eax, ecx
+    addi edx, 1
+    cmpi edx, 40
+    jl loop
+    ret
+"""
+
+
+def fresh(fastpath):
+    image, vm = build_image({"f": SUPERBLOCK}, bss={"buf": 1024})
+    vm.fastpath = fastpath
+    return vm
+
+
+class TestHookExactness:
+    @pytest.mark.parametrize(
+        "at", [1, 2, 3, 7, 13, 50, 51, 52, 53, 54, 55, 100, 333]
+    )
+    def test_hook_instant_matches_interpreter(self, at):
+        instants = []
+        for fastpath in (False, True):
+            vm = fresh(fastpath)
+            fired = []
+            vm.schedule_hook(
+                at,
+                lambda v: fired.append(
+                    (v.clock.blocks, v.instructions_retired)
+                ),
+            )
+            vm.call("f")
+            instants.append((fired, vm.clock.blocks, vm.instructions_retired))
+        assert instants[0] == instants[1]
+        assert instants[0][0], "hook never fired"
+
+    def test_many_hooks_in_one_run(self):
+        horizons = [2, 5, 9, 17, 33, 65, 129, 250]
+        instants = []
+        for fastpath in (False, True):
+            vm = fresh(fastpath)
+            fired = []
+            for h in horizons:
+                vm.schedule_hook(
+                    h,
+                    lambda v, h=h: fired.append(
+                        (h, v.clock.blocks, v.instructions_retired)
+                    ),
+                )
+            vm.call("f")
+            instants.append(fired)
+        assert instants[0] == instants[1]
+        assert len(instants[0]) == len(horizons)
+
+    def test_hook_installed_by_hook_mid_run(self):
+        # the injector arms a second horizon from inside the first
+        instants = []
+        for fastpath in (False, True):
+            vm = fresh(fastpath)
+            fired = []
+
+            def second(v):
+                fired.append(("second", v.clock.blocks))
+
+            def first(v):
+                fired.append(("first", v.clock.blocks))
+                v.schedule_hook(v.clock.blocks + 21, second)
+
+            vm.schedule_hook(13, first)
+            vm.call("f")
+            instants.append(fired)
+        assert instants[0] == instants[1]
+        assert [k for k, _ in instants[0]] == ["first", "second"]
+
+
+class TestBudgetExactness:
+    @pytest.mark.parametrize("limit", [1, 2, 7, 50, 51, 52, 100, 333])
+    def test_hang_detected_at_identical_instant(self, limit):
+        observed = []
+        for fastpath in (False, True):
+            vm = fresh(fastpath)
+            vm.block_limit = limit
+            with pytest.raises(HangDetected) as exc:
+                vm.call("f")
+            observed.append(
+                (
+                    exc.value.args,
+                    vm.clock.blocks,
+                    vm.instructions_retired,
+                    vm.regs.capture_state(),
+                )
+            )
+        assert observed[0] == observed[1]
+
+    def test_budget_refusal_has_no_side_effects(self):
+        # a unit whose cost would cross the horizon must leave no trace:
+        # the next interpreted instruction is the one that fires the hook
+        vm = fresh(True)
+        seen = []
+        vm.schedule_hook(
+            51, lambda v: seen.append(v.regs.capture_state())
+        )
+        vm.call("f")
+        vm2 = fresh(False)
+        seen2 = []
+        vm2.schedule_hook(
+            51, lambda v: seen2.append(v.regs.capture_state())
+        )
+        vm2.call("f")
+        assert seen == seen2
