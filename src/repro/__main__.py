@@ -20,6 +20,13 @@ Usage::
         --prune-masked --store out.jsonl       # skip provably-masked sites
     python -m repro campaign run --app wavetoy -n 4 \
         --trace trace.json --metrics metrics.prom
+    python -m repro campaign run --app wavetoy -n 40 \
+        --serve 9100 --artifacts runs/wavetoy   # live /metrics + /status
+                                       # + an artifact run directory
+    python -m repro serve --store out.jsonl --endpoint 9100
+                                       # scrape a store without a campaign
+    python -m repro report runs/wavetoy [--check]
+                                       # regenerate summary.json/report.html
     python -m repro campaign status --store out.jsonl [--json]
     python -m repro campaign merge --out all.jsonl a.jsonl b.jsonl
     python -m repro trace run --app wavetoy --region message \
@@ -80,6 +87,23 @@ def cmd_run(args) -> int:
 
 
 def cmd_report(args) -> int:
+    import os
+
+    target = args.target
+    if target is not None and os.path.isdir(str(target)):
+        return cmd_report_artifacts(args)
+    if target is not None:
+        try:
+            args.n = int(target)
+        except ValueError:
+            print(
+                f"report target {target!r} is neither an artifact run "
+                "directory nor a trial-count override",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        args.n = None
     report = Report(title="Paper reproduction report")
     for exp_id in EXPERIMENTS:
         t0 = time.time()
@@ -92,6 +116,68 @@ def cmd_report(args) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         print(markdown)
+    return 0
+
+
+def cmd_report_artifacts(args) -> int:
+    """Regenerate ``summary.json`` + ``report.html`` of an artifact run
+    directory from its manifest/events/metrics files alone.  With
+    ``--check``, verify the on-disk derived files are bit-identical to
+    a fresh derivation instead (exit 1 on drift)."""
+    from repro.observability.artifacts import check_outputs, write_outputs
+
+    target = args.target
+    try:
+        if args.check:
+            stale = check_outputs(target)
+            if stale:
+                for name in stale:
+                    print(
+                        f"{target}/{name}: differs from regeneration",
+                        file=sys.stderr,
+                    )
+                return 1
+            print(f"{target}: summary.json and report.html reproduce exactly")
+            return 0
+        summary = write_outputs(target)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(
+        f"regenerated {target}/summary.json and {target}/report.html "
+        f"({summary['trials']} trials, {summary['errors']} errors)"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve live telemetry for an append-only result store: the store
+    is followed incrementally (only newly appended bytes are parsed per
+    scrape), so other campaign processes can keep writing to it."""
+    from repro.observability.serve import (
+        StoreTelemetry,
+        TelemetryServer,
+        parse_endpoint,
+    )
+
+    try:
+        host, port = parse_endpoint(args.endpoint)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    server = TelemetryServer(StoreTelemetry(args.store), host, port).start()
+    print(
+        f"serving {args.store} at {server.url} "
+        "(/metrics /status /progress; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -349,37 +435,91 @@ def cmd_campaign_run(args) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     regions = _parse_regions(args.regions)
-    metrics = MetricsRegistry() if args.metrics else None
+    # A single registry backs every metrics consumer: the textfile
+    # export, the live /metrics endpoint, and the artifact flushes all
+    # read the same state, so their totals agree exactly.
+    want_metrics = bool(args.metrics or args.serve or args.artifacts)
+    metrics = MetricsRegistry() if want_metrics else None
     collector = TraceCollector() if args.trace else None
+
+    telemetry = server = None
+    if args.serve:
+        from repro.observability.serve import (
+            TelemetryHub,
+            TelemetryServer,
+            parse_endpoint,
+        )
+
+        try:
+            host, port = parse_endpoint(args.serve)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        telemetry = TelemetryHub(registry=metrics)
+        server = TelemetryServer(telemetry, host, port).start()
+        print(f"serving telemetry at {server.url}", file=sys.stderr)
+
+    artifacts = None
+    if args.artifacts:
+        from repro.observability.artifacts import (
+            RunArtifacts,
+            reproduce_command,
+        )
+
+        context = campaign.execution_context(fastpath=args.fastpath)
+        artifacts = RunArtifacts(
+            args.artifacts,
+            {
+                "app": args.app,
+                "seed": args.seed,
+                "nprocs": args.nprocs,
+                "regions": [r.value for r in regions],
+                "n": args.n,
+                "target_d": args.target_d,
+                "jobs": args.jobs,
+                "params": _parse_params(args.params),
+                "execution": context.describe(),
+                "command": reproduce_command(getattr(args, "_argv", None)),
+            },
+        )
 
     def progress(event):
         print(format_progress(event), file=sys.stderr)
 
     stride = None if args.no_checkpoint else args.checkpoint_stride
     t0 = time.time()
-    result = campaign.run(
-        regions,
-        args.n,
-        jobs=args.jobs,
-        store=args.store,
-        resume=args.resume,
-        target_d=args.target_d,
-        log_interval=args.log_interval,
-        progress=progress if args.log_interval else None,
-        metrics=metrics,
-        trace=collector,
-        checkpoint_stride=stride,
-        fastpath=args.fastpath,
-        prune_masked=args.prune_masked,
-        stratify=args.stratify,
-    )
-    elapsed = time.time() - t0
+    try:
+        result = campaign.run(
+            regions,
+            args.n,
+            jobs=args.jobs,
+            store=args.store,
+            resume=args.resume,
+            target_d=args.target_d,
+            log_interval=args.log_interval,
+            progress=progress if args.log_interval else None,
+            metrics=metrics,
+            trace=collector,
+            checkpoint_stride=stride,
+            fastpath=args.fastpath,
+            prune_masked=args.prune_masked,
+            stratify=args.stratify,
+            telemetry=telemetry,
+            artifacts=artifacts,
+        )
+        elapsed = time.time() - t0
+        if artifacts is not None:
+            artifacts.finalize(metrics)
+            print(f"wrote artifacts: {args.artifacts}", file=sys.stderr)
+    finally:
+        if server is not None:
+            server.stop()
     if collector is not None:
         collector.write(
             args.trace, metadata={"app": args.app, "seed": args.seed}
         )
         print(f"wrote trace: {args.trace}", file=sys.stderr)
-    if metrics is not None:
+    if args.metrics:
         with open(args.metrics, "w") as fh:
             fh.write(render_prometheus(metrics))
         print(f"wrote metrics: {args.metrics}", file=sys.stderr)
@@ -424,23 +564,14 @@ def cmd_campaign_run(args) -> int:
 def cmd_campaign_status(args) -> int:
     from repro.engine.store import ResultStore
 
+    # ``status()`` streams the store through the incremental summary
+    # fold - memory stays bounded by the number of distinct trial keys,
+    # never by full parsed results (see ResultStore.iter_results).
     statuses = ResultStore(args.store).status()
     if args.json:
         payload = {
             "store": str(args.store),
-            "regions": [
-                {
-                    "app": s.app,
-                    "region": s.region,
-                    "trials": s.trials,
-                    "errors": s.errors,
-                    "error_rate_percent": s.error_rate_percent,
-                    "achieved_d_percent": s.achieved_d_percent,
-                    "manifestations": s.manifestations,
-                    "pruned": s.pruned,
-                }
-                for s in statuses
-            ],
+            "regions": [s.to_json() for s in statuses],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -699,9 +830,22 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("n", nargs="?", type=int, default=None,
                      help="campaign size / trial count override")
     run.set_defaults(fn=cmd_run)
-    rep = sub.add_parser("report", help="run everything, emit markdown")
-    rep.add_argument("n", nargs="?", type=int, default=None)
+    rep = sub.add_parser(
+        "report",
+        help="run everything and emit markdown, or regenerate an "
+        "artifact run directory's summary.json/report.html",
+    )
+    rep.add_argument(
+        "target", nargs="?", default=None,
+        help="artifact run directory to regenerate, or trial-count "
+        "override for the markdown report (default: full report)",
+    )
     rep.add_argument("--out", default=None, help="output file")
+    rep.add_argument(
+        "--check", action="store_true",
+        help="with a run directory: verify summary.json/report.html "
+        "are bit-identical to a fresh derivation (exit 1 on drift)",
+    )
     rep.set_defaults(fn=cmd_report)
     ana = sub.add_parser(
         "analyze",
@@ -789,6 +933,16 @@ def main(argv: list[str] | None = None) -> int:
     crun.add_argument("--metrics", default=None, metavar="FILE",
                       help="write the aggregated campaign metrics as a "
                       "Prometheus textfile to FILE")
+    crun.add_argument("--serve", default=None, metavar="[HOST:]PORT",
+                      help="serve live telemetry over HTTP while the "
+                      "campaign runs: /metrics (Prometheus), /status "
+                      "(per-region tallies), /progress (throughput, "
+                      "ETA); bare ports bind 127.0.0.1")
+    crun.add_argument("--artifacts", default=None, metavar="DIR",
+                      help="write an artifact-grade run directory: "
+                      "manifest.json, events.jsonl, metrics.jsonl, "
+                      "summary.json, report.html, reproduce.sh "
+                      "(regenerable later via 'report DIR')")
     crun.add_argument("--checkpoint-stride", type=int, default=16,
                       dest="checkpoint_stride", metavar="BLOCKS",
                       help="replay the recorded golden prefix up to the "
@@ -828,6 +982,17 @@ def main(argv: list[str] | None = None) -> int:
     cmerge.add_argument("--out", required=True, help="merged output store")
     cmerge.set_defaults(fn=cmd_campaign_merge)
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve live telemetry for a result store over HTTP",
+    )
+    srv.add_argument("--store", required=True,
+                     help="append-only JSONL result store to follow")
+    srv.add_argument("--endpoint", default="127.0.0.1:9100",
+                     metavar="[HOST:]PORT",
+                     help="bind address (default 127.0.0.1:9100)")
+    srv.set_defaults(fn=cmd_serve)
+
     trc = sub.add_parser(
         "trace",
         help="trace single injection trials and validate trace files",
@@ -865,6 +1030,10 @@ def main(argv: list[str] | None = None) -> int:
                       "be present (e.g. vm,channel,injection)")
     tchk.set_defaults(fn=cmd_trace_check)
     args = parser.parse_args(argv)
+    # The raw argv backs reproduce.sh in artifact run directories (the
+    # test harness calls main() with an explicit list, so sys.argv is
+    # not authoritative here).
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     return args.fn(args)
 
 

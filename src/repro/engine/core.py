@@ -128,6 +128,21 @@ class ExecutionContext:
             app_params=dict(self.config.app_params),
         )
 
+    def describe(self) -> dict:
+        """JSON-ready execution-config snapshot for run manifests: every
+        knob that decides trial outcomes, none of the runtime state."""
+        return {
+            "app": self.app,
+            "nprocs": self.config.nprocs,
+            "config_seed": self.config.seed,
+            "app_params": dict(self.config.app_params),
+            "eager_threshold": self.config.eager_threshold,
+            "round_limit": self.round_limit,
+            "block_limit": self.block_limit,
+            "checkpoint_stride": self.checkpoint_stride,
+            "fastpath": self.fastpath,
+        }
+
     def __getstate__(self):
         state = self.__dict__.copy()
         # Never ship a resolved comparator (it may be a bound method of

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import nullcontext
 from typing import Any, Callable, Iterable
 
 import numpy as np
@@ -156,6 +157,18 @@ class CampaignEngine:
         region estimate is the importance-weighted
         :class:`~repro.sampling.theory.StratifiedEstimate`.  Runs in the
         parent process only, like ``sampler``.
+    telemetry:
+        A :class:`~repro.observability.serve.TelemetryHub`; every
+        finished trial is folded into its live summary under its lock,
+        and (when no ``metrics`` registry was passed) the hub's own
+        registry becomes the campaign registry, so the ``/metrics``
+        endpoint scrapes the same state ``--metrics`` writes at exit.
+    artifacts:
+        A :class:`~repro.observability.artifacts.RunArtifacts`; every
+        trial, progress event and region-final lands in its
+        ``events.jsonl``, with periodic metrics snapshots flushed to
+        ``metrics.jsonl``.  The caller finalizes the directory after
+        the campaign returns.
     """
 
     def __init__(
@@ -176,6 +189,8 @@ class CampaignEngine:
         fastpath: bool = False,
         prune: Callable[[FaultSpec], Any] | None = None,
         stratifier: Callable[[FaultSpec], str] | None = None,
+        telemetry=None,
+        artifacts=None,
     ) -> None:
         self.context = context
         self.sampler = sampler
@@ -186,8 +201,18 @@ class CampaignEngine:
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
+        self.telemetry = telemetry
+        self.artifacts = artifacts
+        if telemetry is not None and metrics is None:
+            # One registry serves both the live ``/metrics`` endpoint
+            # and the end-of-run exports; scrapes and final files agree
+            # by construction.
+            metrics = telemetry.registry
         self.metrics = metrics
         self.trace = trace
+        if trace is not None:
+            # Dropped-trial accounting lands on the scrape path too.
+            trace.metrics = metrics
         self.prune = prune
         self.stratifier = stratifier
         # The context ships to workers; flags must be set before the
@@ -270,24 +295,37 @@ class CampaignEngine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _sink_lock(self):
+        """The lock shared with concurrent telemetry readers.
+
+        Every driver-side write to the metrics registry / live summary
+        happens under it (an RLock: progress emission nests inside
+        trial ingestion); without a telemetry hub there are no
+        concurrent readers and this is free.
+        """
+        return self.telemetry.lock if self.telemetry is not None else nullcontext()
+
     def _emit(self, state: _RegionState, planned, target_d, alpha, final) -> None:
-        if not self.emitter.active:
+        if not self.emitter.active and self.artifacts is None:
             return
         row = state.result
         n = row.executions
-        self.emitter.emit(
-            ProgressEvent(
-                app=self.context.app,
-                region=row.region.value,
-                done=n,
-                planned=planned,
-                resumed=row.resumed,
-                errors=row.tally.errors,
-                achieved_d=observed_half_width(row.tally.errors, n, alpha),
-                target_d=target_d,
-                final=final,
-            )
+        event = ProgressEvent(
+            app=self.context.app,
+            region=row.region.value,
+            done=n,
+            planned=planned,
+            resumed=row.resumed,
+            errors=row.tally.errors,
+            achieved_d=observed_half_width(row.tally.errors, n, alpha),
+            target_d=target_d,
+            final=final,
         )
+        if self.emitter.active:
+            with self._sink_lock():
+                self.emitter.emit(event)
+        if self.artifacts is not None:
+            self.artifacts.note_progress(event)
 
     def _ingest(
         self,
@@ -317,7 +355,14 @@ class CampaignEngine:
                 state.pending_records.append(
                     (spec.index, (spec.fault, result.record, result.manifestation))
                 )
-        self._observe(result)
+        with self._sink_lock():
+            self._observe(result)
+            if self.telemetry is not None:
+                self.telemetry.note_trial(result)
+            if self.artifacts is not None:
+                self.artifacts.note_trial(result)
+                if self.metrics is not None and self.artifacts.metrics_flush_due():
+                    self.artifacts.flush_metrics(self.metrics.snapshot())
         due = self.emitter.note_trial(self.context.app, row.region.value)
         # When log_interval divides the planned count, the last trial's
         # periodic event would duplicate the region-final event emitted
@@ -459,7 +504,12 @@ class CampaignEngine:
         CLI uses this to trace a single chosen trial."""
         out = []
         for result in self.executor().run(specs):
-            self._observe(result)
+            with self._sink_lock():
+                self._observe(result)
+                if self.telemetry is not None:
+                    self.telemetry.note_trial(result)
+                if self.artifacts is not None:
+                    self.artifacts.note_trial(result)
             if self.store is not None and not result.resumed:
                 self.store.append(result)
             out.append(result)
@@ -507,6 +557,8 @@ class CampaignEngine:
         if target_d is None:
             if n is None:
                 n = self.plan.n_for(region.value)
+            if self.telemetry is not None:
+                self.telemetry.note_region(self.context.app, region.value, n)
             self._run_range(
                 state,
                 region,
@@ -521,6 +573,9 @@ class CampaignEngine:
         else:
             if not 0.0 < target_d < 1.0:
                 raise ValueError(f"target_d must be in (0, 1): {target_d}")
+            if self.telemetry is not None:
+                # Adaptive runs are open-ended; /progress reports no ETA.
+                self.telemetry.note_region(self.context.app, region.value, None)
             cap = max_n or sample_size_oversampled(target_d, alpha)
             step = batch or max(MIN_ADAPTIVE_BATCH, 2 * self.executor().jobs)
             planned = 0
@@ -558,6 +613,8 @@ class CampaignEngine:
             alpha,
             final=True,
         )
+        if self.artifacts is not None:
+            self.artifacts.note_region_final(self.context.app, state.result)
         return state.result
 
     def run_region_stratified(
@@ -610,6 +667,8 @@ class CampaignEngine:
             if not 0.0 < target_d < 1.0:
                 raise ValueError(f"target_d must be in (0, 1): {target_d}")
             budget = max_n or sample_size_oversampled(target_d, alpha)
+        if self.telemetry is not None:
+            self.telemetry.note_region(self.context.app, region.value, budget)
         pool_n = pool or max(STRATIFIED_MIN_POOL, 4 * budget)
 
         specs_by: dict[str, list[TrialSpec]] = {}
@@ -691,6 +750,8 @@ class CampaignEngine:
             alpha,
             final=True,
         )
+        if self.artifacts is not None:
+            self.artifacts.note_region_final(self.context.app, state.result)
         return state.result
 
     def run(

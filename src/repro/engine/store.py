@@ -14,11 +14,24 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO, Iterable, Iterator
 
 from repro.engine.trial import TrialResult
 from repro.injection.outcomes import Manifestation
 from repro.sampling.theory import achieved_error
+
+
+def parse_result_line(line: str) -> TrialResult | None:
+    """One stored line -> a rehydrated result, or ``None`` for corrupt
+    records (truncated JSON, wrong shape, bad enum values) - the
+    interruption cases ``--resume`` exists to recover from."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        return TrialResult.from_json(json.loads(line))
+    except (ValueError, KeyError, TypeError, AttributeError):
+        return None
 
 
 @dataclass
@@ -42,6 +55,120 @@ class StoreStatus:
     @property
     def achieved_d_percent(self) -> float:
         return 100.0 * achieved_error(self.trials) if self.trials else float("nan")
+
+    def to_json(self) -> dict:
+        return {
+            "app": self.app,
+            "region": self.region,
+            "trials": self.trials,
+            "errors": self.errors,
+            "error_rate_percent": self.error_rate_percent,
+            "achieved_d_percent": self.achieved_d_percent,
+            "manifestations": self.manifestations,
+            "pruned": self.pruned,
+        }
+
+
+class StoreSummary:
+    """Incremental, order-independent fold of trial results.
+
+    ``add`` ingests one result at a time into per-``(app, region)``
+    counters plus a fixed-bucket error-latency histogram, so a summary
+    over a million-trial store holds a handful of dicts - not the
+    results.  Both ``campaign status`` and the live telemetry server
+    fold through this one authority; because every field is a sum, the
+    fold is identical for any ingestion order (streaming a store,
+    driver completion order at any worker count, or a merge of both).
+    """
+
+    def __init__(self) -> None:
+        #: ``(app, region) -> {"trials": n, "errors": n, "pruned": n,
+        #: "manifestations": {class: n}}``
+        self._groups: dict[tuple[str, str], dict] = {}
+        #: ``(app, region) -> latency Histogram`` (only trials whose
+        #: timeline recorded a divergence latency contribute).
+        self._latency: dict[tuple[str, str], object] = {}
+
+    @classmethod
+    def from_results(cls, results: Iterable[TrialResult]) -> "StoreSummary":
+        summary = cls()
+        for result in results:
+            summary.add(result)
+        return summary
+
+    def add(self, result: TrialResult) -> None:
+        key = (result.app, result.region.value)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = {
+                "trials": 0,
+                "errors": 0,
+                "pruned": 0,
+                "manifestations": {},
+            }
+        group["trials"] += 1
+        if result.manifestation is not Manifestation.CORRECT:
+            group["errors"] += 1
+        if result.detail.startswith("pruned:"):
+            group["pruned"] += 1
+        name = result.manifestation.value
+        tally = group["manifestations"]
+        tally[name] = tally.get(name, 0) + 1
+        if result.latency_blocks is not None:
+            from repro.observability.metrics import Histogram
+
+            hist = self._latency.get(key)
+            if hist is None:
+                hist = self._latency[key] = Histogram()
+            hist.observe(result.latency_blocks)
+
+    @property
+    def trials(self) -> int:
+        return sum(g["trials"] for g in self._groups.values())
+
+    @property
+    def errors(self) -> int:
+        return sum(g["errors"] for g in self._groups.values())
+
+    def rows(self) -> list[StoreStatus]:
+        """Per-(app, region) summaries, sorted - the exact rows the
+        legacy full-load ``status`` produced."""
+        return [
+            StoreStatus(
+                app=app,
+                region=region,
+                trials=group["trials"],
+                errors=group["errors"],
+                manifestations=dict(sorted(group["manifestations"].items())),
+                pruned=group["pruned"],
+            )
+            for (app, region), group in sorted(self._groups.items())
+        ]
+
+    def fill_registry(self, registry) -> None:
+        """Mirror the fold into a metrics registry using the same
+        metric names a live campaign emits, so a store-backed
+        ``/metrics`` endpoint is scrape-compatible with a live one."""
+        for (app, region), group in sorted(self._groups.items()):
+            registry.gauge(
+                "repro_campaign_trials_done", app=app, region=region
+            ).set(group["trials"])
+            registry.gauge(
+                "repro_campaign_errors", app=app, region=region
+            ).set(group["errors"])
+            for name, count in sorted(group["manifestations"].items()):
+                counter = registry.counter(
+                    "repro_trial_outcomes_total", manifestation=name
+                )
+                counter.value += count
+        for (app, region), hist in sorted(self._latency.items()):
+            mirror = registry.histogram(
+                "repro_error_latency_blocks", region=region
+            )
+            for i, count in enumerate(hist.counts):
+                mirror.counts[i] += count
+            mirror.sum += hist.sum
+            mirror.count += hist.count
 
 
 class ResultStore:
@@ -97,49 +224,41 @@ class ResultStore:
             return results
         with open(self.path) as fh:
             for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    obj = json.loads(line)
-                    result = TrialResult.from_json(obj)
-                except (ValueError, KeyError, TypeError, AttributeError):
-                    # ValueError covers truncated JSON and bad enum
-                    # values; TypeError/AttributeError cover lines that
-                    # parse as valid JSON of the wrong shape (a bare
-                    # number, a list) - both mean "corrupt record":
-                    # skip it and let --resume re-run that trial.
-                    continue
-                results[result.key] = result
+                result = parse_result_line(line)
+                if result is not None:
+                    results[result.key] = result
         return results
 
+    def iter_results(self) -> Iterator[TrialResult]:
+        """Stream stored results one at a time, deduplicated by key.
+
+        Unlike :meth:`load`, only the *keys* of already-seen trials stay
+        resident - never the parsed records - so folding a million-trial
+        store (see :class:`StoreSummary`) runs in memory bounded by the
+        key set, not the result set.  Duplicate keys always carry
+        identical payloads (trial execution is deterministic), so
+        first-wins streaming dedup and :meth:`load`'s last-wins dict
+        produce identical tallies.
+        """
+        if not self.path.exists():
+            return
+        seen: set[str] = set()
+        with open(self.path) as fh:
+            for line in fh:
+                result = parse_result_line(line)
+                if result is None or result.key in seen:
+                    continue
+                seen.add(result.key)
+                yield result
+
     def status(self) -> list[StoreStatus]:
-        """Stored-trial summaries grouped by (app, region), sorted."""
-        groups: dict[tuple[str, str], list[TrialResult]] = {}
-        for result in self.load().values():
-            groups.setdefault((result.app, result.region.value), []).append(result)
-        out = []
-        for (app, region), results in sorted(groups.items()):
-            errors = sum(
-                1 for r in results if r.manifestation is not Manifestation.CORRECT
-            )
-            tally: dict[str, int] = {}
-            for r in results:
-                name = r.manifestation.value
-                tally[name] = tally.get(name, 0) + 1
-            out.append(
-                StoreStatus(
-                    app=app,
-                    region=region,
-                    trials=len(results),
-                    errors=errors,
-                    manifestations=dict(sorted(tally.items())),
-                    pruned=sum(
-                        1 for r in results if r.detail.startswith("pruned:")
-                    ),
-                )
-            )
-        return out
+        """Stored-trial summaries grouped by (app, region), sorted.
+
+        Streams through :meth:`iter_results`: the full store is never
+        loaded, so ``campaign status`` (and the live ``/status``
+        endpoint) stay bounded-memory on arbitrarily large stores.
+        """
+        return StoreSummary.from_results(self.iter_results()).rows()
 
     # ------------------------------------------------------------------
     # merging

@@ -357,6 +357,8 @@ class Campaign:
         fastpath: bool = False,
         prune_masked: bool = False,
         stratify: bool = False,
+        telemetry=None,
+        artifacts=None,
     ):
         """Build a :class:`~repro.engine.driver.CampaignEngine` bound to
         this campaign's sampler, reference profile, and plan."""
@@ -382,6 +384,8 @@ class Campaign:
             fastpath=fastpath,
             prune=self.masking_oracle().verdict if prune_masked else None,
             stratifier=stratifier,
+            telemetry=telemetry,
+            artifacts=artifacts,
         )
 
     # ------------------------------------------------------------------
@@ -417,6 +421,8 @@ class Campaign:
         fastpath: bool = False,
         prune_masked: bool = False,
         stratify: bool = False,
+        telemetry=None,
+        artifacts=None,
     ) -> RegionResult:
         """Run one region through the campaign engine.
 
@@ -436,6 +442,8 @@ class Campaign:
             fastpath=fastpath,
             prune_masked=prune_masked,
             stratify=stratify,
+            telemetry=telemetry,
+            artifacts=artifacts,
         ) as eng:
             return eng.run_region(
                 region,
@@ -467,6 +475,8 @@ class Campaign:
         fastpath: bool = False,
         prune_masked: bool = False,
         stratify: bool = False,
+        telemetry=None,
+        artifacts=None,
     ) -> CampaignResult:
         with self.engine(
             jobs=jobs,
@@ -479,6 +489,8 @@ class Campaign:
             fastpath=fastpath,
             prune_masked=prune_masked,
             stratify=stratify,
+            telemetry=telemetry,
+            artifacts=artifacts,
         ) as eng:
             return eng.run(
                 regions,

@@ -23,7 +23,14 @@ layer:
 * :mod:`repro.observability.export` - Chrome ``trace_event`` JSON
   (viewable in Perfetto) and validation helpers;
 * :mod:`repro.observability.runtime` - the per-process activation
-  scope the instrumented layers consult.
+  scope the instrumented layers consult;
+* :mod:`repro.observability.serve` - the live HTTP telemetry service
+  (``campaign run --serve``, ``python -m repro serve``): /metrics,
+  /status, /progress from a running campaign or a followed store;
+* :mod:`repro.observability.artifacts` - artifact-grade run
+  directories (``campaign run --artifacts``): manifest, event and
+  metric logs, and a summary/report pair regenerable bit-identically
+  from those logs alone.
 
 All timestamps are *simulated* clocks (executed basic blocks,
 instructions retired, received bytes), so every artifact is
@@ -50,6 +57,31 @@ from repro.observability.runtime import (
     enabled,
 )
 
+#: Symbols resolved lazily (PEP 562): ``serve`` and ``artifacts`` pull
+#: in :mod:`repro.engine.store`, which must not load as a side effect
+#: of importing the observability package from low-level layers.
+_LAZY_EXPORTS = {
+    "TelemetryHub": "repro.observability.serve",
+    "TelemetryServer": "repro.observability.serve",
+    "StoreTelemetry": "repro.observability.serve",
+    "parse_endpoint": "repro.observability.serve",
+    "RunArtifacts": "repro.observability.artifacts",
+    "build_summary": "repro.observability.artifacts",
+    "write_outputs": "repro.observability.artifacts",
+    "check_outputs": "repro.observability.artifacts",
+    "render_report": "repro.observability.artifacts",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
 __all__ = [
     "MetricsRegistry",
     "parse_prometheus",
@@ -65,4 +97,5 @@ __all__ = [
     "enable",
     "disable",
     "enabled",
+    *sorted(_LAZY_EXPORTS),
 ]

@@ -15,6 +15,7 @@ deterministic regardless of executor completion order.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -93,26 +94,47 @@ def trace_categories(obj: dict) -> set[str]:
 class TraceCollector:
     """Accumulates per-trial event lists into one merged trace.
 
-    ``max_trials`` bounds memory for large campaigns: beyond it trials
-    are counted as dropped and noted in the trace metadata.
+    ``max_trials`` bounds memory for large campaigns.  Beyond it trials
+    are *dropped*, never silently: the count lands in the trace
+    metadata, in the campaign's ``repro_trace_trials_dropped_total``
+    counter (when a metrics registry is attached), and in a one-shot
+    :class:`UserWarning` naming the cap to raise.
     """
 
     def __init__(self, max_trials: int = 256) -> None:
         self.max_trials = max_trials
         self.dropped = 0
+        #: Campaign metrics registry; the engine attaches its own so
+        #: every dropped trial is visible on the scrape path.
+        self.metrics = None
+        self._warned = False
         #: ``(region, index) -> (label, events)``
         self._trials: dict[tuple[str, int], tuple[str, list[dict]]] = {}
 
     def add_trial(
         self, region: str, index: int, label: str, events: list[dict]
-    ) -> None:
+    ) -> bool:
+        """File one trial's events; returns False when the
+        ``max_trials`` cap dropped it."""
         key = (region, index)
         if key in self._trials:
-            return
+            return True
         if len(self._trials) >= self.max_trials:
             self.dropped += 1
-            return
+            if self.metrics is not None:
+                self.metrics.counter("repro_trace_trials_dropped_total").inc()
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"trace collector reached max_trials={self.max_trials}; "
+                    "further trials are counted in "
+                    "repro_trace_trials_dropped_total and omitted from the "
+                    "merged trace (raise max_trials to keep them)",
+                    stacklevel=2,
+                )
+            return False
         self._trials[key] = (label, events)
+        return True
 
     def __len__(self) -> int:
         return len(self._trials)

@@ -47,11 +47,34 @@ def _format_value(v: float) -> str:
     return repr(float(v))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label escaping: backslash, quote,
+    and newline (exactly the three the format defines)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def _render_labels(labels: LabelItems, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = tuple(labels) + tuple(extra)
     if not items:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in items)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return "{" + body + "}"
 
 
@@ -149,6 +172,63 @@ class MetricsSnapshot:
             self.histograms[key] = (bounds, merged, mine[2] + total, mine[3] + n)
         return self
 
+    def to_json(self) -> dict:
+        """JSON-serializable view (``metrics.jsonl`` lines).  Keys are
+        rendered as ``name{label="value",...}`` sample strings - the
+        same identity the exposition format uses - and parsed back by
+        :meth:`from_json`."""
+
+        def sample(name: str, labels: LabelItems) -> str:
+            return f"{name}{_render_labels(labels)}"
+
+        return {
+            "counters": {
+                sample(*key): value
+                for key, value in sorted(self.counters.items())
+            },
+            "gauges": {
+                sample(*key): value
+                for key, value in sorted(self.gauges.items())
+            },
+            "histograms": {
+                sample(*key): {
+                    "bounds": list(bounds),
+                    "counts": list(counts),
+                    "sum": total,
+                    "count": n,
+                }
+                for key, (bounds, counts, total, n) in sorted(
+                    self.histograms.items()
+                )
+            },
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "MetricsSnapshot":
+        def key(sample: str) -> tuple[str, LabelItems]:
+            name, brace, rest = sample.partition("{")
+            if not brace:
+                return name, ()
+            labels = tuple(
+                (k, _unescape_label_value(v))
+                for k, v in _LABEL_RE.findall(rest[:-1])
+            )
+            return name, labels
+
+        return cls(
+            counters={key(s): float(v) for s, v in obj["counters"].items()},
+            gauges={key(s): float(v) for s, v in obj["gauges"].items()},
+            histograms={
+                key(s): (
+                    tuple(float(b) for b in h["bounds"]),
+                    tuple(int(c) for c in h["counts"]),
+                    float(h["sum"]),
+                    int(h["count"]),
+                )
+                for s, h in obj["histograms"].items()
+            },
+        )
+
 
 class MetricsRegistry:
     """Process-local registry of named, labelled metrics."""
@@ -241,11 +321,14 @@ class MetricsRegistry:
 # ----------------------------------------------------------------------
 # Prometheus textfile round trip
 # ----------------------------------------------------------------------
-def render_prometheus(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus textfile exposition format,
-    deterministically sorted by (name, labels)."""
+def render_prometheus(registry: "MetricsRegistry | MetricsSnapshot") -> str:
+    """Render a registry (or an already-taken snapshot) in the
+    Prometheus textfile exposition format, deterministically sorted by
+    (name, labels).  Accepting a snapshot lets concurrent readers - the
+    live ``/metrics`` endpoint - copy the state under a lock and render
+    outside it."""
     lines: list[str] = []
-    snap = registry.snapshot()
+    snap = registry if isinstance(registry, MetricsSnapshot) else registry.snapshot()
     seen_types: set[str] = set()
 
     def type_line(name: str, kind: str) -> None:
@@ -276,9 +359,12 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: One quoted label pair; values may contain any escaped character
+#: (including ``}``, quotes, and escaped newlines).
+_LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"(?:\{(?P<labels>(?:" + _LABEL_PAIR + r")(?:," + _LABEL_PAIR + r")*,?)?\})?"
     r"\s+(?P<value>[^\s]+)\s*$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
@@ -288,7 +374,10 @@ def parse_prometheus(text: str) -> dict[tuple[str, LabelItems], float]:
     """Parse a textfile back into ``{(name, labels): value}``.
 
     Raises :class:`ValueError` on any malformed non-comment line, which
-    is exactly what the CI smoke job wants to assert.
+    is exactly what the CI smoke job wants to assert.  Label values are
+    unescaped, so ``parse_prometheus(render_prometheus(reg))`` round-
+    trips even adversarial values (quotes, backslashes, ``}``,
+    newlines).
     """
     out: dict[tuple[str, LabelItems], float] = {}
     for i, line in enumerate(text.splitlines(), start=1):
@@ -300,7 +389,8 @@ def parse_prometheus(text: str) -> dict[tuple[str, LabelItems], float]:
             raise ValueError(f"malformed metrics line {i}: {line!r}")
         labels_text = m.group("labels") or ""
         labels = tuple(
-            (k, v) for k, v in _LABEL_RE.findall(labels_text)
+            (k, _unescape_label_value(v))
+            for k, v in _LABEL_RE.findall(labels_text)
         )
         raw = m.group("value")
         if raw == "+Inf":

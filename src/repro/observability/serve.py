@@ -1,0 +1,336 @@
+"""Live campaign telemetry: a zero-dependency HTTP scrape service.
+
+Three endpoints, all derived from state the campaign already maintains:
+
+``/metrics``
+    The live merged :class:`~repro.observability.metrics.MetricsRegistry`
+    in the Prometheus textfile exposition format - the same bytes
+    ``campaign run --metrics`` writes at exit, scrapeable mid-run.
+``/status``
+    JSON per-(app, region) tallies with Cochran CI half-widths - the
+    same rows as ``campaign status --json``, but folded incrementally
+    from live trial results (or streamed from a store), never by
+    loading a full store.
+``/progress``
+    Trials done/planned, throughput, and ETA.
+
+Two sources can sit behind the endpoints:
+
+* :class:`TelemetryHub` - attached to a running campaign engine.  The
+  engine folds every finished trial into the hub under the hub's lock;
+  request handlers copy state under that lock and render *outside* it,
+  so a slow scraper can never stall trial dispatch (each request also
+  runs on its own daemon thread - the server applies backpressure to
+  clients, not to the campaign).
+* :class:`StoreTelemetry` - ``python -m repro serve --store X``: follows
+  an append-only result store *incrementally* (only bytes appended
+  since the previous scrape are parsed), so serving a million-trial
+  store needs memory for the summary fold, not the store.
+
+Everything is stdlib: :mod:`http.server` + :mod:`threading`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.engine.store import StoreSummary, parse_result_line
+from repro.observability.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    render_prometheus,
+)
+
+#: Version stamped into every ``/status`` and ``/progress`` payload.
+SERVE_SCHEMA_VERSION = 1
+
+
+def parse_endpoint(text: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """``[HOST:]PORT`` -> ``(host, port)``; bare port binds loopback."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = default_host, text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad serve endpoint {text!r}; expected [HOST:]PORT")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"serve port out of range: {port}")
+    return host or default_host, port
+
+
+class TelemetryHub:
+    """Thread-safe live telemetry state for one running campaign.
+
+    The campaign engine is the only writer; every ingestion happens
+    under :attr:`lock` (an :class:`~threading.RLock`, because progress
+    emission nests inside trial ingestion).  Request handlers take the
+    same lock just long enough to copy - a metrics snapshot, a summary
+    row list - and do all rendering outside it.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.lock = threading.RLock()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.summary = StoreSummary()
+        self.started = time.monotonic()
+        self._done = 0
+        #: ``(app, region) -> planned trials`` (``None`` = open-ended).
+        self._planned: dict[tuple[str, str], int | None] = {}
+
+    # -- engine-side writers ------------------------------------------
+    def note_region(self, app: str, region: str, planned: int | None) -> None:
+        with self.lock:
+            self._planned[(app, region)] = planned
+
+    def note_trial(self, result) -> None:
+        with self.lock:
+            self.summary.add(result)
+            self._done += 1
+
+    # -- reader-side payloads -----------------------------------------
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        with self.lock:
+            return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        return render_prometheus(self.metrics_snapshot())
+
+    def status_payload(self) -> dict:
+        with self.lock:
+            rows = self.summary.rows()
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "regions": [row.to_json() for row in rows],
+        }
+
+    def progress_payload(self) -> dict:
+        with self.lock:
+            done = self._done
+            errors = self.summary.errors
+            planned = dict(self._planned)
+            elapsed = time.monotonic() - self.started
+        total: int | None = None
+        if planned and all(n is not None for n in planned.values()):
+            total = sum(planned.values())
+        throughput = done / elapsed if elapsed > 0 else 0.0
+        eta = None
+        if total is not None and throughput > 0 and total > done:
+            eta = (total - done) / throughput
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "trials_done": done,
+            "trials_planned": total,
+            "errors": errors,
+            "elapsed_seconds": elapsed,
+            "throughput_trials_per_second": throughput,
+            "eta_seconds": eta,
+            "regions": [
+                {"app": app, "region": region, "planned": n}
+                for (app, region), n in sorted(planned.items())
+            ],
+        }
+
+
+class StoreTelemetry:
+    """Store-backed telemetry source: the standalone ``serve`` mode.
+
+    Follows the append-only JSONL store by byte offset: each refresh
+    parses only the lines appended since the last one (complete lines
+    only - a partial trailing write is left for the next refresh, the
+    same tolerance the store's readers apply).  A shrinking file means
+    the store was rewritten; the fold restarts from zero.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.lock = threading.RLock()
+        self.summary = StoreSummary()
+        self.started = time.monotonic()
+        self._offset = 0
+        self._seen: set[str] = set()
+        self._done = 0
+
+    def refresh(self) -> None:
+        with self.lock:
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                size = 0
+            if size < self._offset:  # truncated/rewritten: start over
+                self._offset = 0
+                self._seen.clear()
+                self.summary = StoreSummary()
+                self._done = 0
+            if size == self._offset:
+                return
+            with open(self.path, "rb") as fh:
+                fh.seek(self._offset)
+                data = fh.read()
+            last_newline = data.rfind(b"\n")
+            if last_newline < 0:
+                return
+            self._offset += last_newline + 1
+            for raw in data[: last_newline + 1].splitlines():
+                result = parse_result_line(raw.decode("utf-8", "replace"))
+                if result is None or result.key in self._seen:
+                    continue
+                self._seen.add(result.key)
+                self.summary.add(result)
+                self._done += 1
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        self.refresh()
+        registry = MetricsRegistry()
+        with self.lock:
+            self.summary.fill_registry(registry)
+        return registry.snapshot()
+
+    def metrics_text(self) -> str:
+        return render_prometheus(self.metrics_snapshot())
+
+    def status_payload(self) -> dict:
+        self.refresh()
+        with self.lock:
+            rows = self.summary.rows()
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "store": str(self.path),
+            "regions": [row.to_json() for row in rows],
+        }
+
+    def progress_payload(self) -> dict:
+        self.refresh()
+        with self.lock:
+            done = self._done
+            errors = self.summary.errors
+            elapsed = time.monotonic() - self.started
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "store": str(self.path),
+            "trials_done": done,
+            "trials_planned": None,
+            "errors": errors,
+            "elapsed_seconds": elapsed,
+            "throughput_trials_per_second": done / elapsed if elapsed > 0 else 0.0,
+            "eta_seconds": None,
+            "regions": [],
+        }
+
+
+_INDEX = (
+    "repro campaign telemetry\n"
+    "  /metrics   Prometheus textfile exposition\n"
+    "  /status    per-region tallies + Cochran half-widths (JSON)\n"
+    "  /progress  trials done/planned, throughput, ETA (JSON)\n"
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One scrape request.  ``telemetry`` is bound per server class."""
+
+    telemetry: TelemetryHub | StoreTelemetry
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = self.telemetry.metrics_text().encode()
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/status":
+                body = (
+                    json.dumps(
+                        self.telemetry.status_payload(),
+                        indent=2,
+                        sort_keys=True,
+                    )
+                    + "\n"
+                ).encode()
+                ctype = "application/json"
+            elif path == "/progress":
+                body = (
+                    json.dumps(
+                        self.telemetry.progress_payload(),
+                        indent=2,
+                        sort_keys=True,
+                    )
+                    + "\n"
+                ).encode()
+                ctype = "application/json"
+            elif path == "/":
+                body = _INDEX.encode()
+                ctype = "text/plain; charset=utf-8"
+            else:
+                self.send_error(404, "unknown endpoint")
+                return
+        except Exception as exc:  # render failure must not kill the thread
+            self.send_error(500, str(exc) or type(exc).__name__)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *_args) -> None:
+        """Scrapes are routine; keep the campaign's stderr clean."""
+
+
+class TelemetryServer:
+    """A threaded HTTP server bound to one telemetry source.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` and
+    :attr:`url` report the bound address.  ``start`` serves from a
+    daemon thread; ``stop`` shuts the listener down and joins it.
+    """
+
+    def __init__(
+        self,
+        telemetry: TelemetryHub | StoreTelemetry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.telemetry = telemetry
+        handler = type("BoundHandler", (_Handler,), {"telemetry": telemetry})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -102,3 +102,85 @@ class TestCampaignCli:
             "campaign", "status", "--store", str(tmp_path / "none.jsonl")
         ]) == 0
         assert "no stored trials" in capsys.readouterr().out
+
+
+class TestServeAndArtifactsCli:
+    def test_run_with_serve_and_artifacts(self, capsys, tmp_path):
+        """End-to-end --serve + --artifacts: the campaign binds an
+        ephemeral port, leaves a complete run directory, and 'report
+        DIR --check' confirms bit-identical regeneration."""
+        run_dir = tmp_path / "run"
+        args = campaign_run_args(
+            tmp_path / "out.jsonl",
+            [
+                "-n", "2",
+                "--serve", "127.0.0.1:0",
+                "--artifacts", str(run_dir),
+            ],
+        )
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "serving telemetry at http://127.0.0.1:" in err
+        assert f"wrote artifacts: {run_dir}" in err
+        for name in (
+            "manifest.json",
+            "events.jsonl",
+            "metrics.jsonl",
+            "summary.json",
+            "report.html",
+            "reproduce.sh",
+        ):
+            assert (run_dir / name).exists(), name
+        # reproduce.sh carries the exact invocation.
+        assert "--serve 127.0.0.1:0" in (run_dir / "reproduce.sh").read_text()
+
+        assert main(["report", str(run_dir), "--check"]) == 0
+        assert "reproduce exactly" in capsys.readouterr().out
+
+    def test_report_regenerates_deleted_outputs(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert main(campaign_run_args(
+            tmp_path / "out.jsonl", ["-n", "2", "--artifacts", str(run_dir)]
+        )) == 0
+        capsys.readouterr()
+        expected = (run_dir / "summary.json").read_bytes()
+        (run_dir / "summary.json").unlink()
+        (run_dir / "report.html").unlink()
+        assert main(["report", str(run_dir)]) == 0
+        assert "regenerated" in capsys.readouterr().out
+        assert (run_dir / "summary.json").read_bytes() == expected
+
+    def test_report_check_fails_on_drift(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert main(campaign_run_args(
+            tmp_path / "out.jsonl", ["-n", "2", "--artifacts", str(run_dir)]
+        )) == 0
+        with open(run_dir / "summary.json", "a") as fh:
+            fh.write(" ")
+        assert main(["report", str(run_dir), "--check"]) == 1
+        assert "differs from regeneration" in capsys.readouterr().err
+
+    def test_report_bad_target(self, capsys):
+        assert main(["report", "no-such-thing"]) == 2
+        assert "neither an artifact run directory" in capsys.readouterr().err
+
+    def test_bad_serve_endpoint(self, capsys, tmp_path):
+        args = campaign_run_args(
+            tmp_path / "out.jsonl", ["-n", "1", "--serve", "not-a-port"]
+        )
+        assert main(args) == 2
+        assert "expected [HOST:]PORT" in capsys.readouterr().err
+
+    def test_status_streams_store(self, capsys, tmp_path):
+        """campaign status --json rows come from the streaming fold."""
+        import json as _json
+
+        store = tmp_path / "out.jsonl"
+        assert main(campaign_run_args(store, ["-n", "3"])) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--store", str(store), "--json"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        (row,) = payload["regions"]
+        assert row["region"] == "message"
+        assert row["trials"] == 3
+        assert "manifestations" in row

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.observability.export import (
     TraceCollector,
     chrome_trace,
@@ -105,8 +107,9 @@ class TestCollector:
 
     def test_max_trials_counts_dropped(self):
         coll = TraceCollector(max_trials=2)
-        for i in range(5):
-            coll.add_trial("stack", i, f"s{i}", _events())
+        with pytest.warns(UserWarning, match="max_trials=2"):
+            for i in range(5):
+                coll.add_trial("stack", i, f"s{i}", _events())
         assert len(coll) == 2
         assert coll.dropped == 3
 
@@ -117,3 +120,48 @@ class TestCollector:
         obj = json.loads(path.read_text())
         assert validate_chrome_trace(obj) == []
         assert obj["otherData"] == {"trials": 1, "dropped_trials": 0, "seed": 1}
+
+
+class TestDropAccounting:
+    """The ``max_trials`` cap never drops silently (ISSUE 9): a counter
+    on the metrics path plus a one-shot warning."""
+
+    def test_drop_increments_attached_metrics(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        coll = TraceCollector(max_trials=1)
+        coll.metrics = reg
+        with pytest.warns(UserWarning, match="max_trials=1"):
+            for i in range(4):
+                coll.add_trial("stack", i, f"s{i}", _events())
+        assert coll.dropped == 3
+        assert reg.counter_value("repro_trace_trials_dropped_total") == 3
+
+    def test_warning_fires_once(self):
+        import warnings as _warnings
+
+        coll = TraceCollector(max_trials=1)
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            for i in range(5):
+                coll.add_trial("stack", i, f"s{i}", _events())
+        drops = [w for w in caught if "max_trials" in str(w.message)]
+        assert len(drops) == 1
+
+    def test_add_trial_reports_acceptance(self):
+        coll = TraceCollector(max_trials=1)
+        assert coll.add_trial("stack", 0, "s0", _events()) is True
+        with pytest.warns(UserWarning):
+            assert coll.add_trial("stack", 1, "s1", _events()) is False
+        # A duplicate of a kept trial is not a drop.
+        assert coll.add_trial("stack", 0, "again", _events()) is True
+        assert coll.dropped == 1
+
+    def test_dropped_count_lands_in_trace_metadata(self, tmp_path):
+        coll = TraceCollector(max_trials=1)
+        with pytest.warns(UserWarning):
+            for i in range(3):
+                coll.add_trial("stack", i, f"s{i}", _events())
+        obj = json.loads(coll.write(tmp_path / "t.json").read_text())
+        assert obj["otherData"]["dropped_trials"] == 2

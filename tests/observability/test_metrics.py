@@ -1,5 +1,6 @@
 """Metrics registry: counters, histograms, snapshots, text round trip."""
 
+import json
 import math
 
 import pytest
@@ -144,3 +145,91 @@ class TestTextFormat:
         assert samples[("a", ())] == math.inf
         assert samples[("b", ())] == -math.inf
         assert math.isnan(samples[("c", ())])
+
+
+class TestAdversarialRoundTrip:
+    """``parse_prometheus(render_prometheus(reg))`` must be lossless on
+    hostile inputs (ISSUE 9): label values needing escaping, histogram
+    bucket ordering, non-finite values, snapshot-JSON round trips."""
+
+    HOSTILE_VALUES = (
+        'quote " inside',
+        "back\\slash",
+        "new\nline",
+        "brace } comma , equals = done",
+        'all of it: "\\}\n,',
+        "",
+    )
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        for i, value in enumerate(self.HOSTILE_VALUES):
+            reg.counter("repro_hostile_total", detail=value).inc(i + 1)
+        samples = parse_prometheus(render_prometheus(reg))
+        for i, value in enumerate(self.HOSTILE_VALUES):
+            assert samples[("repro_hostile_total", (("detail", value),))] == i + 1
+
+    def test_nonfinite_values_round_trip(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_pos").set(math.inf)
+        reg.gauge("repro_neg").set(-math.inf)
+        reg.gauge("repro_nan").set(math.nan)
+        samples = parse_prometheus(render_prometheus(reg))
+        assert samples[("repro_pos", ())] == math.inf
+        assert samples[("repro_neg", ())] == -math.inf
+        assert math.isnan(samples[("repro_nan", ())])
+
+    def test_histogram_buckets_cumulative_and_ordered(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat", buckets=(1.0, 4.0, 16.0), region="x")
+        for value in (0.5, 2.0, 3.0, 10.0, 100.0):
+            h.observe(value)
+        samples = parse_prometheus(render_prometheus(reg))
+
+        def bucket(le):
+            # The renderer appends ``le`` after the identity labels.
+            return samples[("repro_lat_bucket", (("region", "x"), ("le", le)))]
+
+        counts = [bucket("1"), bucket("4"), bucket("16"), bucket("+Inf")]
+        assert counts == [1, 3, 4, 5]  # cumulative, ascending
+        assert counts == sorted(counts)
+        assert samples[("repro_lat_sum", (("region", "x"),))] == pytest.approx(
+            115.5
+        )
+        assert samples[("repro_lat_count", (("region", "x"),))] == 5
+
+    def test_render_accepts_snapshot_directly(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_total", k='v"1').inc(2)
+        assert render_prometheus(reg.snapshot()) == render_prometheus(reg)
+
+    def test_snapshot_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_total", detail='has "quotes" and {braces}').inc(3)
+        reg.gauge("repro_g", app="wavetoy").set(1.5)
+        reg.histogram("repro_h", buckets=(2.0, 8.0), region="heap").observe(5)
+        snap = reg.snapshot()
+        clone = MetricsSnapshot.from_json(
+            json.loads(json.dumps(snap.to_json()))
+        )
+        assert clone.counters == snap.counters
+        assert clone.gauges == snap.gauges
+        assert clone.histograms == snap.histograms
+
+    def test_merged_snapshot_order_independent(self):
+        """Fold three worker snapshots in both orders: identical render
+        (the property behind jobs=1 vs jobs=4 endpoint equivalence)."""
+
+        def worker(seed):
+            reg = MetricsRegistry()
+            reg.counter("repro_total", kind="a").inc(seed)
+            reg.histogram("repro_h", buckets=(1.0, 8.0)).observe(seed)
+            return reg.snapshot()
+
+        parts = [worker(s) for s in (1, 2, 3)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in parts:
+            forward.merge(snap)
+        for snap in reversed(parts):
+            backward.merge(snap)
+        assert render_prometheus(forward) == render_prometheus(backward)
