@@ -25,6 +25,13 @@ Usage::
                                        # + an artifact run directory
     python -m repro serve --store out.jsonl --endpoint 9100
                                        # scrape a store without a campaign
+    python -m repro campaign serve-work --app wavetoy -n 200 \
+        --serve 9200 --store out.sqlite    # coordinate a distributed
+                                           # campaign: lease trial batches
+                                           # to workers over HTTP
+    python -m repro campaign work 127.0.0.1:9200 --jobs 4
+                                       # pull, execute, and submit leased
+                                       # batches until the campaign is done
     python -m repro report runs/wavetoy [--check]
                                        # regenerate summary.json/report.html
     python -m repro campaign status --store out.jsonl [--json]
@@ -154,18 +161,13 @@ def cmd_serve(args) -> int:
     """Serve live telemetry for an append-only result store: the store
     is followed incrementally (only newly appended bytes are parsed per
     scrape), so other campaign processes can keep writing to it."""
-    from repro.observability.serve import (
-        StoreTelemetry,
-        TelemetryServer,
-        parse_endpoint,
-    )
+    from repro.observability.serve import StoreTelemetry, serve_endpoint
 
     try:
-        host, port = parse_endpoint(args.endpoint)
+        server = serve_endpoint(StoreTelemetry(args.store), args.endpoint)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    server = TelemetryServer(StoreTelemetry(args.store), host, port).start()
     print(
         f"serving {args.store} at {server.url} "
         "(/metrics /status /progress; Ctrl-C to stop)",
@@ -444,19 +446,14 @@ def cmd_campaign_run(args) -> int:
 
     telemetry = server = None
     if args.serve:
-        from repro.observability.serve import (
-            TelemetryHub,
-            TelemetryServer,
-            parse_endpoint,
-        )
+        from repro.observability.serve import TelemetryHub, serve_endpoint
 
+        telemetry = TelemetryHub(registry=metrics)
         try:
-            host, port = parse_endpoint(args.serve)
+            server = serve_endpoint(telemetry, args.serve)
         except ValueError as exc:
             print(exc, file=sys.stderr)
             return 2
-        telemetry = TelemetryHub(registry=metrics)
-        server = TelemetryServer(telemetry, host, port).start()
         print(f"serving telemetry at {server.url}", file=sys.stderr)
 
     artifacts = None
@@ -562,12 +559,13 @@ def cmd_campaign_run(args) -> int:
 
 
 def cmd_campaign_status(args) -> int:
-    from repro.engine.store import ResultStore
+    from repro.engine.store import open_store
 
     # ``status()`` streams the store through the incremental summary
     # fold - memory stays bounded by the number of distinct trial keys,
-    # never by full parsed results (see ResultStore.iter_results).
-    statuses = ResultStore(args.store).status()
+    # never by full parsed results.  ``open_store`` picks the backend
+    # (JSONL or SQLite) from the path, so either store reads the same.
+    statuses = open_store(args.store).status()
     if args.json:
         payload = {
             "store": str(args.store),
@@ -586,6 +584,123 @@ def cmd_campaign_status(args) -> int:
             f"{s.pruned:>6} {s.error_rate_percent:>8.1f} "
             f"{s.achieved_d_percent:>6.1f}"
         )
+    return 0
+
+
+def cmd_campaign_serve_work(args) -> int:
+    """Coordinate a distributed campaign: plan every trial, serve leased
+    batches to ``campaign work`` workers over HTTP, fold submissions,
+    and print the same campaign table a local run would."""
+    from repro.engine.coordination import (
+        CampaignCoordinator,
+        CoordinatorService,
+    )
+    from repro.harness.tables import render_campaign_table
+    from repro.injection.campaign import Campaign
+    from repro.observability.serve import TelemetryHub, serve_endpoint
+
+    if args.resume and not args.store:
+        print("--resume requires --store", file=sys.stderr)
+        return 2
+    try:
+        campaign = Campaign.from_registry(
+            args.app,
+            nprocs=args.nprocs,
+            app_params=_parse_params(args.params),
+            seed=args.seed,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    regions = _parse_regions(args.regions)
+    stride = None if args.no_checkpoint else args.checkpoint_stride
+    t0 = time.time()
+    with campaign.engine(
+        store=args.store,
+        checkpoint_stride=stride,
+        fastpath=args.fastpath,
+        prune_masked=args.prune_masked,
+        telemetry=TelemetryHub(),
+    ) as engine:
+        coordinator = CampaignCoordinator(
+            engine,
+            regions,
+            args.n,
+            batch_size=args.batch_size,
+            lease_timeout=args.lease_timeout,
+            resume=args.resume,
+        )
+        try:
+            server = serve_endpoint(CoordinatorService(coordinator), args.serve)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(
+            f"coordinating {coordinator.trials} trials "
+            f"({coordinator.book.pending} batches to lease) at {server.url} "
+            "(/manifest /lease /submit /work + /metrics /status /progress)",
+            file=sys.stderr,
+        )
+        try:
+            while not coordinator.done:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            print(
+                "interrupted; completed trials are in the store "
+                "(resume with --resume)",
+                file=sys.stderr,
+            )
+            server.stop()
+            return 1
+        result = coordinator.finalize()
+        elapsed = time.time() - t0
+        # Idle workers poll /lease between batches; keep answering
+        # "done" for a grace window so they exit cleanly.
+        time.sleep(args.linger)
+        server.stop()
+    print(
+        render_campaign_table(
+            result,
+            include_detection_columns=args.app != "wavetoy",
+            title=f"Fault Injection Results ({args.app})",
+        )
+    )
+    resumed = sum(r.resumed for r in result.regions.values())
+    pruned = sum(r.pruned for r in result.regions.values())
+    print(
+        f"{result.total_injections()} injections "
+        f"({resumed} resumed from store, {pruned} statically pruned, "
+        f"{coordinator.book.requeues} batch(es) requeued) "
+        f"in {elapsed:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_campaign_work(args) -> int:
+    """Join a distributed campaign as a worker: pull leased batches from
+    the coordinator, execute them through the local engine, and submit
+    the results until the coordinator reports the campaign done."""
+    from repro.engine.coordination import WorkerClient, WorkerError
+
+    client = WorkerClient(
+        args.coordinator,
+        jobs=args.jobs,
+        name=args.name,
+        poll_interval=args.poll_interval,
+        max_batches=args.max_batches,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    try:
+        stats = client.run()
+    except WorkerError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(
+        f"worker done: {stats.trials} trials in {stats.batches} batch(es)"
+        + (f", {stats.duplicates} duplicate(s)" if stats.duplicates else ""),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -683,9 +798,9 @@ def cmd_trace_check(args) -> int:
 
 
 def cmd_campaign_merge(args) -> int:
-    from repro.engine.store import ResultStore
+    from repro.engine.store import merge_stores
 
-    count = ResultStore.merge(args.stores, args.out)
+    count = merge_stores(args.stores, args.out)
     print(f"wrote {count} unique trials to {args.out}")
     return 0
 
@@ -914,7 +1029,8 @@ def main(argv: list[str] | None = None) -> int:
                       help="parallel worker processes (default: "
                       "REPRO_CAMPAIGN_JOBS or 1)")
     crun.add_argument("--store", default=None,
-                      help="append-only JSONL result store")
+                      help="append-only result store: JSONL, or SQLite "
+                      "for .sqlite/.sqlite3/.db paths")
     crun.add_argument("--resume", action="store_true",
                       help="skip trials already present in --store")
     crun.add_argument("--seed", type=int, default=20040607,
@@ -970,7 +1086,8 @@ def main(argv: list[str] | None = None) -> int:
                       "bit-identical to the interpreter (default off)")
     crun.set_defaults(fn=cmd_campaign_run)
     cstat = camp_sub.add_parser("status", help="summarize a result store")
-    cstat.add_argument("--store", required=True)
+    cstat.add_argument("--store", required=True,
+                       help="result store, JSONL or SQLite")
     cstat.add_argument("--json", action="store_true",
                        help="machine-readable output (tallies + "
                        "Cochran half-width)")
@@ -978,16 +1095,98 @@ def main(argv: list[str] | None = None) -> int:
     cmerge = camp_sub.add_parser(
         "merge", help="merge result stores, deduplicating by trial key"
     )
-    cmerge.add_argument("stores", nargs="+", help="input JSONL stores")
-    cmerge.add_argument("--out", required=True, help="merged output store")
+    cmerge.add_argument("stores", nargs="+",
+                        help="input stores, JSONL or SQLite in any mix")
+    cmerge.add_argument("--out", required=True,
+                        help="merged output store (backend chosen from "
+                        "the suffix: .sqlite/.sqlite3/.db = SQLite, "
+                        "anything else = JSONL)")
     cmerge.set_defaults(fn=cmd_campaign_merge)
+    cserve = camp_sub.add_parser(
+        "serve-work",
+        help="coordinate a distributed campaign: serve leased trial "
+        "batches over HTTP and fold worker submissions",
+    )
+    cserve.add_argument("--app", required=True,
+                        help="suite application: wavetoy, moldyn, climate")
+    cserve.add_argument("--regions", default="all",
+                        help="comma-separated regions (default: all eight)")
+    cserve.add_argument("-n", type=int, default=None,
+                        help="injections per region (default: plan)")
+    cserve.add_argument("--serve", default="127.0.0.1:9200",
+                        metavar="[HOST:]PORT",
+                        help="bind address for /manifest /lease /submit "
+                        "/work plus the live telemetry endpoints "
+                        "(default 127.0.0.1:9200)")
+    cserve.add_argument("--store", default=None,
+                        help="result store, JSONL or SQLite by suffix; "
+                        "every submitted trial is appended")
+    cserve.add_argument("--resume", action="store_true",
+                        help="skip trials already present in --store")
+    cserve.add_argument("--seed", type=int, default=20040607,
+                        help="campaign seed (default 20040607)")
+    cserve.add_argument("--nprocs", type=int, default=8,
+                        help="simulated MPI ranks (default 8)")
+    cserve.add_argument("--params", default=None,
+                        help="application build parameters, k=v,k=v")
+    cserve.add_argument("--batch-size", type=int, default=8,
+                        dest="batch_size",
+                        help="trials per leased batch (default 8)")
+    cserve.add_argument("--lease-timeout", type=float, default=60.0,
+                        dest="lease_timeout", metavar="SECONDS",
+                        help="requeue a leased batch not submitted "
+                        "within this window (default 60)")
+    cserve.add_argument("--linger", type=float, default=3.0,
+                        metavar="SECONDS",
+                        help="keep answering idle workers' polls this "
+                        "long after completion (default 3)")
+    cserve.add_argument("--checkpoint-stride", type=int, default=16,
+                        dest="checkpoint_stride", metavar="BLOCKS",
+                        help="workers replay the golden prefix at this "
+                        "stride, as in campaign run (default 16)")
+    cserve.add_argument("--no-checkpoint", action="store_true",
+                        dest="no_checkpoint",
+                        help="disable golden-prefix replay on workers")
+    cserve.add_argument("--prune-masked", action="store_true",
+                        dest="prune_masked",
+                        help="tally provably-masked faults as correct "
+                        "on the coordinator; only unproven trials are "
+                        "leased out")
+    cserve.add_argument("--fastpath", default=False,
+                        action=argparse.BooleanOptionalAction,
+                        help="workers execute through the translated "
+                        "dual-mode block engine (default off)")
+    cserve.set_defaults(fn=cmd_campaign_serve_work)
+    cwork = camp_sub.add_parser(
+        "work",
+        help="join a distributed campaign as a worker: lease, execute, "
+        "submit until done",
+    )
+    cwork.add_argument("coordinator", metavar="[HOST:]PORT",
+                       help="the serve-work coordinator's endpoint "
+                       "(bare port = 127.0.0.1)")
+    cwork.add_argument("--jobs", type=int, default=None,
+                       help="local worker processes per batch (default: "
+                       "REPRO_CAMPAIGN_JOBS or 1)")
+    cwork.add_argument("--name", default=None,
+                       help="worker name shown in coordinator accounting "
+                       "(default: host:pid)")
+    cwork.add_argument("--poll-interval", type=float, default=0.5,
+                       dest="poll_interval", metavar="SECONDS",
+                       help="wait between connection retries and idle "
+                       "polls (default 0.5)")
+    cwork.add_argument("--max-batches", type=int, default=None,
+                       dest="max_batches",
+                       help="exit after this many batches (default: "
+                       "until the campaign is done)")
+    cwork.set_defaults(fn=cmd_campaign_work)
 
     srv = sub.add_parser(
         "serve",
         help="serve live telemetry for a result store over HTTP",
     )
     srv.add_argument("--store", required=True,
-                     help="append-only JSONL result store to follow")
+                     help="result store to follow, JSONL or SQLite")
     srv.add_argument("--endpoint", default="127.0.0.1:9100",
                      metavar="[HOST:]PORT",
                      help="bind address (default 127.0.0.1:9100)")

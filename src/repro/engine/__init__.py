@@ -24,6 +24,12 @@ from repro.engine.checkpoint import (
     plan_replay,
     record_golden,
 )
+from repro.engine.coordination import (
+    CampaignCoordinator,
+    CoordinatorService,
+    LeaseBook,
+    WorkerClient,
+)
 from repro.engine.core import ExecutionContext, execute_trial, run_single
 from repro.engine.driver import CampaignEngine, observed_half_width
 from repro.engine.executors import (
@@ -34,7 +40,14 @@ from repro.engine.executors import (
     make_executor,
 )
 from repro.engine.progress import ProgressEvent, format_progress
-from repro.engine.store import ResultStore, StoreStatus
+from repro.engine.store import (
+    ResultStore,
+    StoreStatus,
+    StoreSummary,
+    merge_stores,
+    open_store,
+)
+from repro.engine.store_sqlite import SQLiteResultStore
 from repro.engine.trial import (
     TrialResult,
     TrialSpec,
@@ -59,6 +72,10 @@ __all__ = [
     "ReplayPlan",
     "plan_replay",
     "record_golden",
+    "CampaignCoordinator",
+    "CoordinatorService",
+    "LeaseBook",
+    "WorkerClient",
     "ExecutionContext",
     "execute_trial",
     "run_single",
@@ -72,7 +89,11 @@ __all__ = [
     "ProgressEvent",
     "format_progress",
     "ResultStore",
+    "SQLiteResultStore",
     "StoreStatus",
+    "StoreSummary",
+    "merge_stores",
+    "open_store",
     "TrialResult",
     "TrialSpec",
     "canonical_params",

@@ -35,7 +35,7 @@ from repro.engine import checkpoint
 from repro.engine.core import ExecutionContext
 from repro.engine.executors import make_executor
 from repro.engine.progress import ProgressEmitter, ProgressEvent
-from repro.engine.store import ResultStore
+from repro.engine.store import ResultStore, open_store
 from repro.observability.export import TraceCollector
 from repro.observability.metrics import MetricsRegistry
 from repro.engine.trial import (
@@ -198,8 +198,8 @@ class CampaignEngine:
         self.app_params = canonical_params(app_params)
         self.plan = plan or default_plan()
         self.jobs = jobs
-        if store is not None and not isinstance(store, ResultStore):
-            store = ResultStore(store)
+        if store is not None:
+            store = open_store(store)
         self.store = store
         self.telemetry = telemetry
         self.artifacts = artifacts

@@ -1,11 +1,24 @@
-"""Append-only JSONL result store: resume, merge, status.
+"""Result stores: resume, merge, status, incremental following.
 
-One line per completed trial, keyed by the trial content hash (see
-:func:`repro.engine.trial.trial_key`).  Appends are flushed per line so
-an interrupted campaign loses at most the trial in flight; a partially
-written final line is tolerated (and skipped) on load.  Because trial
-execution is deterministic, duplicate keys always carry identical
-results, and every reader deduplicates by key.
+Two interchangeable backends sit behind one interface (``append``,
+``load``, ``iter_results``, ``status``, ``follower``, context-manager
+close):
+
+* :class:`ResultStore` - append-only JSONL, one line per completed
+  trial.  Appends are flushed per line so an interrupted campaign loses
+  at most the trial in flight; a partially written final line is
+  tolerated (and skipped) on load.
+* :class:`~repro.engine.store_sqlite.SQLiteResultStore` - a WAL-mode
+  SQLite table keyed by the trial content hash, for many concurrent
+  writer processes (distributed workers) merging without append-file
+  contention.
+
+Both are keyed by the trial content hash (see
+:func:`repro.engine.trial.trial_key`).  Because trial execution is
+deterministic, duplicate keys always carry identical results, and every
+reader deduplicates by key.  :func:`open_store` picks the backend from
+the path (``.sqlite``/``.sqlite3``/``.db`` suffixes or the SQLite file
+magic); :func:`merge_stores` merges any mix of backends into either.
 """
 
 from __future__ import annotations
@@ -260,22 +273,126 @@ class ResultStore:
         """
         return StoreSummary.from_results(self.iter_results()).rows()
 
+    def follower(self) -> "JSONLFollower":
+        """An incremental reader over this store's path (see
+        :class:`JSONLFollower`)."""
+        return JSONLFollower(self.path)
+
     # ------------------------------------------------------------------
     # merging
     # ------------------------------------------------------------------
     @staticmethod
     def merge(inputs: Iterable[str | os.PathLike], output: str | os.PathLike) -> int:
         """Merge stores into ``output``, deduplicating by key; returns
-        the number of unique trials written."""
-        merged: dict[str, TrialResult] = {}
-        for path in inputs:
-            merged.update(ResultStore(path).load())
-        ordered = sorted(
-            merged.values(), key=lambda r: (r.app, r.region.value, r.index)
-        )
-        out_path = Path(output)
-        out_path.parent.mkdir(parents=True, exist_ok=True)
-        with open(out_path, "w") as fh:
-            for result in ordered:
-                fh.write(json.dumps(result.to_json(), sort_keys=True) + "\n")
-        return len(ordered)
+        the number of unique trials written.  Inputs and output may be
+        any backend mix (see :func:`merge_stores`)."""
+        return merge_stores(inputs, output)
+
+
+class JSONLFollower:
+    """Incremental reader over an append-only JSONL store.
+
+    ``poll`` parses only the bytes appended since the previous call
+    (complete lines only - a partial trailing write is left for the
+    next poll, the same tolerance the store's readers apply) and
+    reports whether the file shrank, which means the store was
+    rewritten and any fold over previous polls must restart from zero.
+    Results are *not* key-deduplicated here; the consumer owns the seen
+    set so it can clear it on reset.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._offset = 0
+
+    def poll(self) -> tuple[list[TrialResult], bool]:
+        """``(newly appended results in file order, reset_flag)``."""
+        reset = False
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        if size < self._offset:  # truncated/rewritten: start over
+            self._offset = 0
+            reset = True
+        if size == self._offset:
+            return [], reset
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            data = fh.read()
+        last_newline = data.rfind(b"\n")
+        if last_newline < 0:
+            return [], reset
+        self._offset += last_newline + 1
+        results = []
+        for raw in data[: last_newline + 1].splitlines():
+            result = parse_result_line(raw.decode("utf-8", "replace"))
+            if result is not None:
+                results.append(result)
+        return results, reset
+
+
+#: Path suffixes that select the SQLite backend in :func:`open_store`.
+SQLITE_SUFFIXES = frozenset({".sqlite", ".sqlite3", ".db"})
+
+#: The first 16 bytes of every SQLite database file.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def is_sqlite_path(path: str | os.PathLike) -> bool:
+    """Should ``path`` be opened as a SQLite store?  Decided by suffix
+    for new files, and by the file magic for existing ones (so a
+    renamed store still opens with the right backend)."""
+    p = Path(path)
+    if p.suffix.lower() in SQLITE_SUFFIXES:
+        return True
+    try:
+        with open(p, "rb") as fh:
+            return fh.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def open_store(store):
+    """Coerce a path (or pass through an existing store object) to a
+    result-store backend.  The one factory every store consumer - the
+    campaign engine, ``campaign status``/``merge``, ``repro serve``,
+    the distributed coordinator - resolves paths through."""
+    if isinstance(store, ResultStore) or hasattr(store, "iter_results"):
+        return store
+    if is_sqlite_path(store):
+        from repro.engine.store_sqlite import SQLiteResultStore
+
+        return SQLiteResultStore(store)
+    return ResultStore(store)
+
+
+def merge_stores(
+    inputs: Iterable[str | os.PathLike], output: str | os.PathLike
+) -> int:
+    """Merge stores (any backend mix) into ``output`` (backend chosen
+    by its path), deduplicating by key; returns the number of unique
+    trials written.  The output is rewritten from scratch in sorted
+    ``(app, region, index)`` order, so merging the same inputs always
+    produces byte-identical output."""
+    merged: dict[str, TrialResult] = {}
+    for path in inputs:
+        store = open_store(path)
+        merged.update(store.load())
+        store.close()
+    ordered = sorted(
+        merged.values(), key=lambda r: (r.app, r.region.value, r.index)
+    )
+    out_path = Path(output)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    # Rewrite from scratch; stale WAL sidecars must go with the old db,
+    # or a fresh database behind them would fail to open.
+    for stale in (out_path, *(
+        out_path.with_name(out_path.name + ext) for ext in ("-wal", "-shm")
+    )):
+        if stale.exists():
+            stale.unlink()
+    with open_store(out_path) as out:
+        for result in ordered:
+            out.append(result)
+    return len(ordered)

@@ -38,7 +38,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from repro.engine.store import StoreSummary, parse_result_line
+from repro.engine.store import StoreSummary, open_store
 from repro.observability.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -61,6 +61,21 @@ def parse_endpoint(text: str, default_host: str = "127.0.0.1") -> tuple[str, int
     if not 0 <= port <= 65535:
         raise ValueError(f"serve port out of range: {port}")
     return host or default_host, port
+
+
+def serve_endpoint(
+    telemetry, endpoint: str, default_host: str = "127.0.0.1"
+) -> "TelemetryServer":
+    """Parse ``[HOST:]PORT``, bind a :class:`TelemetryServer` to it and
+    start serving.
+
+    The one parse-and-bind home shared by ``campaign run --serve``,
+    ``campaign serve-work`` and ``python -m repro serve``; raises
+    :class:`ValueError` for a malformed endpoint (the CLIs report it
+    and exit 2) and lets :class:`OSError` from a busy port propagate.
+    """
+    host, port = parse_endpoint(endpoint, default_host)
+    return TelemetryServer(telemetry, host, port).start()
 
 
 class TelemetryHub:
@@ -139,45 +154,33 @@ class TelemetryHub:
 class StoreTelemetry:
     """Store-backed telemetry source: the standalone ``serve`` mode.
 
-    Follows the append-only JSONL store by byte offset: each refresh
-    parses only the lines appended since the last one (complete lines
-    only - a partial trailing write is left for the next refresh, the
-    same tolerance the store's readers apply).  A shrinking file means
-    the store was rewritten; the fold restarts from zero.
+    Follows a result store of either backend incrementally through the
+    store's follower (byte offset for JSONL, rowid high-water mark for
+    SQLite): each refresh ingests only records appended since the last
+    one.  A follower-reported reset (the store was rewritten) restarts
+    the fold from zero.
     """
 
     def __init__(self, path) -> None:
-        self.path = Path(path)
+        store = open_store(path)
+        self.path = Path(store.path)
         self.lock = threading.RLock()
         self.summary = StoreSummary()
         self.started = time.monotonic()
-        self._offset = 0
+        self._follower = store.follower()
         self._seen: set[str] = set()
         self._done = 0
+        store.close()
 
     def refresh(self) -> None:
         with self.lock:
-            try:
-                size = self.path.stat().st_size
-            except OSError:
-                size = 0
-            if size < self._offset:  # truncated/rewritten: start over
-                self._offset = 0
+            results, reset = self._follower.poll()
+            if reset:
                 self._seen.clear()
                 self.summary = StoreSummary()
                 self._done = 0
-            if size == self._offset:
-                return
-            with open(self.path, "rb") as fh:
-                fh.seek(self._offset)
-                data = fh.read()
-            last_newline = data.rfind(b"\n")
-            if last_newline < 0:
-                return
-            self._offset += last_newline + 1
-            for raw in data[: last_newline + 1].splitlines():
-                result = parse_result_line(raw.decode("utf-8", "replace"))
-                if result is None or result.key in self._seen:
+            for result in results:
+                if result.key in self._seen:
                     continue
                 self._seen.add(result.key)
                 self.summary.add(result)
@@ -231,9 +234,24 @@ _INDEX = (
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """One scrape request.  ``telemetry`` is bound per server class."""
+    """One scrape request.  ``telemetry`` is bound per server class.
+
+    Beyond the three scrape endpoints, a telemetry source may expose
+    extra routes by defining ``handle_get(path) -> (body, ctype) |
+    None`` and/or ``handle_post(path, body) -> (body, ctype) | None``
+    (``None`` = not my route -> 404).  The distributed coordinator
+    serves ``/manifest``, ``/lease`` and ``/submit`` this way while
+    inheriting the scrape endpoints unchanged.
+    """
 
     telemetry: TelemetryHub | StoreTelemetry
+
+    def _respond(self, body: bytes, ctype: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = self.path.split("?", 1)[0]
@@ -265,16 +283,35 @@ class _Handler(BaseHTTPRequestHandler):
                 body = _INDEX.encode()
                 ctype = "text/plain; charset=utf-8"
             else:
-                self.send_error(404, "unknown endpoint")
-                return
+                extra = getattr(self.telemetry, "handle_get", None)
+                hit = extra(path) if extra is not None else None
+                if hit is None:
+                    self.send_error(404, "unknown endpoint")
+                    return
+                body, ctype = hit
         except Exception as exc:  # render failure must not kill the thread
             self.send_error(500, str(exc) or type(exc).__name__)
             return
-        self.send_response(200)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._respond(body, ctype)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        handler = getattr(self.telemetry, "handle_post", None)
+        if handler is None:
+            self.send_error(404, "unknown endpoint")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = self.rfile.read(length) if length else b""
+            hit = handler(path, payload)
+            if hit is None:
+                self.send_error(404, "unknown endpoint")
+                return
+            body, ctype = hit
+        except Exception as exc:  # handler failure must not kill the thread
+            self.send_error(500, str(exc) or type(exc).__name__)
+            return
+        self._respond(body, ctype)
 
     def log_message(self, *_args) -> None:
         """Scrapes are routine; keep the campaign's stderr clean."""

@@ -1,0 +1,234 @@
+"""The result-store contract, enforced against both backends.
+
+Every behavior a campaign relies on - idempotent append, streaming
+iteration, summary parity, resume-skip, torn-write recovery, merge
+idempotence, incremental following - must hold identically for the
+JSONL file store and the SQLite store, because ``open_store`` makes
+them interchangeable behind one path argument.  Each test here is
+parametrized over both backends; several also assert cross-backend
+parity (the same trials produce byte-identical status rows whichever
+backend holds them).
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.engine.store import (
+    ResultStore,
+    StoreSummary,
+    is_sqlite_path,
+    merge_stores,
+    open_store,
+)
+from repro.engine.store_sqlite import SQLiteResultStore
+from repro.injection.outcomes import Manifestation
+from tests.engine.test_trial_store import make_result
+
+BACKENDS = ("jsonl", "sqlite")
+
+SUFFIX = {"jsonl": ".jsonl", "sqlite": ".sqlite"}
+
+
+def path_for(tmp_path, backend, name="s"):
+    return tmp_path / f"{name}{SUFFIX[backend]}"
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def fill(store, results):
+    for result in results:
+        store.append(result)
+    return store
+
+
+def three_results():
+    return [
+        make_result(0, Manifestation.CORRECT),
+        make_result(1, Manifestation.CRASH),
+        make_result(2, Manifestation.HANG),
+    ]
+
+
+class TestBackendSelection:
+    def test_suffix_selects_backend(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.jsonl"), ResultStore)
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            assert isinstance(
+                open_store(tmp_path / f"a{suffix}"), SQLiteResultStore
+            )
+
+    def test_magic_sniff_beats_neutral_suffix(self, tmp_path):
+        """A SQLite database under a non-standard name still opens with
+        the SQLite backend: the file magic decides."""
+        path = tmp_path / "store.results"
+        with SQLiteResultStore(path) as store:
+            store.append(make_result(0))
+        assert is_sqlite_path(path)
+        reopened = open_store(path)
+        assert isinstance(reopened, SQLiteResultStore)
+        assert len(reopened.load()) == 1
+
+    def test_store_instances_pass_through(self, tmp_path):
+        for name in ("a.jsonl", "a.sqlite"):
+            store = open_store(tmp_path / name)
+            assert open_store(store) is store
+
+
+class TestContract:
+    def test_append_load_dedup(self, tmp_path, backend):
+        with open_store(path_for(tmp_path, backend)) as store:
+            fill(store, [make_result(0), make_result(1), make_result(0)])
+        loaded = open_store(path_for(tmp_path, backend)).load()
+        assert len(loaded) == 2
+        assert {r.index for r in loaded.values()} == {0, 1}
+
+    def test_iter_results_matches_load(self, tmp_path, backend):
+        with open_store(path_for(tmp_path, backend)) as store:
+            fill(store, three_results())
+        store = open_store(path_for(tmp_path, backend))
+        streamed = list(store.iter_results())
+        assert [r.index for r in streamed] == [0, 1, 2]  # insertion order
+        loaded = store.load()
+        assert {r.key for r in streamed} == loaded.keys()
+        assert all(r.resumed for r in streamed)
+
+    def test_load_missing_file(self, tmp_path, backend):
+        assert open_store(path_for(tmp_path, backend, "absent")).load() == {}
+        assert open_store(path_for(tmp_path, backend, "absent")).status() == []
+
+    def test_status_parity_across_backends(self, tmp_path):
+        """The acceptance check: the same trials summarize to
+        byte-identical status rows whichever backend holds them."""
+        rows = {}
+        for backend in BACKENDS:
+            with open_store(path_for(tmp_path, backend)) as store:
+                fill(store, three_results())
+            rows[backend] = [
+                s.to_json()
+                for s in open_store(path_for(tmp_path, backend)).status()
+            ]
+        assert rows["jsonl"] == rows["sqlite"]
+        assert rows["jsonl"][0]["trials"] == 3
+        assert rows["jsonl"][0]["errors"] == 2
+
+    def test_resume_skip(self, tmp_path, backend):
+        """``load()`` marks every rehydrated trial resumed - the flag
+        the engine's resume path keys on to skip re-execution."""
+        with open_store(path_for(tmp_path, backend)) as store:
+            fill(store, [make_result(0), make_result(1)])
+        loaded = open_store(path_for(tmp_path, backend)).load()
+        assert all(r.resumed for r in loaded.values())
+        assert make_result(0).key in loaded
+        assert make_result(7).key not in loaded
+
+    def test_torn_write_recovery(self, tmp_path, backend):
+        """A crash mid-append loses at most the in-flight trial: a torn
+        JSONL line, or an abandoned SQLite transaction rolled back on
+        close.  Either way the complete records read back clean."""
+        path = path_for(tmp_path, backend)
+        with open_store(path) as store:
+            fill(store, [make_result(0), make_result(1)])
+        if backend == "jsonl":
+            with open(path, "a") as fh:
+                fh.write('{"key": "torn-in-fligh')  # no newline, cut JSON
+        else:
+            orphan = make_result(2)
+            conn = sqlite3.connect(path)
+            conn.execute("BEGIN")
+            conn.execute(
+                "INSERT INTO trials (key, app, region, idx, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (orphan.key, orphan.app, orphan.region.value, orphan.index,
+                 json.dumps(orphan.to_json(), sort_keys=True)),
+            )
+            conn.close()  # crash stand-in: uncommitted work rolls back
+        loaded = open_store(path).load()
+        assert len(loaded) == 2
+        assert {r.index for r in loaded.values()} == {0, 1}
+
+    def test_merge_idempotent_and_sorted(self, tmp_path, backend):
+        """Merging twice (and merging a merge) lands the same sorted,
+        deduplicated trial set, regardless of the input backend mix."""
+        a = path_for(tmp_path, "jsonl", "a")
+        b = path_for(tmp_path, "sqlite", "b")
+        with open_store(a) as store:
+            fill(store, [make_result(1), make_result(0)])
+        with open_store(b) as store:
+            fill(store, [make_result(1), make_result(2)])
+        out = path_for(tmp_path, backend, "merged")
+        assert merge_stores([a, b], out) == 3
+        assert merge_stores([a, b], out) == 3  # rewrite, not accumulate
+        once = [r.key for r in open_store(out).iter_results()]
+        again = path_for(tmp_path, backend, "merged2")
+        assert merge_stores([out], again) == 3
+        assert [r.key for r in open_store(again).iter_results()] == once
+        assert [
+            r.index for r in open_store(out).iter_results()
+        ] == [0, 1, 2]
+
+    def test_multi_writer_idempotent_appends(self, tmp_path, backend):
+        """Two store handles appending overlapping trial sets - the
+        distributed coordinator scenario - land each key once."""
+        path = path_for(tmp_path, backend)
+        first = open_store(path)
+        second = open_store(path)
+        fill(first, [make_result(0), make_result(1)])
+        fill(second, [make_result(1), make_result(2)])
+        first.close()
+        second.close()
+        loaded = open_store(path).load()
+        assert {r.index for r in loaded.values()} == {0, 1, 2}
+
+    def test_follower_incremental_and_reset(self, tmp_path, backend):
+        path = path_for(tmp_path, backend)
+        store = open_store(path)
+        follower = store.follower()
+        results, reset = follower.poll()
+        assert results == [] and reset is False
+
+        store.append(make_result(0))
+        store.append(make_result(1))
+        results, reset = follower.poll()
+        assert [r.index for r in results] == [0, 1] and reset is False
+
+        results, reset = follower.poll()  # nothing new
+        assert results == [] and reset is False
+
+        store.append(make_result(2, Manifestation.CRASH))
+        results, reset = follower.poll()
+        assert [r.index for r in results] == [2] and reset is False
+        store.close()
+
+        # Rewrite the store smaller: the follower must report a reset
+        # and replay from the start.
+        if backend == "jsonl":
+            path.write_text("")
+        else:
+            conn = sqlite3.connect(path)
+            conn.execute("DELETE FROM trials")
+            conn.commit()
+            conn.close()
+        with open_store(path) as store:
+            store.append(make_result(5))
+        results, reset = follower.poll()
+        assert reset is True
+        assert [r.index for r in results] == [5]
+
+
+class TestSummaryParity:
+    def test_fold_matches_bulk(self, tmp_path, backend):
+        with open_store(path_for(tmp_path, backend)) as store:
+            fill(store, three_results())
+        store = open_store(path_for(tmp_path, backend))
+        incremental = StoreSummary()
+        for result in store.iter_results():
+            incremental.add(result)
+        bulk = StoreSummary.from_results(store.load().values())
+        assert [r.to_json() for r in incremental.rows()] == [
+            r.to_json() for r in bulk.rows()
+        ]

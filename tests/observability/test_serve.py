@@ -193,7 +193,7 @@ class TestStoreTelemetry:
         path = self._store_with(tmp_path, [make_result(index=i) for i in range(3)])
         telemetry = StoreTelemetry(path)
         assert telemetry.status_payload()["regions"][0]["trials"] == 3
-        offset_after_first = telemetry._offset
+        offset_after_first = telemetry._follower._offset
 
         store = ResultStore(path)
         store.append(make_result(index=7))
@@ -201,7 +201,7 @@ class TestStoreTelemetry:
         payload = telemetry.status_payload()
         assert payload["regions"][0]["trials"] == 4
         # Only the appended bytes were parsed.
-        assert telemetry._offset > offset_after_first
+        assert telemetry._follower._offset > offset_after_first
 
     def test_partial_trailing_line_deferred(self, tmp_path):
         from tests.engine.test_trial_store import make_result
